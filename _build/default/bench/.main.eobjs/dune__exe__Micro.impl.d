@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Brdb_crypto Brdb_engine Brdb_storage Brdb_txn Hashtbl Instance List Measure Printf Staged String Test Time Toolkit

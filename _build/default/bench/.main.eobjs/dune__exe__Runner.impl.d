@@ -1,0 +1,1 @@
+bench/runner.ml: Brdb_consensus Brdb_core Brdb_crypto Brdb_ledger Brdb_node Brdb_sim Brdb_storage List Option Printf Workloads

@@ -1,0 +1,1 @@
+bench/workloads.ml: Brdb_contracts Brdb_core Brdb_sim Brdb_storage List Printf

@@ -1,0 +1,254 @@
+(** One function per table/figure of the paper's evaluation (§5). Each
+    prints the same rows/series the paper reports; EXPERIMENTS.md records
+    paper-vs-measured. *)
+
+module Node_core = Brdb_node.Node_core
+module Service = Brdb_consensus.Service
+module Metrics = Brdb_sim.Metrics
+module Network = Brdb_sim.Network
+
+let quick = ref false
+
+let dur () = if !quick then 2.0 else 5.0
+
+let line fmt = Printf.printf (fmt ^^ "\n%!")
+
+let header title =
+  line "";
+  line "== %s" title;
+  line "%s" (String.make (String.length title + 3) '-')
+
+let flow_name = function
+  | Node_core.Order_execute -> "order-then-execute"
+  | Node_core.Execute_order -> "execute-order-in-parallel"
+  | Node_core.Serial_baseline -> "serial baseline (Ethereum-style)"
+
+(* ------------------------------------------------- Fig 5: simple contract *)
+
+let fig5 flow ~rates ~block_sizes =
+  header
+    (Printf.sprintf "Figure 5%s: %s, simple contract — throughput & latency vs arrival rate"
+       (if flow = Node_core.Order_execute then "(a)" else "(b)")
+       (flow_name flow));
+  line "%8s %6s | %12s %12s" "rate" "bs" "tput(tps)" "latency(s)";
+  List.iter
+    (fun block_size ->
+      List.iter
+        (fun rate ->
+          let s =
+            Runner.run
+              { Runner.default_spec with flow; block_size; rate; duration = dur () }
+          in
+          line "%8.0f %6d | %12.0f %12.3f" rate block_size
+            s.Metrics.throughput_tps s.Metrics.avg_latency_s)
+        rates)
+    block_sizes
+
+let fig5a () =
+  fig5 Node_core.Order_execute
+    ~rates:[ 1200.; 1500.; 1800.; 2100. ]
+    ~block_sizes:[ 10; 100; 500 ]
+
+let fig5b () =
+  fig5 Node_core.Execute_order
+    ~rates:[ 1800.; 2100.; 2400.; 2700. ]
+    ~block_sizes:[ 10; 100; 500 ]
+
+(* --------------------------------------------- Tables 4/5: micro metrics *)
+
+let micro_table ~flow ~rate ~title =
+  header title;
+  line "%4s | %8s %8s %9s %9s %9s %9s %7s %6s" "bs" "brr" "bpr" "bpt(ms)"
+    "bet(ms)" "bct(ms)" "tet(ms)" "mt/s" "su%%";
+  List.iter
+    (fun block_size ->
+      let s =
+        Runner.run { Runner.default_spec with flow; block_size; rate; duration = dur () }
+      in
+      line "%4d | %8.1f %8.1f %9.2f %9.2f %9.2f %9.3f %7.0f %6.1f" block_size
+        s.Metrics.brr s.Metrics.bpr s.Metrics.bpt_ms s.Metrics.bet_ms
+        s.Metrics.bct_ms s.Metrics.tet_ms s.Metrics.mt_per_s s.Metrics.su_percent)
+    [ 10; 100; 500 ]
+
+let table4 () =
+  micro_table ~flow:Node_core.Order_execute ~rate:2100.
+    ~title:"Table 4: order-then-execute micro-metrics @ 2100 tps"
+
+let table5 () =
+  micro_table ~flow:Node_core.Execute_order ~rate:2400.
+    ~title:"Table 5: execute-order-in-parallel micro-metrics @ 2400 tps"
+
+(* ------------------------------------------------- §5.1 serial baseline *)
+
+let serial_baseline () =
+  header "§5.1: Ethereum-style serial execution baseline (bs=100)";
+  line "%8s | %12s" "rate" "tput(tps)";
+  List.iter
+    (fun rate ->
+      let s =
+        Runner.run
+          {
+            Runner.default_spec with
+            flow = Node_core.Serial_baseline;
+            block_size = 100;
+            rate;
+            duration = dur ();
+          }
+      in
+      line "%8.0f | %12.0f" rate s.Metrics.throughput_tps)
+    [ 400.; 800.; 1200.; 1600. ];
+  let oe =
+    Runner.run
+      { Runner.default_spec with flow = Node_core.Order_execute; rate = 2100.; duration = dur () }
+  in
+  line "(concurrent OE reference @2100: %.0f tps — serial peaks at ~40%% of it)"
+    oe.Metrics.throughput_tps
+
+(* ------------------------------------- Figs 6/7: complex contracts *)
+
+let complex_fig ~contract ~oe_rates ~eo_rates ~title =
+  header title;
+  line "%28s %6s | %10s %9s %9s %9s" "flow" "bs" "peak(tps)" "bpt(ms)"
+    "bet(ms)" "tet(ms)";
+  List.iter
+    (fun (flow, rates) ->
+      List.iter
+        (fun block_size ->
+          let _, s =
+            Runner.peak
+              { Runner.default_spec with flow; contract; block_size; duration = dur () }
+              ~rates
+          in
+          line "%28s %6d | %10.0f %9.2f %9.2f %9.3f" (flow_name flow) block_size
+            s.Metrics.throughput_tps s.Metrics.bpt_ms s.Metrics.bet_ms
+            s.Metrics.tet_ms)
+        [ 10; 50; 100 ])
+    [ (Node_core.Order_execute, oe_rates); (Node_core.Execute_order, eo_rates) ]
+
+let fig6 () =
+  complex_fig ~contract:Workloads.Complex_join
+    ~oe_rates:[ 200.; 400.; 600. ]
+    ~eo_rates:[ 400.; 800.; 1200. ]
+    ~title:"Figure 6: complex-join contract — peak throughput and block times"
+
+let fig7 () =
+  complex_fig ~contract:Workloads.Complex_group
+    ~oe_rates:[ 400.; 700.; 1000. ]
+    ~eo_rates:[ 800.; 1200.; 1600. ]
+    ~title:"Figure 7: complex-group contract — peak throughput and block times"
+
+(* ------------------------------------------- Fig 8a: multi-cloud (WAN) *)
+
+let fig8a () =
+  header "Figure 8(a): complex-join contract, LAN vs WAN (multi-cloud)";
+  line "%6s | %10s %10s | %12s %12s | %10s" "bs" "lan(tps)" "wan(tps)"
+    "lan lat(s)" "wan lat(s)" "Δlat(ms)";
+  List.iter
+    (fun block_size ->
+      let rates = [ 300.; 400. ] in
+      let _, lan =
+        Runner.peak
+          {
+            Runner.default_spec with
+            contract = Workloads.Complex_join;
+            block_size;
+            duration = dur ();
+          }
+          ~rates
+      in
+      let _, wan =
+        Runner.peak
+          {
+            Runner.default_spec with
+            contract = Workloads.Complex_join;
+            block_size;
+            link = Network.wan_link;
+            duration = dur ();
+          }
+          ~rates
+      in
+      line "%6d | %10.0f %10.0f | %12.3f %12.3f | %10.0f" block_size
+        lan.Metrics.throughput_tps wan.Metrics.throughput_tps
+        lan.Metrics.avg_latency_s wan.Metrics.avg_latency_s
+        ((wan.Metrics.avg_latency_s -. lan.Metrics.avg_latency_s) *. 1000.))
+    [ 10; 50; 100 ]
+
+(* -------------------------------------- Fig 8b: orderer scaling *)
+
+let fig8b () =
+  header "Figure 8(b): ordering-service throughput vs orderer count @ 3000 tps";
+  line "%10s | %12s %12s" "#orderers" "kafka(tps)" "bft(tps)";
+  List.iter
+    (fun n ->
+      let kafka =
+        Runner.ordering_throughput ~kind:Service.Kafka ~n_orderers:n ~rate:3000.
+          ~duration:(dur ()) ~seed:11
+      in
+      let bft =
+        Runner.ordering_throughput ~kind:Service.Bft ~n_orderers:n ~rate:3000.
+          ~duration:(dur ()) ~seed:11
+      in
+      line "%10d | %12.0f %12.0f" n kafka bft)
+    [ 4; 8; 16; 32 ]
+
+(* ----------------------------------------------- ablations (§7 extras) *)
+
+let ablation () =
+  header "Ablation: raft vs kafka ordering under the simple workload";
+  List.iter
+    (fun ordering ->
+      let s =
+        Runner.run
+          {
+            Runner.default_spec with
+            ordering;
+            rate = 1200.;
+            duration = dur ();
+          }
+      in
+      line "%8s: %6.0f tps, latency %.3fs"
+        (match ordering with
+        | Service.Kafka -> "kafka"
+        | Service.Raft -> "raft"
+        | Service.Solo -> "solo"
+        | Service.Bft -> "bft")
+        s.Metrics.throughput_tps s.Metrics.avg_latency_s)
+    [ Service.Solo; Service.Kafka; Service.Raft; Service.Bft ]
+
+let contention () =
+  header "Ablation: abort behaviour under hot-key contention (10 rows, rmw)";
+  line "%28s | %9s %9s %9s" "flow" "committed" "aborted" "abort%%";
+  List.iter
+    (fun flow ->
+      let s =
+        Runner.run
+          {
+            Runner.default_spec with
+            flow;
+            contract = Workloads.Contended;
+            block_size = 50;
+            rate = 500.;
+            duration = dur ();
+          }
+      in
+      let total = s.Metrics.committed + s.Metrics.aborted in
+      line "%28s | %9d %9d %8.1f%%" (flow_name flow) s.Metrics.committed
+        s.Metrics.aborted
+        (if total = 0 then 0.
+         else 100. *. float_of_int s.Metrics.aborted /. float_of_int total))
+    [ Node_core.Order_execute; Node_core.Execute_order; Node_core.Serial_baseline ]
+
+let all : (string * (unit -> unit)) list =
+  [
+    ("fig5a", fig5a);
+    ("fig5b", fig5b);
+    ("table4", table4);
+    ("table5", table5);
+    ("serial_baseline", serial_baseline);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8a", fig8a);
+    ("fig8b", fig8b);
+    ("ablation", ablation);
+    ("contention", contention);
+  ]

@@ -1,0 +1,45 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (§5) on the simulated testbed, plus Bechamel wall-clock
+    micro-benchmarks of the engine primitives.
+
+    Usage:
+      dune exec bench/main.exe                 # all experiments
+      dune exec bench/main.exe -- --quick      # shorter windows
+      dune exec bench/main.exe -- --only fig5a # one experiment
+      dune exec bench/main.exe -- --micro      # Bechamel micro-benchmarks
+      dune exec bench/main.exe -- --list       # list experiment names *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let only =
+    let rec find = function
+      | "--only" :: name :: _ -> Some name
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if has "--quick" then Experiments.quick := true;
+  if has "--list" then begin
+    List.iter (fun (name, _) -> print_endline name) Experiments.all;
+    exit 0
+  end;
+  if has "--micro" then begin
+    print_endline "== Bechamel micro-benchmarks (wall clock)";
+    Micro.benchmark ();
+    exit 0
+  end;
+  (match only with
+  | Some name -> (
+      match List.assoc_opt name Experiments.all with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s; try --list\n" name;
+          exit 1)
+  | None ->
+      print_endline
+        "Blockchain relational database — evaluation reproduction (simulated \
+         testbed; see EXPERIMENTS.md for paper-vs-measured)";
+      List.iter (fun (_, f) -> f ()) Experiments.all);
+  print_endline "\ndone."

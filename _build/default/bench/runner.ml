@@ -1,0 +1,136 @@
+(** Executes one experiment configuration and reports the paper's metrics. *)
+
+module B = Brdb_core.Blockchain_db
+module Node_core = Brdb_node.Node_core
+module Service = Brdb_consensus.Service
+module Clock = Brdb_sim.Clock
+module Rng = Brdb_sim.Rng
+module Workload = Brdb_sim.Workload
+module Metrics = Brdb_sim.Metrics
+module Network = Brdb_sim.Network
+
+type spec = {
+  flow : Node_core.flow;
+  contract : Workloads.kind;
+  block_size : int;
+  rate : float;  (** arrival rate, tps *)
+  duration : float;  (** workload duration, simulated seconds *)
+  ordering : Service.kind;
+  n_orderers : int;
+  link : Network.link;
+  seed : int;
+}
+
+let default_spec =
+  {
+    flow = Node_core.Order_execute;
+    contract = Workloads.Simple;
+    block_size = 100;
+    rate = 1000.;
+    duration = 5.;
+    ordering = Service.Kafka;
+    n_orderers = 3;
+    link = Network.lan_link;
+    seed = 7;
+  }
+
+(** Run the workload and summarize. Throughput counts transactions that
+    reached majority commit within the workload window (steady state), as
+    in the paper. *)
+let run (spec : spec) : Metrics.summary =
+  let config =
+    {
+      (B.default_config ()) with
+      B.flow = spec.flow;
+      ordering = spec.ordering;
+      n_orderers = spec.n_orderers;
+      block_size = spec.block_size;
+      block_timeout = 1.0;
+      link = spec.link;
+      contract_class_of = Workloads.contract_class;
+      forward_delay_mean =
+        (if spec.flow = Node_core.Execute_order then 0.012 else 0.);
+      seed = spec.seed;
+    }
+  in
+  let net = B.create config in
+  Workloads.install net;
+  let users =
+    List.map (fun org -> B.register_user net (org ^ "/bench")) [ "org1"; "org2"; "org3" ]
+  in
+  let contract = Workloads.contract_name spec.contract in
+  let rng = Rng.create ~seed:(spec.seed + 1) in
+  let clock = B.clock net in
+  let t0 = Clock.now clock in
+  Workload.run ~clock ~rng ~rate:spec.rate ~duration:spec.duration
+    ~submit:(fun i ->
+      let user = List.nth users (i mod List.length users) in
+      ignore
+        (B.submit net ~user ~contract ~args:(Workloads.args spec.contract i)));
+  (* Steady-state window: stop the clock when the workload window closes;
+     in-flight transactions at the cut-off are not counted. *)
+  B.run net ~seconds:spec.duration;
+  ignore t0;
+  B.summary net ~duration_s:spec.duration
+
+(** Sweep arrival rates and report the best observed committed
+    throughput with its summary. *)
+let peak spec ~rates =
+  List.fold_left
+    (fun best rate ->
+      let s = run { spec with rate } in
+      match best with
+      | None -> Some (rate, s)
+      | Some (_, bs) when s.Metrics.throughput_tps > bs.Metrics.throughput_tps ->
+          Some (rate, s)
+      | Some _ -> best)
+    None rates
+  |> Option.get
+
+(* ---------------- ordering-service-only experiment (Fig. 8b) ------------- *)
+
+(** Throughput of the ordering service alone: dummy sink peers count
+    ordered transactions. *)
+let ordering_throughput ~kind ~n_orderers ~rate ~duration ~seed =
+  let clock = Clock.create () in
+  let rng = Rng.create ~seed in
+  let module Msg = Brdb_consensus.Msg in
+  let net = Msg.Net.create ~clock ~rng:(Rng.split rng) ~default_link:Network.lan_link in
+  let orderer_names = List.init n_orderers (fun i -> Printf.sprintf "orderer-%d" (i + 1)) in
+  let identities =
+    List.map (fun n -> (n, Brdb_crypto.Identity.create ("orderer/" ^ n))) orderer_names
+  in
+  let delivered = ref 0 in
+  let sink = "sink" in
+  Msg.Net.register net ~name:sink (fun ~src:_ msg ->
+      match msg with
+      | Msg.Block_deliver b -> delivered := !delivered + List.length b.Brdb_ledger.Block.txs
+      | _ -> ());
+  let _service =
+    Service.create ~net ~kind ~orderer_names
+      ~identity_of:(fun n -> List.assoc n identities)
+      ~rng:(Rng.split rng) ~block_size:100 ~block_timeout:1.0
+      ~peers_of:(fun o -> if o = List.hd orderer_names then [ sink ] else [])
+      ()
+  in
+  (* Raft needs a moment to elect a leader before load arrives. *)
+  (match kind with
+  | Service.Raft -> ignore (Clock.run ~until:1.0 clock)
+  | _ -> ());
+  let start = Clock.now clock in
+  let client = Brdb_crypto.Identity.create "client/load" in
+  let wrng = Rng.create ~seed:(seed + 13) in
+  Workload.run ~clock ~rng:wrng ~rate ~duration ~submit:(fun i ->
+      let tx =
+        Brdb_ledger.Block.make_tx
+          ~id:(Printf.sprintf "load-%d" i)
+          ~identity:client ~contract:"noop"
+          ~args:[ Brdb_storage.Value.Int i ]
+      in
+      let dst = List.nth orderer_names (i mod n_orderers) in
+      ignore
+        (Msg.Net.send net ~src:"client/load" ~dst
+           ~size_bytes:(Msg.size (Msg.Client_tx tx))
+           (Msg.Client_tx tx)));
+  ignore (Clock.run ~until:(start +. duration) clock);
+  float_of_int !delivered /. duration

@@ -1,0 +1,120 @@
+(** The three smart contracts of the paper's evaluation (§5, Appendix A)
+    and their schemas.
+
+    - [simple]: single-row INSERT (Fig. 5, Tables 4/5);
+    - [complex_join]: two-table join + aggregate, result written to a
+      third table (Fig. 6);
+    - [complex_group]: aggregates over subgroups with ORDER BY/LIMIT,
+      writing the maximum (Fig. 7).
+
+    Every scan goes through an index, so the same contracts run under the
+    EO flow's index-only restriction. Primary keys come from the driver's
+    sequence numbers, so — like the paper's benchmark — transactions do
+    not contend. *)
+
+module B = Brdb_core.Blockchain_db
+module Value = Brdb_storage.Value
+module Registry = Brdb_contracts.Registry
+module Api = Brdb_contracts.Api
+module Cost_model = Brdb_sim.Cost_model
+
+let n_customers = 50
+
+let n_parts = 100
+
+let n_orders = 400
+
+let seed_contract =
+  Registry.Native
+    (fun ctx ->
+      List.iter
+        (fun sql -> ignore (Api.execute ctx sql))
+        [
+          "CREATE TABLE kvstore (k INT PRIMARY KEY, v INT)";
+          "CREATE TABLE parts (part_id INT PRIMARY KEY, price INT, grp INT)";
+          "CREATE TABLE orders (order_id INT PRIMARY KEY, customer_id INT, \
+           part_id INT, qty INT)";
+          "CREATE INDEX orders_customer ON orders (customer_id)";
+          "CREATE TABLE invoices (invoice_id INT PRIMARY KEY, customer_id INT, \
+           amount INT)";
+          "CREATE TABLE summary (id INT PRIMARY KEY, customer_id INT, best INT)";
+        ];
+      for p = 0 to n_parts - 1 do
+        ignore
+          (Api.execute ctx
+             (Printf.sprintf "INSERT INTO parts VALUES (%d, %d, %d)" p
+                ((p mod 20) + 1) (p mod 5)))
+      done;
+      (* hot rows for the contention ablation (negative keys so they never
+         collide with the sequence-numbered inserts of [Simple]) *)
+      for k = 1 to 20 do
+        ignore (Api.execute ctx (Printf.sprintf "INSERT INTO kvstore VALUES (%d, 0)" (-k)))
+      done;
+      for o = 0 to n_orders - 1 do
+        ignore
+          (Api.execute ctx
+             (Printf.sprintf "INSERT INTO orders VALUES (%d, %d, %d, %d)" o
+                (o mod n_customers) (o mod n_parts) ((o mod 7) + 1)))
+      done)
+
+let simple_source = "INSERT INTO kvstore VALUES ($1, $2)"
+
+let complex_join_source =
+  "LET total = SELECT SUM(o.qty * p.price) FROM orders o JOIN parts p ON \
+   o.part_id = p.part_id WHERE o.customer_id = $2;\n\
+   INSERT INTO invoices VALUES ($1, $2, COALESCE(:total, 0))"
+
+let contended_source =
+  (* read-modify-write on one of 10 hot rows: maximal rw/ww contention *)
+  "LET cur = SELECT v FROM kvstore WHERE k = $2;\n\
+   REQUIRE :cur IS NOT NULL;\n\
+   UPDATE kvstore SET v = :cur + 1 WHERE k = $2"
+
+let complex_group_source =
+  "LET best = SELECT SUM(o.qty * p.price) AS t FROM orders o JOIN parts p ON \
+   o.part_id = p.part_id WHERE o.customer_id = $2 GROUP BY p.grp ORDER BY t \
+   DESC LIMIT 1;\n\
+   INSERT INTO summary VALUES ($1, $2, COALESCE(:best, 0))"
+
+type kind = Simple | Complex_join | Complex_group | Contended
+
+let contract_name = function
+  | Simple -> "bench_simple"
+  | Complex_join -> "bench_complex_join"
+  | Complex_group -> "bench_complex_group"
+  | Contended -> "bench_contended"
+
+let contract_class name =
+  match name with
+  | "bench_simple" -> Cost_model.Simple
+  | "bench_complex_join" -> Cost_model.Complex_join
+  | "bench_complex_group" -> Cost_model.Complex_group
+  | _ -> Cost_model.Custom 0.0005
+
+(** Install the bench schema and contracts, run the seeding block. *)
+let install net =
+  B.install_contract net ~name:"bench_seed" seed_contract;
+  List.iter
+    (fun (kind, source) ->
+      match B.install_contract_source net ~name:(contract_name kind) source with
+      | Ok () -> ()
+      | Error e -> failwith ("bench contract rejected: " ^ e))
+    [
+      (Simple, simple_source);
+      (Complex_join, complex_join_source);
+      (Complex_group, complex_group_source);
+      (Contended, contended_source);
+    ];
+  let admin = B.admin net "org1" in
+  let id = B.submit net ~user:admin ~contract:"bench_seed" ~args:[] in
+  B.settle net;
+  match B.status net id with
+  | Some B.Committed -> ()
+  | _ -> failwith "bench seeding failed"
+
+(** Arguments for the [i]-th invocation of a contract. *)
+let args kind i =
+  match kind with
+  | Simple -> [ Value.Int i; Value.Int (i * 7) ]
+  | Complex_join | Complex_group -> [ Value.Int i; Value.Int (i mod n_customers) ]
+  | Contended -> [ Value.Int i; Value.Int (-((i mod 10) + 1)) ]

@@ -1,0 +1,1 @@
+examples/deploy_governance.ml: Array Brdb_contracts Brdb_core Brdb_engine Brdb_storage List Printf String

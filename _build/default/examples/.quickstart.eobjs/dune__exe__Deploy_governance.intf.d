@@ -1,0 +1,1 @@
+examples/deploy_governance.mli:

@@ -1,0 +1,1 @@
+examples/financial_audit.mli:

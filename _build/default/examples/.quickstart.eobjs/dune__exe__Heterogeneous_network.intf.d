@@ -1,0 +1,1 @@
+examples/heterogeneous_network.mli:

@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Array Brdb_contracts Brdb_core Brdb_engine Brdb_storage List Printf String

@@ -1,0 +1,1 @@
+examples/supply_chain.mli:

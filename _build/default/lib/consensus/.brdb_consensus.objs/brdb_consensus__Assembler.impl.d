@@ -1,0 +1,1 @@
+lib/consensus/assembler.ml: Brdb_crypto Brdb_ledger

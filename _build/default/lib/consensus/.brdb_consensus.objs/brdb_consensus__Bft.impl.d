@@ -1,0 +1,1 @@
+lib/consensus/bft.ml: Assembler Brdb_crypto Brdb_ledger Brdb_sim Cutter Hashtbl List Msg Set String

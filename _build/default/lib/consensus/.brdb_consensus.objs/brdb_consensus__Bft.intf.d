@@ -1,0 +1,1 @@
+lib/consensus/bft.mli: Brdb_crypto Msg

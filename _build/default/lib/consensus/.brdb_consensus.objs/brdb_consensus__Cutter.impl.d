@@ -1,0 +1,1 @@
+lib/consensus/cutter.ml: Brdb_ledger Hashtbl List

@@ -1,0 +1,1 @@
+lib/consensus/cutter.mli: Brdb_ledger

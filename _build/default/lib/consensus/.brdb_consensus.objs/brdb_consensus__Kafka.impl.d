@@ -1,0 +1,1 @@
+lib/consensus/kafka.ml: Assembler Brdb_ledger Brdb_sim Cutter Hashtbl List Msg

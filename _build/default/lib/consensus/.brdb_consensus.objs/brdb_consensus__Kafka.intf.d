@@ -1,0 +1,1 @@
+lib/consensus/kafka.mli: Brdb_crypto Msg

@@ -1,0 +1,1 @@
+lib/consensus/msg.ml: Brdb_ledger Brdb_sim List

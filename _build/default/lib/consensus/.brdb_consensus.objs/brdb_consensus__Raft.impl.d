@@ -1,0 +1,1 @@
+lib/consensus/raft.ml: Assembler Brdb_ledger Brdb_sim Brdb_util Cutter Hashtbl List Msg Set String

@@ -1,0 +1,1 @@
+lib/consensus/raft.mli: Brdb_crypto Brdb_sim Msg

@@ -1,0 +1,1 @@
+lib/consensus/service.ml: Bft Brdb_sim Kafka List Raft Solo

@@ -1,0 +1,1 @@
+lib/consensus/service.mli: Brdb_crypto Brdb_sim Msg Raft

@@ -1,0 +1,1 @@
+lib/consensus/solo.ml: Assembler Brdb_ledger Brdb_sim Cutter List Msg

@@ -1,0 +1,1 @@
+lib/consensus/solo.mli: Brdb_crypto Msg

@@ -1,0 +1,27 @@
+(** Per-orderer block assembly: keeps the hash chain and signs blocks.
+    Orderers running the same deterministic stream produce identical
+    hashes (signatures are not part of the hash). *)
+
+module Block = Brdb_ledger.Block
+
+type t = {
+  identity : Brdb_crypto.Identity.t;
+  metadata : string;
+  mutable next_height : int;
+  mutable prev_hash : string;
+}
+
+let create ~identity ~metadata =
+  { identity; metadata; next_height = 1; prev_hash = Block.genesis_hash }
+
+let next_height t = t.next_height
+
+let make t txs =
+  let b =
+    Block.create ~height:t.next_height ~txs ~metadata:t.metadata
+      ~prev_hash:t.prev_hash
+  in
+  let b = Block.sign b t.identity in
+  t.next_height <- t.next_height + 1;
+  t.prev_hash <- b.Block.hash;
+  b

@@ -1,0 +1,194 @@
+module Block = Brdb_ledger.Block
+module Clock = Brdb_sim.Clock
+module Cpu = Brdb_sim.Cpu
+module SSet = Set.Make (String)
+
+type phase_state = {
+  mutable block : Block.t option;
+  mutable prepares : SSet.t;
+  mutable commits : SSet.t;
+  mutable prepare_sent : bool;
+  mutable commit_sent : bool;
+  mutable delivered : bool;
+}
+
+type t = {
+  net : Msg.Net.net;
+  name : string;
+  names : string list;
+  others : string list;
+  leader : string;
+  identity : Brdb_crypto.Identity.t;
+  clock : Clock.t;
+  cpu : Cpu.t;
+  cutter : Cutter.t;
+  assembler : Assembler.t;
+  block_timeout : float;
+  tx_cpu : float;
+  recv_cpu : float;
+  send_cpu : float;
+  block_cpu : float;
+  peers : string list;
+  f : int;
+  states : (int, phase_state) Hashtbl.t;
+  mutable next_deliver : int;
+  mutable delivered_count : int;
+}
+
+let state t seq =
+  match Hashtbl.find_opt t.states seq with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          block = None;
+          prepares = SSet.empty;
+          commits = SSet.empty;
+          prepare_sent = false;
+          commit_sent = false;
+          delivered = false;
+        }
+      in
+      Hashtbl.replace t.states seq s;
+      s
+
+let send_all t msg =
+  (* Serialization cost per recipient on the sender's CPU. *)
+  Cpu.run t.cpu
+    ~cost:(t.send_cpu *. float_of_int (List.length t.others))
+    (fun () ->
+      List.iter
+        (fun dst ->
+          ignore (Msg.Net.send t.net ~src:t.name ~dst ~size_bytes:(Msg.size msg) msg))
+        t.others)
+
+let deliver_ready t =
+  let rec loop () =
+    match Hashtbl.find_opt t.states t.next_deliver with
+    | Some ({ block = Some b; delivered = false; _ } as s)
+      when SSet.cardinal s.commits >= 2 * t.f ->
+        s.delivered <- true;
+        t.delivered_count <- t.delivered_count + 1;
+        let signed = Block.sign b t.identity in
+        List.iter
+          (fun peer ->
+            ignore
+              (Msg.Net.send t.net ~src:t.name ~dst:peer
+                 ~size_bytes:(Msg.size (Msg.Block_deliver signed))
+                 (Msg.Block_deliver signed)))
+          t.peers;
+        t.next_deliver <- t.next_deliver + 1;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let maybe_commit t seq =
+  let s = state t seq in
+  if
+    s.block <> None && s.prepare_sent
+    && (not s.commit_sent)
+    && SSet.cardinal s.prepares >= 2 * t.f
+  then begin
+    s.commit_sent <- true;
+    s.commits <- SSet.add t.name s.commits;
+    (match s.block with
+    | Some b -> send_all t (Msg.Bft (Msg.Commit_vote { view = 0; seq; digest = b.Block.hash }))
+    | None -> ());
+    deliver_ready t
+  end
+
+let on_block t seq block =
+  let s = state t seq in
+  if s.block = None then begin
+    s.block <- Some block;
+    if not s.prepare_sent then begin
+      s.prepare_sent <- true;
+      s.prepares <- SSet.add t.name s.prepares;
+      send_all t (Msg.Bft (Msg.Prepare { view = 0; seq; digest = block.Block.hash }))
+    end;
+    maybe_commit t seq;
+    deliver_ready t
+  end
+
+let leader_cut t txs =
+  Cpu.run t.cpu ~cost:t.block_cpu (fun () ->
+      let b = Assembler.make t.assembler txs in
+      let seq = b.Block.height in
+      send_all t (Msg.Bft (Msg.Pre_prepare { view = 0; seq; block = b }));
+      on_block t seq b)
+
+let arm_timer t =
+  let epoch = Cutter.epoch t.cutter in
+  Clock.schedule t.clock ~delay:t.block_timeout (fun () ->
+      if Cutter.epoch t.cutter = epoch then
+        match Cutter.cut t.cutter with
+        | Some txs -> leader_cut t txs
+        | None -> ())
+
+let handle t ~src msg =
+  match msg with
+  | Msg.Client_tx tx ->
+      (* Client ingestion is cheap (batched); the protocol messages below
+         carry the real per-orderer cost. *)
+      if String.equal t.name t.leader then
+        Cpu.run t.cpu ~cost:t.tx_cpu (fun () ->
+            match Cutter.add t.cutter tx with
+            | Cutter.Cut txs -> leader_cut t txs
+            | Cutter.First -> arm_timer t
+            | Cutter.Buffered | Cutter.Duplicate -> ())
+      else
+        (* Relay to the leader. *)
+        Cpu.run t.cpu ~cost:t.tx_cpu (fun () ->
+            ignore
+              (Msg.Net.send t.net ~src:t.name ~dst:t.leader ~size_bytes:(Msg.size msg) msg))
+  | Msg.Bft (Msg.Pre_prepare { seq; block; _ }) ->
+      if String.equal src t.leader then
+        Cpu.run t.cpu ~cost:(t.recv_cpu +. t.block_cpu /. 4.) (fun () -> on_block t seq block)
+  | Msg.Bft (Msg.Prepare { seq; _ }) ->
+      Cpu.run t.cpu ~cost:t.recv_cpu (fun () ->
+          let s = state t seq in
+          s.prepares <- SSet.add src s.prepares;
+          maybe_commit t seq)
+  | Msg.Bft (Msg.Commit_vote { seq; _ }) ->
+      Cpu.run t.cpu ~cost:t.recv_cpu (fun () ->
+          let s = state t seq in
+          s.commits <- SSet.add src s.commits;
+          deliver_ready t)
+  | _ -> ()
+
+let create ~net ~name ~names ~identity ~block_size ~block_timeout
+    ?(tx_cpu = 0.00002) ?(recv_cpu = 0.0012) ?(send_cpu = 0.0006)
+    ?(block_cpu = 0.018) ~peers () =
+  let leader = match names with l :: _ -> l | [] -> invalid_arg "Bft.create: no names" in
+  let n = List.length names in
+  let t =
+    {
+      net;
+      name;
+      names;
+      others = List.filter (fun x -> not (String.equal x name)) names;
+      leader;
+      identity;
+      clock = Msg.Net.clock net;
+      cpu = Cpu.create (Msg.Net.clock net);
+      cutter = Cutter.create ~block_size;
+      assembler = Assembler.create ~identity ~metadata:"bft";
+      block_timeout;
+      tx_cpu;
+      recv_cpu;
+      send_cpu;
+      block_cpu;
+      peers;
+      f = (n - 1) / 3;
+      states = Hashtbl.create 64;
+      next_deliver = 1;
+      delivered_count = 0;
+    }
+  in
+  Msg.Net.register net ~name (fun ~src msg -> handle t ~src msg);
+  t
+
+let is_leader t = String.equal t.name t.leader
+
+let blocks_delivered t = t.delivered_count

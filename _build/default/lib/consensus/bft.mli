@@ -1,0 +1,37 @@
+(** PBFT-style byzantine fault-tolerant ordering service (BFT-SMaRt
+    stand-in, §4.4).
+
+    A fixed leader cuts blocks and drives a three-phase exchange
+    (pre-prepare, prepare, commit) with O(n²) messages per block. Every
+    message costs CPU at its sender and receiver, so the Fig. 8(b)
+    degradation with orderer count *emerges* from the protocol rather
+    than being hard-coded. View changes are not implemented (the paper's
+    experiments never exercise them); the leader is assumed live.
+
+    Tolerates [f = (n-1)/3] byzantine orderers for [n] nodes: a block is
+    delivered only after [2f] prepares and [2f] commits from distinct
+    other nodes. *)
+
+type t
+
+(** Create one orderer node. [names] lists all orderer nodes in a fixed
+    order; the first is the leader. Call once per name with that node's
+    identity and connected peers. *)
+val create :
+  net:Msg.Net.net ->
+  name:string ->
+  names:string list ->
+  identity:Brdb_crypto.Identity.t ->
+  block_size:int ->
+  block_timeout:float ->
+  ?tx_cpu:float ->
+  ?recv_cpu:float ->
+  ?send_cpu:float ->
+  ?block_cpu:float ->
+  peers:string list ->
+  unit ->
+  t
+
+val is_leader : t -> bool
+
+val blocks_delivered : t -> int

@@ -1,0 +1,39 @@
+module Block = Brdb_ledger.Block
+
+type t = {
+  block_size : int;
+  mutable pending : Block.tx list; (* newest first *)
+  mutable pending_count : int;
+  mutable epoch : int;
+  seen : (string, unit) Hashtbl.t;
+}
+
+let create ~block_size =
+  if block_size < 1 then invalid_arg "Cutter.create: block_size must be >= 1";
+  { block_size; pending = []; pending_count = 0; epoch = 0; seen = Hashtbl.create 256 }
+
+type add_result = Cut of Block.tx list | First | Buffered | Duplicate
+
+let take t =
+  let txs = List.rev t.pending in
+  t.pending <- [];
+  t.pending_count <- 0;
+  t.epoch <- t.epoch + 1;
+  txs
+
+let add t tx =
+  if Hashtbl.mem t.seen tx.Block.tx_id then Duplicate
+  else begin
+    Hashtbl.replace t.seen tx.Block.tx_id ();
+    t.pending <- tx :: t.pending;
+    t.pending_count <- t.pending_count + 1;
+    if t.pending_count >= t.block_size then Cut (take t)
+    else if t.pending_count = 1 then First
+    else Buffered
+  end
+
+let cut t = if t.pending_count = 0 then None else Some (take t)
+
+let pending t = t.pending_count
+
+let epoch t = t.epoch

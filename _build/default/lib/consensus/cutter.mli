@@ -1,0 +1,27 @@
+(** Block cutting: accumulate transactions until the block-size cap or a
+    time-to-cut decision (§4.4).
+
+    The cutter also deduplicates transaction ids across the whole stream:
+    resubmissions of an already ordered or pending transaction are
+    dropped, matching the §3.5 obscuration-recovery story. *)
+
+type t
+
+val create : block_size:int -> t
+
+type add_result =
+  | Cut of Brdb_ledger.Block.tx list  (** size cap reached *)
+  | First  (** buffered; it opened a new batch — arm the timer *)
+  | Buffered
+  | Duplicate
+
+val add : t -> Brdb_ledger.Block.tx -> add_result
+
+(** Force a cut (time-to-cut); [None] when nothing is pending. *)
+val cut : t -> Brdb_ledger.Block.tx list option
+
+val pending : t -> int
+
+(** Number of batches opened so far — used to detect whether a timer
+    still refers to the current batch. *)
+val epoch : t -> int

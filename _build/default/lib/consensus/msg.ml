@@ -1,0 +1,65 @@
+(** The one message type carried by the simulated network.
+
+    Consensus traffic (Kafka records, Raft RPCs, PBFT phases) and
+    database-network traffic (transaction submission/forwarding, block
+    delivery, checkpoint gossip) share a single network so experiments
+    account for all bytes on the wire. *)
+
+module Block = Brdb_ledger.Block
+
+type kafka_entry =
+  | K_tx of Block.tx
+  | K_ttc of int  (** time-to-cut for a cutter batch epoch *)
+
+type raft_msg =
+  | Request_vote of {
+      term : int;
+      candidate : string;
+      last_log_index : int;
+      last_log_term : int;
+    }
+  | Vote of { term : int; granted : bool }
+  | Append_entries of {
+      term : int;
+      leader : string;
+      prev_index : int;
+      prev_term : int;
+      entries : (int * kafka_entry) list;  (** (entry term, payload) *)
+      leader_commit : int;
+    }
+  | Append_reply of { term : int; success : bool; match_index : int }
+
+type bft_msg =
+  | Pre_prepare of { view : int; seq : int; block : Block.t }
+  | Prepare of { view : int; seq : int; digest : string }
+  | Commit_vote of { view : int; seq : int; digest : string }
+
+type t =
+  | Client_tx of Block.tx  (** client → orderer/peer; peer → peer forward *)
+  | Block_deliver of Block.t  (** orderer → peer *)
+  | Checkpoint_hash of { height : int; hash : string }  (** peer → peer *)
+  | Kafka_publish of kafka_entry  (** orderer → kafka cluster *)
+  | Kafka_record of { offset : int; entry : kafka_entry }  (** cluster → orderer *)
+  | Raft of raft_msg
+  | Bft of bft_msg
+
+(** Approximate wire sizes (bytes); the paper reports 196-byte
+    transactions, making a 500-tx block ≈ 100 KB. *)
+let tx_size = 196
+
+let block_size (b : Block.t) = 256 + (tx_size * List.length b.Block.txs)
+
+let size = function
+  | Client_tx _ -> tx_size
+  | Block_deliver b -> block_size b
+  | Checkpoint_hash _ -> 96
+  | Kafka_publish (K_tx _) | Kafka_record { entry = K_tx _; _ } -> tx_size + 16
+  | Kafka_publish (K_ttc _) | Kafka_record { entry = K_ttc _; _ } -> 32
+  | Raft (Append_entries { entries; _ }) -> 64 + (List.length entries * (tx_size + 24))
+  | Raft _ -> 64
+  | Bft (Pre_prepare { block; _ }) -> 128 + block_size block
+  | Bft _ -> 96
+
+module Net = Brdb_sim.Network.Make (struct
+  type payload = t
+end)

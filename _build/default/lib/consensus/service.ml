@@ -1,0 +1,70 @@
+type kind = Solo | Kafka | Raft | Bft
+
+type handle =
+  | H_solo of Solo.t
+  | H_kafka of Kafka.cluster * Kafka.t list
+  | H_raft of Raft.t list
+  | H_bft of Bft.t list
+
+type t = { kind : kind; names : string list; handle : handle }
+
+let create ~net ~kind ~orderer_names ~identity_of ~rng ~block_size ~block_timeout
+    ~peers_of () =
+  if orderer_names = [] then invalid_arg "Service.create: need at least one orderer";
+  let handle =
+    match kind with
+    | Solo ->
+        let name = List.hd orderer_names in
+        H_solo
+          (Solo.create ~net ~name ~identity:(identity_of name) ~block_size
+             ~block_timeout ~peers:(peers_of name) ())
+    | Kafka ->
+        let cluster_name = "kafka-cluster" in
+        let cluster =
+          Kafka.create_cluster ~net ~name:cluster_name ~orderers:orderer_names ()
+        in
+        let orderers =
+          List.map
+            (fun name ->
+              Kafka.create_orderer ~net ~name ~identity:(identity_of name)
+                ~cluster:cluster_name ~block_size ~block_timeout
+                ~peers:(peers_of name) ())
+            orderer_names
+        in
+        H_kafka (cluster, orderers)
+    | Raft ->
+        H_raft
+          (List.map
+             (fun name ->
+               Raft.create ~net ~name ~names:orderer_names
+                 ~identity:(identity_of name) ~rng:(Brdb_sim.Rng.split rng)
+                 ~block_size ~block_timeout ~peers:(peers_of name) ())
+             orderer_names)
+    | Bft ->
+        H_bft
+          (List.map
+             (fun name ->
+               Bft.create ~net ~name ~names:orderer_names
+                 ~identity:(identity_of name) ~block_size ~block_timeout
+                 ~peers:(peers_of name) ())
+             orderer_names)
+  in
+  { kind; names = orderer_names; handle }
+
+let kind t = t.kind
+
+let orderer_names t = t.names
+
+let submit_target t i =
+  match t.handle with
+  | H_solo _ -> List.hd t.names
+  | _ -> List.nth t.names (i mod List.length t.names)
+
+let blocks_cut t =
+  match t.handle with
+  | H_solo s -> [ (List.hd t.names, Solo.blocks_cut s) ]
+  | H_kafka (_, os) -> List.map2 (fun n o -> (n, Kafka.blocks_cut o)) t.names os
+  | H_raft rs -> List.map2 (fun n r -> (n, Raft.blocks_cut r)) t.names rs
+  | H_bft bs -> List.map2 (fun n b -> (n, Bft.blocks_delivered b)) t.names bs
+
+let raft_nodes t = match t.handle with H_raft rs -> rs | _ -> []

@@ -1,0 +1,46 @@
+(** Pluggable ordering service (§3.1): one constructor for each consensus
+    flavour, a uniform handle for the database layer.
+
+    Clients and database nodes interact with the service purely through
+    network messages: they send {!Msg.Client_tx} to one of
+    {!orderer_names} and receive {!Msg.Block_deliver} from the orderer
+    they are connected to. *)
+
+type kind =
+  | Solo
+  | Kafka  (** CFT, broker-cluster total order (paper's default) *)
+  | Raft  (** CFT, leader-replicated log *)
+  | Bft  (** PBFT-style, tolerates (n-1)/3 byzantine orderers *)
+
+type t
+
+(** [create ~net ~kind ~orderer_names ~identity_of ~rng ~block_size
+     ~block_timeout ~peers_of ()] starts all orderer nodes. [peers_of o]
+    lists the database nodes connected to orderer [o] (each peer should
+    be connected to exactly one orderer, or to [2f+1] for byzantine
+    settings — the delivery fan-out is up to the caller). *)
+val create :
+  net:Msg.Net.net ->
+  kind:kind ->
+  orderer_names:string list ->
+  identity_of:(string -> Brdb_crypto.Identity.t) ->
+  rng:Brdb_sim.Rng.t ->
+  block_size:int ->
+  block_timeout:float ->
+  peers_of:(string -> string list) ->
+  unit ->
+  t
+
+val kind : t -> kind
+
+val orderer_names : t -> string list
+
+(** Round-robin assignment helper: the orderer that the [i]-th client
+    should submit to. *)
+val submit_target : t -> int -> string
+
+(** Blocks cut/delivered per orderer (diagnostics). *)
+val blocks_cut : t -> (string * int) list
+
+(** Raft only: current leader if any (testing). *)
+val raft_nodes : t -> Raft.t list

@@ -1,0 +1,1 @@
+lib/contracts/api.ml: Array Brdb_engine Brdb_storage Brdb_txn Catalog List Printf Value

@@ -1,0 +1,1 @@
+lib/contracts/api.mli: Brdb_engine Brdb_storage Brdb_txn

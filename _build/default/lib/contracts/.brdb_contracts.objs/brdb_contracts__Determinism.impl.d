@@ -1,0 +1,1 @@
+lib/contracts/determinism.ml: Brdb_sql List Printf Procedural

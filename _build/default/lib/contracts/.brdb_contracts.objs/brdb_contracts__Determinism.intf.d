@@ -1,0 +1,1 @@
+lib/contracts/determinism.mli: Brdb_sql Procedural

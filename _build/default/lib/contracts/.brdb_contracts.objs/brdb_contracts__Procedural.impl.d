@@ -1,0 +1,1 @@
+lib/contracts/procedural.ml: Api Array Ast Brdb_engine Brdb_sql Brdb_storage Buffer List Option Parser Printf String

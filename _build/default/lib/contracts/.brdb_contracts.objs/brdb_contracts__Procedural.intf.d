@@ -1,0 +1,1 @@
+lib/contracts/procedural.mli: Api Brdb_sql

@@ -1,0 +1,1 @@
+lib/contracts/registry.ml: Api Determinism Hashtbl List Printf Procedural

@@ -1,0 +1,1 @@
+lib/contracts/registry.mli: Api Procedural

@@ -1,0 +1,1 @@
+lib/contracts/system.ml: Api Array Brdb_engine Brdb_sql Brdb_storage Determinism List Printf Procedural Registry String Value

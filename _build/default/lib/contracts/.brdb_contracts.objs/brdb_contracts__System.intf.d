@@ -1,0 +1,1 @@
+lib/contracts/system.mli: Registry

@@ -1,0 +1,35 @@
+(** The procedural contract mini-language (PL/SQL stand-in).
+
+    A program is a [;]-separated list of steps:
+    - [LET name = SELECT ...] — run the query, bind the first column of
+      the first row to the local [:name] ([NULL] when no rows);
+    - [REQUIRE <expr>] — abort the contract unless the expression (over
+      [$n] args and [:name] locals) evaluates to TRUE;
+    - [IF <expr> THEN <step> ELSE <step>] — conditional execution of a
+      single nested step (the branches may themselves be LET/REQUIRE/IF);
+    - any other statement — executed for effect.
+
+    Example (the paper's complex-join contract, Appendix A):
+    {v
+      LET total = SELECT SUM(o.qty * p.price) FROM orders o
+                  JOIN parts p ON o.part_id = p.part_id
+                  WHERE o.customer_id = $1;
+      REQUIRE :total IS NOT NULL;
+      INSERT INTO invoices (invoice_id, customer_id, amount)
+      VALUES ($2, $1, :total)
+    v} *)
+
+type step =
+  | Let of string * Brdb_sql.Ast.stmt
+  | Require of Brdb_sql.Ast.expr
+  | Run of Brdb_sql.Ast.stmt
+  | If of Brdb_sql.Ast.expr * step * step option
+      (** [IF e THEN step ELSE step] — single-statement branches *)
+
+type t = { source : string; steps : step list }
+
+val parse : string -> (t, string) result
+
+(** Execute against a contract context. Raises {!Api.Failed} like any
+    other contract body. *)
+val run : t -> Api.t -> unit

@@ -1,0 +1,42 @@
+type body = Native of (Api.t -> unit) | Procedural of Procedural.t
+
+type contract = { name : string; version : int; body : body }
+
+type t = {
+  contracts : (string, contract) Hashtbl.t;
+  mutable next_version : int;
+}
+
+let create () = { contracts = Hashtbl.create 16; next_version = 1 }
+
+let deploy t ~name body =
+  let version = t.next_version in
+  t.next_version <- version + 1;
+  Hashtbl.replace t.contracts name { name; version; body };
+  version
+
+let deploy_source t ~name source =
+  match Procedural.parse source with
+  | Error e -> Error e
+  | Ok program -> (
+      match Determinism.check_program program with
+      | Error e -> Error e
+      | Ok () -> Ok (deploy t ~name (Procedural program)))
+
+let drop t ~name =
+  if Hashtbl.mem t.contracts name then begin
+    Hashtbl.remove t.contracts name;
+    Ok ()
+  end
+  else Error (Printf.sprintf "contract %s does not exist" name)
+
+let find t name = Hashtbl.find_opt t.contracts name
+
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.contracts [] |> List.sort compare
+
+let snapshot t name = find t name
+
+let restore t name prev =
+  match prev with
+  | None -> Hashtbl.remove t.contracts name
+  | Some c -> Hashtbl.replace t.contracts name c

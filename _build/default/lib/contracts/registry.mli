@@ -1,0 +1,36 @@
+(** The per-node smart-contract registry.
+
+    Contracts are versioned: replacing a contract bumps its version, and
+    the flows abort any in-flight transaction that executed an older
+    version (§3.7: "any uncommitted transactions that executed on an
+    older version of the contract are aborted"). *)
+
+type body =
+  | Native of (Api.t -> unit)  (** OCaml closure over the restricted API *)
+  | Procedural of Procedural.t
+
+type contract = { name : string; version : int; body : body }
+
+type t
+
+val create : unit -> t
+
+(** [deploy t ~name body] installs or replaces; returns the new version.
+    Procedural bodies must already have passed the determinism guard. *)
+val deploy : t -> name:string -> body -> int
+
+(** [deploy_source t ~name source] parses + determinism-checks +
+    installs a procedural contract. *)
+val deploy_source : t -> name:string -> string -> (int, string) result
+
+val drop : t -> name:string -> (unit, string) result
+
+val find : t -> string -> contract option
+
+val names : t -> string list
+
+(** Undo helpers for abort-on-failed-deploy: restore the previous state
+    of a name. *)
+val snapshot : t -> string -> contract option
+
+val restore : t -> string -> contract option -> unit

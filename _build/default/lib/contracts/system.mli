@@ -1,0 +1,24 @@
+(** System smart contracts (§3.7): contract-deployment governance and
+    user management.
+
+    Deployment is itself a chain of blockchain transactions: an admin
+    proposes ([create_deploytx]), every organization's admin approves
+    ([approve_deploytx]) or rejects/comments, and only then does
+    [submit_deploytx] install the contract. Each step is an ordinary
+    signed transaction, so the network keeps an immutable history of the
+    governance trail. *)
+
+(** DDL establishing the governance tables ([pgorgs], [pgdeploy],
+    [pgdeployvotes], [pgusers]); run once at node bootstrap together
+    with an INSERT per organization. *)
+val bootstrap_statements : orgs:string list -> string list
+
+(** Registers the system contracts in a registry:
+    [create_deploytx(id, kind, name, body)], [approve_deploytx(id)],
+    [reject_deploytx(id, reason)], [comment_deploytx(id, text)],
+    [submit_deploytx(id)], [create_user(name, pubkey)],
+    [update_user(name, pubkey)], [delete_user(name)]. *)
+val register_all : Registry.t -> unit
+
+(** ["org1/admin"] → [Some "org1"] when the user is an org admin. *)
+val admin_org : string -> string option

@@ -1,0 +1,1 @@
+lib/core/blockchain_db.ml: Array Brdb_consensus Brdb_contracts Brdb_crypto Brdb_engine Brdb_ledger Brdb_node Brdb_sim Brdb_storage Brdb_txn Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/blockchain_db.mli: Brdb_consensus Brdb_contracts Brdb_crypto Brdb_engine Brdb_node Brdb_sim Brdb_storage

@@ -1,0 +1,347 @@
+module Value = Brdb_storage.Value
+module Node_core = Brdb_node.Node_core
+module Peer = Brdb_node.Peer
+module Msg = Brdb_consensus.Msg
+module Service = Brdb_consensus.Service
+module Block = Brdb_ledger.Block
+module Identity = Brdb_crypto.Identity
+module Clock = Brdb_sim.Clock
+module Rng = Brdb_sim.Rng
+module Network = Brdb_sim.Network
+module Metrics = Brdb_sim.Metrics
+module Cost_model = Brdb_sim.Cost_model
+
+type config = {
+  orgs : string list;
+  flow : Node_core.flow;
+  ordering : Service.kind;
+  n_orderers : int;
+  block_size : int;
+  block_timeout : float;
+  link : Network.link;
+  cost : Cost_model.t;
+  contract_class_of : string -> Cost_model.contract_class;
+  forward_delay_mean : float;
+  seed : int;
+}
+
+let default_config () =
+  {
+    orgs = [ "org1"; "org2"; "org3" ];
+    flow = Node_core.Order_execute;
+    ordering = Service.Solo;
+    n_orderers = 1;
+    block_size = 100;
+    block_timeout = 1.0;
+    link = Network.lan_link;
+    cost = Cost_model.default;
+    contract_class_of = (fun _ -> Cost_model.Simple);
+    forward_delay_mean = 0.;
+    seed = 42;
+  }
+
+type final_status = Committed | Aborted of string | Rejected of string
+
+type tx_track = {
+  submitted_at : float;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable final : final_status option;
+}
+
+type t = {
+  config : config;
+  clock : Clock.t;
+  net : Msg.Net.net;
+  registry : Identity.Registry.t;
+  peers : Peer.t list;
+  service : Service.t;
+  admins : (string * Identity.t) list;
+  metrics : Metrics.t;  (** network-level throughput/latency *)
+  tracks : (string, tx_track) Hashtbl.t;
+  majority : int;
+  mutable submit_rr : int;
+  mutable seq : int;
+  mutable decided : int;
+  mutable decision_listeners : (tx_id:string -> final_status -> unit) list;
+}
+
+let peer_name org = "db-" ^ org
+
+let orderer_name i = Printf.sprintf "orderer-%d" (i + 1)
+
+let track_final t tx_id status now =
+  match Hashtbl.find_opt t.tracks tx_id with
+  | None -> ()
+  | Some track -> (
+      (match status with
+      | Node_core.S_committed -> track.commits <- track.commits + 1
+      | Node_core.S_aborted _ | Node_core.S_rejected _ ->
+          track.aborts <- track.aborts + 1);
+      match track.final with
+      | Some _ -> ()
+      | None ->
+          let decide final =
+            track.final <- Some final;
+            t.decided <- t.decided + 1;
+            List.iter (fun f -> f ~tx_id final) t.decision_listeners
+          in
+          if track.commits >= t.majority then begin
+            decide Committed;
+            Metrics.record_commit t.metrics ~submitted:track.submitted_at ~now
+          end
+          else if track.aborts >= t.majority then begin
+            (match status with
+            | Node_core.S_aborted r ->
+                decide (Aborted (Brdb_txn.Txn.abort_reason_to_string r))
+            | Node_core.S_rejected r -> decide (Rejected r)
+            | Node_core.S_committed -> assert false);
+            Metrics.record_abort t.metrics
+          end)
+
+let create config =
+  if config.orgs = [] then invalid_arg "Blockchain_db.create: need at least one org";
+  let clock = Clock.create () in
+  let rng = Rng.create ~seed:config.seed in
+  let net = Msg.Net.create ~clock ~rng:(Rng.split rng) ~default_link:config.link in
+  let registry = Identity.Registry.create () in
+  let peer_names = List.map peer_name config.orgs in
+  let orderer_names =
+    match config.ordering with
+    | Service.Solo -> [ orderer_name 0 ]
+    | _ -> List.init (max 1 config.n_orderers) orderer_name
+  in
+  (* Orderer identities sign blocks; register them with everyone. *)
+  let orderer_identities =
+    List.map
+      (fun name ->
+        let id = Identity.create ("orderer/" ^ name) in
+        (match Identity.Registry.register registry id with
+        | Ok () -> ()
+        | Error _ -> assert false);
+        (name, id))
+      orderer_names
+  in
+  let admins =
+    List.map
+      (fun org ->
+        let id = Identity.create (org ^ "/admin") in
+        (match Identity.Registry.register registry id with
+        | Ok () -> ()
+        | Error _ -> assert false);
+        (org, id))
+      config.orgs
+  in
+  (* Peer i is connected to orderer (i mod n). *)
+  let orderer_of_peer p =
+    let rec index i = function
+      | [] -> 0
+      | name :: rest -> if String.equal name p then i else index (i + 1) rest
+    in
+    let i = index 0 peer_names in
+    List.nth orderer_names (i mod List.length orderer_names)
+  in
+  let peers_of o =
+    List.filter (fun p -> String.equal (orderer_of_peer p) o) peer_names
+  in
+  let service =
+    Service.create ~net ~kind:config.ordering ~orderer_names
+      ~identity_of:(fun name -> List.assoc name orderer_identities)
+      ~rng:(Rng.split rng) ~block_size:config.block_size
+      ~block_timeout:config.block_timeout ~peers_of ()
+  in
+  let peers =
+    List.map
+      (fun org ->
+        let core_config =
+          {
+            Node_core.name = peer_name org;
+            org;
+            flow = config.flow;
+            require_index = false;
+            orgs = config.orgs;
+            atomic_commit = false;
+          }
+        in
+        Peer.create ~net
+          {
+            Peer.core = core_config;
+            cost = config.cost;
+            contract_class_of = config.contract_class_of;
+            orderer_target = orderer_of_peer (peer_name org);
+            peer_names;
+            forward_delay_mean = config.forward_delay_mean;
+            checkpoint_interval = 1;
+          }
+          ~registry)
+      config.orgs
+  in
+  let t =
+    {
+      config;
+      clock;
+      net;
+      registry;
+      peers;
+      service;
+      admins;
+      metrics = Metrics.create ();
+      tracks = Hashtbl.create 1024;
+      majority = (List.length peer_names / 2) + 1;
+      submit_rr = 0;
+      seq = 0;
+      decided = 0;
+      decision_listeners = [];
+    }
+  in
+  List.iter
+    (fun p ->
+      Peer.on_final p (fun ~tx_id ~status -> track_final t tx_id status (Clock.now clock)))
+    peers;
+  t
+
+let clock t = t.clock
+
+let peers t = t.peers
+
+let peer t i = List.nth t.peers i
+
+let registry t = t.registry
+
+let register_user t name =
+  let id = Identity.create name in
+  (match Identity.Registry.register t.registry id with
+  | Ok () -> ()
+  | Error `Conflict -> invalid_arg ("user already registered: " ^ name));
+  id
+
+let admin t org =
+  match List.assoc_opt org t.admins with
+  | Some id -> id
+  | None -> invalid_arg ("unknown org: " ^ org)
+
+let install_contract t ~name body =
+  List.iter (fun p -> Node_core.install_contract (Peer.core p) ~name body) t.peers
+
+let install_contract_source t ~name source =
+  match Brdb_contracts.Procedural.parse source with
+  | Error e -> Error e
+  | Ok program -> (
+      match Brdb_contracts.Determinism.check_program program with
+      | Error e -> Error e
+      | Ok () ->
+          install_contract t ~name (Brdb_contracts.Registry.Procedural program);
+          Ok ())
+
+let submit t ~user ~contract ~args =
+  t.seq <- t.seq + 1;
+  t.submit_rr <- t.submit_rr + 1;
+  let rr = t.submit_rr in
+  let tx, target =
+    match t.config.flow with
+    | Node_core.Execute_order ->
+        (* Submit to a database peer at its current height (§3.4.1). *)
+        let p = List.nth t.peers (rr mod List.length t.peers) in
+        let snapshot = Node_core.height (Peer.core p) in
+        (Block.make_eo_tx ~identity:user ~contract ~args ~snapshot, Peer.name p)
+    | Node_core.Order_execute | Node_core.Serial_baseline ->
+        let id = Printf.sprintf "%s#%d" (Identity.name user) t.seq in
+        (Block.make_tx ~id ~identity:user ~contract ~args, Service.submit_target t.service rr)
+  in
+  let tx_id = tx.Block.tx_id in
+  Hashtbl.replace t.tracks tx_id
+    { submitted_at = Clock.now t.clock; commits = 0; aborts = 0; final = None };
+  Metrics.record_submit t.metrics ~time:(Clock.now t.clock);
+  ignore
+    (Msg.Net.send t.net
+       ~src:("client/" ^ Identity.name user)
+       ~dst:target
+       ~size_bytes:(Msg.size (Msg.Client_tx tx))
+       (Msg.Client_tx tx));
+  tx_id
+
+let on_decided t f = t.decision_listeners <- f :: t.decision_listeners
+
+let status t tx_id =
+  match Hashtbl.find_opt t.tracks tx_id with
+  | None -> None
+  | Some track -> track.final
+
+let run t ~seconds = ignore (Clock.run ~until:(Clock.now t.clock +. seconds) t.clock)
+
+let settle t =
+  (* Consensus services keep perpetual timers (raft heartbeats, election
+     timeouts), so the event queue never drains; instead, run until every
+     submitted transaction has a majority decision, plus a grace period
+     for block/checkpoint propagation. *)
+  let undecided () =
+    Hashtbl.fold (fun _ tr acc -> acc || tr.final = None) t.tracks false
+  in
+  let rec loop rounds =
+    if undecided () && rounds < 600 then begin
+      ignore (Clock.run ~until:(Clock.now t.clock +. 0.5) t.clock);
+      loop (rounds + 1)
+    end
+  in
+  loop 0;
+  ignore (Clock.run ~until:(Clock.now t.clock +. 1.5) t.clock)
+
+let query t ?(node = 0) ?params sql = Node_core.query (Peer.core (peer t node)) ?params sql
+
+let verified_query t ?params sql =
+  let answers =
+    List.map
+      (fun p -> (Peer.name p, Node_core.query (Peer.core p) ?params sql))
+      t.peers
+  in
+  (* Key each answer by its rendered rows; pick the majority. *)
+  let render = function
+    | Ok (rs : Brdb_engine.Exec.result_set) ->
+        "ok:"
+        ^ String.concat "\n"
+            (List.map
+               (fun row ->
+                 String.concat "|" (Array.to_list (Array.map Value.encode row)))
+               rs.Brdb_engine.Exec.rows)
+    | Error e -> "error:" ^ e
+  in
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun (_, ans) ->
+      let key = render ans in
+      Hashtbl.replace counts key (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
+    answers;
+  let majority_key, _ =
+    Hashtbl.fold
+      (fun k c best -> match best with Some (_, bc) when bc >= c -> best | _ -> Some (k, c))
+      counts None
+    |> Option.get
+  in
+  let divergent =
+    List.filter_map
+      (fun (name, ans) -> if render ans <> majority_key then Some name else None)
+      answers
+  in
+  match List.find_opt (fun (_, ans) -> render ans = majority_key) answers with
+  | Some (_, Ok rs) -> Ok (rs, divergent)
+  | Some (_, Error e) -> Error e
+  | None -> Error "internal: no majority answer"
+
+let summary t ~duration_s =
+  let network = Metrics.summarize t.metrics ~duration_s in
+  let node0 = Metrics.summarize (Peer.metrics (peer t 0)) ~duration_s in
+  {
+    network with
+    Metrics.brr = node0.Metrics.brr;
+    bpr = node0.Metrics.bpr;
+    bpt_ms = node0.Metrics.bpt_ms;
+    bet_ms = node0.Metrics.bet_ms;
+    bct_ms = node0.Metrics.bct_ms;
+    tet_ms = node0.Metrics.tet_ms;
+    mt_per_s = node0.Metrics.mt_per_s;
+    su_percent = node0.Metrics.su_percent;
+  }
+
+let submitted_count t = Hashtbl.length t.tracks
+
+let decided_count t = t.decided

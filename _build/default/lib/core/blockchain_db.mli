@@ -1,0 +1,116 @@
+(** The blockchain relational database network — public façade.
+
+    Assembles a permissioned network (§3.7): one database peer per
+    organization, a pluggable ordering service, a shared certificate
+    registry, and clients that sign and submit contract invocations.
+    Everything runs on a deterministic simulated clock; [run]/[settle]
+    advance it.
+
+    {[
+      let net = Blockchain_db.create (Blockchain_db.default_config ()) in
+      let alice = Blockchain_db.register_user net "org1/alice" in
+      Blockchain_db.install_contract_source net ~name:"put"
+        "INSERT INTO kv VALUES ($1, $2)" |> Result.get_ok;
+      let id = Blockchain_db.submit net ~user:alice ~contract:"put"
+                 ~args:[ Int 1; Int 42 ] in
+      Blockchain_db.settle net;
+      assert (Blockchain_db.status net id = Some Blockchain_db.Committed)
+    ]} *)
+
+module Value = Brdb_storage.Value
+module Node_core = Brdb_node.Node_core
+
+type config = {
+  orgs : string list;  (** one database node per organization *)
+  flow : Node_core.flow;
+  ordering : Brdb_consensus.Service.kind;
+  n_orderers : int;
+  block_size : int;
+  block_timeout : float;  (** seconds *)
+  link : Brdb_sim.Network.link;  (** LAN or WAN deployment (§5.3) *)
+  cost : Brdb_sim.Cost_model.t;
+  contract_class_of : string -> Brdb_sim.Cost_model.contract_class;
+  forward_delay_mean : float;  (** EO middleware replication delay (s) *)
+  seed : int;
+}
+
+(** 3 orgs, order-then-execute, solo orderer, block size 100, 1 s timeout,
+    LAN links — a convenient playground. *)
+val default_config : unit -> config
+
+type t
+
+val create : config -> t
+
+val clock : t -> Brdb_sim.Clock.t
+
+val peers : t -> Brdb_node.Peer.t list
+
+val peer : t -> int -> Brdb_node.Peer.t
+
+(** The shared certificate registry (every node holds an identical copy
+    in a real deployment). *)
+val registry : t -> Brdb_crypto.Identity.Registry.t
+
+(** [register_user t "org1/alice"] creates an identity and registers its
+    public key with every node (bootstrap-time onboarding; runtime
+    onboarding goes through the [create_user] system contract). *)
+val register_user : t -> string -> Brdb_crypto.Identity.t
+
+(** Admin identity for an organization (pre-registered at startup). *)
+val admin : t -> string -> Brdb_crypto.Identity.t
+
+(** Install a native contract on every node (bootstrap-time; runtime
+    deployments go through the governance contracts). *)
+val install_contract : t -> name:string -> Brdb_contracts.Registry.body -> unit
+
+(** Parse + determinism-check + install a procedural contract. *)
+val install_contract_source : t -> name:string -> string -> (unit, string) result
+
+type final_status = Committed | Aborted of string | Rejected of string
+
+(** [submit t ~user ~contract ~args] signs and submits a transaction
+    (routing depends on the flow: to the ordering service for OE, to a
+    database peer for EO) and returns its id. *)
+val submit :
+  t ->
+  user:Brdb_crypto.Identity.t ->
+  contract:string ->
+  args:Value.t list ->
+  string
+
+(** Majority status of a transaction ([None] while undecided). *)
+val status : t -> string -> final_status option
+
+(** The LISTEN/NOTIFY analogue (§2.7): [f] fires once per transaction, at
+    the simulated time its majority decision is reached. *)
+val on_decided : t -> (tx_id:string -> final_status -> unit) -> unit
+
+(** Advance simulated time by [seconds]. *)
+val run : t -> seconds:float -> unit
+
+(** Run until every submitted transaction has a majority decision (plus a
+    short grace period for block/checkpoint propagation). Bounded even
+    under consensus services with perpetual timers. *)
+val settle : t -> unit
+
+(** Read-only SQL (including [PROVENANCE SELECT]) against one node. *)
+val query :
+  t -> ?node:int -> ?params:Value.t array -> string ->
+  (Brdb_engine.Exec.result_set, string) result
+
+(** §3.5(5): run the query on every node and cross-check the answers — the
+    paper's defence against a single node tampering with query results.
+    Returns the majority answer plus the names of divergent nodes. *)
+val verified_query :
+  t -> ?params:Value.t array -> string ->
+  (Brdb_engine.Exec.result_set * string list, string) result
+
+(** Combined metrics: network-level throughput/latency plus node 0's
+    micro-metrics. *)
+val summary : t -> duration_s:float -> Brdb_sim.Metrics.summary
+
+(** Transactions submitted / decided so far. *)
+val submitted_count : t -> int
+
+val decided_count : t -> int

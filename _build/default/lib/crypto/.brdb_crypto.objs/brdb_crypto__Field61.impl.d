@@ -1,0 +1,1 @@
+lib/crypto/field61.ml: Char Int64 String

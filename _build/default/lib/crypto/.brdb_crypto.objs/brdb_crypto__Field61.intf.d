@@ -1,0 +1,1 @@
+lib/crypto/field61.mli:

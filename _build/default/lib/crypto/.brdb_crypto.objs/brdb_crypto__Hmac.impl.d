@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Brdb_util Bytes Char Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/identity.ml: Hashtbl Int64 List Schnorr

@@ -1,0 +1,1 @@
+lib/crypto/merkle.ml: Array List Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/schnorr.ml: Field61 Int64 Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Brdb_util Bytes Char Int32 Int64 List String

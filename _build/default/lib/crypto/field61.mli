@@ -1,0 +1,39 @@
+(** Arithmetic modulo the Mersenne prime [p = 2^61 - 1].
+
+    Elements are non-negative [int64] values strictly below [p]. This is
+    the base field for the toy Schnorr signatures in {!Schnorr}; 61-bit
+    parameters are NOT cryptographically secure — see DESIGN.md §4. *)
+
+(** The modulus, [2305843009213693951]. *)
+val p : int64
+
+(** [norm x] reduces an arbitrary [int64] into [[0, p)]. *)
+val norm : int64 -> int64
+
+val add : int64 -> int64 -> int64
+
+val sub : int64 -> int64 -> int64
+
+(** Multiplication mod [p] without 128-bit integers, exploiting
+    [2^61 ≡ 1 (mod p)]. *)
+val mul : int64 -> int64 -> int64
+
+(** [pow b e] with [e >= 0] interpreted as a plain exponent. *)
+val pow : int64 -> int64 -> int64
+
+(** Operations modulo the group order [p - 1] (for Schnorr exponents). *)
+module Order : sig
+  val n : int64
+
+  val norm : int64 -> int64
+
+  val add : int64 -> int64 -> int64
+
+  val sub : int64 -> int64 -> int64
+
+  val mul : int64 -> int64 -> int64
+end
+
+(** [of_bytes s] maps the first 8 bytes of [s] (big-endian) into [[0, p)].
+    Raises [Invalid_argument] when [s] is shorter than 8 bytes. *)
+val of_bytes : string -> int64

@@ -1,0 +1,17 @@
+let block_size = 64
+
+let pad key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let b = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 b 0 (String.length key);
+  Bytes.unsafe_to_string b
+
+let xor_with s byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) s
+
+let sha256 ~key msg =
+  let key = pad key in
+  let inner = Sha256.digest (xor_with key 0x36 ^ msg) in
+  Sha256.digest (xor_with key 0x5c ^ inner)
+
+let hex ~key msg = Brdb_util.Hex.encode (sha256 ~key msg)

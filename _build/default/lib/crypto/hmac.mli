@@ -1,0 +1,5 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val sha256 : key:string -> string -> string
+
+val hex : key:string -> string -> string

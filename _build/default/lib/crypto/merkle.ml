@@ -1,0 +1,51 @@
+let leaf_hash x = Sha256.digest ("\x00" ^ x)
+
+let node_hash l r = Sha256.digest_concat [ "\x01"; l; r ]
+
+let empty_root = Sha256.digest "brdb-merkle-empty"
+
+(* Odd levels promote the last node unchanged (Bitcoin-style duplication
+   would allow two different leaf multisets with the same root). *)
+let rec level = function
+  | [] -> []
+  | [ x ] -> [ x ]
+  | a :: b :: rest -> node_hash a b :: level rest
+
+let rec fold = function
+  | [] -> empty_root
+  | [ x ] -> x
+  | xs -> fold (level xs)
+
+let root leaves = fold (List.map leaf_hash leaves)
+
+type step = Left of string | Right of string
+
+type proof = step list
+
+let prove leaves i =
+  let n = List.length leaves in
+  if i < 0 || i >= n then invalid_arg "Merkle.prove: index out of range";
+  let rec build nodes i acc =
+    match nodes with
+    | [] | [ _ ] -> List.rev acc
+    | _ ->
+        let arr = Array.of_list nodes in
+        let sibling =
+          if i mod 2 = 0 then
+            if i + 1 < Array.length arr then Some (Right arr.(i + 1)) else None
+          else Some (Left arr.(i - 1))
+        in
+        let acc = match sibling with Some s -> s :: acc | None -> acc in
+        (* A node with no sibling is promoted, keeping its index meaningful. *)
+        build (level nodes) (i / 2) acc
+  in
+  build (List.map leaf_hash leaves) i []
+
+let check ~root:expected ~leaf proof =
+  let h =
+    List.fold_left
+      (fun h step ->
+        match step with Left l -> node_hash l h | Right r -> node_hash h r)
+      (leaf_hash leaf) proof
+  in
+  String.equal h expected

@@ -1,0 +1,18 @@
+(** Binary Merkle trees over SHA-256.
+
+    Used to digest the set of transactions in a block and the per-block
+    write sets exchanged during checkpointing. Leaves are domain-separated
+    from internal nodes so a leaf cannot be reinterpreted as a subtree. *)
+
+(** [root leaves] is the Merkle root; the root of [[]] is a fixed
+    sentinel digest. *)
+val root : string list -> string
+
+type proof
+
+(** [prove leaves i] builds an inclusion proof for the [i]-th leaf.
+    Raises [Invalid_argument] when [i] is out of range. *)
+val prove : string list -> int -> proof
+
+(** [check ~root ~leaf proof] verifies an inclusion proof. *)
+val check : root:string -> leaf:string -> proof -> bool

@@ -1,0 +1,52 @@
+type secret_key = int64
+
+type public_key = int64
+
+type signature = { e : int64; s : int64 }
+
+(* Generator of a large subgroup of Z_p^*. Any element works for the
+   verification identity since exponent arithmetic is done mod (p - 1),
+   a multiple of every element order. *)
+let g = 37L
+
+let nonzero_exponent bytes =
+  let x = Field61.Order.norm (Field61.of_bytes bytes) in
+  if Int64.equal x 0L then 1L else x
+
+let keygen ~seed =
+  let sk = nonzero_exponent (Sha256.digest ("brdb-keygen:" ^ seed)) in
+  (sk, Field61.pow g sk)
+
+(* Challenge e = H(r || m) as an exponent. *)
+let challenge r msg =
+  nonzero_exponent (Sha256.digest_concat [ Int64.to_string r; msg ])
+
+let sign sk msg =
+  (* Deterministic nonce k = H(sk || m), never reused across messages. *)
+  let k = nonzero_exponent (Sha256.digest_concat [ Int64.to_string sk; msg ]) in
+  let r = Field61.pow g k in
+  let e = challenge r msg in
+  (* s = k - e * sk (mod p - 1). *)
+  let s = Field61.Order.sub k (Field61.Order.mul e sk) in
+  { e; s }
+
+let verify pk msg { e; s } =
+  (* r' = g^s * pk^e; valid iff H(r' || m) = e. *)
+  let r' = Field61.mul (Field61.pow g s) (Field61.pow pk e) in
+  Int64.equal (challenge r' msg) e
+
+let signature_to_string { e; s } = Printf.sprintf "%Lx:%Lx" e s
+
+let signature_of_string str =
+  match String.index_opt str ':' with
+  | None -> None
+  | Some i -> (
+      let parse s = Int64.of_string_opt ("0x" ^ s) in
+      match
+        ( parse (String.sub str 0 i),
+          parse (String.sub str (i + 1) (String.length str - i - 1)) )
+      with
+      | Some e, Some s -> Some { e; s }
+      | _ -> None)
+
+let public_key_to_string pk = Printf.sprintf "%Lx" pk

@@ -1,0 +1,1 @@
+lib/engine/eval.ml: Array Brdb_sql Brdb_storage Float List Option Printf Schema String Value Version

@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Brdb_sql Brdb_storage

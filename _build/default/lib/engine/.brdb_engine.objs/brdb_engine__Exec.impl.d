@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Array Brdb_sql Brdb_storage Brdb_txn Buffer Catalog Eval Fun Hashtbl Index List Map Option Predicate Printf Schema String Table Value Version

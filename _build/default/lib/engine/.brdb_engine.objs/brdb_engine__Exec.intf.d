@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Brdb_sql Brdb_storage Brdb_txn

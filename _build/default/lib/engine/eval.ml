@@ -1,0 +1,397 @@
+open Brdb_storage
+open Brdb_sql.Ast
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+type binding = {
+  alias : string;
+  schema : Schema.t;
+  values : Value.t array;
+  version : Version.t option;
+  provenance : bool;
+}
+
+type env = {
+  bindings : binding list;
+  scope_start : int;
+      (* index in [bindings] where the current (innermost) query's own
+         tables begin; everything before it is correlated outer context *)
+  params : Value.t array;
+  named : (string * Value.t) list;
+  subquery : (select -> env -> Value.t array list) option;
+      (* provided by the executor; runs a subquery with this env as the
+         correlated outer context and returns its rows *)
+}
+
+let binding_of_version ~alias ~schema ~provenance (v : Version.t) =
+  { alias; schema; values = v.Version.values; version = Some v; provenance }
+
+let pseudo_column (b : binding) name =
+  match (b.version, name) with
+  | None, ("xmin" | "xmax" | "creator" | "deleter") ->
+      (* null-extended row of an outer join *)
+      Some Value.Null
+  | Some v, "xmin" -> Some (Value.Int v.Version.xmin)
+  | Some v, "xmax" ->
+      Some (if v.Version.xmax = 0 then Value.Null else Value.Int v.Version.xmax)
+  | Some v, "creator" ->
+      Some
+        (if v.Version.creator_block = Version.unset_block then Value.Null
+         else Value.Int v.Version.creator_block)
+  | Some v, "deleter" ->
+      Some
+        (if v.Version.deleter_block = Version.unset_block then Value.Null
+         else Value.Int v.Version.deleter_block)
+  | _ -> None
+
+let binding_column (b : binding) name =
+  match Schema.column_index b.schema name with
+  | Some i -> Some b.values.(i)
+  | None -> if b.provenance then pseudo_column b name else None
+
+(* Name resolution is scoped for correlated subqueries: the innermost
+   query's own tables are consulted first; only if the name is absent
+   there does resolution fall back to the outer context (innermost outer
+   binding wins). Ambiguity is an error only within the current scope. *)
+let lookup_column env qualifier name =
+  let inner = List.filteri (fun i _ -> i >= env.scope_start) env.bindings in
+  let outer = List.filteri (fun i _ -> i < env.scope_start) env.bindings in
+  match qualifier with
+  | Some q -> (
+      let matches scope = List.filter (fun b -> String.equal b.alias q) scope in
+      let pick scope =
+        match List.rev (matches scope) with b :: _ -> Some b | [] -> None
+      in
+      match (pick inner, pick outer) with
+      | Some b, _ | None, Some b -> (
+          match binding_column b name with
+          | Some v -> v
+          | None -> error "unknown column %s.%s" q name)
+      | None, None -> error "unknown table or alias %s" q)
+  | None -> (
+      let hits scope =
+        List.filter_map
+          (fun b -> Option.map (fun v -> (b.alias, v)) (binding_column b name))
+          scope
+      in
+      match hits inner with
+      | [ (_, v) ] -> v
+      | _ :: _ -> error "ambiguous column %s" name
+      | [] -> (
+          match List.rev (hits outer) with
+          | (_, v) :: _ -> v
+          | [] -> error "unknown column %s" name))
+
+let has_aggregate e =
+  let found = ref false in
+  iter_expr (function Agg _ -> found := true | _ -> ()) e;
+  !found
+
+(* --- numeric helpers --------------------------------------------------- *)
+
+let as_number = function
+  | Value.Int i -> `I i
+  | Value.Float f -> `F f
+  | v -> error "expected a number, got %s" (Value.to_string v)
+
+let arith op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | _ -> (
+      match (as_number a, as_number b, op) with
+      | `I x, `I y, Add -> Value.Int (x + y)
+      | `I x, `I y, Sub -> Value.Int (x - y)
+      | `I x, `I y, Mul -> Value.Int (x * y)
+      | `I x, `I y, Div ->
+          if y = 0 then error "division by zero" else Value.Int (x / y)
+      | `I x, `I y, Mod ->
+          if y = 0 then error "modulo by zero" else Value.Int (x mod y)
+      | (`F _ | `I _), (`F _ | `I _), Mod -> error "modulo requires integers"
+      | nx, ny, _ ->
+          let f = function `I i -> float_of_int i | `F f -> f in
+          let x = f nx and y = f ny in
+          let r =
+            match op with
+            | Add -> x +. y
+            | Sub -> x -. y
+            | Mul -> x *. y
+            | Div -> if y = 0. then error "division by zero" else x /. y
+            | _ -> assert false
+          in
+          Value.Float r)
+
+let compare_op op a b =
+  match Value.compare_sql a b with
+  | None ->
+      if Value.is_null a || Value.is_null b then Value.Null
+      else
+        error "cannot compare %s with %s" (Value.to_string a) (Value.to_string b)
+  | Some c ->
+      let r =
+        match op with
+        | Eq -> c = 0
+        | Neq -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0
+        | _ -> assert false
+      in
+      Value.Bool r
+
+let as_bool3 = function
+  | Value.Null -> None
+  | Value.Bool b -> Some b
+  | v -> error "expected a boolean, got %s" (Value.to_string v)
+
+let of_bool3 = function None -> Value.Null | Some b -> Value.Bool b
+
+let text_of = function
+  | Value.Null -> None
+  | v -> Some (Value.to_string v)
+
+(* --- scalar functions --------------------------------------------------- *)
+
+let call_function name args =
+  match (name, args) with
+  | "abs", [ Value.Null ] -> Value.Null
+  | "abs", [ Value.Int i ] -> Value.Int (abs i)
+  | "abs", [ Value.Float f ] -> Value.Float (Float.abs f)
+  | "coalesce", args -> (
+      match List.find_opt (fun v -> not (Value.is_null v)) args with
+      | Some v -> v
+      | None -> Value.Null)
+  | "length", [ Value.Null ] -> Value.Null
+  | "length", [ Value.Text s ] -> Value.Int (String.length s)
+  | "lower", [ Value.Null ] -> Value.Null
+  | "lower", [ Value.Text s ] -> Value.Text (String.lowercase_ascii s)
+  | "upper", [ Value.Null ] -> Value.Null
+  | "upper", [ Value.Text s ] -> Value.Text (String.uppercase_ascii s)
+  | "nullif", [ a; b ] -> if Value.equal a b then Value.Null else a
+  | "greatest", (_ :: _ as args) ->
+      if List.exists Value.is_null args then Value.Null
+      else List.fold_left (fun acc v -> if Value.compare_total v acc > 0 then v else acc)
+             (List.hd args) args
+  | "least", (_ :: _ as args) ->
+      if List.exists Value.is_null args then Value.Null
+      else List.fold_left (fun acc v -> if Value.compare_total v acc < 0 then v else acc)
+             (List.hd args) args
+  | ("cast_text" | "to_text"), [ v ] -> (
+      match text_of v with None -> Value.Null | Some s -> Value.Text s)
+  | "to_int", [ v ] -> (
+      match v with
+      | Value.Null -> Value.Null
+      | Value.Int _ -> v
+      | Value.Float f -> Value.Int (int_of_float f)
+      | Value.Bool b -> Value.Int (if b then 1 else 0)
+      | Value.Text s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some i -> Value.Int i
+          | None -> error "cannot convert %S to int" s))
+  | "to_float", [ v ] -> (
+      match v with
+      | Value.Null -> Value.Null
+      | Value.Float _ -> v
+      | Value.Int i -> Value.Float (float_of_int i)
+      | Value.Text s -> (
+          match float_of_string_opt (String.trim s) with
+          | Some f -> Value.Float f
+          | None -> error "cannot convert %S to float" s)
+      | Value.Bool _ -> error "cannot convert bool to float")
+  | ("abs" | "length" | "lower" | "upper" | "nullif"), _ ->
+      error "wrong arguments for %s" name
+  | _ -> error "unknown function %s" name
+
+(* --- evaluation --------------------------------------------------------- *)
+
+let rec eval env e =
+  match e with
+  | Lit l -> Value.of_lit l
+  | Col (q, name) -> lookup_column env q name
+  | Param n ->
+      if n < 1 || n > Array.length env.params then error "parameter $%d not supplied" n
+      else env.params.(n - 1)
+  | Named_param name -> (
+      match List.assoc_opt name env.named with
+      | Some v -> v
+      | None -> error "parameter :%s not supplied" name)
+  | Binop (And, a, b) -> (
+      (* Kleene AND with short-circuit on definite false. *)
+      match as_bool3 (eval env a) with
+      | Some false -> Value.Bool false
+      | la -> (
+          match (la, as_bool3 (eval env b)) with
+          | _, Some false -> Value.Bool false
+          | Some true, lb -> of_bool3 lb
+          | None, _ -> Value.Null
+          | Some false, _ -> assert false))
+  | Binop (Or, a, b) -> (
+      match as_bool3 (eval env a) with
+      | Some true -> Value.Bool true
+      | la -> (
+          match (la, as_bool3 (eval env b)) with
+          | _, Some true -> Value.Bool true
+          | Some false, lb -> of_bool3 lb
+          | None, _ -> Value.Null
+          | Some true, _ -> assert false))
+  | Binop (Concat, a, b) -> (
+      match (text_of (eval env a), text_of (eval env b)) with
+      | Some x, Some y -> Value.Text (x ^ y)
+      | _ -> Value.Null)
+  | Binop (((Add | Sub | Mul | Div | Mod) as op), a, b) ->
+      arith op (eval env a) (eval env b)
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+      compare_op op (eval env a) (eval env b)
+  | Unop (Neg, a) -> (
+      match eval env a with
+      | Value.Null -> Value.Null
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | v -> error "cannot negate %s" (Value.to_string v))
+  | Unop (Not, a) -> of_bool3 (Option.map not (as_bool3 (eval env a)))
+  | Call (name, args) -> call_function name (List.map (eval env) args)
+  | Between (x, lo, hi) ->
+      eval env (Binop (And, Binop (Ge, x, lo), Binop (Le, x, hi)))
+  | In_list (x, items) ->
+      let xv = eval env x in
+      if Value.is_null xv then Value.Null
+      else
+        let rec loop unknown = function
+          | [] -> if unknown then Value.Null else Value.Bool false
+          | item :: rest -> (
+              match compare_op Eq xv (eval env item) with
+              | Value.Bool true -> Value.Bool true
+              | Value.Null -> loop true rest
+              | _ -> loop unknown rest)
+        in
+        loop false items
+  | Is_null (a, want_null) ->
+      let v = eval env a in
+      Value.Bool (Value.is_null v = want_null)
+  | Agg _ -> error "aggregate not allowed in this context"
+  | Subquery sel -> (
+      match run_subquery env sel with
+      | [] -> Value.Null
+      | [ row ] ->
+          if Array.length row <> 1 then error "scalar subquery must return one column"
+          else row.(0)
+      | _ -> error "scalar subquery returned more than one row")
+  | Exists sel -> Value.Bool (run_subquery env sel <> [])
+  | In_select (x, sel) -> (
+      let xv = eval env x in
+      if Value.is_null xv then Value.Null
+      else
+        let rows = run_subquery env sel in
+        let rec loop unknown = function
+          | [] -> if unknown then Value.Null else Value.Bool false
+          | (row : Value.t array) :: rest ->
+              if Array.length row <> 1 then error "IN subquery must return one column"
+              else (
+                match compare_op Eq xv row.(0) with
+                | Value.Bool true -> Value.Bool true
+                | Value.Null -> loop true rest
+                | _ -> loop unknown rest)
+        in
+        loop false rows)
+
+and run_subquery env sel =
+  match env.subquery with
+  | Some run -> run sel env
+  | None -> error "subqueries are not available in this context"
+
+let eval_bool env e = as_bool3 (eval env e)
+
+(* --- aggregates --------------------------------------------------------- *)
+
+let compute_agg kind arg group =
+  match kind with
+  | Count_star -> Value.Int (List.length group)
+  | Count ->
+      let arg = Option.get arg in
+      Value.Int
+        (List.length
+           (List.filter (fun env -> not (Value.is_null (eval env arg))) group))
+  | Count_distinct ->
+      let arg = Option.get arg in
+      let values =
+        List.filter_map
+          (fun env -> match eval env arg with Value.Null -> None | v -> Some v)
+          group
+      in
+      Value.Int
+        (List.length (List.sort_uniq Value.compare_total values))
+  | Sum | Avg -> (
+      let arg = Option.get arg in
+      let values =
+        List.filter_map
+          (fun env -> match eval env arg with Value.Null -> None | v -> Some v)
+          group
+      in
+      match values with
+      | [] -> Value.Null
+      | _ ->
+          let all_int = List.for_all (function Value.Int _ -> true | _ -> false) values in
+          if kind = Sum && all_int then
+            Value.Int
+              (List.fold_left
+                 (fun acc v -> match v with Value.Int i -> acc + i | _ -> acc)
+                 0 values)
+          else
+            let total =
+              List.fold_left
+                (fun acc v ->
+                  match v with
+                  | Value.Int i -> acc +. float_of_int i
+                  | Value.Float f -> acc +. f
+                  | v -> error "cannot aggregate %s" (Value.to_string v))
+                0. values
+            in
+            if kind = Sum then Value.Float total
+            else Value.Float (total /. float_of_int (List.length values)))
+  | Min | Max -> (
+      let arg = Option.get arg in
+      let values =
+        List.filter_map
+          (fun env -> match eval env arg with Value.Null -> None | v -> Some v)
+          group
+      in
+      match values with
+      | [] -> Value.Null
+      | first :: rest ->
+          let better a b =
+            let c = Value.compare_total a b in
+            if kind = Min then c < 0 else c > 0
+          in
+          List.fold_left (fun acc v -> if better v acc then v else acc) first rest)
+
+let rec eval_grouped ~group env e =
+  match e with
+  | Agg (kind, arg) -> compute_agg kind arg group
+  | Lit _ | Col _ | Param _ | Named_param _ -> eval env e
+  | Binop (op, a, b) ->
+      (* Rebuild on pre-evaluated literals so 3VL/short-circuit logic in
+         [eval] is reused. *)
+      let av = eval_grouped ~group env a and bv = eval_grouped ~group env b in
+      eval env (Binop (op, lift av, lift bv))
+  | Unop (op, a) -> eval env (Unop (op, lift (eval_grouped ~group env a)))
+  | Call (name, args) ->
+      call_function name (List.map (eval_grouped ~group env) args)
+  | Between (x, lo, hi) ->
+      eval_grouped ~group env (Binop (And, Binop (Ge, x, lo), Binop (Le, x, hi)))
+  | In_list (x, items) ->
+      eval env
+        (In_list (lift (eval_grouped ~group env x),
+                  List.map (fun i -> lift (eval_grouped ~group env i)) items))
+  | Is_null (a, w) -> eval env (Is_null (lift (eval_grouped ~group env a), w))
+  | Subquery _ | Exists _ -> eval env e
+  | In_select (x, sel) -> eval env (In_select (lift (eval_grouped ~group env x), sel))
+
+and lift v =
+  match v with
+  | Value.Null -> Lit L_null
+  | Value.Int i -> Lit (L_int i)
+  | Value.Float f -> Lit (L_float f)
+  | Value.Text s -> Lit (L_text s)
+  | Value.Bool b -> Lit (L_bool b)

@@ -1,0 +1,773 @@
+open Brdb_storage
+open Brdb_sql.Ast
+module Txn = Brdb_txn.Txn
+
+type mode = { require_index : bool; allow_ddl : bool }
+
+let default_mode = { require_index = false; allow_ddl = true }
+
+let strict_mode = { require_index = true; allow_ddl = true }
+
+type error =
+  | Missing_index of string
+  | Blind_update of string
+  | Sql_error of string
+
+let error_to_string = function
+  | Missing_index what -> "no usable index for predicate on " ^ what
+  | Blind_update table -> "blind update on " ^ table
+  | Sql_error msg -> msg
+
+type result_set = { columns : string list; rows : Value.t array list; affected : int }
+
+exception Exec_error of error
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Exec_error (Sql_error msg))) fmt
+
+let table_or_fail catalog name =
+  match Catalog.find catalog name with
+  | Some t -> t
+  | None -> fail "table %s does not exist" name
+
+(* --- access-path selection --------------------------------------------- *)
+
+(* Flatten a WHERE/ON tree into AND-ed conjuncts. *)
+let rec conjuncts_of = function
+  | Binop (And, a, b) -> conjuncts_of a @ conjuncts_of b
+  | e -> [ e ]
+
+(* Column references of an expression. *)
+let column_refs e =
+  let acc = ref [] in
+  iter_expr (function Col (q, c) -> acc := (q, c) :: !acc | _ -> ()) e;
+  !acc
+
+(* Does [e] only reference columns already bound in [env]? (Constants and
+   params qualify trivially.) *)
+let contains_subquery e =
+  let found = ref false in
+  iter_expr
+    (function Subquery _ | Exists _ | In_select _ -> found := true | _ -> ())
+    e;
+  !found
+
+let bound_in env e =
+  (not (contains_subquery e))
+  && List.for_all
+    (fun (q, c) ->
+      match Eval.lookup_column env q c with
+      | _ -> true
+      | exception Eval.Error _ -> false)
+    (column_refs e)
+  && not (Eval.has_aggregate e)
+
+(* Is [Col (q, c)] a reference to column [c] of the scanned table? *)
+let scan_column schema alias q c =
+  match q with
+  | Some q when String.equal q alias -> Schema.column_index schema c
+  | Some _ -> None
+  | None -> Schema.column_index schema c
+
+type restriction = {
+  r_column : int;
+  r_op : [ `Eq | `Lt | `Le | `Gt | `Ge ];
+  r_key : expr;  (* evaluable in the bound env *)
+}
+
+let flip_op = function `Eq -> `Eq | `Lt -> `Gt | `Le -> `Ge | `Gt -> `Lt | `Ge -> `Le
+
+let rec restriction_of_conjunct env schema alias conjunct =
+  let classify lhs rhs op =
+    match column_refs lhs with
+    | [ (q, c) ] when lhs = Col (q, c) -> (
+        match scan_column schema alias q c with
+        | Some i when bound_in env rhs -> Some { r_column = i; r_op = op; r_key = rhs }
+        | _ -> None)
+    | _ -> None
+  in
+  match conjunct with
+  | Binop (Eq, a, b) -> (
+      match classify a b `Eq with Some r -> [ r ] | None -> (
+        match classify b a `Eq with Some r -> [ r ] | None -> []))
+  | Binop (Lt, a, b) -> (
+      match classify a b `Lt with Some r -> [ r ] | None -> (
+        match classify b a (flip_op `Lt) with Some r -> [ r ] | None -> []))
+  | Binop (Le, a, b) -> (
+      match classify a b `Le with Some r -> [ r ] | None -> (
+        match classify b a (flip_op `Le) with Some r -> [ r ] | None -> []))
+  | Binop (Gt, a, b) -> (
+      match classify a b `Gt with Some r -> [ r ] | None -> (
+        match classify b a (flip_op `Gt) with Some r -> [ r ] | None -> []))
+  | Binop (Ge, a, b) -> (
+      match classify a b `Ge with Some r -> [ r ] | None -> (
+        match classify b a (flip_op `Ge) with Some r -> [ r ] | None -> []))
+  | Between (x, lo, hi) ->
+      restriction_of_conjunct env schema alias (Binop (Ge, x, lo))
+      @ restriction_of_conjunct env schema alias (Binop (Le, x, hi))
+  | _ -> []
+
+type path =
+  | Seq_scan
+  | Index_range of { column : int; restrictions : restriction list }
+
+(* Pick the most selective indexed column: equality beats range. *)
+let choose_path table env alias where_conjuncts =
+  let schema = Table.schema table in
+  let restrictions =
+    List.concat_map (restriction_of_conjunct env schema alias) where_conjuncts
+  in
+  let by_column = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      let cur = try Hashtbl.find by_column r.r_column with Not_found -> [] in
+      Hashtbl.replace by_column r.r_column (r :: cur))
+    restrictions;
+  let candidates =
+    Hashtbl.fold
+      (fun col rs acc ->
+        if Table.has_index table ~column:col then
+          let has_eq = List.exists (fun r -> r.r_op = `Eq) rs in
+          (col, rs, has_eq) :: acc
+        else acc)
+      by_column []
+    |> List.sort (fun (c1, _, eq1) (c2, _, eq2) ->
+           (* eq-restricted columns first, then by column position *)
+           match compare eq2 eq1 with 0 -> compare c1 c2 | c -> c)
+  in
+  match candidates with
+  | (column, rs, _) :: _ -> Index_range { column; restrictions = rs }
+  | [] -> Seq_scan
+
+(* Evaluate a path's bounds in the (join-)bound environment. *)
+let bounds_of_restrictions env restrictions =
+  let lo = ref Index.Unbounded and hi = ref Index.Unbounded in
+  let tighten_lo b =
+    match (!lo, b) with
+    | Index.Unbounded, _ -> lo := b
+    | _, Index.Unbounded -> ()
+    | (Index.Incl cur | Index.Excl cur), (Index.Incl v | Index.Excl v) ->
+        let c = Value.compare_total v cur in
+        if c > 0 then lo := b
+        else if c = 0 then
+          (* Excl is tighter than Incl at the same key. *)
+          match (!lo, b) with
+          | Index.Incl _, Index.Excl _ -> lo := b
+          | _ -> ()
+  in
+  let tighten_hi b =
+    match (!hi, b) with
+    | Index.Unbounded, _ -> hi := b
+    | _, Index.Unbounded -> ()
+    | (Index.Incl cur | Index.Excl cur), (Index.Incl v | Index.Excl v) ->
+        let c = Value.compare_total v cur in
+        if c < 0 then hi := b
+        else if c = 0 then
+          match (!hi, b) with
+          | Index.Incl _, Index.Excl _ -> hi := b
+          | _ -> ()
+  in
+  List.iter
+    (fun r ->
+      let key = Eval.eval env r.r_key in
+      match r.r_op with
+      | `Eq ->
+          tighten_lo (Index.Incl key);
+          tighten_hi (Index.Incl key)
+      | `Lt -> tighten_hi (Index.Excl key)
+      | `Le -> tighten_hi (Index.Incl key)
+      | `Gt -> tighten_lo (Index.Excl key)
+      | `Ge -> tighten_lo (Index.Incl key))
+    restrictions;
+  (!lo, !hi)
+
+(* --- scans -------------------------------------------------------------- *)
+
+type scan_spec = {
+  sc_table : Table.t;
+  sc_alias : string;
+  sc_path : path;
+  sc_provenance : bool;
+}
+
+let visible txn ~provenance (v : Version.t) =
+  if provenance then Version.visible_provenance v
+  else
+    Version.visible_to v ~txid:txn.Txn.txid ~height:txn.Txn.snapshot_height
+
+(* Iterate visible versions of a scan; registers the predicate and the
+   per-row reads unless the scan is a provenance read. *)
+let run_scan catalog txn mode spec env f =
+  ignore catalog;
+  let name = Table.name spec.sc_table in
+  let yield (v : Version.t) =
+    if visible txn ~provenance:spec.sc_provenance v then begin
+      if not spec.sc_provenance then Txn.record_read txn ~table:name ~vid:v.Version.vid;
+      f v
+    end
+  in
+  match spec.sc_path with
+  | Index_range { column; restrictions } ->
+      let lo, hi = bounds_of_restrictions env restrictions in
+      if not spec.sc_provenance then
+        Txn.record_predicate txn (Predicate.Range { table = name; column; lo; hi });
+      Table.iter_index spec.sc_table ~column ~lo ~hi yield
+  | Seq_scan ->
+      if mode.require_index && not spec.sc_provenance then
+        raise (Exec_error (Missing_index name));
+      if not spec.sc_provenance then
+        Txn.record_predicate txn (Predicate.Full_scan { table = name });
+      Table.iter_versions spec.sc_table yield
+
+(* --- SELECT -------------------------------------------------------------- *)
+
+let alias_of (tr : table_ref) = Option.value tr.alias ~default:tr.table
+
+let empty_env params named subquery =
+  {
+    Eval.bindings = [];
+    Eval.scope_start = 0;
+    Eval.params = params;
+    Eval.named = named;
+    Eval.subquery = subquery;
+  }
+
+(* Produce the stream of joined environments for FROM ... JOIN ... *)
+let joined_rows catalog txn mode ~provenance ~base_env (sel : select) f =
+  match sel.from with
+  | None -> f base_env
+  | Some base ->
+      let where_conj = match sel.where with None -> [] | Some w -> conjuncts_of w in
+      (* WHERE conjuncts may sharpen the access path of inner joins, but a
+         LEFT JOIN's matches are defined by its ON clause alone. *)
+      let scan_one (tr : table_ref) extra_conjuncts ~use_where env k =
+        let table = table_or_fail catalog tr.table in
+        let alias = alias_of tr in
+        let conjuncts = extra_conjuncts @ if use_where then where_conj else [] in
+        let path = choose_path table env alias conjuncts in
+        let spec = { sc_table = table; sc_alias = alias; sc_path = path; sc_provenance = provenance } in
+        run_scan catalog txn mode spec env (fun v ->
+            let b =
+              Eval.binding_of_version ~alias ~schema:(Table.schema table) ~provenance v
+            in
+            k { env with Eval.bindings = env.Eval.bindings @ [ b ] })
+      in
+      let null_extended env (tr : table_ref) =
+        let table = table_or_fail catalog tr.table in
+        let b =
+          {
+            Eval.alias = alias_of tr;
+            schema = Table.schema table;
+            values = Array.make (Schema.arity (Table.schema table)) Value.Null;
+            version = None;
+            provenance;
+          }
+        in
+        { env with Eval.bindings = env.Eval.bindings @ [ b ] }
+      in
+      let rec do_joins joins env =
+        match joins with
+        | [] -> f env
+        | j :: rest -> (
+            match j.j_kind with
+            | J_inner ->
+                scan_one j.j_table (conjuncts_of j.j_on) ~use_where:true env
+                  (fun env' ->
+                    match Eval.eval_bool env' j.j_on with
+                    | Some true -> do_joins rest env'
+                    | _ -> ())
+            | J_left ->
+                let matched = ref false in
+                scan_one j.j_table (conjuncts_of j.j_on) ~use_where:false env
+                  (fun env' ->
+                    match Eval.eval_bool env' j.j_on with
+                    | Some true ->
+                        matched := true;
+                        do_joins rest env'
+                    | _ -> ());
+                if not !matched then do_joins rest (null_extended env j.j_table))
+      in
+      scan_one base [] ~use_where:true base_env (fun env -> do_joins sel.joins env)
+
+let item_columns ~provenance (sel : select) (sample_env : Eval.env option) =
+  let star_columns () =
+    match sample_env with
+    | None -> [ "*" ]
+    | Some env ->
+        let many = List.length env.Eval.bindings > 1 in
+        List.concat_map
+          (fun (b : Eval.binding) ->
+            let base =
+              Array.to_list
+                (Array.map (fun c -> c.Schema.name) b.Eval.schema.Schema.columns)
+            in
+            let base = if provenance then base @ [ "xmin"; "xmax"; "creator"; "deleter" ] else base in
+            if many then List.map (fun c -> b.Eval.alias ^ "." ^ c) base else base)
+          env.Eval.bindings
+  in
+  List.concat_map
+    (function
+      | Star -> star_columns ()
+      | Sel_expr (_, Some a) -> [ a ]
+      | Sel_expr (e, None) -> [ expr_to_string e ])
+    sel.items
+
+let star_values ~provenance (env : Eval.env) =
+  List.concat_map
+    (fun (b : Eval.binding) ->
+      let base = Array.to_list b.Eval.values in
+      if provenance then
+        base
+        @ List.map
+            (fun name ->
+              match Eval.lookup_column { env with Eval.bindings = [ b ] } None name with
+              | v -> v)
+            [ "xmin"; "xmax"; "creator"; "deleter" ]
+      else base)
+    env.Eval.bindings
+
+(* Substitute output aliases in ORDER BY / HAVING expressions. *)
+let substitute_aliases items e =
+  let alias_map =
+    List.filter_map
+      (function Sel_expr (e, Some a) -> Some (a, e) | _ -> None)
+      items
+  in
+  let rec subst e =
+    match e with
+    | Col (None, c) -> (
+        match List.assoc_opt c alias_map with Some e' -> e' | None -> e)
+    | Lit _ | Col _ | Param _ | Named_param _ -> e
+    | Binop (op, a, b) -> Binop (op, subst a, subst b)
+    | Unop (op, a) -> Unop (op, subst a)
+    | Call (f, args) -> Call (f, List.map subst args)
+    | Between (a, b, c) -> Between (subst a, subst b, subst c)
+    | In_list (a, es) -> In_list (subst a, List.map subst es)
+    | Is_null (a, w) -> Is_null (subst a, w)
+    | Agg _ | Subquery _ | Exists _ -> e
+    | In_select (a, sel) -> In_select (subst a, sel)
+  in
+  subst e
+
+let exec_select catalog txn mode ~base_env (sel : select) =
+  (* everything this select binds is a new, innermost scope *)
+  let base_env =
+    { base_env with Eval.scope_start = List.length base_env.Eval.bindings }
+  in
+  let provenance = sel.provenance in
+  let envs = ref [] in
+  joined_rows catalog txn mode ~provenance ~base_env sel (fun env ->
+      let keep =
+        match sel.where with
+        | None -> true
+        | Some w -> Eval.eval_bool env w = Some true
+      in
+      if keep then envs := env :: !envs);
+  let envs = List.rev !envs in
+  let aggregated =
+    sel.group_by <> []
+    || sel.having <> None
+    || List.exists
+         (function Sel_expr (e, _) -> Eval.has_aggregate e | Star -> false)
+         sel.items
+  in
+  let sample_env = match envs with e :: _ -> Some e | [] -> None in
+  let columns = item_columns ~provenance sel sample_env in
+  let rows =
+    if not aggregated then
+      (* Plain projection per row; ORDER BY keys evaluated on the row env. *)
+      let decorated =
+        List.map
+          (fun env ->
+            let keys =
+              List.map
+                (fun k -> Eval.eval env (substitute_aliases sel.items k.o_expr))
+                sel.order_by
+            in
+            let values =
+              List.concat_map
+                (function
+                  | Star -> star_values ~provenance env
+                  | Sel_expr (e, _) -> [ Eval.eval env e ])
+                sel.items
+            in
+            (keys, values))
+          envs
+      in
+      (decorated, sel.order_by)
+    else begin
+      (* Group rows, then evaluate aggregate expressions per group. *)
+      if List.exists (function Star -> true | _ -> false) sel.items then
+        fail "SELECT * cannot be combined with aggregates";
+      (* Each non-aggregate select item must be one of the GROUP BY keys
+         (stricter than PostgreSQL's functional-dependency rule, but
+         deterministic and simple to reason about). *)
+      let group_keys = List.map expr_to_string sel.group_by in
+      List.iter
+        (function
+          | Star -> ()
+          | Sel_expr (e, _) ->
+              if (not (Eval.has_aggregate e)) && not (List.mem (expr_to_string e) group_keys)
+              then fail "column %s must appear in GROUP BY or an aggregate" (expr_to_string e))
+        sel.items;
+      let module KeyMap = Map.Make (struct
+        type t = Value.t list
+
+        let compare = List.compare Value.compare_total
+      end) in
+      let groups =
+        match (sel.group_by, envs) with
+        | [], _ ->
+            (* A single group — even when there are no input rows. *)
+            KeyMap.singleton [] (List.rev envs)
+        | _, _ ->
+            List.fold_left
+              (fun acc env ->
+                let key = List.map (Eval.eval env) sel.group_by in
+                KeyMap.update key
+                  (function None -> Some [ env ] | Some g -> Some (env :: g))
+                  acc)
+              KeyMap.empty envs
+      in
+      let decorated =
+        KeyMap.fold
+          (fun _key group acc ->
+            let group = List.rev group in
+            let rep = match group with e :: _ -> e | [] -> base_env in
+            let keep =
+              match sel.having with
+              | None -> true
+              | Some h -> (
+                  match Eval.eval_grouped ~group rep (substitute_aliases sel.items h) with
+                  | Value.Bool true -> true
+                  | _ -> false)
+            in
+            if not keep then acc
+            else
+              let keys =
+                List.map
+                  (fun k ->
+                    Eval.eval_grouped ~group rep (substitute_aliases sel.items k.o_expr))
+                  sel.order_by
+              in
+              let values =
+                List.concat_map
+                  (function
+                    | Star -> assert false
+                    | Sel_expr (e, _) -> [ Eval.eval_grouped ~group rep e ])
+                  sel.items
+              in
+              (keys, values) :: acc)
+          groups []
+        |> List.rev
+      in
+      (decorated, sel.order_by)
+    end
+  in
+  let decorated, order_by = rows in
+  let sorted =
+    match order_by with
+    | [] -> decorated
+    | keys ->
+        let cmp (ka, _) (kb, _) =
+          let rec loop ks ka kb =
+            match (ks, ka, kb) with
+            | [], _, _ -> 0
+            | k :: ks, a :: ka, b :: kb ->
+                let c = Value.compare_total a b in
+                let c = if k.o_asc then c else -c in
+                if c <> 0 then c else loop ks ka kb
+            | _ -> 0
+          in
+          loop keys ka kb
+        in
+        List.stable_sort cmp decorated
+  in
+  let deduped =
+    if not sel.distinct then sorted
+    else begin
+      (* keep the first occurrence of each projected row *)
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun (_, v) ->
+          let key = String.concat "|" (List.map Value.encode v) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.replace seen key ();
+            true
+          end)
+        sorted
+    end
+  in
+  let limited =
+    match sel.limit with
+    | None -> deduped
+    | Some n -> List.filteri (fun i _ -> i < n) deduped
+  in
+  { columns; rows = List.map (fun (_, v) -> Array.of_list v) limited; affected = 0 }
+
+(* --- DML ----------------------------------------------------------------- *)
+
+let check_unique_at_insert catalog txn table row ~exclude_vid =
+  ignore catalog;
+  List.iter
+    (fun col ->
+      let key = row.(col) in
+      if not (Value.is_null key) then begin
+        let dup = ref false in
+        Table.iter_index table ~column:col ~lo:(Index.Incl key) ~hi:(Index.Incl key)
+          (fun u ->
+            if
+              Some u.Version.vid <> exclude_vid
+              && visible txn ~provenance:false u
+            then dup := true);
+        if !dup then
+          let cname = (Table.schema table).Schema.columns.(col).Schema.name in
+          fail "duplicate key %s.%s=%s" (Table.name table) cname (Value.to_string key)
+      end)
+    (Table.unique_columns table)
+
+let exec_insert catalog txn ~env0 ~ins_table ~ins_cols ~ins_rows =
+  let table = table_or_fail catalog ins_table in
+  let schema = Table.schema table in
+  let arity = Schema.arity schema in
+  let positions =
+    match ins_cols with
+    | None -> List.init arity Fun.id
+    | Some cols ->
+        List.map
+          (fun c ->
+            match Schema.column_index schema c with
+            | Some i -> i
+            | None -> fail "unknown column %s in INSERT" c)
+          cols
+  in
+  let count = ref 0 in
+  List.iter
+    (fun exprs ->
+      if List.length exprs <> List.length positions then
+        fail "INSERT arity mismatch on %s" ins_table;
+      let row = Array.make arity Value.Null in
+      List.iter2
+        (fun pos e -> row.(pos) <- Eval.eval env0 e)
+        positions exprs;
+      (match Schema.check_row schema row with
+      | Ok () -> ()
+      | Error msg -> fail "%s" msg);
+      check_unique_at_insert catalog txn table row ~exclude_vid:None;
+      let v = Table.insert_version table ~xmin:txn.Txn.txid row in
+      Txn.record_write txn (Txn.W_insert { table = ins_table; vid = v.Version.vid });
+      incr count)
+    ins_rows;
+  { columns = []; rows = []; affected = !count }
+
+let target_rows catalog txn mode ~env0 ~table_name ~where f =
+  let table = table_or_fail catalog table_name in
+  let alias = table_name in
+  let conjuncts = match where with None -> [] | Some w -> conjuncts_of w in
+  let path = choose_path table env0 alias conjuncts in
+  let spec = { sc_table = table; sc_alias = alias; sc_path = path; sc_provenance = false } in
+  run_scan catalog txn mode spec env0 (fun v ->
+      let b = Eval.binding_of_version ~alias ~schema:(Table.schema table) ~provenance:false v in
+      let env = { env0 with Eval.bindings = [ b ] } in
+      let keep =
+        match where with None -> true | Some w -> Eval.eval_bool env w = Some true
+      in
+      if keep then f table env v)
+
+let exec_update catalog txn mode ~env0 ~upd_table ~upd_sets ~upd_where =
+  if mode.require_index && upd_where = None then
+    raise (Exec_error (Blind_update upd_table));
+  let count = ref 0 in
+  target_rows catalog txn mode ~env0 ~table_name:upd_table ~where:upd_where
+    (fun table env v ->
+      let schema = Table.schema table in
+      let row = Array.copy v.Version.values in
+      List.iter
+        (fun (c, e) ->
+          match Schema.column_index schema c with
+          | None -> fail "unknown column %s in UPDATE" c
+          | Some i -> row.(i) <- Eval.eval env e)
+        upd_sets;
+      (match Schema.check_row schema row with
+      | Ok () -> ()
+      | Error msg -> fail "%s" msg);
+      Version.claim v txn.Txn.txid;
+      check_unique_at_insert catalog txn table row ~exclude_vid:(Some v.Version.vid);
+      let nv = Table.insert_version table ~xmin:txn.Txn.txid row in
+      Txn.record_write txn
+        (Txn.W_update { table = upd_table; old_vid = v.Version.vid; new_vid = nv.Version.vid });
+      incr count);
+  { columns = []; rows = []; affected = !count }
+
+let exec_delete catalog txn mode ~env0 ~del_table ~del_where =
+  if mode.require_index && del_where = None then
+    raise (Exec_error (Blind_update del_table));
+  let count = ref 0 in
+  target_rows catalog txn mode ~env0 ~table_name:del_table ~where:del_where
+    (fun _table _env v ->
+      Version.claim v txn.Txn.txid;
+      Txn.record_write txn (Txn.W_delete { table = del_table; old_vid = v.Version.vid });
+      incr count);
+  { columns = []; rows = []; affected = !count }
+
+(* --- DDL ----------------------------------------------------------------- *)
+
+let exec_ddl catalog txn mode stmt =
+  if not mode.allow_ddl then fail "DDL is not allowed in this context";
+  match stmt with
+  | Create_table { t_name; t_cols; if_not_exists } -> (
+      if if_not_exists && Catalog.mem catalog t_name then
+        { columns = []; rows = []; affected = 0 }
+      else
+        match Schema.of_ast t_name t_cols with
+        | Error msg -> fail "%s" msg
+        | Ok schema -> (
+            match Catalog.create_table catalog schema with
+            | Error msg -> fail "%s" msg
+            | Ok _ ->
+                Txn.record_ddl txn (Txn.D_created_table t_name);
+                { columns = []; rows = []; affected = 0 }))
+  | Create_index { i_table; i_column; i_unique; _ } -> (
+      let table = table_or_fail catalog i_table in
+      match Schema.column_index (Table.schema table) i_column with
+      | None -> fail "unknown column %s on %s" i_column i_table
+      | Some column ->
+          Table.add_index table ~column ~unique:i_unique;
+          Txn.record_ddl txn (Txn.D_created_index { table = i_table; column });
+          { columns = []; rows = []; affected = 0 })
+  | Drop_table { d_name; if_exists } -> (
+      match Catalog.find catalog d_name with
+      | None ->
+          if if_exists then { columns = []; rows = []; affected = 0 }
+          else fail "table %s does not exist" d_name
+      | Some table -> (
+          match Catalog.drop_table catalog d_name with
+          | Error msg -> fail "%s" msg
+          | Ok () ->
+              Txn.record_ddl txn (Txn.D_dropped_table table);
+              { columns = []; rows = []; affected = 0 }))
+  | _ -> assert false
+
+(* --- explain ---------------------------------------------------------------- *)
+
+let describe_path table path =
+  let schema = Table.schema table in
+  match path with
+  | Seq_scan -> Printf.sprintf "seq scan on %s" (Table.name table)
+  | Index_range { column; restrictions } ->
+      let cname = schema.Schema.columns.(column).Schema.name in
+      let ops =
+        List.map
+          (fun r ->
+            let op =
+              match r.r_op with
+              | `Eq -> "="
+              | `Lt -> "<"
+              | `Le -> "<="
+              | `Gt -> ">"
+              | `Ge -> ">="
+            in
+            Printf.sprintf "%s %s %s" cname op (expr_to_string r.r_key))
+          restrictions
+      in
+      Printf.sprintf "index scan on %s.%s (%s)" (Table.name table) cname
+        (String.concat " and " ops)
+
+exception Explain_error of string
+
+let explain catalog stmt =
+  (* A pseudo-environment where every column of the given aliases resolves:
+     we reuse [choose_path] with a binding of NULL rows so join-key
+     expressions referencing outer tables count as bound. *)
+  let buf = Buffer.create 128 in
+  let null_binding alias table =
+    {
+      Eval.alias;
+      schema = Table.schema table;
+      values = Array.make (Schema.arity (Table.schema table)) Value.Null;
+      version = None;
+      provenance = false;
+    }
+  in
+  let table_of name =
+    match Catalog.find catalog name with
+    | Some t -> t
+    | None -> raise (Explain_error (Printf.sprintf "table %s does not exist" name))
+  in
+  let plan_scan env (tr : table_ref) conjuncts =
+    let table = table_of tr.table in
+    let alias = alias_of tr in
+    let path = choose_path table env alias conjuncts in
+    Buffer.add_string buf ("  " ^ describe_path table path ^ "\n");
+    { env with Eval.bindings = env.Eval.bindings @ [ null_binding alias table ] }
+  in
+  let env0 =
+    {
+      Eval.bindings = [];
+      Eval.scope_start = 0;
+      Eval.params = [||];
+      Eval.named = [];
+      Eval.subquery = None;
+    }
+  in
+  (match stmt with
+  | Select ({ from = Some base; _ } as sel) ->
+      Buffer.add_string buf "select:\n";
+      let where_conj = match sel.where with None -> [] | Some w -> conjuncts_of w in
+      let env = plan_scan env0 base where_conj in
+      ignore
+        (List.fold_left
+           (fun env j -> plan_scan env j.j_table (conjuncts_of j.j_on @ where_conj))
+           env sel.joins)
+  | Select _ -> Buffer.add_string buf "select: no table access\n"
+  | Update { upd_table; upd_where; _ } ->
+      Buffer.add_string buf "update:\n";
+      let conjuncts = match upd_where with None -> [] | Some w -> conjuncts_of w in
+      ignore (plan_scan env0 { table = upd_table; alias = None } conjuncts)
+  | Delete { del_table; del_where } ->
+      Buffer.add_string buf "delete:\n";
+      let conjuncts = match del_where with None -> [] | Some w -> conjuncts_of w in
+      ignore (plan_scan env0 { table = del_table; alias = None } conjuncts)
+  | Insert { ins_table; _ } ->
+      Buffer.add_string buf
+        (Printf.sprintf "insert into %s: no scans\n" ins_table)
+  | Create_table _ | Create_index _ | Drop_table _ ->
+      Buffer.add_string buf "ddl: no scans\n");
+  Buffer.contents buf
+
+let explain catalog stmt =
+  match explain catalog stmt with
+  | plan -> Ok plan
+  | exception Explain_error msg -> Error msg
+
+let explain_sql catalog sql =
+  match Brdb_sql.Parser.parse sql with
+  | Error msg -> Error msg
+  | Ok stmt -> explain catalog stmt
+
+(* --- entry points --------------------------------------------------------- *)
+
+let execute catalog txn ?(params = [||]) ?(named = []) ?(mode = default_mode) stmt =
+  (* Scalar subqueries re-enter the executor with the outer row's env as
+     their correlated context. *)
+  let rec run_subquery sel env = (exec_select catalog txn mode ~base_env:env sel).rows
+  and root_env () = empty_env params named (Some run_subquery) in
+  match
+    match stmt with
+    | Select sel -> exec_select catalog txn mode ~base_env:(root_env ()) sel
+    | Insert { ins_table; ins_cols; ins_rows } ->
+        exec_insert catalog txn ~env0:(root_env ()) ~ins_table ~ins_cols ~ins_rows
+    | Update { upd_table; upd_sets; upd_where } ->
+        exec_update catalog txn mode ~env0:(root_env ()) ~upd_table ~upd_sets ~upd_where
+    | Delete { del_table; del_where } ->
+        exec_delete catalog txn mode ~env0:(root_env ()) ~del_table ~del_where
+    | Create_table _ | Create_index _ | Drop_table _ -> exec_ddl catalog txn mode stmt
+  with
+  | result -> Ok result
+  | exception Exec_error e -> Error e
+  | exception Eval.Error msg -> Error (Sql_error msg)
+
+let execute_sql catalog txn ?params ?named ?mode sql =
+  match Brdb_sql.Parser.parse sql with
+  | Error msg -> Error (Sql_error msg)
+  | Ok stmt -> execute catalog txn ?params ?named ?mode stmt

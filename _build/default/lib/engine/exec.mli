@@ -1,0 +1,61 @@
+(** Statement planner and executor.
+
+    Executes parsed statements against the catalog on behalf of a
+    transaction: reads go through MVCC visibility at the transaction's
+    snapshot height, writes are materialized as uncommitted versions, and
+    every access registers the read/predicate information SSI needs.
+
+    In [require_index] mode (the EO flow's restriction from §4.3) every
+    table access must go through an index range; sequential scans fail
+    with [Missing_index], and [UPDATE]/[DELETE] without a [WHERE] clause
+    fail with [Blind_update] (§3.4.3). *)
+
+type mode = {
+  require_index : bool;
+  allow_ddl : bool;  (** system/deployment contracts only *)
+}
+
+val default_mode : mode
+
+val strict_mode : mode
+
+type error =
+  | Missing_index of string
+  | Blind_update of string
+  | Sql_error of string
+
+val error_to_string : error -> string
+
+type result_set = {
+  columns : string list;
+  rows : Brdb_storage.Value.t array list;
+  affected : int;  (** rows touched by DML; 0 for queries/DDL *)
+}
+
+val execute :
+  Brdb_storage.Catalog.t ->
+  Brdb_txn.Txn.t ->
+  ?params:Brdb_storage.Value.t array ->
+  ?named:(string * Brdb_storage.Value.t) list ->
+  ?mode:mode ->
+  Brdb_sql.Ast.stmt ->
+  (result_set, error) result
+
+(** [explain catalog stmt] renders the access plan the executor would
+    choose: one line per table scan with the index column and bounds, or
+    [seq scan] — the tool for checking a contract against the EO flow's
+    index-only restriction before deploying it. Parameters are treated as
+    opaque values. *)
+val explain : Brdb_storage.Catalog.t -> Brdb_sql.Ast.stmt -> (string, string) result
+
+val explain_sql : Brdb_storage.Catalog.t -> string -> (string, string) result
+
+(** Convenience: parse and execute one statement. *)
+val execute_sql :
+  Brdb_storage.Catalog.t ->
+  Brdb_txn.Txn.t ->
+  ?params:Brdb_storage.Value.t array ->
+  ?named:(string * Brdb_storage.Value.t) list ->
+  ?mode:mode ->
+  string ->
+  (result_set, error) result

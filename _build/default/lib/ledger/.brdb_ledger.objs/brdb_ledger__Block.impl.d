@@ -1,0 +1,1 @@
+lib/ledger/block.ml: Brdb_crypto Brdb_storage Brdb_util Identity List Merkle Schnorr Sha256 String

@@ -1,0 +1,1 @@
+lib/ledger/block.mli: Brdb_crypto Brdb_storage

@@ -1,0 +1,1 @@
+lib/ledger/block_store.ml: Block Brdb_util String Vec

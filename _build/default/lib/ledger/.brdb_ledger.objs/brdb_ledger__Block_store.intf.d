@@ -1,0 +1,1 @@
+lib/ledger/block_store.mli: Block Brdb_crypto

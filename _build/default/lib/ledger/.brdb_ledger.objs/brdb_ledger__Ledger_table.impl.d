@@ -1,0 +1,1 @@
+lib/ledger/ledger_table.ml: Array Brdb_storage Catalog Hashtbl List Table Value Version

@@ -1,0 +1,1 @@
+lib/ledger/ledger_table.mli: Brdb_storage

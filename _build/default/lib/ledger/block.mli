@@ -1,0 +1,70 @@
+(** Transactions and blocks.
+
+    A transaction envelope matches §3.3/§3.4 of the paper: a unique
+    identifier, the invoking user, the contract invocation (name +
+    arguments), an optional snapshot height (execute-order-in-parallel
+    only) and the client's signature over the rest.
+
+    A block carries a sequence number, the transactions, consensus
+    metadata, the previous block's hash, its own hash over all of that,
+    and orderer signatures on the hash. *)
+
+type tx = {
+  tx_id : string;
+  tx_user : string;
+  tx_contract : string;
+  tx_args : Brdb_storage.Value.t list;
+  tx_snapshot : int option;  (** EO: block height the client executed at *)
+  tx_signature : Brdb_crypto.Schnorr.signature;
+}
+
+(** Canonical bytes covered by the client signature. *)
+val tx_payload : tx -> string
+
+(** OE transaction: the caller supplies a fresh unique id. *)
+val make_tx :
+  id:string ->
+  identity:Brdb_crypto.Identity.t ->
+  contract:string ->
+  args:Brdb_storage.Value.t list ->
+  tx
+
+(** EO transaction: the id is [hash(user, contract+args, snapshot)]
+    (§3.4.3), so two different submissions can never collide on id. *)
+val make_eo_tx :
+  identity:Brdb_crypto.Identity.t ->
+  contract:string ->
+  args:Brdb_storage.Value.t list ->
+  snapshot:int ->
+  tx
+
+val verify_tx : Brdb_crypto.Identity.Registry.t -> tx -> bool
+
+type t = {
+  height : int;
+  txs : tx list;
+  metadata : string;
+  prev_hash : string;
+  hash : string;
+  signatures : (string * Brdb_crypto.Schnorr.signature) list;
+      (** orderer name, signature over [hash] *)
+}
+
+val compute_hash :
+  height:int -> txs:tx list -> metadata:string -> prev_hash:string -> string
+
+(** The hash of "block 0"; the first real block has height 1 and chains
+    from this. *)
+val genesis_hash : string
+
+val create : height:int -> txs:tx list -> metadata:string -> prev_hash:string -> t
+
+(** [sign block identity] appends an orderer signature. *)
+val sign : t -> Brdb_crypto.Identity.t -> t
+
+(** [verify_block registry block] — hash integrity plus at least one valid
+    orderer signature. *)
+val verify : Brdb_crypto.Identity.Registry.t -> t -> bool
+
+(** [chains_from block ~prev] — sequence number and hash chain agree. *)
+val chains_from : t -> prev:t option -> bool

@@ -1,0 +1,46 @@
+open Brdb_util
+
+type t = { blocks : Block.t Vec.t }
+
+type error = [ `Out_of_sequence | `Broken_chain | `Bad_block ]
+
+let create () = { blocks = Vec.create () }
+
+let height t = Vec.length t.blocks
+
+let last t = Vec.last t.blocks
+
+let append t (b : Block.t) =
+  if b.Block.height <> height t + 1 then Error `Out_of_sequence
+  else if not (Block.chains_from b ~prev:(last t)) then Error `Broken_chain
+  else if
+    not
+      (String.equal b.Block.hash
+         (Block.compute_hash ~height:b.Block.height ~txs:b.Block.txs
+            ~metadata:b.Block.metadata ~prev_hash:b.Block.prev_hash))
+  then Error `Bad_block
+  else begin
+    ignore (Vec.push t.blocks b);
+    Ok ()
+  end
+
+let get t h =
+  if h >= 1 && h <= Vec.length t.blocks then Some (Vec.get t.blocks (h - 1)) else None
+
+let iter t f = Vec.iter f t.blocks
+
+let audit t registry =
+  let bad = ref None in
+  let prev = ref None in
+  Vec.iter
+    (fun b ->
+      if !bad = None then begin
+        if not (Block.chains_from b ~prev:!prev && Block.verify registry b) then
+          bad := Some b.Block.height;
+        prev := Some b
+      end)
+    t.blocks;
+  match !bad with None -> Ok () | Some h -> Error h
+
+let tamper_for_test t h b =
+  if h >= 1 && h <= Vec.length t.blocks then Vec.set t.blocks (h - 1) b

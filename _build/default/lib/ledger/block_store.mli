@@ -1,0 +1,28 @@
+(** Append-only block store (the [pgBlockstore] analogue).
+
+    Blocks must arrive in sequence and chain correctly; [append] rejects
+    gaps, duplicates and hash-chain breaks. {!audit} re-verifies the whole
+    chain, which is how tampering by a malicious node is detected
+    (§3.5 item 6). *)
+
+type t
+
+type error = [ `Out_of_sequence | `Broken_chain | `Bad_block ]
+
+val create : unit -> t
+
+val height : t -> int
+
+val append : t -> Block.t -> (unit, error) result
+
+val get : t -> int -> Block.t option
+
+val last : t -> Block.t option
+
+val iter : t -> (Block.t -> unit) -> unit
+
+(** Full-chain integrity check; returns the height of the first bad block. *)
+val audit : t -> Brdb_crypto.Identity.Registry.t -> (unit, int) result
+
+(** Tamper with a stored block (testing §3.5 scenarios only). *)
+val tamper_for_test : t -> int -> Block.t -> unit

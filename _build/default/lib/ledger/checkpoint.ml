@@ -1,0 +1,50 @@
+type t = {
+  self : string;
+  peers : string list;
+  local : (int, string) Hashtbl.t;
+  remote : (int * string, string) Hashtbl.t; (* (height, peer) -> hash *)
+}
+
+let create ~self ~peers =
+  {
+    self;
+    peers = List.filter (fun p -> not (String.equal p self)) peers;
+    local = Hashtbl.create 32;
+    remote = Hashtbl.create 64;
+  }
+
+let record_local t ~height ~hash = Hashtbl.replace t.local height hash
+
+let receive t ~from ~height ~hash =
+  if not (String.equal from t.self) then Hashtbl.replace t.remote (height, from) hash
+
+let local_hash t ~height = Hashtbl.find_opt t.local height
+
+let divergent t ~height =
+  match local_hash t ~height with
+  | None -> []
+  | Some mine ->
+      List.filter
+        (fun peer ->
+          match Hashtbl.find_opt t.remote (height, peer) with
+          | Some theirs -> not (String.equal theirs mine)
+          | None -> false)
+        t.peers
+
+let agreed t ~height =
+  match local_hash t ~height with
+  | None -> false
+  | Some mine ->
+      List.for_all
+        (fun peer ->
+          match Hashtbl.find_opt t.remote (height, peer) with
+          | Some theirs -> String.equal theirs mine
+          | None -> false)
+        t.peers
+
+let checkpointed_height t =
+  (* Checkpoints may be recorded only every N blocks: take the highest
+     recorded height on which everyone agrees. *)
+  Hashtbl.fold
+    (fun height _ best -> if height > best && agreed t ~height then height else best)
+    t.local 0

@@ -1,0 +1,23 @@
+(** Checkpointing: cross-node comparison of per-block write-set hashes
+    (§3.3.4).
+
+    Each node computes the hash of the changes a block made, submits it
+    to the ordering service, and compares the hashes other nodes report.
+    Agreement by all known nodes records a checkpoint; a node whose hash
+    differs is flagged as divergent (a §3.5 item-3 detection). *)
+
+type t
+
+val create : self:string -> peers:string list -> t
+
+val record_local : t -> height:int -> hash:string -> unit
+
+val receive : t -> from:string -> height:int -> hash:string -> unit
+
+val local_hash : t -> height:int -> string option
+
+(** Peers whose reported hash for [height] differs from ours. *)
+val divergent : t -> height:int -> string list
+
+(** Highest height for which every peer reported a hash equal to ours. *)
+val checkpointed_height : t -> int

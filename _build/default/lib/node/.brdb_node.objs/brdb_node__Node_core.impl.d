@@ -1,0 +1,1 @@
+lib/node/node_core.ml: Array Brdb_contracts Brdb_crypto Brdb_engine Brdb_ledger Brdb_ssi Brdb_storage Brdb_txn Catalog Hashtbl Int64 List Option Printf String Table Value Version Wal

@@ -1,0 +1,1 @@
+lib/node/node_core.mli: Brdb_contracts Brdb_crypto Brdb_engine Brdb_ledger Brdb_storage Brdb_txn

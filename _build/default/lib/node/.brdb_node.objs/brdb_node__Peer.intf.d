@@ -1,0 +1,1 @@
+lib/node/peer.mli: Brdb_consensus Brdb_crypto Brdb_ledger Brdb_sim Node_core

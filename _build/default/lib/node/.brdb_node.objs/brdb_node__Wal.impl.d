@@ -1,0 +1,1 @@
+lib/node/wal.ml: Hashtbl List Option

@@ -1,0 +1,661 @@
+open Brdb_storage
+module Txn = Brdb_txn.Txn
+module Manager = Brdb_txn.Manager
+module Exec = Brdb_engine.Exec
+module Block = Brdb_ledger.Block
+module Block_store = Brdb_ledger.Block_store
+module Ledger_table = Brdb_ledger.Ledger_table
+module Identity = Brdb_crypto.Identity
+module Api = Brdb_contracts.Api
+module Registry = Brdb_contracts.Registry
+module Procedural = Brdb_contracts.Procedural
+module Determinism = Brdb_contracts.Determinism
+module System = Brdb_contracts.System
+module Rules = Brdb_ssi.Rules
+module Detect = Brdb_ssi.Detect
+
+type flow = Order_execute | Execute_order | Serial_baseline
+
+type config = {
+  name : string;
+  org : string;
+  flow : flow;
+  require_index : bool;
+  orgs : string list;
+  atomic_commit : bool;
+}
+
+let make_config ~name ~org ~flow ?(require_index = false) ?(atomic_commit = false)
+    ~orgs () =
+  { name; org; flow; require_index; orgs; atomic_commit }
+
+type tx_status = S_committed | S_aborted of Txn.abort_reason | S_rejected of string
+
+let tx_status_to_string = function
+  | S_committed -> "committed"
+  | S_aborted r -> "aborted: " ^ Txn.abort_reason_to_string r
+  | S_rejected r -> "rejected: " ^ r
+
+type block_result = {
+  br_height : int;
+  br_statuses : (string * tx_status) list;
+  br_write_set_hash : string;
+  br_missing : int;
+}
+
+type t = {
+  config : config;
+  registry : Identity.Registry.t;
+  catalog : Catalog.t;
+  manager : Manager.t;
+  contracts : Registry.t;
+  store : Block_store.t;
+  wal : Wal.t;
+  (* txid -> (contract, version at execution): §3.7 update-conflict check *)
+  exec_versions : (int, string * int) Hashtbl.t;
+  mutable query_seq : int;
+  mutable bootstrapped : bool;
+}
+
+let create config ~registry =
+  let catalog = Catalog.create () in
+  {
+    config;
+    registry;
+    catalog;
+    manager = Manager.create catalog;
+    contracts = Registry.create ();
+    store = Block_store.create ();
+    wal = Wal.create ();
+    exec_versions = Hashtbl.create 256;
+    query_seq = 0;
+    bootstrapped = false;
+  }
+
+let config t = t.config
+
+let catalog t = t.catalog
+
+let manager t = t.manager
+
+let contracts t = t.contracts
+
+let block_store t = t.store
+
+let identity_registry t = t.registry
+
+let height t = Block_store.height t.store
+
+let strict_reads t = t.config.flow = Execute_order || t.config.require_index
+
+(* --- bootstrap -------------------------------------------------------------- *)
+
+let bootstrap t =
+  if not t.bootstrapped then begin
+    t.bootstrapped <- true;
+    System.register_all t.contracts;
+    match
+      Manager.begin_txn t.manager ~global_id:"__bootstrap__" ~client:"system"
+        ~description:"bootstrap" ~snapshot_height:(-1) ()
+    with
+    | Error `Duplicate_txid -> failwith "bootstrap ran twice"
+    | Ok txn ->
+        List.iter
+          (fun sql ->
+            match Exec.execute_sql t.catalog txn sql with
+            | Ok _ -> ()
+            | Error e ->
+                failwith
+                  (Printf.sprintf "bootstrap statement failed (%s): %s" sql
+                     (Exec.error_to_string e)))
+          (System.bootstrap_statements ~orgs:t.config.orgs);
+        Manager.commit t.manager txn ~height:0
+  end
+
+let install_contract t ~name body = ignore (Registry.deploy t.contracts ~name body)
+
+(* --- contract hooks ---------------------------------------------------------- *)
+
+let system_contract_names =
+  [
+    "create_deploytx"; "approve_deploytx"; "reject_deploytx"; "comment_deploytx";
+    "submit_deploytx"; "create_user"; "update_user"; "delete_user";
+  ]
+
+(* Governance side effects are validated during execution but take effect
+   only when the transaction commits, so every node's registry reflects
+   exactly the committed history. *)
+let hooks_for t txn =
+  {
+    Api.deploy =
+      (fun ~kind ~name ~body ->
+        if List.mem name system_contract_names then
+          Error "system contracts cannot be modified"
+        else
+          match kind with
+          | "drop" ->
+              if Registry.find t.contracts name = None then
+                Error (Printf.sprintf "contract %s does not exist" name)
+              else begin
+                Txn.add_on_commit txn (fun () ->
+                    ignore (Registry.drop t.contracts ~name));
+                Ok ()
+              end
+          | "create" | "replace" -> (
+              match Procedural.parse body with
+              | Error e -> Error e
+              | Ok program -> (
+                  match Determinism.check_program program with
+                  | Error e -> Error e
+                  | Ok () ->
+                      Txn.add_on_commit txn (fun () ->
+                          ignore
+                            (Registry.deploy t.contracts ~name
+                               (Registry.Procedural program)));
+                      Ok ()))
+          | k -> Error (Printf.sprintf "unknown deployment kind %s" k));
+    Api.set_user =
+      (fun ~name ~pubkey ->
+        match pubkey with
+        | None ->
+            Txn.add_on_commit txn (fun () -> Identity.Registry.remove t.registry name);
+            Ok ()
+        | Some hex -> (
+            match Int64.of_string_opt ("0x" ^ hex) with
+            | None -> Error "public key must be hexadecimal"
+            | Some pk ->
+                Txn.add_on_commit txn (fun () ->
+                    Identity.Registry.set t.registry ~name pk);
+                Ok ()));
+  }
+
+(* --- contract execution -------------------------------------------------------- *)
+
+let describe_tx (tx : Block.tx) =
+  Printf.sprintf "%s(%s)" tx.Block.tx_contract
+    (String.concat ", " (List.map Value.to_string tx.Block.tx_args))
+
+let run_contract t txn (tx : Block.tx) =
+  match Registry.find t.contracts tx.Block.tx_contract with
+  | None ->
+      Txn.mark_abort txn
+        (Txn.Contract_error (Printf.sprintf "unknown contract %s" tx.Block.tx_contract))
+  | Some contract -> (
+      Hashtbl.replace t.exec_versions txn.Txn.txid
+        (tx.Block.tx_contract, contract.Registry.version);
+      let allow_ddl = System.admin_org txn.Txn.client <> None in
+      (* System contracts are trusted node software; the EO index-only
+         restriction applies to user contracts. *)
+      let is_system = List.mem tx.Block.tx_contract system_contract_names in
+      let mode =
+        { Exec.require_index = (not is_system) && strict_reads t; allow_ddl }
+      in
+      let ctx =
+        Api.make ~catalog:t.catalog ~txn ~args:(Array.of_list tx.Block.tx_args)
+          ~mode ~hooks:(hooks_for t txn) ()
+      in
+      let mark e =
+        Txn.mark_abort txn
+          (match e with
+          | Exec.Missing_index w -> Txn.Missing_index w
+          | Exec.Blind_update w -> Txn.Blind_update w
+          | Exec.Sql_error m -> Txn.Contract_error m)
+      in
+      match
+        match contract.Registry.body with
+        | Registry.Native f -> f ctx
+        | Registry.Procedural p -> Procedural.run p ctx
+      with
+      | () -> ()
+      | exception Api.Failed e -> mark e
+      | exception Brdb_engine.Eval.Error m -> Txn.mark_abort txn (Txn.Contract_error m))
+
+(* --- acquiring transactions for a block ------------------------------------------ *)
+
+type slot = Run of Txn.t * Block.tx | Rejected of Block.tx * string
+
+let fresh_execute t ~snapshot (tx : Block.tx) =
+  match
+    Manager.begin_txn t.manager ~global_id:tx.Block.tx_id ~client:tx.Block.tx_user
+      ~description:(describe_tx tx) ~snapshot_height:snapshot ()
+  with
+  | Error `Duplicate_txid -> Rejected (tx, "duplicate transaction identifier")
+  | Ok txn ->
+      run_contract t txn tx;
+      Run (txn, tx)
+
+(* EO §3.4.1: execute on arrival at the client-specified snapshot. *)
+let pre_execute t (tx : Block.tx) =
+  if t.config.flow <> Execute_order then Error "pre-execution only in the EO flow"
+  else if not (Block.verify_tx t.registry tx) then Error "invalid client signature"
+  else
+    let snapshot = Option.value tx.Block.tx_snapshot ~default:(height t) in
+    if snapshot > height t then Error "snapshot height not reached yet"
+    else
+      match fresh_execute t ~snapshot tx with
+      | Run _ -> Ok ()
+      | Rejected (_, reason) -> Error reason
+
+let acquire t ~block_height ~missing (tx : Block.tx) =
+  let effective_snapshot =
+    match (t.config.flow, tx.Block.tx_snapshot) with
+    | Serial_baseline, _ ->
+        (* Each serial transaction sees its predecessors in the block. *)
+        block_height
+    | _, None -> block_height - 1
+    | _, Some s -> min s (block_height - 1)
+  in
+  match Manager.find_by_global t.manager tx.Block.tx_id with
+  | Some txn when Txn.is_pending txn && t.config.flow = Execute_order ->
+      if txn.Txn.snapshot_height = effective_snapshot then Run (txn, tx)
+      else begin
+        (* Pre-executed at a snapshot that ordering overtook: discard and
+           re-execute at the deterministic effective snapshot. *)
+        Manager.abort t.manager txn (Txn.Contract_error "snapshot clamped by ordering");
+        Manager.release t.manager txn;
+        incr missing;
+        fresh_execute t ~snapshot:effective_snapshot tx
+      end
+  | Some _ -> Rejected (tx, "duplicate transaction identifier")
+  | None ->
+      if not (Block.verify_tx t.registry tx) then Rejected (tx, "invalid client signature")
+      else begin
+        if t.config.flow = Execute_order then incr missing;
+        fresh_execute t ~snapshot:effective_snapshot tx
+      end
+
+(* --- commit phase ------------------------------------------------------------------ *)
+
+let rules_view t txid =
+  match Manager.find t.manager txid with
+  | None -> { Rules.status = Rules.S_aborted; block = None; pos = None }
+  | Some txn ->
+      let status =
+        match txn.Txn.status with
+        | Txn.Pending -> Rules.S_pending
+        | Txn.Committed _ -> Rules.S_committed
+        | Txn.Aborted _ -> Rules.S_aborted
+      in
+      { Rules.status; block = txn.Txn.block; pos = txn.Txn.block_pos }
+
+let deploy_conflict t txn =
+  match Hashtbl.find_opt t.exec_versions txn.Txn.txid with
+  | None -> None
+  | Some (name, version) -> (
+      match Registry.find t.contracts name with
+      | Some c when c.Registry.version = version -> None
+      | _ -> Some Txn.Update_conflict_on_deploy)
+
+let decide t ~block_height ~graph txn =
+  match txn.Txn.marked with
+  | Some reason -> Some reason
+  | None -> (
+      match deploy_conflict t txn with
+      | Some r -> Some r
+      | None -> (
+          match Manager.check_lost_update t.manager txn with
+          | Some r -> Some r
+          | None -> (
+              match
+                if t.config.flow = Execute_order then
+                  Manager.check_stale_phantom t.manager txn
+                    ~upto_height:(block_height - 1)
+                else None
+              with
+              | Some r -> Some r
+              | None -> (
+                  match Manager.check_unique t.manager txn ~height:block_height with
+                  | Some r -> Some r
+                  | None ->
+                      let decision =
+                        match t.config.flow with
+                        | Order_execute ->
+                            Rules.decide_plain graph (rules_view t) ~me:txn.Txn.txid
+                        | Execute_order ->
+                            Rules.decide_block_aware graph (rules_view t)
+                              ~me:txn.Txn.txid ~my_block:block_height
+                        | Serial_baseline -> Rules.no_op
+                      in
+                      List.iter
+                        (fun (victim, rule) ->
+                          match Manager.find t.manager victim with
+                          | Some v -> Txn.mark_abort v (Txn.Ssi_conflict rule)
+                          | None -> ())
+                        decision.Rules.abort_others;
+                      Option.map
+                        (fun rule -> Txn.Ssi_conflict rule)
+                        decision.Rules.abort_self))))
+
+let commit_one t ~block_height ~graph slot =
+  match slot with
+  | Rejected (tx, reason) -> (tx.Block.tx_id, S_rejected reason, None)
+  | Run (txn, tx) -> (
+      match decide t ~block_height ~graph txn with
+      | Some reason ->
+          Manager.abort t.manager txn reason;
+          Wal.append t.wal ~txid:txn.Txn.txid ~height:block_height
+            (Wal.Aborted (Txn.abort_reason_to_string reason));
+          (tx.Block.tx_id, S_aborted reason, Some txn)
+      | None ->
+          (* First committer in block order wins every ww conflict. *)
+          List.iter
+            (fun other -> Txn.mark_abort other (Txn.Ww_conflict txn.Txn.txid))
+            (Manager.other_claimants t.manager txn);
+          Manager.commit t.manager txn ~height:block_height;
+          Wal.append t.wal ~txid:txn.Txn.txid ~height:block_height Wal.Committed;
+          (tx.Block.tx_id, S_committed, Some txn))
+
+(* --- block processing ------------------------------------------------------------- *)
+
+let ledger_status = function
+  | S_committed -> "committed"
+  | S_aborted r -> "aborted: " ^ Txn.abort_reason_to_string r
+  | S_rejected r -> "rejected: " ^ r
+
+let process_appended t (block : Block.t) =
+  bootstrap t;
+  let block_height = block.Block.height in
+  let missing = ref 0 in
+  let slots =
+    match t.config.flow with
+    | Serial_baseline ->
+        (* Ethereum-style: execute + commit one at a time; later
+           transactions see earlier ones. *)
+        List.map
+          (fun tx ->
+            let slot = acquire t ~block_height ~missing tx in
+            (match slot with
+            | Run (txn, _) ->
+                txn.Txn.block <- Some block_height;
+                txn.Txn.block_pos <- Some 0
+            | Rejected _ -> ());
+            let graph = Brdb_ssi.Graph.create () in
+            (slot, commit_one t ~block_height ~graph slot))
+          block.Block.txs
+        |> List.map snd
+    | Order_execute | Execute_order ->
+        (* Execute everything (logically concurrent), then commit serially
+           in block order. *)
+        let slots = List.map (acquire t ~block_height ~missing) block.Block.txs in
+        List.iteri
+          (fun pos slot ->
+            match slot with
+            | Run (txn, _) ->
+                txn.Txn.block <- Some block_height;
+                txn.Txn.block_pos <- Some pos
+            | Rejected _ -> ())
+          slots;
+        let graph_txns =
+          let block_txns =
+            List.filter_map (function Run (txn, _) -> Some txn | Rejected _ -> None) slots
+          in
+          match t.config.flow with
+          | Execute_order ->
+              (* Conflicts may involve in-flight transactions of other
+                 blocks (Table 2's cross-block rows). *)
+              let block_ids = List.map (fun txn -> txn.Txn.txid) block_txns in
+              block_txns
+              @ List.filter
+                  (fun txn -> not (List.mem txn.Txn.txid block_ids))
+                  (Manager.pending t.manager)
+          | _ -> block_txns
+        in
+        let graph = Detect.compute t.catalog graph_txns in
+        (* Ledger step 1: record the block's transactions (NULL status). *)
+        let entries =
+          List.filter_map
+            (function
+              | Run (txn, tx) ->
+                  Some
+                    {
+                      Ledger_table.e_txid = txn.Txn.txid;
+                      e_gid = tx.Block.tx_id;
+                      e_user = tx.Block.tx_user;
+                      e_query = describe_tx tx;
+                    }
+              | Rejected _ -> None)
+            slots
+        in
+        Ledger_table.record_txs t.catalog ~height:block_height ~time:block_height entries;
+        List.map (commit_one t ~block_height ~graph) slots
+  in
+  (* Ledger step 2: statuses, written atomically after all commits. *)
+  let statuses =
+    List.filter_map
+      (fun (_, status, txn) ->
+        Option.map (fun txn -> (txn.Txn.txid, ledger_status status)) txn)
+      slots
+  in
+  Ledger_table.record_statuses t.catalog ~height:block_height statuses;
+  let committed_txns =
+    List.filter_map
+      (fun (_, status, txn) -> match status with S_committed -> txn | _ -> None)
+      slots
+  in
+  let result =
+    {
+      br_height = block_height;
+      br_statuses = List.map (fun (gid, status, _) -> (gid, status)) slots;
+      br_write_set_hash = Manager.write_set_digest t.manager committed_txns;
+      br_missing = !missing;
+    }
+  in
+  (* Garbage-collect bookkeeping for long-finished transactions (their
+     effects live on in the heap; duplicate-id detection is preserved).
+     A window of a few blocks keeps everything §3.6 recovery inspects. *)
+  List.iter
+    (fun (_, _, txn) ->
+      match txn with
+      | Some txn -> Hashtbl.remove t.exec_versions txn.Txn.txid
+      | None -> ())
+    slots;
+  Manager.forget_finished t.manager ~below_height:(block_height - 4);
+  result
+
+let verify_and_append t block =
+  if not (Block.verify t.registry block) then Error "invalid block (hash or signatures)"
+  else
+    match Block_store.append t.store block with
+    | Error `Out_of_sequence ->
+        Error
+          (Printf.sprintf "block %d out of sequence (at height %d)" block.Block.height
+             (height t))
+    | Error `Broken_chain -> Error "broken hash chain"
+    | Error `Bad_block -> Error "corrupt block"
+    | Ok () -> Ok ()
+
+let process_block t block =
+  match verify_and_append t block with
+  | Error _ as e -> e
+  | Ok () -> Ok (process_appended t block)
+
+(* --- read-only queries ---------------------------------------------------------------- *)
+
+let query t ?(params = [||]) sql =
+  bootstrap t;
+  t.query_seq <- t.query_seq + 1;
+  match
+    Manager.begin_txn t.manager
+      ~global_id:(Printf.sprintf "__query-%d__" t.query_seq)
+      ~client:"reader" ~snapshot_height:(height t) ()
+  with
+  | Error `Duplicate_txid -> Error "internal: query id collision"
+  | Ok txn ->
+      let result =
+        match Exec.execute_sql t.catalog txn ~params sql with
+        | Ok rs ->
+            if txn.Txn.writes <> [] || txn.Txn.ddl <> [] then
+              Error "read-only queries cannot modify state"
+            else Ok rs
+        | Error e -> Error (Exec.error_to_string e)
+      in
+      Manager.abort t.manager txn (Txn.Contract_error "read-only");
+      Manager.release t.manager txn;
+      result
+
+(* --- crash & recovery (§3.6) ------------------------------------------------------------ *)
+
+type crash_point =
+  | Crash_after_ledger_entries
+  | Crash_mid_commit of int
+  | Crash_before_status_step
+
+let process_block_with_crash t block ~crash =
+  (match verify_and_append t block with
+  | Error e -> failwith e
+  | Ok () -> ());
+  bootstrap t;
+  let block_height = block.Block.height in
+  let missing = ref 0 in
+  let slots = List.map (acquire t ~block_height ~missing) block.Block.txs in
+  List.iteri
+    (fun pos slot ->
+      match slot with
+      | Run (txn, _) ->
+          txn.Txn.block <- Some block_height;
+          txn.Txn.block_pos <- Some pos
+      | Rejected _ -> ())
+    slots;
+  let graph =
+    Detect.compute t.catalog
+      (List.filter_map (function Run (txn, _) -> Some txn | Rejected _ -> None) slots)
+  in
+  let entries =
+    List.filter_map
+      (function
+        | Run (txn, tx) ->
+            Some
+              {
+                Ledger_table.e_txid = txn.Txn.txid;
+                e_gid = tx.Block.tx_id;
+                e_user = tx.Block.tx_user;
+                e_query = describe_tx tx;
+              }
+        | Rejected _ -> None)
+      slots
+  in
+  Ledger_table.record_txs t.catalog ~height:block_height ~time:block_height entries;
+  match crash with
+  | Crash_after_ledger_entries -> ()
+  | Crash_mid_commit n ->
+      List.iteri
+        (fun i slot -> if i < n then ignore (commit_one t ~block_height ~graph slot))
+        slots;
+      if t.config.atomic_commit then begin
+        (* With atomic block commit, a crash mid-block means the group
+           commit never reached disk: physically none of it happened. *)
+        List.iter
+          (fun slot ->
+            match slot with
+            | Run (txn, _) -> (
+                match txn.Txn.status with
+                | Txn.Committed _ -> Manager.rollback_committed t.manager txn
+                | Txn.Pending | Txn.Aborted _ -> ())
+            | Rejected _ -> ())
+          slots;
+        Wal.erase_block t.wal ~height:block_height
+      end
+  | Crash_before_status_step ->
+      List.iter (fun slot -> ignore (commit_one t ~block_height ~graph slot)) slots;
+      if t.config.atomic_commit then begin
+        List.iter
+          (fun slot ->
+            match slot with
+            | Run (txn, _) -> (
+                match txn.Txn.status with
+                | Txn.Committed _ -> Manager.rollback_committed t.manager txn
+                | Txn.Pending | Txn.Aborted _ -> ())
+            | Rejected _ -> ())
+          slots;
+        Wal.erase_block t.wal ~height:block_height
+      end
+
+let recover t =
+  let h = Ledger_table.last_recorded_block t.catalog in
+  if h = 0 then Ok None
+  else
+    let entries = Ledger_table.block_txs t.catalog ~height:h in
+    if entries = [] || List.for_all (fun (_, s) -> s <> None) entries then Ok None
+    else
+      let wal_statuses =
+        List.map (fun (txid, _) -> (txid, Wal.find t.wal ~txid)) entries
+      in
+      if List.for_all (fun (_, s) -> s <> None) wal_statuses then begin
+        (* Case (a): every transaction committed/aborted (per the
+           transaction log); only the ledger status step was lost. *)
+        let statuses =
+          List.map
+            (fun (txid, s) ->
+              match s with
+              | Some Wal.Committed -> (txid, "committed")
+              | Some (Wal.Aborted r) -> (txid, "aborted: " ^ r)
+              | None -> assert false)
+            wal_statuses
+        in
+        Ledger_table.record_statuses t.catalog ~height:h statuses;
+        let br_statuses =
+          List.map
+            (fun (txid, s) ->
+              let gid =
+                match Manager.find t.manager txid with
+                | Some txn -> txn.Txn.global_id
+                | None -> string_of_int txid
+              in
+              match s with
+              | Some Wal.Committed -> (gid, S_committed)
+              | Some (Wal.Aborted r) -> (gid, S_aborted (Txn.Contract_error r))
+              | None -> assert false)
+            wal_statuses
+        in
+        let committed =
+          List.filter_map
+            (fun (txid, s) -> if s = Some Wal.Committed then Manager.find t.manager txid else None)
+            wal_statuses
+        in
+        Ok
+          (Some
+             {
+               br_height = h;
+               br_statuses;
+               br_write_set_hash = Manager.write_set_digest t.manager committed;
+               br_missing = 0;
+             })
+      end
+      else begin
+        (* Case (b): some transactions never reached the log. Roll back
+           the ones that committed, then re-execute the whole block. *)
+        List.iter
+          (fun (txid, _) ->
+            match Manager.find t.manager txid with
+            | None -> ()
+            | Some txn ->
+                (match txn.Txn.status with
+                | Txn.Committed _ -> Manager.rollback_committed t.manager txn
+                | Txn.Pending ->
+                    Manager.abort t.manager txn (Txn.Contract_error "crash rollback")
+                | Txn.Aborted _ -> ());
+                Manager.release t.manager txn)
+          entries;
+        Wal.erase_block t.wal ~height:h;
+        Ledger_table.erase_block t.catalog ~height:h;
+        match Block_store.get t.store h with
+        | None -> Error (Printf.sprintf "block %d missing from the block store" h)
+        | Some block -> Ok (Some (process_appended t block))
+      end
+
+(* --- pruning ------------------------------------------------------------------------------ *)
+
+let prune t ?before () =
+  let keep (v : Version.t) =
+    (not v.Version.xmin_aborted)
+    &&
+    match before with
+    | None -> true
+    | Some h -> v.Version.deleter_block > h
+  in
+  List.fold_left
+    (fun acc name ->
+      match Catalog.find t.catalog name with
+      | Some table when name <> Catalog.ledger_table -> acc + Table.prune table ~keep
+      | _ -> acc)
+    0 (Catalog.table_names t.catalog)

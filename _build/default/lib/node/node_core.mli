@@ -1,0 +1,122 @@
+(** A database peer node, without networking or timing: catalog, MVCC
+    engine, smart-contract runtime, block processor for both flows, the
+    Ethereum-style serial baseline, and the §3.6 recovery protocol.
+
+    The {!Peer} module wraps this with the simulated network and the
+    cost model; tests drive it directly. *)
+
+type flow =
+  | Order_execute  (** §3.3: execute after ordering, previous-block snapshot *)
+  | Execute_order  (** §3.4: pre-execute at client snapshot, block-aware SSI *)
+  | Serial_baseline  (** §5.1: Ethereum-style one-at-a-time execution *)
+
+type config = {
+  name : string;  (** network node name, e.g. ["db-org1"] *)
+  org : string;
+  flow : flow;
+  require_index : bool;
+      (** force index-only predicate reads; always on for {!Execute_order} *)
+  orgs : string list;  (** all organizations (governance quorum) *)
+  atomic_commit : bool;
+      (** §3.6 remark: commit the whole block as one atomic unit. Commit
+          decisions are unchanged; on a crash, either the entire block is
+          durable or none of it is, so recovery never sees a partially
+          committed block and always takes the simple re-execute path. *)
+}
+
+(** [config] with [atomic_commit = false]. *)
+val make_config :
+  name:string ->
+  org:string ->
+  flow:flow ->
+  ?require_index:bool ->
+  ?atomic_commit:bool ->
+  orgs:string list ->
+  unit ->
+  config
+
+type tx_status =
+  | S_committed
+  | S_aborted of Brdb_txn.Txn.abort_reason
+  | S_rejected of string
+      (** never executed: bad signature, duplicate id, … *)
+
+val tx_status_to_string : tx_status -> string
+
+type block_result = {
+  br_height : int;
+  br_statuses : (string * tx_status) list;  (** tx_id, status — block order *)
+  br_write_set_hash : string;
+  br_missing : int;  (** EO: transactions the block processor had to execute *)
+}
+
+type t
+
+val create : config -> registry:Brdb_crypto.Identity.Registry.t -> t
+
+val config : t -> config
+
+val catalog : t -> Brdb_storage.Catalog.t
+
+val manager : t -> Brdb_txn.Manager.t
+
+val contracts : t -> Brdb_contracts.Registry.t
+
+val block_store : t -> Brdb_ledger.Block_store.t
+
+val identity_registry : t -> Brdb_crypto.Identity.Registry.t
+
+(** Committed block height (0 before the first block). *)
+val height : t -> int
+
+(** Create the governance tables, seed the organizations and register the
+    system contracts (§3.7). Idempotent. *)
+val bootstrap : t -> unit
+
+(** Deploy a contract directly (test/bench convenience; production
+    deployments go through the governance contracts). *)
+val install_contract : t -> name:string -> Brdb_contracts.Registry.body -> unit
+
+(** EO execution phase (§3.4.1): authenticate and execute a transaction
+    at its snapshot height. [Error] reasons: bad signature, duplicate id,
+    snapshot above the node's current height (caller should retry after
+    catching up). The transaction's outcome (including contract failure)
+    is decided at commit. *)
+val pre_execute : t -> Brdb_ledger.Block.tx -> (unit, string) result
+
+(** Process the next block (verification, execution, serial commit,
+    ledger bookkeeping, write-set hash). [Error] on out-of-sequence or
+    invalid blocks. *)
+val process_block : t -> Brdb_ledger.Block.t -> (block_result, string) result
+
+(** Run a read-only query outside any blockchain transaction (the
+    paper's single-statement [SELECT] / provenance path). *)
+val query :
+  t ->
+  ?params:Brdb_storage.Value.t array ->
+  string ->
+  (Brdb_engine.Exec.result_set, string) result
+
+(** {2 Crash & recovery (§3.6)} *)
+
+type crash_point =
+  | Crash_after_ledger_entries
+      (** step 1 done, no transaction committed *)
+  | Crash_mid_commit of int  (** first [n] transactions committed (WAL'd) *)
+  | Crash_before_status_step  (** all commits WAL'd, ledger statuses missing *)
+
+(** Process a block but stop at the crash point, leaving the node
+    inconsistent. *)
+val process_block_with_crash :
+  t -> Brdb_ledger.Block.t -> crash:crash_point -> unit
+
+(** The §3.6 restart procedure. Returns [Some result] when a block had to
+    be repaired (either by completing its status step from the WAL or by
+    rolling back and re-executing it), [None] when the node was already
+    consistent. *)
+val recover : t -> (block_result option, string) result
+
+(** Per-block prune of dead versions (the §7 vacuum remark): removes
+    aborted versions and, when [before] is given, versions whose deleter
+    committed at or below that height. Returns versions removed. *)
+val prune : t -> ?before:int -> unit -> int

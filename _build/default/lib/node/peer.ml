@@ -1,0 +1,250 @@
+module Msg = Brdb_consensus.Msg
+module Block = Brdb_ledger.Block
+module Checkpoint = Brdb_ledger.Checkpoint
+module Clock = Brdb_sim.Clock
+module Cpu = Brdb_sim.Cpu
+module Cost_model = Brdb_sim.Cost_model
+module Metrics = Brdb_sim.Metrics
+
+type config = {
+  core : Node_core.config;
+  cost : Cost_model.t;
+  contract_class_of : string -> Cost_model.contract_class;
+  orderer_target : string;
+  peer_names : string list;
+  forward_delay_mean : float;
+  checkpoint_interval : int;
+}
+
+type t = {
+  config : config;
+  net : Msg.Net.net;
+  clock : Clock.t;
+  rng : Brdb_sim.Rng.t;
+  cpu : Cpu.t;
+  core : Node_core.t;
+  metrics : Metrics.t;
+  checkpoints : Checkpoint.t;
+  (* blocks waiting their turn (height -> block) *)
+  inbox : (int, Block.t) Hashtbl.t;
+  (* EO transactions whose snapshot is above our height *)
+  mutable deferred : Block.tx list;
+  mutable listeners : (tx_id:string -> status:Node_core.tx_status -> unit) list;
+  mutable blocks_done : int;
+  mutable crashed : bool;
+  mutable processing : bool;
+  (* write-set hashes accumulated since the last checkpoint *)
+  mutable pending_hashes : string list;
+}
+
+let name t = t.config.core.Node_core.name
+
+let core t = t.core
+
+let metrics t = t.metrics
+
+let checkpoints t = t.checkpoints
+
+let blocks_processed t = t.blocks_done
+
+let on_final t f = t.listeners <- f :: t.listeners
+
+let notify t tx_id status =
+  List.iter (fun f -> f ~tx_id ~status) t.listeners
+
+let other_peers t =
+  List.filter (fun p -> not (String.equal p (name t))) t.config.peer_names
+
+let send t dst msg =
+  ignore (Msg.Net.send t.net ~src:(name t) ~dst ~size_bytes:(Msg.size msg) msg)
+
+let tet_of t (tx : Block.tx) =
+  Cost_model.tet t.config.cost (t.config.contract_class_of tx.Block.tx_contract)
+
+(* --- EO execution phase -------------------------------------------------- *)
+
+let try_pre_execute t (tx : Block.tx) =
+  match Node_core.pre_execute t.core tx with
+  | Ok () ->
+      let active = Brdb_txn.Manager.pending_count (Node_core.manager t.core) in
+      Metrics.record_tet t.metrics
+        (Cost_model.eo_tet t.config.cost ~tet:(tet_of t tx) ~active);
+      `Executed
+  | Error "snapshot height not reached yet" -> `Defer
+  | Error reason -> `Rejected reason
+
+let handle_client_tx t ~src (tx : Block.tx) =
+  if t.config.core.Node_core.flow = Node_core.Execute_order then begin
+    let from_client = not (List.mem src t.config.peer_names) in
+    (match try_pre_execute t tx with
+    | `Executed | `Rejected _ -> ()
+    | `Defer -> t.deferred <- tx :: t.deferred);
+    (* The entry peer forwards to the other peers and the ordering
+       service in the background (§3.4.1). Replication to peers goes
+       through the middleware queue, whose delay is what makes some
+       transactions arrive after their block (the mt metric). *)
+    if from_client then begin
+      send t t.config.orderer_target (Msg.Client_tx tx);
+      List.iter
+        (fun p ->
+          let delay =
+            if t.config.forward_delay_mean <= 0. then 0.
+            else Brdb_sim.Rng.exponential t.rng ~mean:t.config.forward_delay_mean
+          in
+          Clock.schedule t.clock ~delay (fun () -> send t p (Msg.Client_tx tx)))
+        (other_peers t)
+    end
+  end
+
+let drain_deferred t =
+  let pending = List.rev t.deferred in
+  t.deferred <- [];
+  List.iter
+    (fun tx ->
+      match try_pre_execute t tx with
+      | `Executed | `Rejected _ -> ()
+      | `Defer -> t.deferred <- tx :: t.deferred)
+    pending
+
+(* --- block pipeline ------------------------------------------------------- *)
+
+let block_times t (block : Block.t) ~missing =
+  let n = List.length block.Block.txs in
+  let cost = t.config.cost in
+  let tet_avg =
+    match block.Block.txs with
+    | [] -> 0.
+    | txs ->
+        List.fold_left (fun acc tx -> acc +. tet_of t tx) 0. txs
+        /. float_of_int (List.length txs)
+  in
+  let auth = float_of_int n *. cost.Cost_model.auth_cost in
+  match t.config.core.Node_core.flow with
+  | Node_core.Order_execute ->
+      let bet = Cost_model.oe_bet cost ~n ~tet:tet_avg +. auth in
+      let bct = Cost_model.oe_bct cost ~n in
+      (bet, bct)
+  | Node_core.Execute_order ->
+      let bet = Cost_model.eo_bet cost ~n ~missing ~tet:tet_avg in
+      let bct = Cost_model.eo_bct cost ~n in
+      (bet, bct)
+  | Node_core.Serial_baseline ->
+      let bpt = Cost_model.serial_bpt cost ~n ~tet:tet_avg +. auth in
+      (bpt, 0.)
+
+let rec process_ready t =
+  if not t.processing then
+    let next = Node_core.height t.core + 1 in
+    match Hashtbl.find_opt t.inbox next with
+    | None -> ()
+    | Some block ->
+        Hashtbl.remove t.inbox next;
+        t.processing <- true;
+        (* Semantic processing happens now; the result is announced after
+           the modelled processing time has elapsed. *)
+        (match Node_core.process_block t.core block with
+        | Error _ ->
+            (* Invalid block from a byzantine orderer: ignore it. *)
+            t.processing <- false;
+            process_ready t
+        | Ok result ->
+            let bet, bct = block_times t block ~missing:result.Node_core.br_missing in
+            let bpt = t.config.cost.Brdb_sim.Cost_model.block_const +. bet +. bct in
+            if t.config.core.Node_core.flow = Node_core.Order_execute then
+              List.iter
+                (fun tx -> Metrics.record_tet t.metrics (tet_of t tx))
+                block.Block.txs;
+            Cpu.run t.cpu ~cost:bpt (fun () ->
+                t.processing <- false;
+                t.blocks_done <- t.blocks_done + 1;
+                Metrics.record_block t.metrics
+                  ~size:(List.length block.Block.txs)
+                  ~bpt ~bet ~bct;
+                Metrics.record_missing_tx t.metrics result.Node_core.br_missing;
+                List.iter
+                  (fun (tx_id, status) ->
+                    (match status with
+                    | Node_core.S_committed -> ()
+                    | Node_core.S_aborted _ | Node_core.S_rejected _ ->
+                        Metrics.record_abort t.metrics);
+                    notify t tx_id status)
+                  result.Node_core.br_statuses;
+                (* Checkpointing phase (§3.3.4): every
+                   [checkpoint_interval] blocks, gossip the digest of the
+                   write-set hashes accumulated since the last one. *)
+                t.pending_hashes <-
+                  result.Node_core.br_write_set_hash :: t.pending_hashes;
+                let interval = max 1 t.config.checkpoint_interval in
+                if result.Node_core.br_height mod interval = 0 then begin
+                  let hash =
+                    Brdb_crypto.Sha256.digest_concat (List.rev t.pending_hashes)
+                  in
+                  t.pending_hashes <- [];
+                  Checkpoint.record_local t.checkpoints
+                    ~height:result.Node_core.br_height ~hash;
+                  List.iter
+                    (fun p ->
+                      send t p
+                        (Msg.Checkpoint_hash
+                           { height = result.Node_core.br_height; hash }))
+                    (other_peers t)
+                end;
+                drain_deferred t;
+                process_ready t))
+
+let block_is_new t (block : Block.t) =
+  block.Block.height > Node_core.height t.core
+  && not (Hashtbl.mem t.inbox block.Block.height)
+
+let handle t ~src msg =
+  if not t.crashed then
+    match msg with
+    | Msg.Client_tx tx -> handle_client_tx t ~src tx
+    | Msg.Block_deliver block ->
+        if block_is_new t block then begin
+          Metrics.record_block_received t.metrics;
+          Hashtbl.replace t.inbox block.Block.height block;
+          process_ready t
+        end
+    | Msg.Checkpoint_hash { height; hash } ->
+        Checkpoint.receive t.checkpoints ~from:src ~height ~hash
+    | _ -> ()
+
+let create ~net (config : config) ~registry =
+  let clock = Msg.Net.clock net in
+  let core = Node_core.create config.core ~registry in
+  Node_core.bootstrap core;
+  let t =
+    {
+      config;
+      net;
+      clock;
+      rng = Brdb_sim.Rng.create ~seed:(Hashtbl.hash config.core.Node_core.name);
+      cpu = Cpu.create clock;
+      core;
+      metrics = Metrics.create ();
+      checkpoints =
+        Checkpoint.create ~self:config.core.Node_core.name ~peers:config.peer_names;
+      inbox = Hashtbl.create 32;
+      deferred = [];
+      listeners = [];
+      blocks_done = 0;
+      crashed = false;
+      processing = false;
+      pending_hashes = [];
+    }
+  in
+  Msg.Net.register net ~name:(name t) (fun ~src msg -> handle t ~src msg);
+  t
+
+let crash t =
+  t.crashed <- true;
+  Msg.Net.unregister t.net ~name:(name t)
+
+let restart t =
+  t.crashed <- false;
+  (match Node_core.recover t.core with
+  | Ok _ -> ()
+  | Error e -> Logs.warn (fun m -> m "recovery failed on %s: %s" (name t) e));
+  Msg.Net.register t.net ~name:(name t) (fun ~src msg -> handle t ~src msg);
+  process_ready t

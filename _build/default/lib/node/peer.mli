@@ -1,0 +1,54 @@
+(** A database peer on the simulated network.
+
+    Wraps {!Node_core} with:
+    - message handling (transaction submission/forwarding, block delivery,
+      checkpoint gossip);
+    - virtual-time accounting from the calibrated {!Brdb_sim.Cost_model}
+      (semantics are computed instantly in OCaml; the simulation clock
+      advances by the modelled execution/commit costs);
+    - per-node metrics (the seven micro-metrics of §5);
+    - client notifications (the paper's LISTEN/NOTIFY channel). *)
+
+type config = {
+  core : Node_core.config;
+  cost : Brdb_sim.Cost_model.t;
+  contract_class_of : string -> Brdb_sim.Cost_model.contract_class;
+  orderer_target : string;  (** where EO peers forward transactions *)
+  peer_names : string list;  (** every database node, including this one *)
+  forward_delay_mean : float;
+      (** mean middleware queueing delay before a transaction is forwarded
+          to the other peers (§3.4.1's background replication); the source
+          of the paper's missing-transaction counts. 0 disables it. *)
+  checkpoint_interval : int;
+      (** gossip a checkpoint hash every N blocks (§3.3.4: "it is not
+          necessary to record a checkpoint every block"); the hash covers
+          the write sets of all blocks since the previous checkpoint. *)
+}
+
+type t
+
+val create : net:Brdb_consensus.Msg.Net.net -> config -> registry:Brdb_crypto.Identity.Registry.t -> t
+
+val core : t -> Node_core.t
+
+val name : t -> string
+
+val metrics : t -> Brdb_sim.Metrics.t
+
+val checkpoints : t -> Brdb_ledger.Checkpoint.t
+
+(** [on_final t f] — [f] runs whenever a transaction reaches a final
+    status on this node (at the block's simulated completion time). *)
+val on_final : t -> (tx_id:string -> status:Node_core.tx_status -> unit) -> unit
+
+(** Number of blocks fully processed. *)
+val blocks_processed : t -> int
+
+(** Simulate a crash: stop handling messages (blocks queue up at other
+    nodes' gossip, not here). *)
+val crash : t -> unit
+
+(** Restart after a crash: runs {!Node_core.recover}, then re-registers
+    on the network. Missed blocks must be re-delivered (e.g. fetched from
+    a peer's block store by the caller). *)
+val restart : t -> unit

@@ -1,0 +1,21 @@
+(** The "default transaction log" of §3.6: a durable record of each
+    transaction's final status, written at commit/abort time — strictly
+    before the ledger table's status step. Recovery compares this log
+    against the ledger table to decide which of the two atomic steps of
+    block processing completed. *)
+
+type status = Committed | Aborted of string
+
+type t
+
+val create : unit -> t
+
+val append : t -> txid:int -> height:int -> status -> unit
+
+val find : t -> txid:int -> status option
+
+(** All records for a block. *)
+val block_records : t -> height:int -> (int * status) list
+
+(** Drop the records of a block (recovery rollback re-executes it). *)
+val erase_block : t -> height:int -> unit

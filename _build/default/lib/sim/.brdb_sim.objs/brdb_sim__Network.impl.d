@@ -1,0 +1,1 @@
+lib/sim/network.ml: Clock Hashtbl List Rng String

@@ -1,0 +1,1 @@
+lib/sim/network.mli: Clock Rng

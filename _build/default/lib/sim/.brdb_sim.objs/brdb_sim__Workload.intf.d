@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Clock Rng

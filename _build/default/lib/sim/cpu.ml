@@ -1,0 +1,12 @@
+type t = { clock : Clock.t; mutable busy_until : float }
+
+let create clock = { clock; busy_until = 0. }
+
+let run t ~cost f =
+  let now = Clock.now t.clock in
+  let start = Float.max now t.busy_until in
+  let finish = start +. Float.max 0. cost in
+  t.busy_until <- finish;
+  Clock.schedule_at t.clock ~time:finish f
+
+let backlog t = Float.max 0. (t.busy_until -. Clock.now t.clock)

@@ -1,0 +1,15 @@
+(** Single-threaded CPU model: work is serialized FIFO behind a
+    busy-until horizon. Used for per-message processing costs in the
+    ordering services, where the bottleneck is a node's CPU rather than
+    the network. *)
+
+type t
+
+val create : Clock.t -> t
+
+(** [run t ~cost f] enqueues [cost] seconds of work and calls [f] when it
+    completes (after any previously queued work). *)
+val run : t -> cost:float -> (unit -> unit) -> unit
+
+(** Time already queued beyond [now] (0 when idle). *)
+val backlog : t -> float

@@ -1,0 +1,135 @@
+module Stat = struct
+  type t = {
+    mutable samples : float list;
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { samples = []; count = 0; sum = 0.; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.samples <- x :: t.samples;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+
+  let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+  let min t = if t.count = 0 then 0. else t.min
+
+  let max t = if t.count = 0 then 0. else t.max
+
+  let percentile t p =
+    match t.samples with
+    | [] -> 0.
+    | samples ->
+        let arr = Array.of_list samples in
+        Array.sort Float.compare arr;
+        let n = Array.length arr in
+        let idx = int_of_float (Float.of_int (n - 1) *. p /. 100.) in
+        arr.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
+end
+
+type t = {
+  mutable submitted : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable blocks_received : int;
+  mutable blocks_processed : int;
+  mutable missing : int;
+  latency : Stat.t;
+  bpt : Stat.t;
+  bet : Stat.t;
+  bct : Stat.t;
+  tet : Stat.t;
+  block_size : Stat.t;
+}
+
+let create () =
+  {
+    submitted = 0;
+    committed = 0;
+    aborted = 0;
+    blocks_received = 0;
+    blocks_processed = 0;
+    missing = 0;
+    latency = Stat.create ();
+    bpt = Stat.create ();
+    bet = Stat.create ();
+    bct = Stat.create ();
+    tet = Stat.create ();
+    block_size = Stat.create ();
+  }
+
+let record_submit t ~time:_ = t.submitted <- t.submitted + 1
+
+let record_commit t ~submitted ~now =
+  t.committed <- t.committed + 1;
+  Stat.add t.latency (now -. submitted)
+
+let record_abort t = t.aborted <- t.aborted + 1
+
+let record_block_received t = t.blocks_received <- t.blocks_received + 1
+
+let record_block t ~size ~bpt ~bet ~bct =
+  t.blocks_processed <- t.blocks_processed + 1;
+  Stat.add t.block_size (float_of_int size);
+  Stat.add t.bpt bpt;
+  Stat.add t.bet bet;
+  Stat.add t.bct bct
+
+let record_tet t x = Stat.add t.tet x
+
+let record_missing_tx t n = t.missing <- t.missing + n
+
+type summary = {
+  duration_s : float;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  throughput_tps : float;
+  avg_latency_s : float;
+  p95_latency_s : float;
+  brr : float;
+  bpr : float;
+  bpt_ms : float;
+  bet_ms : float;
+  bct_ms : float;
+  tet_ms : float;
+  mt_per_s : float;
+  su_percent : float;
+}
+
+let summarize t ~duration_s =
+  let per_s n = float_of_int n /. duration_s in
+  let bpr = per_s t.blocks_processed in
+  let bpt_s = Stat.mean t.bpt in
+  {
+    duration_s;
+    submitted = t.submitted;
+    committed = t.committed;
+    aborted = t.aborted;
+    throughput_tps = per_s t.committed;
+    avg_latency_s = Stat.mean t.latency;
+    p95_latency_s = Stat.percentile t.latency 95.;
+    brr = per_s t.blocks_received;
+    bpr;
+    bpt_ms = bpt_s *. 1000.;
+    bet_ms = Stat.mean t.bet *. 1000.;
+    bct_ms = Stat.mean t.bct *. 1000.;
+    tet_ms = Stat.mean t.tet *. 1000.;
+    mt_per_s = per_s t.missing;
+    su_percent = Float.min 100. (bpr *. bpt_s *. 100.);
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "tput=%.0f tps lat=%.3fs (p95 %.3fs) brr=%.1f bpr=%.1f bpt=%.2fms bet=%.2fms \
+     bct=%.2fms tet=%.3fms mt=%.0f/s su=%.1f%% (%d submitted, %d committed, %d aborted)"
+    s.throughput_tps s.avg_latency_s s.p95_latency_s s.brr s.bpr s.bpt_ms s.bet_ms
+    s.bct_ms s.tet_ms s.mt_per_s s.su_percent s.submitted s.committed s.aborted

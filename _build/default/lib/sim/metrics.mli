@@ -1,0 +1,67 @@
+(** Experiment metrics: throughput, latency, and the paper's seven
+    micro-metrics (brr, bpr, bpt, bet, bct, tet, mt — §5). *)
+
+(** Online mean / count / min / max accumulator. *)
+module Stat : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val mean : t -> float  (** 0 when empty *)
+
+  val min : t -> float
+
+  val max : t -> float
+
+  (** Exact percentile over retained samples (all samples are kept). *)
+  val percentile : t -> float -> float
+end
+
+(** A full experiment record for one run. *)
+type t
+
+val create : unit -> t
+
+val record_submit : t -> time:float -> unit
+
+(** [record_commit m ~submitted ~now] — a transaction committed on a
+    majority of nodes; accounts throughput and latency. *)
+val record_commit : t -> submitted:float -> now:float -> unit
+
+val record_abort : t -> unit
+
+val record_block_received : t -> unit
+
+(** [record_block m ~size ~bpt ~bet ~bct] — per-block processing times in
+    seconds. *)
+val record_block : t -> size:int -> bpt:float -> bet:float -> bct:float -> unit
+
+val record_tet : t -> float -> unit
+
+val record_missing_tx : t -> int -> unit
+
+type summary = {
+  duration_s : float;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  throughput_tps : float;  (** committed / duration *)
+  avg_latency_s : float;
+  p95_latency_s : float;
+  brr : float;  (** blocks received / s *)
+  bpr : float;  (** blocks processed / s *)
+  bpt_ms : float;  (** mean block processing time *)
+  bet_ms : float;  (** mean block execution time *)
+  bct_ms : float;  (** mean block commit time *)
+  tet_ms : float;  (** mean transaction execution time *)
+  mt_per_s : float;  (** missing transactions per second (EO) *)
+  su_percent : float;  (** system utilization: bpr * bpt *)
+}
+
+val summarize : t -> duration_s:float -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,72 @@
+type link = { latency_s : float; bandwidth_bps : float }
+
+let lan_link = { latency_s = 0.0001; bandwidth_bps = 5e9 }
+
+let wan_link = { latency_s = 0.050; bandwidth_bps = 55e6 }
+
+module Make (P : sig
+  type payload
+end) =
+struct
+  type net = {
+    clock : Clock.t;
+    rng : Rng.t;
+    default_link : link;
+    links : (string * string, link) Hashtbl.t;
+    handlers : (string, src:string -> P.payload -> unit) Hashtbl.t;
+    mutable delivered : int;
+    mutable bytes : int;
+  }
+
+  let create ~clock ~rng ~default_link =
+    {
+      clock;
+      rng;
+      default_link;
+      links = Hashtbl.create 16;
+      handlers = Hashtbl.create 16;
+      delivered = 0;
+      bytes = 0;
+    }
+
+  let clock net = net.clock
+
+  let set_link net ~src ~dst link = Hashtbl.replace net.links (src, dst) link
+
+  let register net ~name handler = Hashtbl.replace net.handlers name handler
+
+  let unregister net ~name = Hashtbl.remove net.handlers name
+
+  let link_for net ~src ~dst =
+    match Hashtbl.find_opt net.links (src, dst) with
+    | Some l -> l
+    | None -> net.default_link
+
+  let delay_for net ~src ~dst ~size_bytes =
+    if String.equal src dst then 0.
+    else
+      let l = link_for net ~src ~dst in
+      let transfer = float_of_int (8 * size_bytes) /. l.bandwidth_bps in
+      (* ±10% latency jitter keeps event orderings realistic but, with a
+         seeded rng, reproducible. *)
+      let jitter = Rng.uniform net.rng ~lo:0.95 ~hi:1.05 in
+      (l.latency_s *. jitter) +. transfer
+
+  let send net ~src ~dst ~size_bytes payload =
+    let delay = delay_for net ~src ~dst ~size_bytes in
+    net.bytes <- net.bytes + size_bytes;
+    Clock.schedule net.clock ~delay (fun () ->
+        match Hashtbl.find_opt net.handlers dst with
+        | None -> () (* dropped: node down or obscured *)
+        | Some h ->
+            net.delivered <- net.delivered + 1;
+            h ~src payload);
+    delay
+
+  let broadcast net ~src ~dsts ~size_bytes payload =
+    List.iter (fun dst -> ignore (send net ~src ~dst ~size_bytes payload)) dsts
+
+  let delivered net = net.delivered
+
+  let bytes_sent net = net.bytes
+end

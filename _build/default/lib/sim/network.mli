@@ -1,0 +1,46 @@
+(** Simulated point-to-point network.
+
+    Message delivery time = one-way latency + size / bandwidth (+ small
+    seeded jitter). Two presets reproduce the paper's deployments (§5):
+    - {!lan_link}: one cloud datacenter, ~0.1 ms one-way, 5 Gbps;
+    - {!wan_link}: multi-cloud, ~50 ms one-way, 55 Mbps.
+
+    Nodes register a handler; [send] schedules delivery on the shared
+    clock. Messages to unregistered destinations are dropped silently
+    (crashed or byzantine-obscuring nodes). *)
+
+type link = { latency_s : float; bandwidth_bps : float }
+
+val lan_link : link
+
+val wan_link : link
+
+module Make (P : sig
+  type payload
+end) : sig
+  type net
+
+  val create : clock:Clock.t -> rng:Rng.t -> default_link:link -> net
+
+  val clock : net -> Clock.t
+
+  (** Override the link used for one ordered (src, dst) pair. *)
+  val set_link : net -> src:string -> dst:string -> link -> unit
+
+  val register : net -> name:string -> (src:string -> P.payload -> unit) -> unit
+
+  val unregister : net -> name:string -> unit
+
+  (** [send net ~src ~dst ~size_bytes payload] returns the scheduled
+      delivery delay (self-sends are immediate). *)
+  val send : net -> src:string -> dst:string -> size_bytes:int -> P.payload -> float
+
+  val broadcast :
+    net -> src:string -> dsts:string list -> size_bytes:int -> P.payload -> unit
+
+  (** Messages delivered so far. *)
+  val delivered : net -> int
+
+  (** Bytes sent so far. *)
+  val bytes_sent : net -> int
+end

@@ -1,0 +1,30 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9e3779b97f4a7c15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+let float t =
+  (* 53 random bits into [0, 1). *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  int_of_float (float t *. float_of_int bound)
+
+let exponential t ~mean =
+  let u = float t in
+  (* u in [0,1); 1-u in (0,1] avoids log 0. *)
+  -.mean *. log (1. -. u)
+
+let uniform t ~lo ~hi = lo +. (float t *. (hi -. lo))

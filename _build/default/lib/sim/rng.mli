@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every simulation component owns a seeded stream, so experiment runs
+    are bit-for-bit reproducible regardless of scheduling. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Independent substream (seeded from this stream). *)
+val split : t -> t
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Uniform integer in [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** Exponentially distributed with the given [mean] (Poisson interarrival
+    times). *)
+val exponential : t -> mean:float -> float
+
+(** Uniform in [lo, hi). *)
+val uniform : t -> lo:float -> hi:float -> float

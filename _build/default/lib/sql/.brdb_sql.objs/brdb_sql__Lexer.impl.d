@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: Ast Buffer Hashtbl List Printf String

@@ -1,0 +1,316 @@
+(** Abstract syntax for the SQL subset.
+
+    The subset covers everything the paper's evaluation contracts need:
+    DDL ([CREATE TABLE]/[CREATE INDEX]/[DROP TABLE]), DML
+    ([INSERT]/[UPDATE]/[DELETE]) and [SELECT] with inner joins, grouping,
+    aggregates, ordering and limits, plus the [PROVENANCE] query mode of
+    §4.2 that exposes dead row versions. *)
+
+type data_type = T_int | T_float | T_text | T_bool
+
+type lit =
+  | L_null
+  | L_int of int
+  | L_float of float
+  | L_text of string
+  | L_bool of bool
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Concat
+
+type unop = Neg | Not
+
+type agg_kind = Count_star | Count | Count_distinct | Sum | Avg | Min | Max
+
+type expr =
+  | Lit of lit
+  | Col of string option * string  (** optional table qualifier, column *)
+  | Param of int  (** 1-based [$n] placeholder *)
+  | Named_param of string  (** [:name] placeholder (contract locals) *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list
+  | Between of expr * expr * expr
+  | In_list of expr * expr list
+  | Is_null of expr * bool  (** [true] for [IS NULL], [false] for [IS NOT NULL] *)
+  | Agg of agg_kind * expr option
+  | Subquery of select
+      (** scalar subquery: first column of the single result row, NULL when
+          empty; may be correlated (reference outer columns) *)
+  | Exists of select  (** [EXISTS (SELECT ...)] *)
+  | In_select of expr * select
+      (** [x IN (SELECT ...)]: membership over the subquery's first column *)
+
+and select_item =
+  | Star
+  | Sel_expr of expr * string option  (** expression, optional alias *)
+
+and table_ref = { table : string; alias : string option }
+
+and join_kind = J_inner | J_left
+
+and join_clause = { j_kind : join_kind; j_table : table_ref; j_on : expr }
+
+and order_key = { o_expr : expr; o_asc : bool }
+
+and select = {
+  distinct : bool;
+  items : select_item list;
+  from : table_ref option;
+  joins : join_clause list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : order_key list;
+  limit : int option;
+  provenance : bool;
+}
+
+type column_def = {
+  c_name : string;
+  c_type : data_type;
+  c_primary_key : bool;
+  c_not_null : bool;
+}
+
+type stmt =
+  | Create_table of { t_name : string; t_cols : column_def list; if_not_exists : bool }
+  | Create_index of { i_name : string; i_table : string; i_column : string; i_unique : bool }
+  | Drop_table of { d_name : string; if_exists : bool }
+  | Insert of { ins_table : string; ins_cols : string list option; ins_rows : expr list list }
+  | Update of { upd_table : string; upd_sets : (string * expr) list; upd_where : expr option }
+  | Delete of { del_table : string; del_where : expr option }
+  | Select of select
+
+let data_type_to_string = function
+  | T_int -> "INT"
+  | T_float -> "FLOAT"
+  | T_text -> "TEXT"
+  | T_bool -> "BOOL"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+  | Concat -> "||"
+
+let agg_name = function
+  | Count_star | Count -> "COUNT"
+  | Count_distinct -> "COUNT_DISTINCT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let sql_quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c)
+    s;
+  Buffer.add_char b '\'';
+  Buffer.contents b
+
+let lit_to_string = function
+  | L_null -> "NULL"
+  | L_int i -> string_of_int i
+  | L_float f -> Printf.sprintf "%.12g" f
+  | L_text s -> sql_quote s
+  | L_bool true -> "TRUE"
+  | L_bool false -> "FALSE"
+
+let rec expr_to_string e =
+  match e with
+  | Lit l -> lit_to_string l
+  | Col (None, c) -> c
+  | Col (Some t, c) -> t ^ "." ^ c
+  | Param n -> "$" ^ string_of_int n
+  | Named_param n -> ":" ^ n
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+        (expr_to_string b)
+  | Unop (Neg, e) -> Printf.sprintf "(-%s)" (expr_to_string e)
+  | Unop (Not, e) -> Printf.sprintf "(NOT %s)" (expr_to_string e)
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Between (e, lo, hi) ->
+      Printf.sprintf "(%s BETWEEN %s AND %s)" (expr_to_string e)
+        (expr_to_string lo) (expr_to_string hi)
+  | In_list (e, es) ->
+      Printf.sprintf "(%s IN (%s))" (expr_to_string e)
+        (String.concat ", " (List.map expr_to_string es))
+  | Is_null (e, true) -> Printf.sprintf "(%s IS NULL)" (expr_to_string e)
+  | Is_null (e, false) -> Printf.sprintf "(%s IS NOT NULL)" (expr_to_string e)
+  | Agg (Count_star, _) -> "COUNT(*)"
+  | Agg (Count_distinct, Some e) -> Printf.sprintf "COUNT(DISTINCT %s)" (expr_to_string e)
+  | Agg (k, Some e) -> Printf.sprintf "%s(%s)" (agg_name k) (expr_to_string e)
+  | Agg (k, None) -> Printf.sprintf "%s(?)" (agg_name k)
+  | Subquery sel -> Printf.sprintf "(%s)" (select_to_string sel)
+  | Exists sel -> Printf.sprintf "EXISTS (%s)" (select_to_string sel)
+  | In_select (e, sel) ->
+      Printf.sprintf "(%s IN (%s))" (expr_to_string e) (select_to_string sel)
+
+and table_ref_to_string { table; alias } =
+  match alias with None -> table | Some a -> table ^ " AS " ^ a
+
+and select_item_to_string = function
+  | Star -> "*"
+  | Sel_expr (e, None) -> expr_to_string e
+  | Sel_expr (e, Some a) -> expr_to_string e ^ " AS " ^ a
+
+and select_to_string s =
+  let b = Buffer.create 128 in
+  if s.provenance then Buffer.add_string b "PROVENANCE ";
+  Buffer.add_string b "SELECT ";
+  if s.distinct then Buffer.add_string b "DISTINCT ";
+  Buffer.add_string b (String.concat ", " (List.map select_item_to_string s.items));
+  (match s.from with
+  | None -> ()
+  | Some t ->
+      Buffer.add_string b (" FROM " ^ table_ref_to_string t);
+      List.iter
+        (fun j ->
+          let kw = match j.j_kind with J_inner -> " JOIN " | J_left -> " LEFT JOIN " in
+          Buffer.add_string b
+            (kw ^ table_ref_to_string j.j_table ^ " ON " ^ expr_to_string j.j_on))
+        s.joins);
+  (match s.where with
+  | None -> ()
+  | Some w -> Buffer.add_string b (" WHERE " ^ expr_to_string w));
+  (match s.group_by with
+  | [] -> ()
+  | gs ->
+      Buffer.add_string b
+        (" GROUP BY " ^ String.concat ", " (List.map expr_to_string gs)));
+  (match s.having with
+  | None -> ()
+  | Some h -> Buffer.add_string b (" HAVING " ^ expr_to_string h));
+  (match s.order_by with
+  | [] -> ()
+  | ks ->
+      let key k = expr_to_string k.o_expr ^ if k.o_asc then " ASC" else " DESC" in
+      Buffer.add_string b (" ORDER BY " ^ String.concat ", " (List.map key ks)));
+  (match s.limit with
+  | None -> ()
+  | Some n -> Buffer.add_string b (" LIMIT " ^ string_of_int n));
+  Buffer.contents b
+
+let stmt_to_string = function
+  | Create_table { t_name; t_cols; if_not_exists } ->
+      let col c =
+        c.c_name ^ " " ^ data_type_to_string c.c_type
+        ^ (if c.c_primary_key then " PRIMARY KEY" else "")
+        ^ if c.c_not_null then " NOT NULL" else ""
+      in
+      Printf.sprintf "CREATE TABLE %s%s (%s)"
+        (if if_not_exists then "IF NOT EXISTS " else "")
+        t_name
+        (String.concat ", " (List.map col t_cols))
+  | Create_index { i_name; i_table; i_column; i_unique } ->
+      Printf.sprintf "CREATE %sINDEX %s ON %s (%s)"
+        (if i_unique then "UNIQUE " else "")
+        i_name i_table i_column
+  | Drop_table { d_name; if_exists } ->
+      Printf.sprintf "DROP TABLE %s%s" (if if_exists then "IF EXISTS " else "") d_name
+  | Insert { ins_table; ins_cols; ins_rows } ->
+      let cols =
+        match ins_cols with
+        | None -> ""
+        | Some cs -> " (" ^ String.concat ", " cs ^ ")"
+      in
+      let row r = "(" ^ String.concat ", " (List.map expr_to_string r) ^ ")" in
+      Printf.sprintf "INSERT INTO %s%s VALUES %s" ins_table cols
+        (String.concat ", " (List.map row ins_rows))
+  | Update { upd_table; upd_sets; upd_where } ->
+      let set (c, e) = c ^ " = " ^ expr_to_string e in
+      Printf.sprintf "UPDATE %s SET %s%s" upd_table
+        (String.concat ", " (List.map set upd_sets))
+        (match upd_where with None -> "" | Some w -> " WHERE " ^ expr_to_string w)
+  | Delete { del_table; del_where } ->
+      Printf.sprintf "DELETE FROM %s%s" del_table
+        (match del_where with None -> "" | Some w -> " WHERE " ^ expr_to_string w)
+  | Select s -> select_to_string s
+
+(** Fold over every sub-expression of a statement (used by the determinism
+    guard and the planner's index-requirement checks). *)
+let rec iter_expr f e =
+  f e;
+  match e with
+  | Lit _ | Col _ | Param _ | Named_param _ -> ()
+  | Binop (_, a, b) ->
+      iter_expr f a;
+      iter_expr f b
+  | Unop (_, a) -> iter_expr f a
+  | Call (_, args) -> List.iter (iter_expr f) args
+  | Between (a, b, c) ->
+      iter_expr f a;
+      iter_expr f b;
+      iter_expr f c
+  | In_list (a, es) ->
+      iter_expr f a;
+      List.iter (iter_expr f) es
+  | Is_null (a, _) -> iter_expr f a
+  | Agg (_, Some a) -> iter_expr f a
+  | Agg (_, None) -> ()
+  | Subquery _ | Exists _ -> ()
+    (* opaque to outer-query analyses; see iter_select_exprs *)
+  | In_select (a, _) -> iter_expr f a
+
+(** Deep traversal into a subquery's own expressions (used by the
+    determinism guard, which must inspect nested queries too). *)
+let rec iter_select_exprs f (s : select) =
+  let deep e =
+    iter_expr
+      (fun e ->
+        f e;
+        match e with
+        | Subquery inner | Exists inner | In_select (_, inner) ->
+            iter_select_exprs f inner
+        | _ -> ())
+      e
+  in
+  List.iter (function Star -> () | Sel_expr (e, _) -> deep e) s.items;
+  List.iter (fun j -> deep j.j_on) s.joins;
+  Option.iter deep s.where;
+  List.iter deep s.group_by;
+  Option.iter deep s.having;
+  List.iter (fun k -> deep k.o_expr) s.order_by
+
+let iter_stmt_exprs f = function
+  | Create_table _ | Create_index _ | Drop_table _ -> ()
+  | Insert { ins_rows; _ } -> List.iter (List.iter (iter_expr f)) ins_rows
+  | Update { upd_sets; upd_where; _ } ->
+      List.iter (fun (_, e) -> iter_expr f e) upd_sets;
+      Option.iter (iter_expr f) upd_where
+  | Delete { del_where; _ } -> Option.iter (iter_expr f) del_where
+  | Select s ->
+      List.iter (function Star -> () | Sel_expr (e, _) -> iter_expr f e) s.items;
+      List.iter (fun j -> iter_expr f j.j_on) s.joins;
+      Option.iter (iter_expr f) s.where;
+      List.iter (iter_expr f) s.group_by;
+      Option.iter (iter_expr f) s.having;
+      List.iter (fun k -> iter_expr f k.o_expr) s.order_by

@@ -1,0 +1,23 @@
+(** SQL tokenizer.
+
+    Identifiers and keywords are case-insensitive; identifiers are
+    normalized to lowercase and keywords to uppercase. String literals use
+    single quotes with [''] as the escape for a quote. [$1], [$2], …
+    are contract parameters. *)
+
+type token =
+  | Ident of string  (** lowercased *)
+  | Keyword of string  (** uppercased *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Param of int
+  | Named_param of string  (** [:name] *)
+  | Sym of string  (** punctuation / operator, e.g. ["("], ["<="], ["||"] *)
+  | Eof
+
+val token_to_string : token -> string
+
+(** [tokenize s] is all tokens including a final [Eof], or a message
+    with the offending position. *)
+val tokenize : string -> (token list, string) result

@@ -1,0 +1,1 @@
+lib/ssi/detect.ml: Brdb_storage Brdb_txn Catalog Graph List Predicate Table Version

@@ -1,0 +1,1 @@
+lib/ssi/detect.mli: Brdb_storage Brdb_txn Graph

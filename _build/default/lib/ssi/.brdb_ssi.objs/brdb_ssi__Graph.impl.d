@@ -1,0 +1,1 @@
+lib/ssi/graph.ml: Hashtbl Int Set

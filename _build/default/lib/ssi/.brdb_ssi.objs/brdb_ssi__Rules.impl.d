@@ -1,0 +1,1 @@
+lib/ssi/rules.ml: Graph List

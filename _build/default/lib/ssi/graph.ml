@@ -1,0 +1,38 @@
+module ISet = Set.Make (Int)
+
+type node = { mutable inc : ISet.t; mutable out : ISet.t }
+
+type t = { nodes : (int, node) Hashtbl.t }
+
+let create () = { nodes = Hashtbl.create 32 }
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None ->
+      let n = { inc = ISet.empty; out = ISet.empty } in
+      Hashtbl.replace t.nodes id n;
+      n
+
+let add_edge t ~reader ~writer =
+  if reader <> writer then begin
+    (node t writer).inc <- ISet.add reader (node t writer).inc;
+    (node t reader).out <- ISet.add writer (node t reader).out
+  end
+
+let in_conflicts t id =
+  match Hashtbl.find_opt t.nodes id with
+  | None -> []
+  | Some n -> ISet.elements n.inc
+
+let out_conflicts t id =
+  match Hashtbl.find_opt t.nodes id with
+  | None -> []
+  | Some n -> ISet.elements n.out
+
+let has_edge t ~reader ~writer =
+  match Hashtbl.find_opt t.nodes writer with
+  | None -> false
+  | Some n -> ISet.mem reader n.inc
+
+let edge_count t = Hashtbl.fold (fun _ n acc -> acc + ISet.cardinal n.out) t.nodes 0

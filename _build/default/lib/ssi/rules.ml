@@ -1,0 +1,95 @@
+type status = S_pending | S_committed | S_aborted
+
+type info = { status : status; block : int option; pos : int option }
+
+type view = int -> info
+
+type decision = { abort_self : string option; abort_others : (int * string) list }
+
+let no_op = { abort_self = None; abort_others = [] }
+
+let finish abort_self victims =
+  {
+    abort_self;
+    abort_others =
+      List.sort_uniq (fun (a, _) (b, _) -> compare a b) (List.rev victims);
+  }
+
+let decide_plain g view ~me =
+  let nears =
+    List.filter (fun n -> (view n).status = S_pending) (Graph.in_conflicts g me)
+  in
+  let committed_out =
+    List.exists (fun o -> (view o).status = S_committed) (Graph.out_conflicts g me)
+  in
+  let any_near =
+    List.exists (fun n -> (view n).status <> S_aborted) (Graph.in_conflicts g me)
+  in
+  if any_near && committed_out then finish (Some "pivot-committed-out") []
+  else
+    let victims =
+      List.concat_map
+        (fun near ->
+          let fars =
+            List.filter (fun f -> (view f).status = S_pending || f = me)
+              (Graph.in_conflicts g near)
+          in
+          if fars <> [] then [ (near, "dangerous-structure") ] else [])
+        nears
+    in
+    finish None victims
+
+let decide_block_aware g view ~me ~my_block =
+  let committed_out =
+    List.exists (fun o -> (view o).status = S_committed) (Graph.out_conflicts g me)
+  in
+  if committed_out then finish (Some "committed-out-conflict") []
+  else begin
+    let victims = ref [] in
+    let abort id rule = victims := (id, rule) :: !victims in
+    let nears =
+      List.filter (fun n -> (view n).status = S_pending) (Graph.in_conflicts g me)
+    in
+    List.iter
+      (fun near ->
+        let near_info = view near in
+        let near_same_block = near_info.block = Some my_block in
+        if not near_same_block then
+          (* Last three rows of Table 2: a nearConflict outside the block
+             could be a stale read on a subset of nodes only — abort it
+             everywhere, farConflict or not. *)
+          abort near "near-cross-block"
+        else
+          let fars =
+            List.filter (fun f -> (view f).status <> S_aborted) (Graph.in_conflicts g near)
+          in
+          List.iter
+            (fun far ->
+              if far = me then
+                (* me --rw--> near --rw--> me: a two-transaction cycle;
+                   me commits first, so near loses. *)
+                abort near "rw-cycle"
+              else
+                let far_info = view far in
+                match far_info.status with
+                | S_aborted -> ()
+                | S_committed ->
+                    (* far committed first among the conflicts. *)
+                    abort near "far-committed"
+                | S_pending ->
+                    if far_info.block = Some my_block then begin
+                      (* Both conflicts in me's block: abort the one that
+                         commits later in block order. *)
+                      match (near_info.pos, far_info.pos) with
+                      | Some np, Some fp when fp < np -> abort near "same-block-later"
+                      | Some _, Some _ -> abort far "same-block-later"
+                      | _ -> abort near "same-block-later"
+                    end
+                    else
+                      (* near is in the committing block, far is not:
+                         near commits first, abort far (Table 2 row 3). *)
+                      abort far "far-cross-block")
+            fars)
+      nears;
+    finish None !victims
+  end

@@ -1,0 +1,46 @@
+(** The abort heuristics, as pure decision procedures.
+
+    Both are evaluated at the serial commit point of a transaction [me]
+    (block order fixes the commit order). They never abort committed
+    transactions; victims are transactions still pending, or [me] itself.
+
+    {!decide_plain} is PostgreSQL's "abort during commit" (Ports &
+    Grittner) used by the order-then-execute flow, where all concurrent
+    transactions belong to the same block:
+    - if [me] has a nearConflict and a *committed* outConflict, [me] is a
+      pivot whose out-neighbour committed first — abort [me];
+    - otherwise, for every dangerous structure
+      [far --rw--> near --rw--> me] with [near] and [far] still pending,
+      abort [near] (so its retry can succeed).
+
+    {!decide_block_aware} is the paper's novel variant (Table 2) for
+    execute-order-in-parallel, where conflicting transactions may sit in
+    different blocks or be unordered:
+    - a committed outConflict always aborts [me] (§3.4.3 scenario 3);
+    - a pending nearConflict outside [me]'s block is always aborted,
+      farConflict or not (last three rows of Table 2);
+    - for a same-block nearConflict, each farConflict decides a victim:
+      committed far → abort near; same-block far → abort whichever of
+      near/far commits later in block order; cross-block far → abort far. *)
+
+type status = S_pending | S_committed | S_aborted
+
+type info = {
+  status : status;
+  block : int option;  (** block height once ordered *)
+  pos : int option;  (** position within that block *)
+}
+
+(** Everything the rules need to know about a txid. *)
+type view = int -> info
+
+type decision = {
+  abort_self : string option;  (** rule name when [me] must abort *)
+  abort_others : (int * string) list;  (** victims with rule names, sorted *)
+}
+
+val no_op : decision
+
+val decide_plain : Graph.t -> view -> me:int -> decision
+
+val decide_block_aware : Graph.t -> view -> me:int -> my_block:int -> decision

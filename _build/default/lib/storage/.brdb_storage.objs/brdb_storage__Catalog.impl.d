@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Brdb_sql Hashtbl List Printf Schema String Table

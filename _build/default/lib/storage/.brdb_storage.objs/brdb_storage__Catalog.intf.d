@@ -1,0 +1,1 @@
+lib/storage/catalog.mli: Schema Table

@@ -1,0 +1,1 @@
+lib/storage/index.ml: Int Map Seq Set Value

@@ -1,0 +1,1 @@
+lib/storage/predicate.ml: Array Index Printf String Value

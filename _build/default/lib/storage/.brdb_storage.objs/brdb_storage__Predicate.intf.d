@@ -1,0 +1,1 @@
+lib/storage/predicate.mli: Index Value

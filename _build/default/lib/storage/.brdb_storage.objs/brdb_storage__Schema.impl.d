@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Brdb_sql Hashtbl List Printf String Value

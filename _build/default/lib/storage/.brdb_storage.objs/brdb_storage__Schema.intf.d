@@ -1,0 +1,1 @@
+lib/storage/schema.mli: Brdb_sql Value

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Brdb_util Index List Printf Schema Vec Version

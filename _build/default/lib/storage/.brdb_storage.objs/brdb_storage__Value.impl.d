@@ -1,0 +1,1 @@
+lib/storage/value.ml: Bool Brdb_sql Float Format Int Int64 Printf String

@@ -1,0 +1,1 @@
+lib/storage/version.ml: List Value

@@ -1,0 +1,56 @@
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+let ledger_table = "pgledger"
+
+let ledger_schema () =
+  let open Brdb_sql.Ast in
+  let col ?(pk = false) name ty =
+    { Schema.name; ty; not_null = false; primary_key = pk }
+  in
+  match
+    Schema.create ~name:ledger_table
+      ~columns:
+        [
+          col ~pk:true "txid" T_int;
+          col "gid" T_text;
+          col "blocknumber" T_int;
+          col "txuser" T_text;
+          col "txquery" T_text;
+          col "status" T_text;
+          col "committime" T_int;
+        ]
+  with
+  | Ok s -> s
+  | Error msg -> failwith ("internal: ledger schema invalid: " ^ msg)
+
+let create () =
+  let t = { tables = Hashtbl.create 16 } in
+  Hashtbl.replace t.tables ledger_table (Table.create (ledger_schema ()));
+  t
+
+let find t name = Hashtbl.find_opt t.tables name
+
+let mem t name = Hashtbl.mem t.tables name
+
+let table_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
+
+let create_table t schema =
+  let name = schema.Schema.table_name in
+  if Hashtbl.mem t.tables name then Error (Printf.sprintf "table %s already exists" name)
+  else begin
+    let table = Table.create schema in
+    Hashtbl.replace t.tables name table;
+    Ok table
+  end
+
+let drop_table t name =
+  if String.equal name ledger_table then Error "cannot drop system table"
+  else if not (Hashtbl.mem t.tables name) then
+    Error (Printf.sprintf "table %s does not exist" name)
+  else begin
+    Hashtbl.remove t.tables name;
+    Ok ()
+  end
+
+let restore_table t table = Hashtbl.replace t.tables (Table.name table) table

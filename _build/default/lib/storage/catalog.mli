@@ -1,0 +1,29 @@
+(** The database catalog: named tables.
+
+    Includes the [pgledger] system table (created at startup) so that
+    provenance queries can join user tables with transaction metadata in
+    plain SQL, as in Table 3 of the paper. *)
+
+type t
+
+(** Name of the ledger system table. *)
+val ledger_table : string
+
+(** Columns of [pgledger]: txid INT PRIMARY KEY, gid TEXT, blocknumber INT,
+    txuser TEXT, txquery TEXT, status TEXT, committime INT. *)
+val create : unit -> t
+
+val find : t -> string -> Table.t option
+
+val mem : t -> string -> bool
+
+val table_names : t -> string list
+
+(** [create_table t schema] — [Error] when the name is taken. *)
+val create_table : t -> Schema.t -> (Table.t, string) result
+
+(** [drop_table t name] — system tables cannot be dropped. *)
+val drop_table : t -> string -> (unit, string) result
+
+(** Re-attach a table object (recovery / DDL abort undo). *)
+val restore_table : t -> Table.t -> unit

@@ -1,0 +1,43 @@
+type t =
+  | Full_scan of { table : string }
+  | Range of { table : string; column : int; lo : Index.bound; hi : Index.bound }
+
+let table = function Full_scan { table } | Range { table; _ } -> table
+
+let bound_ok_lo lo v =
+  match lo with
+  | Index.Unbounded -> true
+  | Index.Incl b -> Value.compare_total v b >= 0
+  | Index.Excl b -> Value.compare_total v b > 0
+
+let bound_ok_hi hi v =
+  match hi with
+  | Index.Unbounded -> true
+  | Index.Incl b -> Value.compare_total v b <= 0
+  | Index.Excl b -> Value.compare_total v b < 0
+
+let matches p ~table:tbl row =
+  match p with
+  | Full_scan { table } -> String.equal table tbl
+  | Range { table; column; lo; hi } ->
+      String.equal table tbl
+      && column < Array.length row
+      && bound_ok_lo lo row.(column)
+      && bound_ok_hi hi row.(column)
+
+let bound_to_string side = function
+  | Index.Unbounded -> (match side with `Lo -> "(-inf" | `Hi -> "+inf)")
+  | Index.Incl v -> (
+      match side with
+      | `Lo -> "[" ^ Value.to_string v
+      | `Hi -> Value.to_string v ^ "]")
+  | Index.Excl v -> (
+      match side with
+      | `Lo -> "(" ^ Value.to_string v
+      | `Hi -> Value.to_string v ^ ")")
+
+let to_string = function
+  | Full_scan { table } -> Printf.sprintf "%s:<full>" table
+  | Range { table; column; lo; hi } ->
+      Printf.sprintf "%s.#%d:%s, %s" table column (bound_to_string `Lo lo)
+        (bound_to_string `Hi hi)

@@ -1,0 +1,95 @@
+open Brdb_util
+
+type t = {
+  schema : Schema.t;
+  (* vid -> version; pruning replaces entries with None, keeping vids stable. *)
+  heap : Version.t option Vec.t;
+  mutable indexes : Index.t list;
+  mutable uniques : int list;
+}
+
+let create schema =
+  let t = { schema; heap = Vec.create (); indexes = []; uniques = [] } in
+  (match schema.Schema.pk_index with
+  | Some column ->
+      t.indexes <- [ Index.create ~column ];
+      t.uniques <- [ column ]
+  | None -> ());
+  t
+
+let schema t = t.schema
+
+let name t = t.schema.Schema.table_name
+
+let version_count t = Vec.length t.heap
+
+let get_version t vid =
+  match Vec.get t.heap vid with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Table.get_version: %d pruned" vid)
+
+let insert_version t ~xmin values =
+  let vid = Vec.length t.heap in
+  let v = Version.make ~vid ~xmin values in
+  ignore (Vec.push t.heap (Some v));
+  List.iter (fun idx -> Index.add idx values.(Index.column idx) vid) t.indexes;
+  v
+
+let find_index t column =
+  List.find_opt (fun idx -> Index.column idx = column) t.indexes
+
+let has_index t ~column = find_index t column <> None
+
+let indexed_columns t = List.map Index.column t.indexes
+
+let add_index t ~column ~unique =
+  if not (has_index t ~column) then begin
+    let idx = Index.create ~column in
+    Vec.iteri
+      (fun vid v ->
+        match v with
+        | Some v -> Index.add idx v.Version.values.(column) vid
+        | None -> ())
+      t.heap;
+    t.indexes <- t.indexes @ [ idx ]
+  end;
+  if unique && not (List.mem column t.uniques) then
+    t.uniques <- t.uniques @ [ column ]
+
+let unique_columns t = t.uniques
+
+let iter_versions t f =
+  Vec.iter (function Some v -> f v | None -> ()) t.heap
+
+let iter_index t ~column ~lo ~hi f =
+  match find_index t column with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Table.iter_index: no index on column %d of %s" column
+           (name t))
+  | Some idx ->
+      Index.iter_range idx ~lo ~hi (fun vid ->
+          match Vec.get t.heap vid with Some v -> f v | None -> ())
+
+let pk_lookup t key f =
+  match t.schema.Schema.pk_index with
+  | None -> invalid_arg (Printf.sprintf "Table.pk_lookup: %s has no primary key" (name t))
+  | Some column -> iter_index t ~column ~lo:(Index.Incl key) ~hi:(Index.Incl key) f
+
+let remove_from_indexes t (v : Version.t) =
+  List.iter
+    (fun idx -> Index.remove idx v.Version.values.(Index.column idx) v.Version.vid)
+    t.indexes
+
+let prune t ~keep =
+  let removed = ref 0 in
+  Vec.iteri
+    (fun vid slot ->
+      match slot with
+      | Some v when not (keep v) ->
+          remove_from_indexes t v;
+          Vec.set t.heap vid None;
+          incr removed
+      | _ -> ())
+    t.heap;
+  !removed

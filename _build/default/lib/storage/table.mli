@@ -1,0 +1,54 @@
+(** A table: schema + versioned heap + ordered indexes.
+
+    The primary-key column (when present) always has a backing index.
+    Mutations here are *physical*: transactional semantics (claims,
+    commits, aborts) are orchestrated by [Brdb_txn]. *)
+
+type t
+
+val create : Schema.t -> t
+
+val schema : t -> Schema.t
+
+val name : t -> string
+
+(** Number of versions ever created (live, dead and uncommitted). *)
+val version_count : t -> int
+
+val get_version : t -> int -> Version.t
+
+(** [insert_version t ~xmin values] appends a new uncommitted version and
+    registers it in all indexes. The caller has already validated the row
+    against the schema. *)
+val insert_version : t -> xmin:int -> Value.t array -> Version.t
+
+(** [add_index t ~column ~unique] is a no-op when an index on that column
+    exists (the unique flag is then OR-ed in). *)
+val add_index : t -> column:int -> unique:bool -> unit
+
+val has_index : t -> column:int -> bool
+
+val indexed_columns : t -> int list
+
+(** Columns with a uniqueness constraint (always includes the primary
+    key). Enforced at commit time by the transaction manager. *)
+val unique_columns : t -> int list
+
+(** [iter_versions t f] walks every version in vid order. *)
+val iter_versions : t -> (Version.t -> unit) -> unit
+
+(** [iter_index t ~column ~lo ~hi f] walks matching versions in key order.
+    Raises [Invalid_argument] when no index covers [column]. *)
+val iter_index :
+  t -> column:int -> lo:Index.bound -> hi:Index.bound -> (Version.t -> unit) -> unit
+
+(** [pk_lookup t v f] iterates versions whose primary key equals [v]. *)
+val pk_lookup : t -> Value.t -> (Version.t -> unit) -> unit
+
+(** [remove_from_indexes t version] — used when pruning aborted versions. *)
+val remove_from_indexes : t -> Version.t -> unit
+
+(** [prune t ~keep] physically drops versions not satisfying [keep]
+    (the vacuum analogue, §7 of the paper). Returns number removed.
+    Retained versions keep their vids. *)
+val prune : t -> keep:(Version.t -> bool) -> int

@@ -1,0 +1,87 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | Text x, Text y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | _ -> false
+
+let rank = function Null -> 0 | Bool _ -> 1 | Int _ | Float _ -> 2 | Text _ -> 3
+
+let compare_total a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Text x, Text y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let compare_sql a b =
+  match (a, b) with
+  | Null, _ | _, Null -> None
+  | Bool x, Bool y -> Some (Bool.compare x y)
+  | Int x, Int y -> Some (Int.compare x y)
+  | Float x, Float y -> Some (Float.compare x y)
+  | Int x, Float y -> Some (Float.compare (float_of_int x) y)
+  | Float x, Int y -> Some (Float.compare x (float_of_int y))
+  | Text x, Text y -> Some (String.compare x y)
+  | _ -> None
+
+let is_null = function Null -> true | _ -> false
+
+let type_of =
+  let open Brdb_sql.Ast in
+  function
+  | Null -> None
+  | Int _ -> Some T_int
+  | Float _ -> Some T_float
+  | Text _ -> Some T_text
+  | Bool _ -> Some T_bool
+
+let conforms ty v =
+  let open Brdb_sql.Ast in
+  match (ty, v) with
+  | _, Null -> true
+  | T_int, Int _ -> true
+  | T_float, (Float _ | Int _) -> true
+  | T_text, Text _ -> true
+  | T_bool, Bool _ -> true
+  | _ -> false
+
+let of_lit =
+  let open Brdb_sql.Ast in
+  function
+  | L_null -> Null
+  | L_int i -> Int i
+  | L_float f -> Float f
+  | L_text s -> Text s
+  | L_bool b -> Bool b
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.12g" f
+  | Text s -> s
+  | Bool true -> "true"
+  | Bool false -> "false"
+
+let encode = function
+  | Null -> "N"
+  | Int i -> "I" ^ string_of_int i
+  | Float f -> "F" ^ Int64.to_string (Int64.bits_of_float f)
+  | Text s -> "T" ^ string_of_int (String.length s) ^ ":" ^ s
+  | Bool b -> if b then "B1" else "B0"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,41 @@
+(** Runtime SQL values.
+
+    Two comparison orders coexist:
+    - {!compare_total} is an arbitrary total order over all values (used by
+      indexes and ORDER BY), with [Null] sorting first and numeric types
+      comparing numerically across [Int]/[Float];
+    - {!compare_sql} implements SQL semantics where any comparison with
+      [Null] is unknown ([None]). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+
+val equal : t -> t -> bool
+
+(** Total order: Null < Bool < numeric (Int/Float merged) < Text. *)
+val compare_total : t -> t -> int
+
+(** SQL comparison; [None] when either side is [Null] or the types are not
+    comparable (e.g. [Int] vs [Text]). *)
+val compare_sql : t -> t -> int option
+
+val is_null : t -> bool
+
+val type_of : t -> Brdb_sql.Ast.data_type option
+
+(** [conforms ty v] — [Null] conforms to every type; [Int] conforms to
+    [T_float] (implicit widening). *)
+val conforms : Brdb_sql.Ast.data_type -> t -> bool
+
+val of_lit : Brdb_sql.Ast.lit -> t
+
+val to_string : t -> string
+
+(** Unambiguous binary encoding used when hashing write sets. *)
+val encode : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+let unset_block = max_int
+
+type t = {
+  vid : int;
+  values : Value.t array;
+  xmin : int;
+  mutable xmin_aborted : bool;
+  mutable creator_block : int;
+  mutable xmax : int;
+  mutable deleter_block : int;
+  mutable claimants : int list;
+}
+
+let make ~vid ~xmin values =
+  {
+    vid;
+    values;
+    xmin;
+    xmin_aborted = false;
+    creator_block = unset_block;
+    xmax = 0;
+    deleter_block = unset_block;
+    claimants = [];
+  }
+
+let claim v txid =
+  if not (List.mem txid v.claimants) then v.claimants <- txid :: v.claimants
+
+let unclaim v txid = v.claimants <- List.filter (fun t -> t <> txid) v.claimants
+
+let claimed_by v txid = List.mem txid v.claimants
+
+let visible_at v ~height =
+  (not v.xmin_aborted) && v.creator_block <= height && v.deleter_block > height
+
+let visible_to v ~txid ~height =
+  if v.xmin_aborted then false
+  else if claimed_by v txid then false
+  else if v.xmin = txid then
+    (* Own insert: visible while uncommitted; once committed, fall through
+       to the height rule (the txn is then from an earlier block anyway). *)
+    v.creator_block = unset_block || visible_at v ~height
+  else visible_at v ~height
+
+let visible_provenance v = (not v.xmin_aborted) && v.creator_block <> unset_block
+
+let committed_after v ~height =
+  (not v.xmin_aborted)
+  && v.creator_block <> unset_block
+  && v.creator_block > height
+
+let deleted_after v ~height =
+  (not v.xmin_aborted)
+  && v.creator_block <= height
+  && v.deleter_block <> unset_block
+  && v.deleter_block > height

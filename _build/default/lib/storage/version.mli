@@ -1,0 +1,55 @@
+(** A single row version.
+
+    Mirrors the paper's PostgreSQL representation: every update is a
+    delete (stamp [xmax]/[deleter_block] on the old version) plus an insert
+    (new version), and all versions are retained for provenance. In
+    addition to [xmin]/[xmax] transaction ids, every version carries the
+    [creator_block]/[deleter_block] numbers that drive block-height SSI
+    (§3.4.1).
+
+    The [claimants] list plays the role of the paper's "array of xmax
+    values" (§4.3): concurrent transactions of a block may all claim the
+    same version for update/delete; the first to commit in block order
+    wins and the rest are aborted. *)
+
+(** Sentinel for "not yet committed / still alive". *)
+val unset_block : int
+
+type t = {
+  vid : int;
+  values : Value.t array;
+  xmin : int;  (** creating transaction id *)
+  mutable xmin_aborted : bool;
+  mutable creator_block : int;  (** [unset_block] until the insert commits *)
+  mutable xmax : int;  (** committed deleter txid; [0] when alive *)
+  mutable deleter_block : int;  (** [unset_block] while alive *)
+  mutable claimants : int list;  (** txids with a pending delete/update *)
+}
+
+val make : vid:int -> xmin:int -> Value.t array -> t
+
+val claim : t -> int -> unit
+
+val unclaim : t -> int -> unit
+
+val claimed_by : t -> int -> bool
+
+(** [visible_at v ~height] — committed-state visibility at a block height:
+    [creator_block <= height < deleter_block] and the creator did not
+    abort. *)
+val visible_at : t -> height:int -> bool
+
+(** [visible_to v ~txid ~height] adds own-writes: a transaction sees its
+    own uncommitted inserts and does not see versions it has claimed. *)
+val visible_to : t -> txid:int -> height:int -> bool
+
+(** Provenance visibility: any committed version, dead or alive. *)
+val visible_provenance : t -> bool
+
+(** [committed_after v ~height] — the insert committed in a block strictly
+    above [height] (used for phantom detection). *)
+val committed_after : t -> height:int -> bool
+
+(** [deleted_after v ~height] — the version was alive at [height] but its
+    delete committed in a later block (stale-read detection). *)
+val deleted_after : t -> height:int -> bool

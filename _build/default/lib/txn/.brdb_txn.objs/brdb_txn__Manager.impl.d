@@ -1,0 +1,1 @@
+lib/txn/manager.ml: Array Brdb_crypto Brdb_storage Catalog Hashtbl Index List Predicate Printf Schema String Table Txn Value Version

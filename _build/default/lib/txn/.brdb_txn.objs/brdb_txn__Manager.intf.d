@@ -1,0 +1,1 @@
+lib/txn/manager.mli: Brdb_storage Txn

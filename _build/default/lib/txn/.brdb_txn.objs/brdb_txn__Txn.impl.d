@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Brdb_storage Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/txn/txn.mli: Brdb_storage Hashtbl

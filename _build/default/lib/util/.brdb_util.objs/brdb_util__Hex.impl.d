@@ -1,0 +1,1 @@
+lib/util/hex.ml: Bytes Char String

@@ -1,0 +1,77 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (length %d)" i v.len)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow v x =
+  let cap = Array.length v.data in
+  let cap' = if cap = 0 then 8 else cap * 2 in
+  let data = Array.make cap' x in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let truncate v n = if n < v.len then v.len <- max 0 n
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let find_index p v =
+  let rec loop i =
+    if i >= v.len then None else if p v.data.(i) then Some i else loop (i + 1)
+  in
+  loop 0
+
+let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let of_list xs =
+  let v = create () in
+  List.iter (fun x -> ignore (push v x)) xs;
+  v
+
+let last v = if v.len = 0 then None else Some v.data.(v.len - 1)
+
+let clear v = v.len <- 0
+
+let copy v = { data = Array.sub v.data 0 v.len; len = v.len }

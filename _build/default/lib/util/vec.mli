@@ -1,0 +1,44 @@
+(** Growable arrays.
+
+    OCaml 5.1 does not ship [Dynarray]; this is the small subset the
+    storage engine needs. Indices are 0-based; out-of-range access raises
+    [Invalid_argument]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+(** [push v x] appends [x] and returns its index. *)
+val push : 'a t -> 'a -> int
+
+(** [truncate v n] drops all elements at index [>= n]. No-op when
+    [n >= length v]. *)
+val truncate : 'a t -> int -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val find_index : ('a -> bool) -> 'a t -> int option
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val last : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val copy : 'a t -> 'a t

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Bft Brdb_consensus Brdb_crypto Brdb_ledger Brdb_sim Brdb_storage Brdb_util Cutter Hashtbl Kafka List Msg Printf Raft Solo

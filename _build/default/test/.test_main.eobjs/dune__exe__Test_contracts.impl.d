@@ -1,0 +1,1 @@
+test/test_contracts.ml: Alcotest Api Brdb_contracts Brdb_engine Brdb_sql Brdb_storage Brdb_txn Determinism List Procedural Registry Result String System

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Brdb_consensus Brdb_contracts Brdb_core Brdb_engine Brdb_ledger Brdb_node Brdb_sim Brdb_storage List

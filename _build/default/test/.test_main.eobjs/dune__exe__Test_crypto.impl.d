@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Brdb_crypto Brdb_util Char Field61 Fun Gen Hmac Identity Int64 List Merkle Printf QCheck QCheck_alcotest Schnorr Sha256 String

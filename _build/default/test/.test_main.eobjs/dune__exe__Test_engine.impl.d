@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Brdb_engine Brdb_storage Brdb_txn Catalog List Predicate Printf String Value

@@ -1,0 +1,1 @@
+test/test_engine2.ml: Alcotest Array Brdb_contracts Brdb_engine Brdb_sql Brdb_storage Brdb_txn Catalog List Printf Result String Value

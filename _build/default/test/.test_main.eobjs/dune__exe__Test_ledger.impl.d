@@ -1,0 +1,1 @@
+test/test_ledger.ml: Alcotest Block Block_store Brdb_crypto Brdb_ledger Brdb_storage Ledger_table List Printf String

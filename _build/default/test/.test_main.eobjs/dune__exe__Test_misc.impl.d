@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Brdb_consensus Brdb_core Brdb_crypto Brdb_ledger Brdb_sim Brdb_storage List Printf QCheck QCheck_alcotest String

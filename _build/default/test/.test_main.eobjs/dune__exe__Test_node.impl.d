@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Brdb_contracts Brdb_crypto Brdb_engine Brdb_ledger Brdb_node Brdb_storage Brdb_txn Brdb_util List Node_core Printf String

@@ -1,0 +1,1 @@
+test/test_peer.ml: Alcotest Array Brdb_consensus Brdb_contracts Brdb_crypto Brdb_ledger Brdb_node Brdb_sim Brdb_storage Brdb_txn List Printf

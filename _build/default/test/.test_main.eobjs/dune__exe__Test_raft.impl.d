@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Brdb_consensus Brdb_crypto Brdb_ledger Brdb_sim Brdb_storage Hashtbl List Msg Option Printf Raft

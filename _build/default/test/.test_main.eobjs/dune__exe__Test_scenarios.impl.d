@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Brdb_contracts Brdb_core Brdb_engine Brdb_ledger Brdb_node Brdb_storage List

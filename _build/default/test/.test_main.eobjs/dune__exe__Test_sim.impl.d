@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Brdb_sim Clock Cost_model Cpu List Metrics Network Printf Rng Workload

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Brdb_sql List Parser QCheck QCheck_alcotest String

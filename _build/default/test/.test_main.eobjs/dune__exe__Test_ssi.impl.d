@@ -1,0 +1,1 @@
+test/test_ssi.ml: Alcotest Brdb_engine Brdb_ssi Brdb_storage Brdb_txn Catalog Detect Graph List Printf Rules

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Brdb_sql Brdb_storage Catalog Index List Predicate QCheck QCheck_alcotest Schema Table Value Version

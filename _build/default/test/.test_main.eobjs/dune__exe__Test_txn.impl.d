@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Brdb_engine Brdb_storage Brdb_txn Brdb_util Catalog Format List Printf String Value

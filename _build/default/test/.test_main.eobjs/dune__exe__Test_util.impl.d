@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Brdb_util Hex List QCheck QCheck_alcotest Vec

@@ -1,0 +1,334 @@
+open Brdb_consensus
+module Block = Brdb_ledger.Block
+module Clock = Brdb_sim.Clock
+module Rng = Brdb_sim.Rng
+module Identity = Brdb_crypto.Identity
+
+let mk_tx i =
+  let identity = Identity.create "org1/client" in
+  Block.make_tx ~id:(Printf.sprintf "tx-%d" i) ~identity ~contract:"noop"
+    ~args:[ Brdb_storage.Value.Int i ]
+
+(* --- cutter ---------------------------------------------------------------- *)
+
+let test_cutter_size_cut () =
+  let c = Cutter.create ~block_size:3 in
+  Alcotest.(check bool) "first" true (Cutter.add c (mk_tx 1) = Cutter.First);
+  Alcotest.(check bool) "buffered" true (Cutter.add c (mk_tx 2) = Cutter.Buffered);
+  (match Cutter.add c (mk_tx 3) with
+  | Cutter.Cut txs ->
+      Alcotest.(check (list string)) "order" [ "tx-1"; "tx-2"; "tx-3" ]
+        (List.map (fun t -> t.Block.tx_id) txs)
+  | _ -> Alcotest.fail "expected cut");
+  Alcotest.(check int) "empty again" 0 (Cutter.pending c)
+
+let test_cutter_duplicates () =
+  let c = Cutter.create ~block_size:10 in
+  ignore (Cutter.add c (mk_tx 1));
+  Alcotest.(check bool) "dup" true (Cutter.add c (mk_tx 1) = Cutter.Duplicate);
+  (match Cutter.cut c with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "expected one tx");
+  (* Still duplicate after being cut into a block. *)
+  Alcotest.(check bool) "dup across blocks" true (Cutter.add c (mk_tx 1) = Cutter.Duplicate)
+
+let test_cutter_force_cut () =
+  let c = Cutter.create ~block_size:10 in
+  Alcotest.(check bool) "empty force" true (Cutter.cut c = None);
+  ignore (Cutter.add c (mk_tx 1));
+  ignore (Cutter.add c (mk_tx 2));
+  let e0 = Cutter.epoch c in
+  (match Cutter.cut c with
+  | Some txs -> Alcotest.(check int) "two" 2 (List.length txs)
+  | None -> Alcotest.fail "expected txs");
+  Alcotest.(check bool) "epoch bumped" true (Cutter.epoch c > e0)
+
+(* --- common harness ---------------------------------------------------------- *)
+
+type harness = {
+  clock : Clock.t;
+  net : Msg.Net.net;
+  registry : Identity.Registry.t;
+  mutable received : (string * Block.t) list; (* (peer, block), newest first *)
+}
+
+let make_harness ?(peers = [ "peer-1" ]) () =
+  let clock = Clock.create () in
+  let rng = Rng.create ~seed:99 in
+  let net = Msg.Net.create ~clock ~rng ~default_link:Brdb_sim.Network.lan_link in
+  let registry = Identity.Registry.create () in
+  let h = { clock; net; registry; received = [] } in
+  List.iter
+    (fun peer ->
+      Msg.Net.register net ~name:peer (fun ~src:_ msg ->
+          match msg with
+          | Msg.Block_deliver b -> h.received <- (peer, b) :: h.received
+          | _ -> ()))
+    peers;
+  h
+
+let submit h ~dst tx =
+  ignore (Msg.Net.send h.net ~src:"client" ~dst ~size_bytes:(Msg.size (Msg.Client_tx tx))
+            (Msg.Client_tx tx))
+
+let blocks_for h peer =
+  List.rev (List.filter_map (fun (p, b) -> if p = peer then Some b else None) h.received)
+
+(* --- solo ------------------------------------------------------------------- *)
+
+let test_solo_size_and_timeout () =
+  let h = make_harness () in
+  let identity = Identity.create "ord/solo" in
+  (match Identity.Registry.register h.registry identity with Ok () -> () | Error _ -> ());
+  let _solo =
+    Solo.create ~net:h.net ~name:"orderer-1" ~identity ~block_size:3
+      ~block_timeout:1.0 ~peers:[ "peer-1" ] ()
+  in
+  for i = 1 to 7 do
+    submit h ~dst:"orderer-1" (mk_tx i)
+  done;
+  ignore (Clock.run h.clock);
+  let bs = blocks_for h "peer-1" in
+  (* 7 txs -> blocks of 3,3 then timeout-cut block of 1 *)
+  Alcotest.(check (list int)) "block sizes" [ 3; 3; 1 ]
+    (List.map (fun b -> List.length b.Block.txs) bs);
+  Alcotest.(check (list int)) "heights" [ 1; 2; 3 ]
+    (List.map (fun b -> b.Block.height) bs);
+  (* chain verification *)
+  let rec chain prev = function
+    | [] -> ()
+    | b :: rest ->
+        Alcotest.(check bool) "chains" true (Block.chains_from b ~prev);
+        Alcotest.(check bool) "verifies" true (Block.verify h.registry b);
+        chain (Some b) rest
+  in
+  chain None bs
+
+let test_solo_duplicate_txs_ignored () =
+  let h = make_harness () in
+  let identity = Identity.create "ord/solo" in
+  let _solo =
+    Solo.create ~net:h.net ~name:"orderer-1" ~identity ~block_size:100
+      ~block_timeout:0.5 ~peers:[ "peer-1" ] ()
+  in
+  submit h ~dst:"orderer-1" (mk_tx 1);
+  submit h ~dst:"orderer-1" (mk_tx 1);
+  submit h ~dst:"orderer-1" (mk_tx 2);
+  ignore (Clock.run h.clock);
+  match blocks_for h "peer-1" with
+  | [ b ] -> Alcotest.(check int) "dedup" 2 (List.length b.Block.txs)
+  | bs -> Alcotest.failf "expected 1 block, got %d" (List.length bs)
+
+(* --- kafka ------------------------------------------------------------------- *)
+
+let test_kafka_identical_blocks () =
+  (* 3 orderers, one peer connected to each; all must see identical chains. *)
+  let peers = [ "peer-1"; "peer-2"; "peer-3" ] in
+  let h = make_harness ~peers () in
+  let orderers = [ "orderer-1"; "orderer-2"; "orderer-3" ] in
+  let _cluster =
+    Kafka.create_cluster ~net:h.net ~name:"kafka-cluster" ~orderers ()
+  in
+  let _os =
+    List.map2
+      (fun name peer ->
+        Kafka.create_orderer ~net:h.net ~name ~identity:(Identity.create ("ord/" ^ name))
+          ~cluster:"kafka-cluster" ~block_size:4 ~block_timeout:1.0 ~peers:[ peer ] ())
+      orderers peers
+  in
+  (* Clients submit to different orderers. *)
+  for i = 1 to 10 do
+    submit h ~dst:(List.nth orderers (i mod 3)) (mk_tx i)
+  done;
+  ignore (Clock.run h.clock);
+  let chains = List.map (blocks_for h) peers in
+  (match chains with
+  | [ c1; c2; c3 ] ->
+      let hashes c = List.map (fun b -> Brdb_util.Hex.encode b.Block.hash) c in
+      Alcotest.(check (list string)) "1=2" (hashes c1) (hashes c2);
+      Alcotest.(check (list string)) "1=3" (hashes c1) (hashes c3);
+      Alcotest.(check int) "all txs ordered" 10
+        (List.fold_left (fun acc b -> acc + List.length b.Block.txs) 0 c1);
+      (* sequence numbers contiguous *)
+      Alcotest.(check (list int)) "heights" (List.mapi (fun i _ -> i + 1) c1)
+        (List.map (fun b -> b.Block.height) c1)
+  | _ -> Alcotest.fail "wrong chain count");
+  ()
+
+(* --- raft ---------------------------------------------------------------------- *)
+
+let setup_raft ?(n = 3) h =
+  let names = List.init n (fun i -> Printf.sprintf "raft-%d" (i + 1)) in
+  let rng = Rng.create ~seed:7 in
+  let nodes =
+    List.map
+      (fun name ->
+        Raft.create ~net:h.net ~name ~names ~identity:(Identity.create ("ord/" ^ name))
+          ~rng:(Rng.split rng) ~block_size:4 ~block_timeout:0.5
+          ~peers:[ "peer-1" ] ())
+      names
+  in
+  (names, nodes)
+
+let find_leader nodes = List.find_opt (fun n -> Raft.role n = Raft.Leader) nodes
+
+let test_raft_elects_leader () =
+  let h = make_harness () in
+  let _, nodes = setup_raft h in
+  ignore (Clock.run ~until:2.0 h.clock);
+  (match find_leader nodes with
+  | None -> Alcotest.fail "no leader elected"
+  | Some leader ->
+      Alcotest.(check bool) "term > 0" true (Raft.term leader > 0);
+      (* everyone agrees on the leader *)
+      List.iter
+        (fun n ->
+          if Raft.role n <> Raft.Leader then
+            Alcotest.(check (option string)) "leader hint"
+              (Raft.leader_hint leader) (Raft.leader_hint n))
+        nodes)
+
+let test_raft_orders_transactions () =
+  let h = make_harness () in
+  let names, nodes = setup_raft h in
+  ignore (Clock.run ~until:2.0 h.clock);
+  (* Submit to a follower: must be forwarded to the leader. *)
+  let follower =
+    List.nth names
+      (match find_leader nodes with
+      | Some l when Raft.leader_hint l = Some (List.nth names 0) -> 1
+      | _ -> 0)
+  in
+  for i = 1 to 6 do
+    submit h ~dst:follower (mk_tx i)
+  done;
+  ignore (Clock.run ~until:6.0 h.clock);
+  (* peer-1 is connected to all three orderers in this harness; it receives
+     each block once per orderer. Group by height and check consistency. *)
+  let all = blocks_for h "peer-1" in
+  Alcotest.(check bool) "blocks produced" true (List.length all > 0);
+  let by_height = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      let cur = try Hashtbl.find by_height b.Block.height with Not_found -> [] in
+      Hashtbl.replace by_height b.Block.height (b :: cur))
+    all;
+  Hashtbl.iter
+    (fun _h bs ->
+      let hashes = List.sort_uniq compare (List.map (fun b -> b.Block.hash) bs) in
+      Alcotest.(check int) "identical across orderers" 1 (List.length hashes))
+    by_height;
+  let total =
+    Hashtbl.fold (fun _ bs acc -> acc + List.length (List.hd bs).Block.txs) by_height 0
+  in
+  Alcotest.(check int) "all six ordered exactly once" 6 total
+
+let test_raft_leader_failover () =
+  let h = make_harness () in
+  let _, nodes = setup_raft h in
+  ignore (Clock.run ~until:2.0 h.clock);
+  let leader1 = match find_leader nodes with Some l -> l | None -> Alcotest.fail "no leader" in
+  let term1 = Raft.term leader1 in
+  Raft.crash leader1;
+  ignore (Clock.run ~until:5.0 h.clock);
+  let survivors = List.filter (fun n -> not (Raft.is_crashed n)) nodes in
+  let leader2 =
+    match find_leader survivors with
+    | Some l -> l
+    | None -> Alcotest.fail "no new leader after crash"
+  in
+  Alcotest.(check bool) "new leader differs" true (leader2 != leader1);
+  Alcotest.(check bool) "term advanced" true (Raft.term leader2 > term1);
+  (* Transactions still get ordered. *)
+  let survivor_name = (match Raft.leader_hint leader2 with Some n -> n | None -> "raft-1") in
+  for i = 100 to 105 do
+    submit h ~dst:survivor_name (mk_tx i)
+  done;
+  ignore (Clock.run ~until:10.0 h.clock);
+  Alcotest.(check bool) "committed after failover" true (Raft.commit_index leader2 > 0);
+  (* Old leader restarts and catches up. *)
+  Raft.restart leader1;
+  ignore (Clock.run ~until:15.0 h.clock);
+  Alcotest.(check int) "log caught up" (Raft.log_length leader2) (Raft.log_length leader1)
+
+(* --- bft --------------------------------------------------------------------- *)
+
+let setup_bft h ~n =
+  let names = List.init n (fun i -> Printf.sprintf "bft-%d" (i + 1)) in
+  List.map
+    (fun name ->
+      Bft.create ~net:h.net ~name ~names ~identity:(Identity.create ("ord/" ^ name))
+        ~block_size:4 ~block_timeout:0.5
+        ~peers:(if name = List.hd names then [ "peer-1" ] else [])
+        ())
+    names
+
+let test_bft_delivers_blocks () =
+  let h = make_harness () in
+  let nodes = setup_bft h ~n:4 in
+  Alcotest.(check bool) "first is leader" true (Bft.is_leader (List.hd nodes));
+  for i = 1 to 9 do
+    (* submit to random replicas; they relay to the leader *)
+    submit h ~dst:(Printf.sprintf "bft-%d" ((i mod 4) + 1)) (mk_tx i)
+  done;
+  ignore (Clock.run ~until:10.0 h.clock);
+  let bs = blocks_for h "peer-1" in
+  Alcotest.(check int) "all txs delivered" 9
+    (List.fold_left (fun acc b -> acc + List.length b.Block.txs) 0 bs);
+  Alcotest.(check (list int)) "in order" (List.mapi (fun i _ -> i + 1) bs)
+    (List.map (fun b -> b.Block.height) bs);
+  (* every replica committed every block *)
+  List.iter
+    (fun node ->
+      Alcotest.(check int) "replica delivered" (List.length bs) (Bft.blocks_delivered node))
+    nodes
+
+let test_bft_throughput_degrades_with_scale () =
+  (* The Fig 8(b) mechanism: more orderers => more leader work per block. *)
+  let run n =
+    let h = make_harness () in
+    let _nodes = setup_bft h ~n in
+    for i = 1 to 200 do
+      submit h ~dst:"bft-1" (mk_tx i)
+    done;
+    ignore (Clock.run ~until:60.0 h.clock);
+    let bs = blocks_for h "peer-1" in
+    let last_time = Clock.now h.clock in
+    ignore last_time;
+    List.length bs
+  in
+  let b4 = run 4 and b16 = run 16 in
+  (* Same workload and simulated horizon: fewer blocks complete per unit
+     time at larger scale is not directly observable here since we run to
+     quiescence; instead both must deliver all 200 txs. The latency-based
+     degradation is asserted in the bench harness; here we check safety. *)
+  Alcotest.(check int) "n=4 delivers all" 50 b4;
+  Alcotest.(check int) "n=16 delivers all" 50 b16
+
+let suites =
+  [
+    ( "consensus.cutter",
+      [
+        Alcotest.test_case "size cut" `Quick test_cutter_size_cut;
+        Alcotest.test_case "duplicates" `Quick test_cutter_duplicates;
+        Alcotest.test_case "force cut" `Quick test_cutter_force_cut;
+      ] );
+    ( "consensus.solo",
+      [
+        Alcotest.test_case "size and timeout cuts" `Quick test_solo_size_and_timeout;
+        Alcotest.test_case "duplicates ignored" `Quick test_solo_duplicate_txs_ignored;
+      ] );
+    ( "consensus.kafka",
+      [ Alcotest.test_case "identical blocks across orderers" `Quick test_kafka_identical_blocks ] );
+    ( "consensus.raft",
+      [
+        Alcotest.test_case "elects a leader" `Quick test_raft_elects_leader;
+        Alcotest.test_case "orders transactions" `Quick test_raft_orders_transactions;
+        Alcotest.test_case "leader failover" `Quick test_raft_leader_failover;
+      ] );
+    ( "consensus.bft",
+      [
+        Alcotest.test_case "delivers blocks" `Quick test_bft_delivers_blocks;
+        Alcotest.test_case "safety at scale" `Quick test_bft_throughput_degrades_with_scale;
+      ] );
+  ]

@@ -1,0 +1,263 @@
+open Brdb_crypto
+
+(* FIPS 180-4 / NIST test vectors. *)
+let test_sha256_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ("The quick brown fox jumps over the lazy dog",
+       "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+    ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) ("sha256 of " ^ input) expected (Sha256.hex input))
+    cases
+
+let test_sha256_million_a () =
+  (* The classic 1,000,000 x 'a' vector exercises multi-block feeding. *)
+  let ctx = Sha256.init () in
+  let chunk = String.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Sha256.feed ctx chunk
+  done;
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Brdb_util.Hex.encode (Sha256.finalize ctx))
+
+let test_sha256_incremental_equals_oneshot () =
+  (* Feed in awkward chunk sizes across the 64-byte block boundary. *)
+  let msg = String.init 300 (fun i -> Char.chr (i mod 251)) in
+  List.iter
+    (fun sizes ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      List.iter
+        (fun sz ->
+          let take = min sz (String.length msg - !pos) in
+          Sha256.feed ctx (String.sub msg !pos take);
+          pos := !pos + take)
+        sizes;
+      Sha256.feed ctx (String.sub msg !pos (String.length msg - !pos));
+      Alcotest.(check string) "incremental" (Sha256.hex msg)
+        (Brdb_util.Hex.encode (Sha256.finalize ctx)))
+    [ [ 1; 63; 64; 65 ]; [ 55; 1; 200 ]; [ 64; 64; 64 ]; [ 299 ]; [] ]
+
+let test_digest_concat_unambiguous () =
+  let a = Sha256.digest_concat [ "ab"; "c" ] in
+  let b = Sha256.digest_concat [ "a"; "bc" ] in
+  Alcotest.(check bool) "different splits differ" false (String.equal a b);
+  let c = Sha256.digest_concat [ "ab"; "c" ] in
+  Alcotest.(check bool) "deterministic" true (String.equal a c)
+
+(* RFC 4231 HMAC-SHA256 test vectors. *)
+let test_hmac_vectors () =
+  Alcotest.(check string) "rfc4231 case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.hex ~key:(String.make 20 '\x0b') "Hi There");
+  Alcotest.(check string) "rfc4231 case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.hex ~key:"Jefe" "what do ya want for nothing?");
+  Alcotest.(check string) "rfc4231 long key"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.hex
+       ~key:(String.make 131 '\xaa')
+       "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_field61_basics () =
+  let open Field61 in
+  Alcotest.(check int64) "p" 2305843009213693951L p;
+  Alcotest.(check int64) "norm negative" (Int64.sub p 1L) (norm (-1L));
+  Alcotest.(check int64) "add wraps" 0L (add (Int64.sub p 1L) 1L);
+  Alcotest.(check int64) "sub wraps" (Int64.sub p 1L) (sub 0L 1L);
+  Alcotest.(check int64) "mul small" 12L (mul 3L 4L);
+  Alcotest.(check int64) "pow" 1024L (pow 2L 10L);
+  (* Fermat: a^(p-1) = 1 mod p for a != 0. *)
+  Alcotest.(check int64) "fermat" 1L (pow 123456789L (Int64.sub p 1L))
+
+let prop_field61_mul_matches_reference =
+  (* Cross-check mul against a reference built from pow/add on small
+     decompositions: a*b = sum over set bits of b of a*2^i. *)
+  let gen = QCheck.int64 in
+  QCheck.Test.make ~name:"field61 mul = shift-add reference" ~count:500
+    (QCheck.pair gen gen)
+    (fun (a, b) ->
+      let a = Field61.norm a and b = Field61.norm b in
+      let reference =
+        let acc = ref 0L and cur = ref a and e = ref b in
+        while not (Int64.equal !e 0L) do
+          if Int64.equal (Int64.logand !e 1L) 1L then acc := Field61.add !acc !cur;
+          cur := Field61.add !cur !cur;
+          e := Int64.shift_right_logical !e 1
+        done;
+        !acc
+      in
+      Int64.equal (Field61.mul a b) reference)
+
+let prop_field61_mul_commutative_assoc =
+  let gen = QCheck.int64 in
+  QCheck.Test.make ~name:"field61 mul commutative+associative" ~count:300
+    (QCheck.triple gen gen gen)
+    (fun (a, b, c) ->
+      let a = Field61.norm a and b = Field61.norm b and c = Field61.norm c in
+      Int64.equal (Field61.mul a b) (Field61.mul b a)
+      && Int64.equal (Field61.mul a (Field61.mul b c)) (Field61.mul (Field61.mul a b) c))
+
+let prop_field61_distributive =
+  let gen = QCheck.int64 in
+  QCheck.Test.make ~name:"field61 distributivity" ~count:300
+    (QCheck.triple gen gen gen)
+    (fun (a, b, c) ->
+      let a = Field61.norm a and b = Field61.norm b and c = Field61.norm c in
+      Int64.equal
+        (Field61.mul a (Field61.add b c))
+        (Field61.add (Field61.mul a b) (Field61.mul a c)))
+
+let prop_field61_pow_laws =
+  QCheck.Test.make ~name:"field61 pow: g^(a+b) = g^a * g^b" ~count:200
+    QCheck.(pair (int_bound 100000) (int_bound 100000))
+    (fun (a, b) ->
+      let g = 37L in
+      let pa = Field61.pow g (Int64.of_int a) in
+      let pb = Field61.pow g (Int64.of_int b) in
+      Int64.equal (Field61.pow g (Int64.of_int (a + b))) (Field61.mul pa pb))
+
+let test_schnorr_sign_verify () =
+  let sk, pk = Schnorr.keygen ~seed:"org1/alice" in
+  let msg = "transfer 10 from a to b" in
+  let sg = Schnorr.sign sk msg in
+  Alcotest.(check bool) "valid" true (Schnorr.verify pk msg sg);
+  Alcotest.(check bool) "wrong msg" false (Schnorr.verify pk (msg ^ "!") sg);
+  let _, pk2 = Schnorr.keygen ~seed:"org2/bob" in
+  Alcotest.(check bool) "wrong key" false (Schnorr.verify pk2 msg sg)
+
+let test_schnorr_deterministic () =
+  let sk, _ = Schnorr.keygen ~seed:"org1/alice" in
+  let s1 = Schnorr.sign sk "m" and s2 = Schnorr.sign sk "m" in
+  Alcotest.(check string) "same signature"
+    (Schnorr.signature_to_string s1) (Schnorr.signature_to_string s2)
+
+let test_schnorr_serialization () =
+  let sk, pk = Schnorr.keygen ~seed:"x" in
+  let sg = Schnorr.sign sk "payload" in
+  match Schnorr.signature_of_string (Schnorr.signature_to_string sg) with
+  | None -> Alcotest.fail "roundtrip failed"
+  | Some sg' -> Alcotest.(check bool) "still valid" true (Schnorr.verify pk "payload" sg')
+
+let test_schnorr_garbage_signature () =
+  Alcotest.(check bool) "no colon" true (Schnorr.signature_of_string "zzz" = None);
+  Alcotest.(check bool) "bad hex" true (Schnorr.signature_of_string "xx:yy" = None)
+
+let prop_schnorr_roundtrip =
+  QCheck.Test.make ~name:"schnorr verify(sign m) over random messages" ~count:100
+    QCheck.(pair small_string string)
+    (fun (seed, msg) ->
+      let sk, pk = Schnorr.keygen ~seed in
+      Schnorr.verify pk msg (Schnorr.sign sk msg))
+
+let test_merkle_empty_and_single () =
+  let r0 = Merkle.root [] in
+  let r1 = Merkle.root [ "tx1" ] in
+  Alcotest.(check bool) "empty != single" false (String.equal r0 r1);
+  Alcotest.(check string) "deterministic" (Brdb_util.Hex.encode r1)
+    (Brdb_util.Hex.encode (Merkle.root [ "tx1" ]))
+
+let test_merkle_order_sensitive () =
+  let a = Merkle.root [ "t1"; "t2" ] and b = Merkle.root [ "t2"; "t1" ] in
+  Alcotest.(check bool) "order matters" false (String.equal a b)
+
+let test_merkle_proofs () =
+  let leaves = [ "a"; "b"; "c"; "d"; "e" ] in
+  let r = Merkle.root leaves in
+  List.iteri
+    (fun i leaf ->
+      let proof = Merkle.prove leaves i in
+      Alcotest.(check bool) (Printf.sprintf "leaf %d verifies" i) true
+        (Merkle.check ~root:r ~leaf proof);
+      Alcotest.(check bool) (Printf.sprintf "leaf %d wrong leaf fails" i) false
+        (Merkle.check ~root:r ~leaf:"zzz" proof))
+    leaves
+
+let test_merkle_proof_wrong_position_fails () =
+  let leaves = [ "a"; "b"; "c"; "d" ] in
+  let r = Merkle.root leaves in
+  (* a proof for position 0 must not verify leaf at position 1 *)
+  let proof0 = Merkle.prove leaves 0 in
+  Alcotest.(check bool) "cross-position fails" false
+    (Merkle.check ~root:r ~leaf:"b" proof0)
+
+let test_merkle_proof_out_of_range () =
+  Alcotest.check_raises "oob" (Invalid_argument "Merkle.prove: index out of range")
+    (fun () -> ignore (Merkle.prove [ "a" ] 1))
+
+let prop_merkle_proofs_verify =
+  QCheck.Test.make ~name:"merkle proofs verify for random leaf sets" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) small_string)
+    (fun leaves ->
+      let r = Merkle.root leaves in
+      List.for_all
+        (fun i -> Merkle.check ~root:r ~leaf:(List.nth leaves i) (Merkle.prove leaves i))
+        (List.init (List.length leaves) Fun.id))
+
+let test_identity_registry () =
+  let reg = Identity.Registry.create () in
+  let alice = Identity.create "org1/alice" in
+  let bob = Identity.create "org1/bob" in
+  Alcotest.(check bool) "register alice" true (Identity.Registry.register reg alice = Ok ());
+  Alcotest.(check bool) "register bob" true (Identity.Registry.register reg bob = Ok ());
+  Alcotest.(check bool) "re-register same ok" true (Identity.Registry.register reg alice = Ok ());
+  let fake = Identity.create "org1/alice-evil" in
+  Alcotest.(check bool) "conflict"
+    true
+    (Identity.Registry.register_key reg ~name:"org1/alice" (Identity.public_key fake)
+    = Error `Conflict);
+  let sg = Identity.sign alice "hello" in
+  Alcotest.(check bool) "verify ok" true (Identity.Registry.verify reg ~name:"org1/alice" "hello" sg);
+  Alcotest.(check bool) "verify wrong name" false
+    (Identity.Registry.verify reg ~name:"org1/bob" "hello" sg);
+  Alcotest.(check bool) "verify unknown" false
+    (Identity.Registry.verify reg ~name:"nobody" "hello" sg);
+  Identity.Registry.remove reg "org1/bob";
+  Alcotest.(check bool) "removed" false (Identity.Registry.mem reg "org1/bob");
+  Alcotest.(check (list string)) "names" [ "org1/alice" ] (Identity.Registry.names reg)
+
+let suites =
+  [
+    ( "crypto.sha256",
+      [
+        Alcotest.test_case "NIST vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "million 'a'" `Slow test_sha256_million_a;
+        Alcotest.test_case "incremental = one-shot" `Quick test_sha256_incremental_equals_oneshot;
+        Alcotest.test_case "digest_concat unambiguous" `Quick test_digest_concat_unambiguous;
+      ] );
+    ("crypto.hmac", [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_vectors ]);
+    ( "crypto.field61",
+      [
+        Alcotest.test_case "basics" `Quick test_field61_basics;
+        QCheck_alcotest.to_alcotest prop_field61_mul_matches_reference;
+        QCheck_alcotest.to_alcotest prop_field61_mul_commutative_assoc;
+        QCheck_alcotest.to_alcotest prop_field61_distributive;
+        QCheck_alcotest.to_alcotest prop_field61_pow_laws;
+      ] );
+    ( "crypto.schnorr",
+      [
+        Alcotest.test_case "sign/verify" `Quick test_schnorr_sign_verify;
+        Alcotest.test_case "deterministic" `Quick test_schnorr_deterministic;
+        Alcotest.test_case "serialization" `Quick test_schnorr_serialization;
+        Alcotest.test_case "garbage signatures" `Quick test_schnorr_garbage_signature;
+        QCheck_alcotest.to_alcotest prop_schnorr_roundtrip;
+      ] );
+    ( "crypto.merkle",
+      [
+        Alcotest.test_case "empty/single" `Quick test_merkle_empty_and_single;
+        Alcotest.test_case "order sensitive" `Quick test_merkle_order_sensitive;
+        Alcotest.test_case "inclusion proofs" `Quick test_merkle_proofs;
+        Alcotest.test_case "proof out of range" `Quick test_merkle_proof_out_of_range;
+        Alcotest.test_case "cross-position proof fails" `Quick test_merkle_proof_wrong_position_fails;
+        QCheck_alcotest.to_alcotest prop_merkle_proofs_verify;
+      ] );
+    ("crypto.identity", [ Alcotest.test_case "registry" `Quick test_identity_registry ]);
+  ]

@@ -1,0 +1,361 @@
+open Brdb_storage
+module Txn = Brdb_txn.Txn
+module Manager = Brdb_txn.Manager
+module Exec = Brdb_engine.Exec
+
+(* A tiny single-node fixture: transactions auto-commit at increasing block
+   heights, so each statement sees everything committed before it. *)
+type fixture = {
+  mgr : Manager.t;
+  catalog : Catalog.t;
+  mutable height : int;
+  mutable n : int;
+}
+
+let make_fixture () =
+  let catalog = Catalog.create () in
+  { mgr = Manager.create catalog; catalog; height = 0; n = 0 }
+
+let fresh_txn fx =
+  fx.n <- fx.n + 1;
+  match
+    Manager.begin_txn fx.mgr
+      ~global_id:(Printf.sprintf "tx-%d" fx.n)
+      ~client:"test" ~snapshot_height:fx.height ()
+  with
+  | Ok t -> t
+  | Error `Duplicate_txid -> Alcotest.fail "duplicate txid in fixture"
+
+(* Run one statement in its own transaction and commit it. *)
+let run ?params ?mode fx sql =
+  let txn = fresh_txn fx in
+  match Exec.execute_sql fx.catalog txn ?params ?mode sql with
+  | Ok rs ->
+      fx.height <- fx.height + 1;
+      Manager.commit fx.mgr txn ~height:fx.height;
+      rs
+  | Error e ->
+      Manager.abort fx.mgr txn (Txn.Contract_error (Exec.error_to_string e));
+      Alcotest.failf "%s failed: %s" sql (Exec.error_to_string e)
+
+let run_err ?params ?mode fx sql =
+  let txn = fresh_txn fx in
+  match Exec.execute_sql fx.catalog txn ?params ?mode sql with
+  | Ok _ -> Alcotest.failf "%s unexpectedly succeeded" sql
+  | Error e ->
+      Manager.abort fx.mgr txn (Txn.Contract_error (Exec.error_to_string e));
+      e
+
+let rows_to_list (rs : Exec.result_set) = List.map Array.to_list rs.Exec.rows
+
+let value : Value.t Alcotest.testable = Alcotest.testable Value.pp Value.equal
+
+let check_rows msg expected rs =
+  Alcotest.(check (list (list value))) msg expected (rows_to_list rs)
+
+let vi i = Value.Int i
+let vt s = Value.Text s
+let vf f = Value.Float f
+let vnull = Value.Null
+
+let seed_items fx =
+  ignore (run fx "CREATE TABLE items (id INT PRIMARY KEY, name TEXT, qty INT, price FLOAT)");
+  ignore (run fx "INSERT INTO items VALUES (1, 'apple', 10, 0.5), (2, 'pear', 5, 0.8), (3, 'fig', 20, 2.0)")
+
+let test_create_insert_select () =
+  let fx = make_fixture () in
+  seed_items fx;
+  check_rows "all rows"
+    [ [ vi 1; vt "apple"; vi 10; vf 0.5 ];
+      [ vi 2; vt "pear"; vi 5; vf 0.8 ];
+      [ vi 3; vt "fig"; vi 20; vf 2.0 ] ]
+    (run fx "SELECT * FROM items ORDER BY id")
+
+let test_where_and_projection () =
+  let fx = make_fixture () in
+  seed_items fx;
+  check_rows "filter" [ [ vt "fig"; vi 20 ] ]
+    (run fx "SELECT name, qty FROM items WHERE qty > 10");
+  check_rows "arith and alias" [ [ vi 1; vf 5.0 ]; [ vi 2; vf 4.0 ]; [ vi 3; vf 40.0 ] ]
+    (run fx "SELECT id, qty * price AS total FROM items ORDER BY id");
+  check_rows "between" [ [ vi 1 ]; [ vi 2 ] ]
+    (run fx "SELECT id FROM items WHERE qty BETWEEN 5 AND 10 ORDER BY id");
+  check_rows "in list" [ [ vt "apple" ]; [ vt "fig" ] ]
+    (run fx "SELECT name FROM items WHERE id IN (1, 3) ORDER BY id")
+
+let test_order_and_limit () =
+  let fx = make_fixture () in
+  seed_items fx;
+  check_rows "desc" [ [ vi 3 ]; [ vi 1 ]; [ vi 2 ] ]
+    (run fx "SELECT id FROM items ORDER BY qty DESC");
+  check_rows "limit" [ [ vi 3 ] ] (run fx "SELECT id FROM items ORDER BY qty DESC LIMIT 1");
+  check_rows "order by output alias" [ [ vi 2 ]; [ vi 1 ]; [ vi 3 ] ]
+    (run fx "SELECT id, qty * price AS total FROM items ORDER BY total"
+    |> fun rs -> { rs with Exec.rows = List.map (fun r -> [| r.(0) |]) rs.Exec.rows })
+
+let test_aggregates () =
+  let fx = make_fixture () in
+  seed_items fx;
+  check_rows "count" [ [ vi 3 ] ] (run fx "SELECT COUNT(*) FROM items");
+  check_rows "sum int" [ [ vi 35 ] ] (run fx "SELECT SUM(qty) FROM items");
+  check_rows "min/max" [ [ vi 5; vi 20 ] ] (run fx "SELECT MIN(qty), MAX(qty) FROM items");
+  check_rows "avg" [ [ vf (35.0 /. 3.0) ] ] (run fx "SELECT AVG(qty) FROM items");
+  check_rows "empty table aggregates" [ [ vi 0; vnull ] ]
+    (run fx "SELECT COUNT(*), SUM(qty) FROM items WHERE qty > 1000")
+
+let test_group_by_having () =
+  let fx = make_fixture () in
+  ignore (run fx "CREATE TABLE sales (id INT PRIMARY KEY, region TEXT, amount INT)");
+  ignore
+    (run fx
+       "INSERT INTO sales VALUES (1, 'east', 10), (2, 'east', 20), (3, 'west', 5), (4, 'west', 7), (5, 'north', 100)");
+  check_rows "group sums"
+    [ [ vt "east"; vi 30 ]; [ vt "north"; vi 100 ]; [ vt "west"; vi 12 ] ]
+    (run fx "SELECT region, SUM(amount) FROM sales GROUP BY region ORDER BY region");
+  check_rows "having"
+    [ [ vt "east"; vi 30 ]; [ vt "north"; vi 100 ] ]
+    (run fx
+       "SELECT region, SUM(amount) AS total FROM sales GROUP BY region HAVING SUM(amount) > 20 ORDER BY region");
+  check_rows "count per group + order by agg desc + limit"
+    [ [ vt "north"; vi 100 ] ]
+    (run fx
+       "SELECT region, MAX(amount) AS m FROM sales GROUP BY region ORDER BY m DESC LIMIT 1")
+
+let test_join () =
+  let fx = make_fixture () in
+  ignore (run fx "CREATE TABLE dept (did INT PRIMARY KEY, dname TEXT)");
+  ignore (run fx "CREATE TABLE emp (eid INT PRIMARY KEY, did INT, sal INT)");
+  ignore (run fx "INSERT INTO dept VALUES (1, 'eng'), (2, 'ops')");
+  ignore (run fx "INSERT INTO emp VALUES (10, 1, 100), (11, 1, 120), (12, 2, 90)");
+  check_rows "join"
+    [ [ vt "eng"; vi 100 ]; [ vt "eng"; vi 120 ]; [ vt "ops"; vi 90 ] ]
+    (run fx
+       "SELECT d.dname, e.sal FROM emp AS e JOIN dept AS d ON e.did = d.did ORDER BY e.eid");
+  check_rows "join + where + aggregate"
+    [ [ vt "eng"; vi 220 ] ]
+    (run fx
+       "SELECT d.dname, SUM(e.sal) FROM emp e JOIN dept d ON e.did = d.did WHERE d.dname = 'eng' GROUP BY d.dname")
+
+let test_update_delete () =
+  let fx = make_fixture () in
+  seed_items fx;
+  let rs = run fx "UPDATE items SET qty = qty + 1 WHERE id = 1" in
+  Alcotest.(check int) "one updated" 1 rs.Exec.affected;
+  check_rows "updated" [ [ vi 11 ] ] (run fx "SELECT qty FROM items WHERE id = 1");
+  let rs = run fx "DELETE FROM items WHERE qty < 10" in
+  Alcotest.(check int) "one deleted" 1 rs.Exec.affected;
+  check_rows "remaining" [ [ vi 1 ]; [ vi 3 ] ] (run fx "SELECT id FROM items ORDER BY id");
+  let rs = run fx "UPDATE items SET qty = 0" in
+  Alcotest.(check int) "blind update allowed in default mode" 2 rs.Exec.affected
+
+let test_mvcc_snapshots () =
+  let fx = make_fixture () in
+  seed_items fx;
+  (* A transaction pinned at the current height must not see later commits. *)
+  let old_txn = fresh_txn fx in
+  ignore (run fx "UPDATE items SET qty = 99 WHERE id = 1");
+  (match Exec.execute_sql fx.catalog old_txn "SELECT qty FROM items WHERE id = 1" with
+  | Ok rs -> check_rows "old snapshot" [ [ vi 10 ] ] rs
+  | Error e -> Alcotest.fail (Exec.error_to_string e));
+  Manager.abort fx.mgr old_txn (Txn.Contract_error "done");
+  (* A fresh transaction sees the update. *)
+  check_rows "new snapshot" [ [ vi 99 ] ] (run fx "SELECT qty FROM items WHERE id = 1")
+
+let test_read_your_writes () =
+  let fx = make_fixture () in
+  seed_items fx;
+  let txn = fresh_txn fx in
+  let exec sql =
+    match Exec.execute_sql fx.catalog txn sql with
+    | Ok rs -> rs
+    | Error e -> Alcotest.fail (Exec.error_to_string e)
+  in
+  ignore (exec "INSERT INTO items VALUES (4, 'plum', 7, 1.0)");
+  check_rows "sees own insert" [ [ vi 4 ] ] (exec "SELECT id FROM items WHERE id = 4");
+  ignore (exec "UPDATE items SET qty = 8 WHERE id = 4");
+  check_rows "sees own update" [ [ vi 8 ] ] (exec "SELECT qty FROM items WHERE id = 4");
+  ignore (exec "DELETE FROM items WHERE id = 4");
+  check_rows "sees own delete" [] (exec "SELECT id FROM items WHERE id = 4");
+  (* Other transactions see none of it before commit. *)
+  let other = fresh_txn fx in
+  (match Exec.execute_sql fx.catalog other "SELECT id FROM items WHERE id = 4" with
+  | Ok rs -> check_rows "invisible to others" [] rs
+  | Error e -> Alcotest.fail (Exec.error_to_string e));
+  Manager.abort fx.mgr txn (Txn.Contract_error "done");
+  Manager.abort fx.mgr other (Txn.Contract_error "done")
+
+let test_duplicate_pk () =
+  let fx = make_fixture () in
+  seed_items fx;
+  let e = run_err fx "INSERT INTO items VALUES (1, 'dup', 0, 0.0)" in
+  (match e with
+  | Exec.Sql_error msg ->
+      Alcotest.(check bool) "mentions duplicate" true
+        (String.length msg > 0 && String.sub msg 0 9 = "duplicate")
+  | _ -> Alcotest.fail "wrong error kind");
+  (* Updating into an existing key is also rejected. *)
+  ignore (run_err fx "UPDATE items SET id = 2 WHERE id = 1")
+
+let test_not_null_and_types () =
+  let fx = make_fixture () in
+  ignore (run fx "CREATE TABLE t (id INT PRIMARY KEY, req TEXT NOT NULL)");
+  ignore (run_err fx "INSERT INTO t VALUES (1, NULL)");
+  ignore (run_err fx "INSERT INTO t VALUES ('x', 'ok')");
+  ignore (run fx "INSERT INTO t VALUES (1, 'ok')")
+
+let test_three_valued_logic () =
+  let fx = make_fixture () in
+  ignore (run fx "CREATE TABLE t (id INT PRIMARY KEY, x INT)");
+  ignore (run fx "INSERT INTO t VALUES (1, 10), (2, NULL), (3, 30)");
+  check_rows "null excluded by >" [ [ vi 3 ] ] (run fx "SELECT id FROM t WHERE x > 10");
+  check_rows "null excluded by =" [ [ vi 1 ] ] (run fx "SELECT id FROM t WHERE x = 10");
+  check_rows "is null" [ [ vi 2 ] ] (run fx "SELECT id FROM t WHERE x IS NULL");
+  check_rows "is not null" [ [ vi 1 ]; [ vi 3 ] ]
+    (run fx "SELECT id FROM t WHERE x IS NOT NULL ORDER BY id");
+  check_rows "not (x > 10) excludes null" [ [ vi 1 ] ]
+    (run fx "SELECT id FROM t WHERE NOT x > 10");
+  check_rows "coalesce" [ [ vi 1; vi 10 ]; [ vi 2; vi 0 ]; [ vi 3; vi 30 ] ]
+    (run fx "SELECT id, COALESCE(x, 0) FROM t ORDER BY id")
+
+let test_params () =
+  let fx = make_fixture () in
+  seed_items fx;
+  check_rows "param filter" [ [ vt "pear" ] ]
+    (run fx ~params:[| vi 2 |] "SELECT name FROM items WHERE id = $1");
+  ignore (run fx ~params:[| vi 9; vt "kiwi" |] "INSERT INTO items VALUES ($1, $2, 0, 0.0)");
+  check_rows "param insert" [ [ vt "kiwi" ] ]
+    (run fx "SELECT name FROM items WHERE id = 9");
+  match run_err fx ~params:[| vi 1 |] "SELECT * FROM items WHERE id = $2" with
+  | Exec.Sql_error _ -> ()
+  | _ -> Alcotest.fail "expected sql error for missing param"
+
+let test_strict_mode () =
+  let fx = make_fixture () in
+  seed_items fx;
+  (* Indexed access (primary key) is fine. *)
+  ignore (run fx ~mode:Exec.strict_mode "SELECT * FROM items WHERE id = 1");
+  (* Unindexed predicate: rejected. *)
+  (match run_err fx ~mode:Exec.strict_mode "SELECT * FROM items WHERE qty > 6" with
+  | Exec.Missing_index t -> Alcotest.(check string) "table named" "items" t
+  | _ -> Alcotest.fail "expected Missing_index");
+  (* Whole-table scans: rejected. *)
+  (match run_err fx ~mode:Exec.strict_mode "SELECT * FROM items" with
+  | Exec.Missing_index _ -> ()
+  | _ -> Alcotest.fail "expected Missing_index");
+  (* Blind updates: rejected. *)
+  (match run_err fx ~mode:Exec.strict_mode "UPDATE items SET qty = 0" with
+  | Exec.Blind_update t -> Alcotest.(check string) "table named" "items" t
+  | _ -> Alcotest.fail "expected Blind_update");
+  (* After adding an index the same query passes. *)
+  ignore (run fx "CREATE INDEX items_qty ON items (qty)");
+  check_rows "indexed range now works" [ [ vi 1 ]; [ vi 3 ] ]
+    (run fx ~mode:Exec.strict_mode "SELECT id FROM items WHERE qty > 6 ORDER BY id")
+
+let test_tracking () =
+  let fx = make_fixture () in
+  seed_items fx;
+  let txn = fresh_txn fx in
+  (match Exec.execute_sql fx.catalog txn "SELECT * FROM items WHERE id = 2" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Exec.error_to_string e));
+  Alcotest.(check int) "one read" 1 (List.length txn.Txn.reads);
+  Alcotest.(check int) "one predicate" 1 (List.length txn.Txn.predicates);
+  (match List.hd txn.Txn.predicates with
+  | Predicate.Range { table; column; _ } ->
+      Alcotest.(check string) "table" "items" table;
+      Alcotest.(check int) "pk column" 0 column
+  | Predicate.Full_scan _ -> Alcotest.fail "expected index predicate");
+  (match Exec.execute_sql fx.catalog txn "UPDATE items SET qty = 0 WHERE id = 2" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Exec.error_to_string e));
+  Alcotest.(check int) "one claim" 1 (List.length (Txn.claimed txn));
+  Alcotest.(check int) "one new version" 1 (List.length (Txn.created txn));
+  Manager.abort fx.mgr txn (Txn.Contract_error "done");
+  (* Abort undoes the claim and hides the new version. *)
+  check_rows "abort undone" [ [ vi 5 ] ] (run fx "SELECT qty FROM items WHERE id = 2")
+
+let test_provenance () =
+  let fx = make_fixture () in
+  seed_items fx;
+  ignore (run fx "UPDATE items SET qty = 11 WHERE id = 1");
+  ignore (run fx "UPDATE items SET qty = 12 WHERE id = 1");
+  ignore (run fx "DELETE FROM items WHERE id = 2");
+  (* Normal query: one live version of item 1, item 2 gone. *)
+  check_rows "live" [ [ vi 12 ] ] (run fx "SELECT qty FROM items WHERE id = 1");
+  check_rows "deleted" [] (run fx "SELECT id FROM items WHERE id = 2");
+  (* Provenance: full history. *)
+  check_rows "history of item 1" [ [ vi 10 ]; [ vi 11 ]; [ vi 12 ] ]
+    (run fx "PROVENANCE SELECT qty FROM items WHERE id = 1 ORDER BY qty");
+  check_rows "deleted rows visible" [ [ vi 2 ] ]
+    (run fx "PROVENANCE SELECT id FROM items WHERE id = 2");
+  (* Pseudo-columns: the latest version of item 1 is alive. *)
+  check_rows "alive version" [ [ vi 12 ] ]
+    (run fx "PROVENANCE SELECT qty FROM items WHERE id = 1 AND deleter IS NULL");
+  (* xmin of the first version differs from the last. *)
+  let rs = run fx "PROVENANCE SELECT xmin, xmax FROM items WHERE id = 1 ORDER BY qty" in
+  Alcotest.(check int) "three versions" 3 (List.length rs.Exec.rows);
+  (* Reserved pseudo-columns unavailable outside provenance. *)
+  ignore (run_err fx "SELECT xmin FROM items WHERE id = 1")
+
+let test_errors () =
+  let fx = make_fixture () in
+  seed_items fx;
+  ignore (run_err fx "SELECT * FROM missing");
+  ignore (run_err fx "SELECT nope FROM items");
+  ignore (run_err fx "SELECT i.id FROM items AS a");
+  ignore (run_err fx "SELECT 1 / 0");
+  ignore (run_err fx "SELECT 'a' + 1");
+  ignore (run_err fx "INSERT INTO items VALUES (100, 'x', 1)");
+  (* arity *)
+  ignore (run_err fx "INSERT INTO items (id, nope) VALUES (100, 1)");
+  ignore (run_err fx "UPDATE items SET nope = 1 WHERE id = 1");
+  ignore (run_err fx "CREATE TABLE items (id INT PRIMARY KEY)");
+  (* duplicate *)
+  ignore (run_err fx "SELECT id, COUNT(*) FROM items");
+  (* star with aggregates *)
+  ()
+
+let test_multi_version_update_chain_and_join_on_unindexed () =
+  let fx = make_fixture () in
+  ignore (run fx "CREATE TABLE a (id INT PRIMARY KEY, k INT)");
+  ignore (run fx "CREATE TABLE b (id INT PRIMARY KEY, k INT, v TEXT)");
+  ignore (run fx "INSERT INTO a VALUES (1, 7), (2, 8)");
+  ignore (run fx "INSERT INTO b VALUES (10, 7, 'x'), (11, 8, 'y'), (12, 7, 'z')");
+  (* join on unindexed column k still works via nested loop. *)
+  check_rows "unindexed join"
+    [ [ vi 1; vt "x" ]; [ vi 1; vt "z" ]; [ vi 2; vt "y" ] ]
+    (run fx "SELECT a.id, b.v FROM a JOIN b ON a.k = b.k ORDER BY a.id, b.id")
+
+let suites =
+  [
+    ( "engine.select",
+      [
+        Alcotest.test_case "create/insert/select" `Quick test_create_insert_select;
+        Alcotest.test_case "where + projection" `Quick test_where_and_projection;
+        Alcotest.test_case "order/limit" `Quick test_order_and_limit;
+        Alcotest.test_case "aggregates" `Quick test_aggregates;
+        Alcotest.test_case "group by / having" `Quick test_group_by_having;
+        Alcotest.test_case "joins" `Quick test_join;
+        Alcotest.test_case "unindexed join" `Quick test_multi_version_update_chain_and_join_on_unindexed;
+      ] );
+    ( "engine.dml",
+      [
+        Alcotest.test_case "update/delete" `Quick test_update_delete;
+        Alcotest.test_case "duplicate pk" `Quick test_duplicate_pk;
+        Alcotest.test_case "not null / types" `Quick test_not_null_and_types;
+        Alcotest.test_case "params" `Quick test_params;
+      ] );
+    ( "engine.mvcc",
+      [
+        Alcotest.test_case "snapshots" `Quick test_mvcc_snapshots;
+        Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+        Alcotest.test_case "3VL" `Quick test_three_valued_logic;
+        Alcotest.test_case "tracking + abort undo" `Quick test_tracking;
+        Alcotest.test_case "provenance" `Quick test_provenance;
+      ] );
+    ( "engine.modes",
+      [
+        Alcotest.test_case "strict mode" `Quick test_strict_mode;
+        Alcotest.test_case "errors" `Quick test_errors;
+      ] );
+  ]

@@ -1,0 +1,374 @@
+(** End-to-end property tests for the paper's core claims:
+
+    1. {b Serializability}: whatever subset of a block's transactions the
+       node commits, there is a serial order — a topological order of the
+       committed transactions' rw-dependency graph — whose one-at-a-time
+       replay on a fresh node reproduces the same final state. (The serial
+       order need not be the block order: rw antidependencies may point
+       against the commit order; SSI only guarantees acyclicity.) A cycle
+       among committed transactions fails the test outright.
+
+    2. {b Cross-node determinism}: independent nodes processing the same
+       blocks reach identical commit decisions and identical write-set
+       hashes — under contended workloads and in both flows.
+
+    Transactions are random read-compute-write programs over a tiny,
+    hot keyspace to maximize conflicts. *)
+
+open Brdb_node
+module Block = Brdb_ledger.Block
+module Identity = Brdb_crypto.Identity
+module Value = Brdb_storage.Value
+module Registry = Brdb_contracts.Registry
+module Api = Brdb_contracts.Api
+
+let keyspace = 5
+
+(* A transaction: read [r1] and [r2], then add a value derived from the
+   reads to key [w]. The write depends on the reads, so any missed rw
+   anomaly shows up in the final state. *)
+type op = { r1 : int; r2 : int; w : int; delta : int }
+
+let op_args o = [ Value.Int o.r1; Value.Int o.r2; Value.Int o.w; Value.Int o.delta ]
+
+let rw_contract =
+  Registry.Native
+    (fun ctx ->
+      let read k =
+        Api.set_local ctx "k" (Value.Int k);
+        match Api.query1 ctx "SELECT v FROM kv WHERE k = :k" with
+        | Some (Value.Int v) -> v
+        | _ -> Api.fail "missing key"
+      in
+      let a = read (Api.arg_int ctx 1) in
+      let b = read (Api.arg_int ctx 2) in
+      let delta = Api.arg_int ctx 4 in
+      Api.set_local ctx "w" (Value.Int (Api.arg_int ctx 3));
+      Api.set_local ctx "nv" (Value.Int (delta + ((a + (2 * b)) mod 7)));
+      ignore (Api.execute ctx "UPDATE kv SET v = v + :nv WHERE k = :w"))
+
+let setup_contract =
+  Registry.Native
+    (fun ctx ->
+      ignore (Api.execute ctx "CREATE TABLE kv (k INT PRIMARY KEY, v INT)");
+      for k = 0 to keyspace - 1 do
+        Api.set_local ctx "k" (Value.Int k);
+        ignore (Api.execute ctx "INSERT INTO kv VALUES (:k, 100)")
+      done)
+
+(* ----------------------------------------------------------- infrastructure *)
+
+let orderer = Identity.create "orderer/prop"
+
+let client = Identity.create "org1/prop"
+
+let admin = Identity.create "org1/admin"
+
+let registry () =
+  let r = Identity.Registry.create () in
+  List.iter
+    (fun id ->
+      match Identity.Registry.register r id with Ok () -> () | Error _ -> assert false)
+    [ orderer; client; admin ];
+  r
+
+let make_node ~flow ~registry name =
+  let node =
+    Node_core.create
+      (Node_core.make_config ~name ~org:"org1" ~flow ~orgs:[ "org1" ] ())
+      ~registry
+  in
+  Node_core.bootstrap node;
+  Node_core.install_contract node ~name:"setup" setup_contract;
+  Node_core.install_contract node ~name:"rw" rw_contract;
+  node
+
+type chain = { mutable prev : Block.t option }
+
+let next_block chain txs =
+  let height = (match chain.prev with None -> 0 | Some b -> b.Block.height) + 1 in
+  let prev_hash = match chain.prev with None -> Block.genesis_hash | Some b -> b.Block.hash in
+  let b = Block.sign (Block.create ~height ~txs ~metadata:"p" ~prev_hash) orderer in
+  chain.prev <- Some b;
+  b
+
+let process node block =
+  match Node_core.process_block node block with
+  | Ok r -> r
+  | Error e -> QCheck.Test.fail_reportf "process_block: %s" e
+
+let init_node node chain_tx =
+  let r = process node chain_tx in
+  match r.Node_core.br_statuses with
+  | [ (_, Node_core.S_committed) ] -> ()
+  | _ -> QCheck.Test.fail_report "setup tx failed"
+
+let state_of node =
+  match Node_core.query node "SELECT k, v FROM kv ORDER BY k" with
+  | Ok rs ->
+      List.map
+        (fun row -> Array.to_list (Array.map Value.to_string row))
+        rs.Brdb_engine.Exec.rows
+  | Error e -> QCheck.Test.fail_reportf "query: %s" e
+
+(* ------------------------------------------------------------- generators *)
+
+let gen_op =
+  QCheck.Gen.(
+    map
+      (fun (r1, r2, w, delta) -> { r1; r2; w; delta })
+      (quad (int_bound (keyspace - 1)) (int_bound (keyspace - 1))
+         (int_bound (keyspace - 1)) (int_bound 9)))
+
+let gen_ops = QCheck.Gen.(list_size (2 -- 12) gen_op)
+
+let print_ops ops =
+  String.concat ";"
+    (List.map (fun o -> Printf.sprintf "r%d,r%d->w%d+%d" o.r1 o.r2 o.w o.delta) ops)
+
+let arbitrary_ops = QCheck.make ~print:print_ops gen_ops
+
+(* One OE tx per op, unique ids derived from position. *)
+let txs_of_ops ops =
+  List.mapi
+    (fun i o ->
+      Block.make_tx ~id:(Printf.sprintf "p-%d" i) ~identity:client ~contract:"rw"
+        ~args:(op_args o))
+    ops
+
+
+(* Serial-equivalence order for a committed subset: A must precede B when
+   A read a key that B wrote (rw antidependency; same-snapshot execution
+   means nobody reads anybody's in-block writes; two committed
+   transactions never write the same key within a block thanks to
+   first-committer-wins). Deterministic Kahn toposort, lowest block
+   position first; a cycle means SSI committed a non-serializable set. *)
+let reads_of o = [ o.r1; o.r2; o.w ]
+
+let must_precede (ai, a) (bi, b) = ai <> bi && List.mem b.w (reads_of a)
+
+let topo_order (committed : (int * op) list) =
+  let rec loop remaining acc =
+    match remaining with
+    | [] -> Some (List.rev acc)
+    | _ -> (
+        let ready =
+          List.filter
+            (fun b -> not (List.exists (fun a -> must_precede a b) remaining))
+            remaining
+        in
+        match ready with
+        | [] -> None (* cycle *)
+        | ((bi, _) as b) :: _ ->
+            loop (List.filter (fun (ai, _) -> ai <> bi) remaining) (b :: acc))
+  in
+  loop committed []
+
+(* -------------------------------------------------------------- properties *)
+
+let prop_oe_block_is_serializable =
+  QCheck.Test.make ~name:"OE: committed subset == serial replay" ~count:60
+    arbitrary_ops
+    (fun ops ->
+      let registry = registry () in
+      (* Node A processes all ops in ONE block. *)
+      let node_a = make_node ~flow:Node_core.Order_execute ~registry "A" in
+      let chain_a = { prev = None } in
+      init_node node_a
+        (next_block chain_a
+           [ Block.make_tx ~id:"setup" ~identity:admin ~contract:"setup" ~args:[] ]);
+      let txs = txs_of_ops ops in
+      let result = process node_a (next_block chain_a txs) in
+      let committed_ids =
+        List.filter_map
+          (fun (id, s) -> if s = Node_core.S_committed then Some id else None)
+          result.Node_core.br_statuses
+      in
+      let committed_ops =
+        List.mapi (fun i o -> (i, o)) ops
+        |> List.filter (fun (i, _) -> List.mem (Printf.sprintf "p-%d" i) committed_ids)
+      in
+      (match topo_order committed_ops with
+      | None -> QCheck.Test.fail_report "committed set has a dependency cycle"
+      | Some order ->
+          (* Node B replays the committed transactions serially in the
+             dependency order. *)
+          let node_b = make_node ~flow:Node_core.Order_execute ~registry "B" in
+          let chain_b = { prev = None } in
+          init_node node_b
+            (next_block chain_b
+               [ Block.make_tx ~id:"setup" ~identity:admin ~contract:"setup" ~args:[] ]);
+          List.iter
+            (fun (i, o) ->
+              let tx =
+                Block.make_tx ~id:(Printf.sprintf "p-%d" i) ~identity:client
+                  ~contract:"rw" ~args:(op_args o)
+              in
+              let r = process node_b (next_block chain_b [ tx ]) in
+              match r.Node_core.br_statuses with
+              | [ (_, Node_core.S_committed) ] -> ()
+              | [ (_, s) ] ->
+                  QCheck.Test.fail_reportf "serial replay of committed tx failed: %s"
+                    (Node_core.tx_status_to_string s)
+              | _ -> QCheck.Test.fail_report "bad replay result")
+            order;
+          if state_of node_a <> state_of node_b then
+            QCheck.Test.fail_report "state differs from serial replay");
+      true)
+
+let prop_oe_nodes_identical =
+  QCheck.Test.make ~name:"OE: independent nodes agree bit-for-bit" ~count:60
+    arbitrary_ops
+    (fun ops ->
+      let registry = registry () in
+      let nodes = List.map (make_node ~flow:Node_core.Order_execute ~registry) [ "A"; "B"; "C" ] in
+      let chain = { prev = None } in
+      let setup_block =
+        next_block chain
+          [ Block.make_tx ~id:"setup" ~identity:admin ~contract:"setup" ~args:[] ]
+      in
+      List.iter (fun n -> init_node n setup_block) nodes;
+      (* split ops across two blocks to exercise cross-block state *)
+      let n = List.length ops in
+      let txs = txs_of_ops ops in
+      let rec split i = function
+        | [] -> ([], [])
+        | x :: rest ->
+            let a, b = split (i + 1) rest in
+            if i < n / 2 then (x :: a, b) else (a, x :: b)
+      in
+      let first, second = split 0 txs in
+      (* build blocks in order: @ evaluates right-to-left in OCaml *)
+      let b1 = if first = [] then [] else [ next_block chain first ] in
+      let b2 = if second = [] then [] else [ next_block chain second ] in
+      let blocks = b1 @ b2 in
+      let results = List.map (fun node -> List.map (process node) blocks) nodes in
+      match results with
+      | [] -> true
+      | first_results :: rest ->
+          List.for_all
+            (fun rs ->
+              List.for_all2
+                (fun (a : Node_core.block_result) (b : Node_core.block_result) ->
+                  a.Node_core.br_write_set_hash = b.Node_core.br_write_set_hash
+                  && List.map
+                       (fun (_, s) -> match s with Node_core.S_committed -> true | _ -> false)
+                       a.Node_core.br_statuses
+                     = List.map
+                         (fun (_, s) ->
+                           match s with Node_core.S_committed -> true | _ -> false)
+                         b.Node_core.br_statuses)
+                first_results rs)
+            rest
+          && List.for_all
+               (fun node -> state_of node = state_of (List.hd nodes))
+               nodes)
+
+let prop_eo_serializable_with_pre_execution =
+  QCheck.Test.make ~name:"EO: pre-executed contended txns stay serializable" ~count:40
+    arbitrary_ops
+    (fun ops ->
+      let registry = registry () in
+      let node = make_node ~flow:Node_core.Execute_order ~registry "A" in
+      let chain = { prev = None } in
+      init_node node
+        (next_block chain
+           [ Block.make_tx ~id:"setup" ~identity:admin ~contract:"setup" ~args:[] ]);
+      (* All ops pre-execute at snapshot 1 (maximum contention), then land
+         in separate consecutive blocks. *)
+      let txs =
+        List.map
+          (fun o -> Block.make_eo_tx ~identity:client ~contract:"rw" ~args:(op_args o) ~snapshot:1)
+          ops
+      in
+      (* EO ids are content hashes: drop duplicate submissions. *)
+      let txs =
+        List.fold_left
+          (fun acc tx -> if List.exists (fun t -> t.Block.tx_id = tx.Block.tx_id) acc then acc else tx :: acc)
+          [] txs
+        |> List.rev
+      in
+      List.iter (fun tx -> ignore (Node_core.pre_execute node tx)) txs;
+      let committed = ref [] in
+      List.iter
+        (fun tx ->
+          let r = process node (next_block chain [ tx ]) in
+          match r.Node_core.br_statuses with
+          | [ (id, Node_core.S_committed) ] -> committed := id :: !committed
+          | _ -> ())
+        txs;
+      (* All committed transactions executed at snapshot 1 and survived the
+         stale/phantom checks, so their reads are untouched initial values:
+         the rw-dependency toposort is again a valid serial order. *)
+      let committed_ops =
+        List.mapi (fun i tx -> (i, tx)) txs
+        |> List.filter (fun (_, tx) -> List.mem tx.Block.tx_id !committed)
+        |> List.map (fun (i, tx) ->
+               let o =
+                 match tx.Block.tx_args with
+                 | [ Value.Int r1; Value.Int r2; Value.Int w; Value.Int delta ] ->
+                     { r1; r2; w; delta }
+                 | _ -> QCheck.Test.fail_report "bad args"
+               in
+               (i, o))
+      in
+      (match topo_order committed_ops with
+      | None -> QCheck.Test.fail_report "committed set has a dependency cycle"
+      | Some order ->
+          let node_b = make_node ~flow:Node_core.Order_execute ~registry "B" in
+          let chain_b = { prev = None } in
+          init_node node_b
+            (next_block chain_b
+               [ Block.make_tx ~id:"setup" ~identity:admin ~contract:"setup" ~args:[] ]);
+          List.iter
+            (fun (i, o) ->
+              let replay =
+                Block.make_tx ~id:(Printf.sprintf "replay-%d" i) ~identity:client
+                  ~contract:"rw" ~args:(op_args o)
+              in
+              let r = process node_b (next_block chain_b [ replay ]) in
+              match r.Node_core.br_statuses with
+              | [ (_, Node_core.S_committed) ] -> ()
+              | _ -> QCheck.Test.fail_report "replay failed")
+            order;
+          if state_of node <> state_of node_b then
+            QCheck.Test.fail_report "EO state differs from serial replay");
+      true)
+
+let prop_prune_preserves_live_state =
+  QCheck.Test.make ~name:"prune preserves live state (only history shrinks)" ~count:40
+    arbitrary_ops
+    (fun ops ->
+      let registry = registry () in
+      let node = make_node ~flow:Node_core.Order_execute ~registry "A" in
+      let chain = { prev = None } in
+      init_node node
+        (next_block chain
+           [ Block.make_tx ~id:"setup" ~identity:admin ~contract:"setup" ~args:[] ]);
+      (* one block per op for plenty of superseded versions *)
+      List.iteri
+        (fun i o ->
+          ignore
+            (process node
+               (next_block chain
+                  [
+                    Block.make_tx ~id:(Printf.sprintf "p-%d" i) ~identity:client
+                      ~contract:"rw" ~args:(op_args o);
+                  ])))
+        ops;
+      let before = state_of node in
+      let removed = Node_core.prune node ~before:(Node_core.height node) () in
+      let after = state_of node in
+      ignore removed;
+      before = after)
+
+let suites =
+  [
+    ( "properties",
+      [
+        QCheck_alcotest.to_alcotest prop_oe_block_is_serializable;
+        QCheck_alcotest.to_alcotest prop_oe_nodes_identical;
+        QCheck_alcotest.to_alcotest prop_eo_serializable_with_pre_execution;
+        QCheck_alcotest.to_alcotest prop_prune_preserves_live_state;
+      ] );
+  ]

@@ -1,0 +1,277 @@
+open Brdb_storage
+module Ast = Brdb_sql.Ast
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+let col ?(pk = false) ?(nn = false) name ty =
+  { Schema.name; ty; not_null = nn; primary_key = pk }
+
+let sample_schema () =
+  match
+    Schema.create ~name:"items"
+      ~columns:[ col ~pk:true "id" Ast.T_int; col "name" Ast.T_text; col "qty" Ast.T_int ]
+  with
+  | Ok s -> s
+  | Error m -> Alcotest.fail m
+
+(* --- values ------------------------------------------------------------ *)
+
+let test_value_total_order () =
+  let open Value in
+  Alcotest.(check bool) "null first" true (compare_total Null (Int 0) < 0);
+  Alcotest.(check bool) "bool < int" true (compare_total (Bool true) (Int 0) < 0);
+  Alcotest.(check bool) "int ~ float" true (compare_total (Int 2) (Float 2.5) < 0);
+  Alcotest.(check int) "int = float" 0 (compare_total (Int 2) (Float 2.0));
+  Alcotest.(check bool) "num < text" true (compare_total (Int 99) (Text "a") < 0);
+  Alcotest.(check bool) "text order" true (compare_total (Text "a") (Text "b") < 0)
+
+let test_value_sql_compare () =
+  let open Value in
+  Alcotest.(check (option int)) "null" None (compare_sql Null (Int 1));
+  Alcotest.(check (option int)) "mismatch" None (compare_sql (Int 1) (Text "1"));
+  Alcotest.(check (option int)) "eq" (Some 0) (compare_sql (Int 3) (Float 3.0))
+
+let test_value_conforms () =
+  let open Value in
+  Alcotest.(check bool) "null conforms" true (conforms Ast.T_int Null);
+  Alcotest.(check bool) "int widens to float" true (conforms Ast.T_float (Int 1));
+  Alcotest.(check bool) "text not int" false (conforms Ast.T_int (Text "x"))
+
+let test_value_encode_distinct () =
+  let open Value in
+  let vs = [ Null; Int 1; Int 10; Float 1.0; Text "1"; Bool true; Bool false; Text "" ] in
+  let encs = List.map encode vs in
+  Alcotest.(check int) "all distinct" (List.length encs)
+    (List.length (List.sort_uniq compare encs))
+
+(* --- schema ------------------------------------------------------------ *)
+
+let test_schema_validation () =
+  let bad cols msg =
+    match Schema.create ~name:"t" ~columns:cols with
+    | Ok _ -> Alcotest.failf "expected failure: %s" msg
+    | Error _ -> ()
+  in
+  bad [] "empty";
+  bad [ col "a" Ast.T_int; col "a" Ast.T_text ] "duplicate";
+  bad [ col ~pk:true "a" Ast.T_int; col ~pk:true "b" Ast.T_int ] "two pks";
+  bad [ col "xmin" Ast.T_int ] "reserved";
+  let s = sample_schema () in
+  Alcotest.(check (option int)) "pk idx" (Some 0) s.Schema.pk_index;
+  Alcotest.(check (option int)) "col idx" (Some 2) (Schema.column_index s "qty");
+  Alcotest.(check (option int)) "missing" None (Schema.column_index s "nope")
+
+let test_schema_check_row () =
+  let s = sample_schema () in
+  let ok row =
+    match Schema.check_row s row with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m
+  in
+  let bad row =
+    match Schema.check_row s row with
+    | Ok () -> Alcotest.fail "expected row rejection"
+    | Error _ -> ()
+  in
+  ok [| Value.Int 1; Value.Text "x"; Value.Int 5 |];
+  ok [| Value.Int 1; Value.Null; Value.Null |];
+  bad [| Value.Int 1; Value.Text "x" |];
+  (* wrong arity *)
+  bad [| Value.Null; Value.Text "x"; Value.Int 5 |];
+  (* pk null *)
+  bad [| Value.Text "1"; Value.Text "x"; Value.Int 5 |] (* type mismatch *)
+
+(* --- version visibility -------------------------------------------------- *)
+
+let test_version_visibility () =
+  let v = Version.make ~vid:0 ~xmin:7 [| Value.Int 1 |] in
+  (* Uncommitted: invisible at any height, visible to its creator. *)
+  Alcotest.(check bool) "uncommitted hidden" false (Version.visible_at v ~height:100);
+  Alcotest.(check bool) "own insert visible" true (Version.visible_to v ~txid:7 ~height:0);
+  Alcotest.(check bool) "other txn blind" false (Version.visible_to v ~txid:8 ~height:0);
+  (* Commit at block 5. *)
+  v.Version.creator_block <- 5;
+  Alcotest.(check bool) "visible at 5" true (Version.visible_at v ~height:5);
+  Alcotest.(check bool) "hidden at 4" false (Version.visible_at v ~height:4);
+  (* Delete at block 9. *)
+  v.Version.xmax <- 12;
+  v.Version.deleter_block <- 9;
+  Alcotest.(check bool) "visible at 8" true (Version.visible_at v ~height:8);
+  Alcotest.(check bool) "hidden at 9" false (Version.visible_at v ~height:9);
+  Alcotest.(check bool) "provenance sees dead" true (Version.visible_provenance v);
+  (* Claimed rows are hidden from the claimant. *)
+  let w = Version.make ~vid:1 ~xmin:1 [| Value.Int 2 |] in
+  w.Version.creator_block <- 1;
+  Version.claim w 33;
+  Alcotest.(check bool) "claimant blind" false (Version.visible_to w ~txid:33 ~height:5);
+  Alcotest.(check bool) "others still see" true (Version.visible_to w ~txid:34 ~height:5);
+  Version.unclaim w 33;
+  Alcotest.(check bool) "unclaimed again" true (Version.visible_to w ~txid:33 ~height:5)
+
+let test_version_gap_detectors () =
+  let v = Version.make ~vid:0 ~xmin:1 [| Value.Int 1 |] in
+  v.Version.creator_block <- 5;
+  Alcotest.(check bool) "committed after 3" true (Version.committed_after v ~height:3);
+  Alcotest.(check bool) "not after 5" false (Version.committed_after v ~height:5);
+  v.Version.deleter_block <- 8;
+  Alcotest.(check bool) "deleted after 6" true (Version.deleted_after v ~height:6);
+  Alcotest.(check bool) "not deleted after 8" false (Version.deleted_after v ~height:8);
+  Alcotest.(check bool) "not alive before create" false (Version.deleted_after v ~height:4)
+
+(* --- index --------------------------------------------------------------- *)
+
+let collect_range idx ~lo ~hi =
+  let acc = ref [] in
+  Index.iter_range idx ~lo ~hi (fun vid -> acc := vid :: !acc);
+  List.rev !acc
+
+let test_index_ranges () =
+  let idx = Index.create ~column:0 in
+  List.iteri (fun vid k -> Index.add idx (Value.Int k) vid) [ 10; 20; 30; 40; 50 ];
+  Alcotest.(check (list int)) "full" [ 0; 1; 2; 3; 4 ]
+    (collect_range idx ~lo:Index.Unbounded ~hi:Index.Unbounded);
+  Alcotest.(check (list int)) "closed" [ 1; 2 ]
+    (collect_range idx ~lo:(Index.Incl (Value.Int 20)) ~hi:(Index.Incl (Value.Int 30)));
+  Alcotest.(check (list int)) "open lo" [ 2 ]
+    (collect_range idx ~lo:(Index.Excl (Value.Int 20)) ~hi:(Index.Incl (Value.Int 30)));
+  Alcotest.(check (list int)) "open hi" [ 1 ]
+    (collect_range idx ~lo:(Index.Incl (Value.Int 20)) ~hi:(Index.Excl (Value.Int 30)));
+  Alcotest.(check (list int)) "empty" []
+    (collect_range idx ~lo:(Index.Incl (Value.Int 31)) ~hi:(Index.Incl (Value.Int 39)));
+  Alcotest.(check (list int)) "from above" [ 3; 4 ]
+    (collect_range idx ~lo:(Index.Incl (Value.Int 35)) ~hi:Index.Unbounded)
+
+let test_index_duplicates_and_remove () =
+  let idx = Index.create ~column:0 in
+  Index.add idx (Value.Int 1) 0;
+  Index.add idx (Value.Int 1) 5;
+  Index.add idx (Value.Int 1) 3;
+  let acc = ref [] in
+  Index.iter_eq idx (Value.Int 1) (fun v -> acc := v :: !acc);
+  Alcotest.(check (list int)) "vid order" [ 0; 3; 5 ] (List.rev !acc);
+  Index.remove idx (Value.Int 1) 3;
+  Alcotest.(check int) "cardinal" 2 (Index.cardinal idx);
+  Index.remove idx (Value.Int 1) 99 (* absent: no-op *);
+  Alcotest.(check int) "cardinal same" 2 (Index.cardinal idx)
+
+let prop_index_range_matches_filter =
+  QCheck.Test.make ~name:"index range = naive filter" ~count:200
+    QCheck.(pair (list small_int) (pair small_int small_int))
+    (fun (keys, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let idx = Index.create ~column:0 in
+      List.iteri (fun vid k -> Index.add idx (Value.Int k) vid) keys;
+      let got =
+        collect_range idx ~lo:(Index.Incl (Value.Int lo)) ~hi:(Index.Incl (Value.Int hi))
+        |> List.sort compare
+      in
+      let expected =
+        List.mapi (fun vid k -> (vid, k)) keys
+        |> List.filter (fun (_, k) -> k >= lo && k <= hi)
+        |> List.map fst |> List.sort compare
+      in
+      got = expected)
+
+(* --- predicate ----------------------------------------------------------- *)
+
+let test_predicate_matches () =
+  let p_full = Predicate.Full_scan { table = "t" } in
+  Alcotest.(check bool) "full matches" true (Predicate.matches p_full ~table:"t" [| Value.Int 1 |]);
+  Alcotest.(check bool) "other table" false (Predicate.matches p_full ~table:"u" [| Value.Int 1 |]);
+  let p =
+    Predicate.Range
+      { table = "t"; column = 1; lo = Index.Incl (Value.Int 10); hi = Index.Excl (Value.Int 20) }
+  in
+  let row v = [| Value.Text "x"; Value.Int v |] in
+  Alcotest.(check bool) "in range" true (Predicate.matches p ~table:"t" (row 10));
+  Alcotest.(check bool) "below" false (Predicate.matches p ~table:"t" (row 9));
+  Alcotest.(check bool) "at open hi" false (Predicate.matches p ~table:"t" (row 20));
+  Alcotest.(check bool) "inside" true (Predicate.matches p ~table:"t" (row 19))
+
+(* --- table / catalog ------------------------------------------------------ *)
+
+let test_table_pk_and_indexes () =
+  let t = Table.create (sample_schema ()) in
+  Alcotest.(check bool) "pk indexed" true (Table.has_index t ~column:0);
+  Alcotest.(check (list int)) "unique pk" [ 0 ] (Table.unique_columns t);
+  let v1 = Table.insert_version t ~xmin:1 [| Value.Int 1; Value.Text "a"; Value.Int 10 |] in
+  let v2 = Table.insert_version t ~xmin:1 [| Value.Int 2; Value.Text "b"; Value.Int 20 |] in
+  Alcotest.(check int) "vids" 0 v1.Version.vid;
+  Alcotest.(check int) "vids" 1 v2.Version.vid;
+  let found = ref [] in
+  Table.pk_lookup t (Value.Int 2) (fun v -> found := v.Version.vid :: !found);
+  Alcotest.(check (list int)) "pk lookup" [ 1 ] !found;
+  (* Late index creation backfills existing versions. *)
+  Table.add_index t ~column:2 ~unique:false;
+  let got = ref [] in
+  Table.iter_index t ~column:2 ~lo:(Index.Incl (Value.Int 15)) ~hi:Index.Unbounded
+    (fun v -> got := v.Version.vid :: !got);
+  Alcotest.(check (list int)) "backfilled" [ 1 ] !got
+
+let test_table_prune () =
+  let t = Table.create (sample_schema ()) in
+  let v1 = Table.insert_version t ~xmin:1 [| Value.Int 1; Value.Text "a"; Value.Int 1 |] in
+  let v2 = Table.insert_version t ~xmin:2 [| Value.Int 2; Value.Text "b"; Value.Int 2 |] in
+  v1.Version.xmin_aborted <- true;
+  let removed = Table.prune t ~keep:(fun v -> not v.Version.xmin_aborted) in
+  Alcotest.(check int) "one removed" 1 removed;
+  let seen = ref [] in
+  Table.iter_versions t (fun v -> seen := v.Version.vid :: !seen);
+  Alcotest.(check (list int)) "survivor" [ v2.Version.vid ] !seen;
+  (* vids remain stable after pruning *)
+  Alcotest.(check int) "stable vid" 1 (Table.get_version t 1).Version.vid
+
+let test_catalog () =
+  let c = Catalog.create () in
+  Alcotest.(check bool) "ledger exists" true (Catalog.mem c Catalog.ledger_table);
+  (match Catalog.create_table c (sample_schema ()) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match Catalog.create_table c (sample_schema ()) with
+  | Ok _ -> Alcotest.fail "duplicate table accepted"
+  | Error _ -> ());
+  Alcotest.(check (list string)) "names" [ "items"; "pgledger" ] (Catalog.table_names c);
+  (match Catalog.drop_table c Catalog.ledger_table with
+  | Ok () -> Alcotest.fail "dropped system table"
+  | Error _ -> ());
+  (match Catalog.drop_table c "items" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "gone" false (Catalog.mem c "items")
+
+let suites =
+  [
+    ( "storage.value",
+      [
+        Alcotest.test_case "total order" `Quick test_value_total_order;
+        Alcotest.test_case "sql compare" `Quick test_value_sql_compare;
+        Alcotest.test_case "conforms" `Quick test_value_conforms;
+        Alcotest.test_case "encode distinct" `Quick test_value_encode_distinct;
+      ] );
+    ( "storage.schema",
+      [
+        Alcotest.test_case "validation" `Quick test_schema_validation;
+        Alcotest.test_case "check_row" `Quick test_schema_check_row;
+      ] );
+    ( "storage.version",
+      [
+        Alcotest.test_case "visibility" `Quick test_version_visibility;
+        Alcotest.test_case "gap detectors" `Quick test_version_gap_detectors;
+      ] );
+    ( "storage.index",
+      [
+        Alcotest.test_case "ranges" `Quick test_index_ranges;
+        Alcotest.test_case "duplicates/remove" `Quick test_index_duplicates_and_remove;
+        QCheck_alcotest.to_alcotest prop_index_range_matches_filter;
+      ] );
+    ("storage.predicate", [ Alcotest.test_case "matches" `Quick test_predicate_matches ]);
+    ( "storage.table",
+      [
+        Alcotest.test_case "pk and indexes" `Quick test_table_pk_and_indexes;
+        Alcotest.test_case "prune" `Quick test_table_prune;
+      ] );
+    ("storage.catalog", [ Alcotest.test_case "basics" `Quick test_catalog ]);
+  ]
+
+let () = ignore value

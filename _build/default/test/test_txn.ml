@@ -1,0 +1,239 @@
+(** Direct unit tests for the transaction manager: commit-entry checks,
+    materialization, rollback, and write-set digests. *)
+
+open Brdb_storage
+module Txn = Brdb_txn.Txn
+module Manager = Brdb_txn.Manager
+module Exec = Brdb_engine.Exec
+
+type fx = { mgr : Manager.t; catalog : Catalog.t; mutable n : int }
+
+let make_fx () =
+  let catalog = Catalog.create () in
+  { mgr = Manager.create catalog; catalog; n = 0 }
+
+let txn ?(snapshot = 0) fx =
+  fx.n <- fx.n + 1;
+  match
+    Manager.begin_txn fx.mgr ~global_id:(Printf.sprintf "m-%d" fx.n) ~client:"c"
+      ~snapshot_height:snapshot ()
+  with
+  | Ok t -> t
+  | Error `Duplicate_txid -> Alcotest.fail "dup"
+
+let exec fx t sql =
+  match Exec.execute_sql fx.catalog t sql with
+  | Ok rs -> rs
+  | Error e -> Alcotest.failf "%s: %s" sql (Exec.error_to_string e)
+
+let seed fx =
+  let t = txn fx in
+  ignore (exec fx t "CREATE TABLE kv (k INT PRIMARY KEY, v INT)");
+  ignore (exec fx t "INSERT INTO kv VALUES (1, 10), (2, 20)");
+  Manager.commit fx.mgr t ~height:0
+
+let reason = Alcotest.testable
+  (fun fmt r -> Format.pp_print_string fmt (Txn.abort_reason_to_string r))
+  (fun a b -> Txn.abort_reason_to_string a = Txn.abort_reason_to_string b)
+
+let test_duplicate_global_id () =
+  let fx = make_fx () in
+  (match
+     Manager.begin_txn fx.mgr ~global_id:"dup" ~client:"c" ~snapshot_height:0 ()
+   with
+  | Ok t -> Manager.commit fx.mgr t ~height:1
+  | Error _ -> Alcotest.fail "first begin failed");
+  (match
+     Manager.begin_txn fx.mgr ~global_id:"dup" ~client:"c" ~snapshot_height:1 ()
+   with
+  | Ok _ -> Alcotest.fail "duplicate accepted"
+  | Error `Duplicate_txid -> ());
+  (* ...and the id stays burned even after the txn is forgotten *)
+  Manager.forget_finished fx.mgr ~below_height:10;
+  match Manager.begin_txn fx.mgr ~global_id:"dup" ~client:"c" ~snapshot_height:1 () with
+  | Ok _ -> Alcotest.fail "duplicate accepted after forget"
+  | Error `Duplicate_txid -> ()
+
+let test_lost_update_detection () =
+  let fx = make_fx () in
+  seed fx;
+  let a = txn fx and b = txn fx in
+  ignore (exec fx a "UPDATE kv SET v = 1 WHERE k = 1");
+  ignore (exec fx b "UPDATE kv SET v = 2 WHERE k = 1");
+  Alcotest.(check (option reason)) "no loser yet" None (Manager.check_lost_update fx.mgr a);
+  (* a commits; b has now lost *)
+  Manager.commit fx.mgr a ~height:1;
+  (match Manager.check_lost_update fx.mgr b with
+  | Some (Txn.Ww_conflict winner) -> Alcotest.(check int) "winner txid" a.Txn.txid winner
+  | other ->
+      Alcotest.failf "expected ww conflict, got %s"
+        (match other with None -> "none" | Some r -> Txn.abort_reason_to_string r))
+
+let test_other_claimants () =
+  let fx = make_fx () in
+  seed fx;
+  let a = txn fx and b = txn fx and c = txn fx in
+  ignore (exec fx a "UPDATE kv SET v = 1 WHERE k = 1");
+  ignore (exec fx b "UPDATE kv SET v = 2 WHERE k = 1");
+  ignore (exec fx c "UPDATE kv SET v = 3 WHERE k = 2");
+  let rivals = Manager.other_claimants fx.mgr a in
+  Alcotest.(check (list int)) "b is a rival" [ b.Txn.txid ]
+    (List.map (fun t -> t.Txn.txid) rivals)
+
+let test_unique_check_at_commit () =
+  let fx = make_fx () in
+  seed fx;
+  let a = txn fx and b = txn fx in
+  ignore (exec fx a "INSERT INTO kv VALUES (5, 1)");
+  ignore (exec fx b "INSERT INTO kv VALUES (5, 2)");
+  (* both executed against the same snapshot: no error yet; a commits *)
+  Alcotest.(check (option reason)) "a unique ok" None (Manager.check_unique fx.mgr a ~height:1);
+  Manager.commit fx.mgr a ~height:1;
+  (match Manager.check_unique fx.mgr b ~height:1 with
+  | Some (Txn.Duplicate_key _) -> ()
+  | other ->
+      Alcotest.failf "expected duplicate key, got %s"
+        (match other with None -> "none" | Some r -> Txn.abort_reason_to_string r))
+
+let test_stale_phantom_checks () =
+  let fx = make_fx () in
+  seed fx;
+  (* reader at snapshot 0 *)
+  let reader = txn fx ~snapshot:0 in
+  ignore (exec fx reader "SELECT v FROM kv WHERE k = 1");
+  let range_reader = txn fx ~snapshot:0 in
+  ignore (exec fx range_reader "SELECT COUNT(*) FROM kv WHERE k BETWEEN 1 AND 100");
+  (* a writer commits at height 1: updates k=1, inserts k=50 *)
+  let writer = txn fx in
+  ignore (exec fx writer "UPDATE kv SET v = 99 WHERE k = 1");
+  ignore (exec fx writer "INSERT INTO kv VALUES (50, 0)");
+  Manager.commit fx.mgr writer ~height:1;
+  (match Manager.check_stale_phantom fx.mgr reader ~upto_height:1 with
+  | Some Txn.Stale_read -> ()
+  | other ->
+      Alcotest.failf "expected stale read, got %s"
+        (match other with None -> "none" | Some r -> Txn.abort_reason_to_string r));
+  (match Manager.check_stale_phantom fx.mgr range_reader ~upto_height:1 with
+  | Some (Txn.Phantom_read | Txn.Stale_read) -> ()
+  | other ->
+      Alcotest.failf "expected phantom, got %s"
+        (match other with None -> "none" | Some r -> Txn.abort_reason_to_string r));
+  (* a reader whose snapshot already includes height 1 is fine *)
+  let fresh = txn fx ~snapshot:1 in
+  ignore (exec fx fresh "SELECT v FROM kv WHERE k = 1");
+  Alcotest.(check (option reason)) "fresh reader fine" None
+    (Manager.check_stale_phantom fx.mgr fresh ~upto_height:1)
+
+let test_stale_check_ignores_untouched_reads () =
+  let fx = make_fx () in
+  seed fx;
+  let reader = txn fx ~snapshot:0 in
+  ignore (exec fx reader "SELECT v FROM kv WHERE k = 2");
+  let writer = txn fx in
+  ignore (exec fx writer "UPDATE kv SET v = 99 WHERE k = 1");
+  Manager.commit fx.mgr writer ~height:1;
+  Alcotest.(check (option reason)) "disjoint reader fine" None
+    (Manager.check_stale_phantom fx.mgr reader ~upto_height:1)
+
+let test_write_set_digest_properties () =
+  let fx = make_fx () in
+  seed fx;
+  let a = txn fx in
+  ignore (exec fx a "INSERT INTO kv VALUES (7, 70)");
+  Manager.commit fx.mgr a ~height:1;
+  let d1 = Manager.write_set_digest fx.mgr [ a ] in
+  let d1' = Manager.write_set_digest fx.mgr [ a ] in
+  Alcotest.(check string) "deterministic" (Brdb_util.Hex.encode d1) (Brdb_util.Hex.encode d1');
+  let b = txn fx ~snapshot:1 in
+  ignore (exec fx b "UPDATE kv SET v = 71 WHERE k = 7");
+  Manager.commit fx.mgr b ~height:2;
+  let d2 = Manager.write_set_digest fx.mgr [ b ] in
+  Alcotest.(check bool) "different writes differ" false
+    (String.equal d1 d2);
+  (* order matters: the digest pins the commit order *)
+  let d_ab = Manager.write_set_digest fx.mgr [ a; b ] in
+  let d_ba = Manager.write_set_digest fx.mgr [ b; a ] in
+  Alcotest.(check bool) "order sensitive" false (String.equal d_ab d_ba);
+  Alcotest.(check string) "empty digest stable"
+    (Brdb_util.Hex.encode (Manager.write_set_digest fx.mgr []))
+    (Brdb_util.Hex.encode (Manager.write_set_digest fx.mgr []))
+
+let test_rollback_committed () =
+  let fx = make_fx () in
+  seed fx;
+  let a = txn fx in
+  ignore (exec fx a "UPDATE kv SET v = 99 WHERE k = 1");
+  ignore (exec fx a "INSERT INTO kv VALUES (9, 9)");
+  Manager.commit fx.mgr a ~height:1;
+  (* committed state is visible *)
+  let check_v expected =
+    let q = txn fx ~snapshot:1 in
+    let rs = exec fx q "SELECT v FROM kv WHERE k = 1" in
+    (match rs.Exec.rows with
+    | [ [| Value.Int v |] ] -> Alcotest.(check int) "v" expected v
+    | _ -> Alcotest.fail "missing row");
+    Manager.abort fx.mgr q (Txn.Contract_error "probe");
+    Manager.release fx.mgr q
+  in
+  check_v 99;
+  Manager.rollback_committed fx.mgr a;
+  (* the old version is live again, the new versions are gone *)
+  check_v 10;
+  let q = txn fx ~snapshot:1 in
+  let rs = exec fx q "SELECT COUNT(*) FROM kv WHERE k = 9" in
+  (match rs.Exec.rows with
+  | [ [| Value.Int 0 |] ] -> ()
+  | _ -> Alcotest.fail "insert not rolled back");
+  Manager.abort fx.mgr q (Txn.Contract_error "probe");
+  Alcotest.(check bool) "txn reset to pending" true (Txn.is_pending a)
+
+let test_forget_finished () =
+  let fx = make_fx () in
+  seed fx;
+  let a = txn fx in
+  ignore (exec fx a "INSERT INTO kv VALUES (3, 3)");
+  Manager.commit fx.mgr a ~height:1;
+  let b = txn fx ~snapshot:1 in
+  ignore (exec fx b "INSERT INTO kv VALUES (4, 4)");
+  (* a is old enough to forget; b is pending and must survive *)
+  Manager.forget_finished fx.mgr ~below_height:1;
+  Alcotest.(check bool) "a gone" true (Manager.find fx.mgr a.Txn.txid = None);
+  Alcotest.(check bool) "b kept" true (Manager.find fx.mgr b.Txn.txid <> None);
+  (* a's effects persist in the heap *)
+  let q = txn fx ~snapshot:1 in
+  let rs = exec fx q "SELECT COUNT(*) FROM kv WHERE k = 3" in
+  match rs.Exec.rows with
+  | [ [| Value.Int 1 |] ] -> ()
+  | _ -> Alcotest.fail "forgotten txn's data lost"
+
+let test_abort_side_effect_hooks () =
+  let fx = make_fx () in
+  seed fx;
+  let log = ref [] in
+  let a = txn fx in
+  Txn.add_on_commit a (fun () -> log := "commit" :: !log);
+  Txn.add_on_abort a (fun () -> log := "abort" :: !log);
+  Manager.abort fx.mgr a (Txn.Contract_error "x");
+  Alcotest.(check (list string)) "only abort ran" [ "abort" ] !log;
+  let b = txn fx in
+  Txn.add_on_commit b (fun () -> log := "commit" :: !log);
+  Txn.add_on_abort b (fun () -> log := "abort2" :: !log);
+  Manager.commit fx.mgr b ~height:1;
+  Alcotest.(check (list string)) "only commit ran" [ "commit"; "abort" ] !log
+
+let suites =
+  [
+    ( "txn.manager",
+      [
+        Alcotest.test_case "duplicate global ids" `Quick test_duplicate_global_id;
+        Alcotest.test_case "lost update" `Quick test_lost_update_detection;
+        Alcotest.test_case "other claimants" `Quick test_other_claimants;
+        Alcotest.test_case "unique at commit" `Quick test_unique_check_at_commit;
+        Alcotest.test_case "stale/phantom checks" `Quick test_stale_phantom_checks;
+        Alcotest.test_case "disjoint reads unaffected" `Quick test_stale_check_ignores_untouched_reads;
+        Alcotest.test_case "write-set digest" `Quick test_write_set_digest_properties;
+        Alcotest.test_case "rollback committed" `Quick test_rollback_committed;
+        Alcotest.test_case "forget finished" `Quick test_forget_finished;
+        Alcotest.test_case "commit/abort hooks" `Quick test_abort_side_effect_hooks;
+      ] );
+  ]
