@@ -1,1 +1,1 @@
-bench/experiments.ml: Brdb_consensus Brdb_node Brdb_sim List Printf Runner String Workloads
+bench/experiments.ml: Brdb_consensus Brdb_core Brdb_node Brdb_sim List Printf Runner String Workloads

@@ -6,6 +6,7 @@ module Node_core = Brdb_node.Node_core
 module Service = Brdb_consensus.Service
 module Metrics = Brdb_sim.Metrics
 module Network = Brdb_sim.Network
+module Chaos = Brdb_core.Chaos
 
 let quick = ref false
 
@@ -238,6 +239,44 @@ let contention () =
          else 100. *. float_of_int s.Metrics.aborted /. float_of_int total))
     [ Node_core.Order_execute; Node_core.Execute_order; Node_core.Serial_baseline ]
 
+(* ------------------------------------------- chaos: §3.5/§3.6 resilience *)
+
+let chaos () =
+  header "Chaos: crashes, partitions and message loss (§3.5/§3.6 recovery)";
+  line "%4s %5s %7s %5s | %5s %6s %6s %7s %7s | %s" "seed" "drop" "crashes"
+    "parts" "slots" "resub" "loss" "fetched" "height" "converged";
+  let seeds = if !quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let failures = ref 0 in
+  List.iter
+    (fun seed ->
+      let spec =
+        {
+          Chaos.default_spec with
+          Chaos.seed;
+          duration = (if !quick then 1.0 else 2.0);
+          rate = 150.;
+          drop = 0.02 +. (0.01 *. float_of_int (seed mod 9));
+          duplicate = 0.02;
+          crashes = 1 + (seed mod 2);
+          partitions = seed mod 2;
+          crash_points = seed mod 2 = 1;
+        }
+      in
+      let r = Chaos.run spec in
+      if not r.Chaos.converged then incr failures;
+      let height = match r.Chaos.heights with (_, h) :: _ -> h | [] -> 0 in
+      line "%4d %4.0f%% %7d %5d | %5d %6d %5.1f%% %7d %7d | %s" seed
+        (100. *. spec.Chaos.drop) spec.Chaos.crashes spec.Chaos.partitions
+        r.Chaos.submitted r.Chaos.resubmitted r.Chaos.loss_percent
+        r.Chaos.fetched_blocks height
+        (if r.Chaos.converged then "yes" else "NO"))
+    seeds;
+  line
+    "%d/%d seeds converged (equal heights, chain & write-set hashes; every \
+     request decided)"
+    (List.length seeds - !failures)
+    (List.length seeds)
+
 let all : (string * (unit -> unit)) list =
   [
     ("fig5a", fig5a);
@@ -251,4 +290,5 @@ let all : (string * (unit -> unit)) list =
     ("fig8b", fig8b);
     ("ablation", ablation);
     ("contention", contention);
+    ("chaos", chaos);
   ]

@@ -71,6 +71,9 @@ let () =
               peer_names;
               forward_delay_mean = 0.;
               checkpoint_interval = 1;
+              fetch_timeout = 0.05;
+              sync_interval = 0.;
+              inbox_window = 64;
             }
             ~registry
         in

@@ -38,6 +38,12 @@ type t =
   | Client_tx of Block.tx  (** client → orderer/peer; peer → peer forward *)
   | Block_deliver of Block.t  (** orderer → peer *)
   | Checkpoint_hash of { height : int; hash : string }  (** peer → peer *)
+  | Fetch_blocks of { from_height : int }
+      (** peer → peer: §3.6 catch-up — ask for stored blocks from
+          [from_height] upward *)
+  | Blocks_reply of { blocks : Block.t list }
+      (** peer → peer: a contiguous batch served from the responder's
+          block store *)
   | Kafka_publish of kafka_entry  (** orderer → kafka cluster *)
   | Kafka_record of { offset : int; entry : kafka_entry }  (** cluster → orderer *)
   | Raft of raft_msg
@@ -53,6 +59,9 @@ let size = function
   | Client_tx _ -> tx_size
   | Block_deliver b -> block_size b
   | Checkpoint_hash _ -> 96
+  | Fetch_blocks _ -> 32
+  | Blocks_reply { blocks } ->
+      64 + List.fold_left (fun acc b -> acc + block_size b) 0 blocks
   | Kafka_publish (K_tx _) | Kafka_record { entry = K_tx _; _ } -> tx_size + 16
   | Kafka_publish (K_ttc _) | Kafka_record { entry = K_ttc _; _ } -> 32
   | Raft (Append_entries { entries; _ }) -> 64 + (List.length entries * (tx_size + 24))

@@ -1,0 +1,1 @@
+lib/core/chaos.ml: Array Blockchain_db Brdb_consensus Brdb_contracts Brdb_crypto Brdb_ledger Brdb_node Brdb_sim Brdb_storage Buffer Format List Printf String

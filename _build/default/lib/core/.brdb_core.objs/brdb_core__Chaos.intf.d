@@ -1,0 +1,1 @@
+lib/core/chaos.mli: Brdb_node Format

@@ -172,6 +172,12 @@ let create config =
             peer_names;
             forward_delay_mean = config.forward_delay_mean;
             checkpoint_interval = 1;
+            (* §3.6 catch-up: retry base 50 ms, anti-entropy probe every
+               250 ms (safe here — the clock is always run bounded),
+               buffer at most 64 out-of-order blocks *)
+            fetch_timeout = 0.05;
+            sync_interval = 0.25;
+            inbox_window = 64;
           }
           ~registry)
       config.orgs
@@ -201,6 +207,8 @@ let create config =
   t
 
 let clock t = t.clock
+
+let net t = t.net
 
 let peers t = t.peers
 
@@ -328,6 +336,8 @@ let verified_query t ?params sql =
   | None -> Error "internal: no majority answer"
 
 let summary t ~duration_s =
+  Metrics.record_network t.metrics ~delivered:(Msg.Net.delivered t.net)
+    ~dropped:(Msg.Net.dropped t.net) ~duplicated:(Msg.Net.duplicated t.net);
   let network = Metrics.summarize t.metrics ~duration_s in
   let node0 = Metrics.summarize (Peer.metrics (peer t 0)) ~duration_s in
   {

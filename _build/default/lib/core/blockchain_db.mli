@@ -44,6 +44,11 @@ val create : config -> t
 
 val clock : t -> Brdb_sim.Clock.t
 
+(** The shared simulated network — fault injection
+    ({!Brdb_consensus.Msg.Net.set_fault}, [partition]/[heal]) and message
+    stats hang off this handle. *)
+val net : t -> Brdb_consensus.Msg.Net.net
+
 val peers : t -> Brdb_node.Peer.t list
 
 val peer : t -> int -> Brdb_node.Peer.t

@@ -1,0 +1,320 @@
+module B = Blockchain_db
+module Node_core = Brdb_node.Node_core
+module Peer = Brdb_node.Peer
+module Msg = Brdb_consensus.Msg
+module Block = Brdb_ledger.Block
+module Block_store = Brdb_ledger.Block_store
+module Checkpoint = Brdb_ledger.Checkpoint
+module Network = Brdb_sim.Network
+module Clock = Brdb_sim.Clock
+module Rng = Brdb_sim.Rng
+module Value = Brdb_storage.Value
+module Sha256 = Brdb_crypto.Sha256
+
+type spec = {
+  seed : int;
+  orgs : int;
+  flow : Node_core.flow;
+  rate : float;
+  duration : float;
+  block_size : int;
+  block_timeout : float;
+  drop : float;
+  duplicate : float;
+  crashes : int;
+  partitions : int;
+  crash_points : bool;
+}
+
+let default_spec =
+  {
+    seed = 1;
+    orgs = 3;
+    flow = Node_core.Order_execute;
+    rate = 150.;
+    duration = 1.5;
+    block_size = 10;
+    block_timeout = 0.05;
+    drop = 0.05;
+    duplicate = 0.02;
+    crashes = 2;
+    partitions = 1;
+    crash_points = false;
+  }
+
+type report = {
+  submitted : int;  (** distinct client requests (slots) *)
+  resubmitted : int;
+  decided : int;
+  committed : int;
+  heights : (string * int) list;
+  converged : bool;
+  divergent : string list;
+  fingerprint : string;
+  delivered : int;
+  dropped : int;
+  duplicated : int;
+  loss_percent : float;
+  fetch_requests : int;
+  fetched_blocks : int;
+  crash_cycles : int;
+  partition_cycles : int;
+}
+
+let crash_point_of_int = function
+  | 0 -> Node_core.Crash_after_ledger_entries
+  | 1 -> Node_core.Crash_mid_commit 1
+  | _ -> Node_core.Crash_before_status_step
+
+(* Interleave crash and partition cycles so at most one structural fault
+   (down node / split network) is active at any time; continuous message
+   loss and duplication run underneath throughout. *)
+let rec interleave a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | x :: a', y :: b' -> x :: y :: interleave a' b'
+
+let run spec =
+  if spec.orgs < 2 then invalid_arg "Chaos.run: need at least two orgs";
+  let orgs = List.init spec.orgs (fun i -> Printf.sprintf "org%d" (i + 1)) in
+  let config =
+    {
+      (B.default_config ()) with
+      B.orgs;
+      flow = spec.flow;
+      block_size = spec.block_size;
+      block_timeout = spec.block_timeout;
+      seed = spec.seed;
+    }
+  in
+  let db = B.create config in
+  let clock = B.clock db in
+  let netw = B.net db in
+  let peers = B.peers db in
+  let peer_names = List.map Peer.name peers in
+  (* --- schema + workload contract (installed before any fault) ---------- *)
+  B.install_contract db ~name:"chaos_setup"
+    (Brdb_contracts.Registry.Native
+       (fun ctx ->
+         ignore
+           (Brdb_contracts.Api.execute ctx
+              "CREATE TABLE chaos_kv (k INT PRIMARY KEY, v INT)")));
+  (match
+     B.install_contract_source db ~name:"chaos_put"
+       "INSERT INTO chaos_kv VALUES ($1, $2)"
+   with
+  | Ok () -> ()
+  | Error e -> failwith ("chaos contract rejected: " ^ e));
+  let admin = B.admin db "org1" in
+  let setup = B.submit db ~user:admin ~contract:"chaos_setup" ~args:[] in
+  B.settle db;
+  (match B.status db setup with
+  | Some B.Committed -> ()
+  | _ -> failwith "chaos setup block did not commit");
+  let user = B.register_user db "chaos/client" in
+  (* --- fault schedule (pure function of the spec seed) ------------------ *)
+  let rng = Rng.create ~seed:(spec.seed lxor 0x5bd1e995) in
+  if spec.drop > 0. || spec.duplicate > 0. then
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a <> b then
+              Msg.Net.set_fault netw ~src:a ~dst:b
+                { Network.drop = spec.drop; duplicate = spec.duplicate })
+          peer_names)
+      peer_names;
+  (* Block delivery is additionally lossy towards ONE victim peer; every
+     other orderer->peer link stays clean, so each block always lands in a
+     majority of block stores and stays fetchable (§3.6). *)
+  let delivery_victim = List.nth peer_names (Rng.int rng spec.orgs) in
+  if spec.drop > 0. then
+    Msg.Net.set_fault netw ~src:"orderer-1" ~dst:delivery_victim
+      { Network.drop = spec.drop; duplicate = 0. };
+  let n_events = spec.crashes + spec.partitions in
+  let window = spec.duration /. float_of_int (max 1 n_events) in
+  let kinds =
+    interleave
+      (List.init spec.crashes (fun _ -> `Crash))
+      (List.init spec.partitions (fun _ -> `Partition))
+  in
+  let crash_cycles = ref 0 and partition_cycles = ref 0 in
+  List.iteri
+    (fun i kind ->
+      let start =
+        (float_of_int i +. 0.1 +. (0.2 *. Rng.float rng)) *. window
+      in
+      let stop = (float_of_int i +. 0.7) *. window in
+      let victim = List.nth peers (Rng.int rng spec.orgs) in
+      match kind with
+      | `Crash ->
+          incr crash_cycles;
+          let point =
+            if spec.crash_points then Some (crash_point_of_int (Rng.int rng 3))
+            else None
+          in
+          Clock.schedule clock ~delay:start (fun () ->
+              match point with
+              | None -> Peer.crash victim
+              | Some at -> Peer.crash ~at victim);
+          Clock.schedule clock ~delay:stop (fun () -> Peer.restart victim)
+      | `Partition ->
+          incr partition_cycles;
+          let pname = Printf.sprintf "chaos-%d" i in
+          Clock.schedule clock ~delay:start (fun () ->
+              Msg.Net.partition netw ~name:pname ~members:[ Peer.name victim ]);
+          Clock.schedule clock ~delay:stop (fun () ->
+              Msg.Net.heal netw ~name:pname))
+    kinds;
+  (* --- open-loop workload, slot-tracked so lost submissions retry ------- *)
+  let n_slots = int_of_float (spec.rate *. spec.duration) in
+  let slots = Array.make (max 1 n_slots) [] in
+  let resubmitted = ref 0 in
+  let submit_slot slot =
+    let id =
+      B.submit db ~user ~contract:"chaos_put"
+        ~args:[ Value.Int slot; Value.Int (slot * 7) ]
+    in
+    slots.(slot) <- id :: slots.(slot)
+  in
+  for i = 0 to n_slots - 1 do
+    Clock.schedule clock ~delay:(float_of_int i /. spec.rate) (fun () ->
+        submit_slot i)
+  done;
+  B.run db ~seconds:spec.duration;
+  (* --- heal everything and drive to convergence ------------------------- *)
+  Msg.Net.clear_faults netw;
+  let slot_decided slot =
+    List.exists (fun id -> B.status db id <> None) slots.(slot)
+  in
+  let all_decided () =
+    let ok = ref true in
+    for s = 0 to n_slots - 1 do
+      if not (slot_decided s) then ok := false
+    done;
+    !ok
+  in
+  let height p = Node_core.height (Peer.core p) in
+  let heights_equal () =
+    match peers with
+    | [] -> true
+    | p0 :: rest -> List.for_all (fun p -> height p = height p0) rest
+  in
+  let rounds = ref 0 in
+  while (not (all_decided () && heights_equal ())) && !rounds < 60 do
+    incr rounds;
+    B.run db ~seconds:0.5;
+    (* client-side resubmission (§3.5): a request whose every attempt was
+       swallowed by a fault gets retried once the caller times out *)
+    if !rounds mod 2 = 0 then
+      for s = 0 to n_slots - 1 do
+        if (not (slot_decided s)) && List.length slots.(s) < 5 then begin
+          incr resubmitted;
+          submit_slot s
+        end
+      done
+  done;
+  (* grace period: lets in-flight checkpoint gossip and fetch replies land *)
+  B.run db ~seconds:2.0;
+  (* --- convergence checks ----------------------------------------------- *)
+  let chain_hash p =
+    match Block_store.last (Node_core.block_store (Peer.core p)) with
+    | Some b -> b.Block.hash
+    | None -> Block.genesis_hash
+  in
+  let divergent =
+    match peers with
+    | [] -> []
+    | p0 :: rest ->
+        List.filter_map
+          (fun p ->
+            let same_chain =
+              height p = height p0 && String.equal (chain_hash p) (chain_hash p0)
+            in
+            let same_write_sets = ref true in
+            for h = 1 to min (height p) (height p0) do
+              if
+                Checkpoint.local_hash (Peer.checkpoints p) ~height:h
+                <> Checkpoint.local_hash (Peer.checkpoints p0) ~height:h
+              then same_write_sets := false
+            done;
+            if same_chain && !same_write_sets then None else Some (Peer.name p))
+          rest
+  in
+  let decided = ref 0 and committed = ref 0 in
+  for s = 0 to n_slots - 1 do
+    if slot_decided s then begin
+      incr decided;
+      if List.exists (fun id -> B.status db id = Some B.Committed) slots.(s)
+      then incr committed
+    end
+  done;
+  let converged =
+    divergent = [] && heights_equal () && !decided = n_slots
+  in
+  (* Byte-level fingerprint of the replicated state: equal across two runs
+     of the same spec iff the fault schedule is deterministic end-to-end. *)
+  let fingerprint =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun p ->
+        Buffer.add_string buf (Peer.name p);
+        Buffer.add_string buf (string_of_int (height p));
+        Buffer.add_string buf (chain_hash p);
+        for h = 1 to height p do
+          Buffer.add_string buf
+            (match Checkpoint.local_hash (Peer.checkpoints p) ~height:h with
+            | Some hash -> hash
+            | None -> "?")
+        done)
+      peers;
+    for s = 0 to n_slots - 1 do
+      Buffer.add_string buf
+        (match
+           List.find_opt (fun id -> B.status db id <> None) (List.rev slots.(s))
+         with
+        | Some id -> (
+            match B.status db id with
+            | Some B.Committed -> "C"
+            | Some (B.Aborted r) -> "A:" ^ r
+            | Some (B.Rejected r) -> "R:" ^ r
+            | None -> "?")
+        | None -> "undecided")
+    done;
+    Sha256.hex (Sha256.digest (Buffer.contents buf))
+  in
+  let sum f = List.fold_left (fun acc p -> acc + f p) 0 peers in
+  {
+    submitted = n_slots;
+    resubmitted = !resubmitted;
+    decided = !decided;
+    committed = !committed;
+    heights = List.map (fun p -> (Peer.name p, height p)) peers;
+    converged;
+    divergent;
+    fingerprint;
+    delivered = Msg.Net.delivered netw;
+    dropped = Msg.Net.dropped netw;
+    duplicated = Msg.Net.duplicated netw;
+    loss_percent =
+      (let total = Msg.Net.delivered netw + Msg.Net.dropped netw in
+       if total = 0 then 0.
+       else float_of_int (Msg.Net.dropped netw) /. float_of_int total *. 100.);
+    fetch_requests = sum Peer.fetch_requests;
+    fetched_blocks = sum Peer.fetched_blocks;
+    crash_cycles = !crash_cycles;
+    partition_cycles = !partition_cycles;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%d slots (%d resubmits): %d decided, %d committed; heights [%s]; \
+     %s; loss=%.1f%% (%d dropped, %d dup); fetched %d blocks in %d requests; \
+     %d crash cycles, %d partition cycles"
+    r.submitted r.resubmitted r.decided r.committed
+    (String.concat "; "
+       (List.map (fun (n, h) -> Printf.sprintf "%s:%d" n h) r.heights))
+    (if r.converged then "CONVERGED"
+     else "DIVERGED: " ^ String.concat "," r.divergent)
+    r.loss_percent r.dropped r.duplicated r.fetched_blocks r.fetch_requests
+    r.crash_cycles r.partition_cycles

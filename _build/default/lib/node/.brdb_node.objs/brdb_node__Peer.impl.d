@@ -1,1 +1,1 @@
-lib/node/peer.ml: Brdb_consensus Brdb_crypto Brdb_ledger Brdb_sim Brdb_txn Hashtbl List Logs Node_core String
+lib/node/peer.ml: Brdb_consensus Brdb_crypto Brdb_ledger Brdb_sim Brdb_txn Float Hashtbl List Logs Node_core String

@@ -1,5 +1,6 @@
 module Msg = Brdb_consensus.Msg
 module Block = Brdb_ledger.Block
+module Block_store = Brdb_ledger.Block_store
 module Checkpoint = Brdb_ledger.Checkpoint
 module Clock = Brdb_sim.Clock
 module Cpu = Brdb_sim.Cpu
@@ -14,7 +15,13 @@ type config = {
   peer_names : string list;
   forward_delay_mean : float;
   checkpoint_interval : int;
+  fetch_timeout : float;
+  sync_interval : float;
+  inbox_window : int;
 }
+
+(* Blocks returned per {!Msg.Fetch_blocks} request. *)
+let fetch_batch = 32
 
 type t = {
   config : config;
@@ -35,6 +42,20 @@ type t = {
   mutable processing : bool;
   (* write-set hashes accumulated since the last checkpoint *)
   mutable pending_hashes : string list;
+  (* §3.6 catch-up: highest block height evidenced anywhere in the
+     cluster (deliveries, fetch replies, checkpoint gossip) *)
+  mutable known_height : int;
+  (* one fetch "session" at a time; [fetch_seq] invalidates stale
+     scheduled retry ticks *)
+  mutable fetch_armed : bool;
+  mutable fetch_seq : int;
+  mutable fetch_backoff : float;
+  mutable fetch_attempts : int;
+  mutable fetch_rotation : int;
+  mutable fetch_requests : int;
+  mutable fetched_blocks : int;
+  (* a crash point to inject into the next block (§3.6 testing) *)
+  mutable pending_crash : Node_core.crash_point option;
 }
 
 let name t = t.config.core.Node_core.name
@@ -46,6 +67,12 @@ let metrics t = t.metrics
 let checkpoints t = t.checkpoints
 
 let blocks_processed t = t.blocks_done
+
+let fetch_requests t = t.fetch_requests
+
+let fetched_blocks t = t.fetched_blocks
+
+let inbox_size t = Hashtbl.length t.inbox
 
 let on_final t f = t.listeners <- f :: t.listeners
 
@@ -106,6 +133,87 @@ let drain_deferred t =
       | `Defer -> t.deferred <- tx :: t.deferred)
     pending
 
+(* --- §3.6 catch-up: fetch missed blocks from other peers ------------------ *)
+
+let note_height t h = if h > t.known_height then t.known_height <- h
+
+(* There is evidence of a block we neither hold nor have buffered. *)
+let needs_fetch t =
+  t.known_height > Node_core.height t.core
+  && not (Hashtbl.mem t.inbox (Node_core.height t.core + 1))
+
+let cancel_fetch t =
+  t.fetch_seq <- t.fetch_seq + 1;
+  t.fetch_armed <- false
+
+let reset_fetch t =
+  cancel_fetch t;
+  t.fetch_backoff <- t.config.fetch_timeout;
+  t.fetch_attempts <- 0
+
+(* One retry tick of the active fetch session: ask a rotating source peer
+   for everything above our height, then re-arm with exponential backoff.
+   The session ends when a reply brings progress (see
+   [handle_blocks_reply]), when the gap closes by itself, or after
+   2x|other peers| fruitless attempts (new evidence re-arms it). *)
+let rec fetch_tick t seq ~blind =
+  if t.fetch_seq = seq && t.fetch_armed && not t.crashed then begin
+    if (blind && t.fetch_attempts = 0) || needs_fetch t then begin
+      let others = other_peers t in
+      let n = List.length others in
+      if n = 0 || t.fetch_attempts >= 2 * n then t.fetch_armed <- false
+      else begin
+        let dst = List.nth others (t.fetch_rotation mod n) in
+        t.fetch_rotation <- t.fetch_rotation + 1;
+        t.fetch_attempts <- t.fetch_attempts + 1;
+        t.fetch_requests <- t.fetch_requests + 1;
+        send t dst (Msg.Fetch_blocks { from_height = Node_core.height t.core + 1 });
+        let delay = t.fetch_backoff in
+        t.fetch_backoff <-
+          Float.min (t.fetch_backoff *. 2.) (t.config.fetch_timeout *. 8.);
+        Clock.schedule t.clock ~delay (fun () -> fetch_tick t seq ~blind)
+      end
+    end
+    else t.fetch_armed <- false
+  end
+
+(* Start a fetch session. [blind] probes once even without evidence of a
+   missed block (restart / periodic anti-entropy); [delay] defers the
+   first tick so in-flight deliveries can close the gap silently. *)
+let arm_fetch ?(blind = false) ?(delay = 0.) t =
+  if (not t.fetch_armed) && (not t.crashed) && t.config.fetch_timeout > 0.
+  then begin
+    t.fetch_armed <- true;
+    t.fetch_seq <- t.fetch_seq + 1;
+    t.fetch_attempts <- 0;
+    t.fetch_backoff <- t.config.fetch_timeout;
+    let seq = t.fetch_seq in
+    if delay <= 0. then fetch_tick t seq ~blind
+    else Clock.schedule t.clock ~delay (fun () -> fetch_tick t seq ~blind)
+  end
+
+let maybe_arm_fetch t =
+  if needs_fetch t then arm_fetch t ~delay:t.config.fetch_timeout
+
+(* Serve a catch-up request from our block store (bounded batch). *)
+let serve_fetch t ~src ~from_height =
+  let store = Node_core.block_store t.core in
+  let top = Block_store.height store in
+  if from_height >= 1 && top >= from_height && List.mem src t.config.peer_names
+  then begin
+    let upto = min top (from_height + fetch_batch - 1) in
+    let rec collect h acc =
+      if h < from_height then acc
+      else
+        match Block_store.get store h with
+        | Some b -> collect (h - 1) (b :: acc)
+        | None -> acc
+    in
+    match collect upto [] with
+    | [] -> ()
+    | blocks -> send t src (Msg.Blocks_reply { blocks })
+  end
+
 (* --- block pipeline ------------------------------------------------------- *)
 
 let block_times t (block : Block.t) ~missing =
@@ -132,82 +240,137 @@ let block_times t (block : Block.t) ~missing =
       let bpt = Cost_model.serial_bpt cost ~n ~tet:tet_avg +. auth in
       (bpt, 0.)
 
+(* Post-block bookkeeping shared by the normal completion path and the
+   recovery path ({!restart} re-accounting a §3.6 repaired block):
+   client notifications, abort metrics, checkpointing, deferred EO txs. *)
+let finish_block t (result : Node_core.block_result) =
+  t.blocks_done <- t.blocks_done + 1;
+  List.iter
+    (fun (tx_id, status) ->
+      (match status with
+      | Node_core.S_committed -> ()
+      | Node_core.S_aborted _ | Node_core.S_rejected _ ->
+          Metrics.record_abort t.metrics);
+      notify t tx_id status)
+    result.Node_core.br_statuses;
+  (* Checkpointing phase (§3.3.4): every [checkpoint_interval] blocks,
+     gossip the digest of the write-set hashes accumulated since the last
+     one. *)
+  t.pending_hashes <- result.Node_core.br_write_set_hash :: t.pending_hashes;
+  let interval = max 1 t.config.checkpoint_interval in
+  if result.Node_core.br_height mod interval = 0 then begin
+    let hash = Brdb_crypto.Sha256.digest_concat (List.rev t.pending_hashes) in
+    t.pending_hashes <- [];
+    Checkpoint.record_local t.checkpoints ~height:result.Node_core.br_height
+      ~hash;
+    if not t.crashed then
+      List.iter
+        (fun p ->
+          send t p
+            (Msg.Checkpoint_hash { height = result.Node_core.br_height; hash }))
+        (other_peers t)
+  end;
+  drain_deferred t
+
+let do_crash t =
+  t.crashed <- true;
+  t.pending_crash <- None;
+  cancel_fetch t;
+  Msg.Net.unregister t.net ~name:(name t)
+
 let rec process_ready t =
   if not t.processing then
     let next = Node_core.height t.core + 1 in
     match Hashtbl.find_opt t.inbox next with
     | None -> ()
-    | Some block ->
+    | Some block -> (
         Hashtbl.remove t.inbox next;
-        t.processing <- true;
-        (* Semantic processing happens now; the result is announced after
-           the modelled processing time has elapsed. *)
-        (match Node_core.process_block t.core block with
-        | Error _ ->
-            (* Invalid block from a byzantine orderer: ignore it. *)
-            t.processing <- false;
-            process_ready t
-        | Ok result ->
-            let bet, bct = block_times t block ~missing:result.Node_core.br_missing in
-            let bpt = t.config.cost.Brdb_sim.Cost_model.block_const +. bet +. bct in
-            if t.config.core.Node_core.flow = Node_core.Order_execute then
-              List.iter
-                (fun tx -> Metrics.record_tet t.metrics (tet_of t tx))
-                block.Block.txs;
-            Cpu.run t.cpu ~cost:bpt (fun () ->
+        match t.pending_crash with
+        | Some point ->
+            (* §3.6: append the block and begin processing, then die at the
+               injected point; {!restart} rolls back and re-executes. *)
+            t.pending_crash <- None;
+            Node_core.process_block_with_crash t.core block ~crash:point;
+            do_crash t
+        | None -> (
+            t.processing <- true;
+            (* Semantic processing happens now; the result is announced
+               after the modelled processing time has elapsed. *)
+            match Node_core.process_block t.core block with
+            | Error _ ->
+                (* Invalid block from a byzantine orderer: ignore it. *)
                 t.processing <- false;
-                t.blocks_done <- t.blocks_done + 1;
-                Metrics.record_block t.metrics
-                  ~size:(List.length block.Block.txs)
-                  ~bpt ~bet ~bct;
-                Metrics.record_missing_tx t.metrics result.Node_core.br_missing;
-                List.iter
-                  (fun (tx_id, status) ->
-                    (match status with
-                    | Node_core.S_committed -> ()
-                    | Node_core.S_aborted _ | Node_core.S_rejected _ ->
-                        Metrics.record_abort t.metrics);
-                    notify t tx_id status)
-                  result.Node_core.br_statuses;
-                (* Checkpointing phase (§3.3.4): every
-                   [checkpoint_interval] blocks, gossip the digest of the
-                   write-set hashes accumulated since the last one. *)
-                t.pending_hashes <-
-                  result.Node_core.br_write_set_hash :: t.pending_hashes;
-                let interval = max 1 t.config.checkpoint_interval in
-                if result.Node_core.br_height mod interval = 0 then begin
-                  let hash =
-                    Brdb_crypto.Sha256.digest_concat (List.rev t.pending_hashes)
-                  in
-                  t.pending_hashes <- [];
-                  Checkpoint.record_local t.checkpoints
-                    ~height:result.Node_core.br_height ~hash;
+                process_ready t
+            | Ok result ->
+                let bet, bct =
+                  block_times t block ~missing:result.Node_core.br_missing
+                in
+                let bpt =
+                  t.config.cost.Brdb_sim.Cost_model.block_const +. bet +. bct
+                in
+                if t.config.core.Node_core.flow = Node_core.Order_execute then
                   List.iter
-                    (fun p ->
-                      send t p
-                        (Msg.Checkpoint_hash
-                           { height = result.Node_core.br_height; hash }))
-                    (other_peers t)
-                end;
-                drain_deferred t;
-                process_ready t))
+                    (fun tx -> Metrics.record_tet t.metrics (tet_of t tx))
+                    block.Block.txs;
+                Cpu.run t.cpu ~cost:bpt (fun () ->
+                    t.processing <- false;
+                    Metrics.record_block t.metrics
+                      ~size:(List.length block.Block.txs)
+                      ~bpt ~bet ~bct;
+                    Metrics.record_missing_tx t.metrics
+                      result.Node_core.br_missing;
+                    finish_block t result;
+                    if not t.crashed then begin
+                      process_ready t;
+                      (* still behind after draining the inbox: keep the
+                         catch-up session going *)
+                      if needs_fetch t then arm_fetch t
+                    end)))
 
 let block_is_new t (block : Block.t) =
-  block.Block.height > Node_core.height t.core
+  let next = Node_core.height t.core + 1 in
+  block.Block.height >= next
+  (* bounded inbox: blocks beyond the reorder window are not buffered —
+     catch-up re-fetches them once the gap closes *)
+  && block.Block.height < next + t.config.inbox_window
   && not (Hashtbl.mem t.inbox block.Block.height)
+
+let handle_blocks_reply t blocks =
+  let progress = ref false in
+  List.iter
+    (fun (b : Block.t) ->
+      note_height t b.Block.height;
+      if block_is_new t b then begin
+        t.fetched_blocks <- t.fetched_blocks + 1;
+        Hashtbl.replace t.inbox b.Block.height b;
+        progress := true
+      end)
+    blocks;
+  if !progress then begin
+    (* the source answered: end the session (completion re-arms if the
+       store is still behind) *)
+    reset_fetch t;
+    process_ready t
+  end
 
 let handle t ~src msg =
   if not t.crashed then
     match msg with
     | Msg.Client_tx tx -> handle_client_tx t ~src tx
     | Msg.Block_deliver block ->
+        note_height t block.Block.height;
         if block_is_new t block then begin
           Metrics.record_block_received t.metrics;
           Hashtbl.replace t.inbox block.Block.height block;
           process_ready t
-        end
+        end;
+        maybe_arm_fetch t
     | Msg.Checkpoint_hash { height; hash } ->
-        Checkpoint.receive t.checkpoints ~from:src ~height ~hash
+        note_height t height;
+        Checkpoint.receive t.checkpoints ~from:src ~height ~hash;
+        maybe_arm_fetch t
+    | Msg.Fetch_blocks { from_height } -> serve_fetch t ~src ~from_height
+    | Msg.Blocks_reply { blocks } -> handle_blocks_reply t blocks
     | _ -> ()
 
 let create ~net (config : config) ~registry =
@@ -232,19 +395,49 @@ let create ~net (config : config) ~registry =
       crashed = false;
       processing = false;
       pending_hashes = [];
+      known_height = 0;
+      fetch_armed = false;
+      fetch_seq = 0;
+      fetch_backoff = config.fetch_timeout;
+      fetch_attempts = 0;
+      fetch_rotation = 0;
+      fetch_requests = 0;
+      fetched_blocks = 0;
+      pending_crash = None;
     }
   in
   Msg.Net.register net ~name:(name t) (fun ~src msg -> handle t ~src msg);
+  (* Periodic anti-entropy probe: even a peer that missed every delivery
+     and every gossip message (total silence) eventually discovers and
+     fetches missed blocks. Perpetual — only enable under drivers that
+     bound the clock (tests that drain the event queue must leave it 0). *)
+  if config.sync_interval > 0. then begin
+    let rec sync_loop () =
+      Clock.schedule clock ~delay:config.sync_interval (fun () ->
+          if not t.crashed then arm_fetch t ~blind:true;
+          sync_loop ())
+    in
+    sync_loop ()
+  end;
   t
 
-let crash t =
-  t.crashed <- true;
-  Msg.Net.unregister t.net ~name:(name t)
+let crash ?at t =
+  match at with None -> do_crash t | Some point -> t.pending_crash <- Some point
 
 let restart t =
   t.crashed <- false;
+  t.pending_crash <- None;
   (match Node_core.recover t.core with
-  | Ok _ -> ()
+  | Ok None -> ()
+  | Ok (Some result) ->
+      (* a §3.6 mid-block crash was repaired (status step completed, or
+         rollback + re-execution from the block store): account for the
+         block now — its completion callback never ran *)
+      finish_block t result
   | Error e -> Logs.warn (fun m -> m "recovery failed on %s: %s" (name t) e));
   Msg.Net.register t.net ~name:(name t) (fun ~src msg -> handle t ~src msg);
-  process_ready t
+  reset_fetch t;
+  process_ready t;
+  (* catch up on whatever we missed while down, without waiting for the
+     next delivery or gossip message *)
+  arm_fetch t ~blind:true

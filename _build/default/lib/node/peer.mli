@@ -7,7 +7,11 @@
       (semantics are computed instantly in OCaml; the simulation clock
       advances by the modelled execution/commit costs);
     - per-node metrics (the seven micro-metrics of §5);
-    - client notifications (the paper's LISTEN/NOTIFY channel). *)
+    - client notifications (the paper's LISTEN/NOTIFY channel);
+    - §3.6 catch-up: a peer that detects a gap in the block stream
+      (crash, partition, message loss) fetches the missing blocks from
+      rotating source peers with exponential backoff, served from their
+      {!Brdb_ledger.Block_store}. *)
 
 type config = {
   core : Node_core.config;
@@ -23,6 +27,18 @@ type config = {
       (** gossip a checkpoint hash every N blocks (§3.3.4: "it is not
           necessary to record a checkpoint every block"); the hash covers
           the write sets of all blocks since the previous checkpoint. *)
+  fetch_timeout : float;
+      (** base retry timeout for block catch-up requests; each fruitless
+          attempt doubles it (capped at 8x). 0 disables catch-up. *)
+  sync_interval : float;
+      (** period of the anti-entropy probe that lets a fully-silenced peer
+          (every delivery and gossip message lost) discover missed blocks.
+          0 disables it — required for drivers that run the clock until
+          the event queue drains, since the probe reschedules forever. *)
+  inbox_window : int;
+      (** out-of-order blocks are buffered only within this many heights
+          of the next needed block; anything farther is dropped (bounded
+          memory) and recovered by catch-up once the gap closes. *)
 }
 
 type t
@@ -44,11 +60,25 @@ val on_final : t -> (tx_id:string -> status:Node_core.tx_status -> unit) -> unit
 (** Number of blocks fully processed. *)
 val blocks_processed : t -> int
 
-(** Simulate a crash: stop handling messages (blocks queue up at other
-    nodes' gossip, not here). *)
-val crash : t -> unit
+(** Catch-up requests sent so far (diagnostics). *)
+val fetch_requests : t -> int
 
-(** Restart after a crash: runs {!Node_core.recover}, then re-registers
-    on the network. Missed blocks must be re-delivered (e.g. fetched from
-    a peer's block store by the caller). *)
+(** Blocks obtained through catch-up (rather than direct delivery). *)
+val fetched_blocks : t -> int
+
+(** Out-of-order blocks currently buffered (bounded by [inbox_window]). *)
+val inbox_size : t -> int
+
+(** [crash t] simulates a fail-stop crash: the peer stops handling
+    messages and leaves the network. [crash ~at t] instead injects a
+    §3.6 mid-block crash: the peer dies at the given {!Node_core.crash_point}
+    while processing its next block, leaving a partially-applied block for
+    {!restart} to repair. *)
+val crash : ?at:Node_core.crash_point -> t -> unit
+
+(** Restart after a crash: runs {!Node_core.recover} (§3.6 — completing
+    or rolling back and re-executing a partially-processed block from the
+    block store), re-registers on the network, resumes buffered blocks,
+    and automatically fetches any blocks missed while down from the other
+    peers' block stores. *)
 val restart : t -> unit

@@ -42,6 +42,9 @@ type t = {
   mutable blocks_received : int;
   mutable blocks_processed : int;
   mutable missing : int;
+  mutable net_delivered : int;
+  mutable net_dropped : int;
+  mutable net_duplicated : int;
   latency : Stat.t;
   bpt : Stat.t;
   bet : Stat.t;
@@ -58,6 +61,9 @@ let create () =
     blocks_received = 0;
     blocks_processed = 0;
     missing = 0;
+    net_delivered = 0;
+    net_dropped = 0;
+    net_duplicated = 0;
     latency = Stat.create ();
     bpt = Stat.create ();
     bet = Stat.create ();
@@ -87,6 +93,11 @@ let record_tet t x = Stat.add t.tet x
 
 let record_missing_tx t n = t.missing <- t.missing + n
 
+let record_network t ~delivered ~dropped ~duplicated =
+  t.net_delivered <- delivered;
+  t.net_dropped <- dropped;
+  t.net_duplicated <- duplicated
+
 type summary = {
   duration_s : float;
   submitted : int;
@@ -103,6 +114,10 @@ type summary = {
   tet_ms : float;
   mt_per_s : float;
   su_percent : float;
+  net_delivered : int;
+  net_dropped : int;
+  net_duplicated : int;
+  loss_percent : float;
 }
 
 let summarize t ~duration_s =
@@ -125,6 +140,13 @@ let summarize t ~duration_s =
     tet_ms = Stat.mean t.tet *. 1000.;
     mt_per_s = per_s t.missing;
     su_percent = Float.min 100. (bpr *. bpt_s *. 100.);
+    net_delivered = t.net_delivered;
+    net_dropped = t.net_dropped;
+    net_duplicated = t.net_duplicated;
+    loss_percent =
+      (let total = t.net_delivered + t.net_dropped in
+       if total = 0 then 0.
+       else float_of_int t.net_dropped /. float_of_int total *. 100.);
   }
 
 let pp_summary fmt s =
@@ -132,4 +154,7 @@ let pp_summary fmt s =
     "tput=%.0f tps lat=%.3fs (p95 %.3fs) brr=%.1f bpr=%.1f bpt=%.2fms bet=%.2fms \
      bct=%.2fms tet=%.3fms mt=%.0f/s su=%.1f%% (%d submitted, %d committed, %d aborted)"
     s.throughput_tps s.avg_latency_s s.p95_latency_s s.brr s.bpr s.bpt_ms s.bet_ms
-    s.bct_ms s.tet_ms s.mt_per_s s.su_percent s.submitted s.committed s.aborted
+    s.bct_ms s.tet_ms s.mt_per_s s.su_percent s.submitted s.committed s.aborted;
+  if s.net_dropped > 0 || s.net_duplicated > 0 then
+    Format.fprintf fmt " loss=%.1f%% (%d dropped, %d duplicated)" s.loss_percent
+      s.net_dropped s.net_duplicated

@@ -44,6 +44,11 @@ val record_tet : t -> float -> unit
 
 val record_missing_tx : t -> int -> unit
 
+(** [record_network m ~delivered ~dropped ~duplicated] installs the
+    network plane's message totals (absolute counters, not increments) so
+    the summary can report loss rates. *)
+val record_network : t -> delivered:int -> dropped:int -> duplicated:int -> unit
+
 type summary = {
   duration_s : float;
   submitted : int;
@@ -60,6 +65,10 @@ type summary = {
   tet_ms : float;  (** mean transaction execution time *)
   mt_per_s : float;  (** missing transactions per second (EO) *)
   su_percent : float;  (** system utilization: bpr * bpt *)
+  net_delivered : int;  (** messages delivered by the network plane *)
+  net_dropped : int;  (** messages lost (faults, partitions, dead nodes) *)
+  net_duplicated : int;  (** extra copies injected by the duplication fault *)
+  loss_percent : float;  (** dropped / (delivered + dropped) *)
 }
 
 val summarize : t -> duration_s:float -> summary

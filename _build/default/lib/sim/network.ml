@@ -4,6 +4,10 @@ let lan_link = { latency_s = 0.0001; bandwidth_bps = 5e9 }
 
 let wan_link = { latency_s = 0.050; bandwidth_bps = 55e6 }
 
+type fault = { drop : float; duplicate : float }
+
+let no_fault = { drop = 0.; duplicate = 0. }
+
 module Make (P : sig
   type payload
 end) =
@@ -13,8 +17,14 @@ struct
     rng : Rng.t;
     default_link : link;
     links : (string * string, link) Hashtbl.t;
+    faults : (string * string, fault) Hashtbl.t;
+    mutable partitions : (string * string list) list;
+        (** name -> members; a partition cuts every (member, non-member)
+            pair in both directions. *)
     handlers : (string, src:string -> P.payload -> unit) Hashtbl.t;
     mutable delivered : int;
+    mutable dropped : int;
+    mutable duplicated : int;
     mutable bytes : int;
   }
 
@@ -24,14 +34,43 @@ struct
       rng;
       default_link;
       links = Hashtbl.create 16;
+      faults = Hashtbl.create 16;
+      partitions = [];
       handlers = Hashtbl.create 16;
       delivered = 0;
+      dropped = 0;
+      duplicated = 0;
       bytes = 0;
     }
 
   let clock net = net.clock
 
   let set_link net ~src ~dst link = Hashtbl.replace net.links (src, dst) link
+
+  let set_fault net ~src ~dst fault =
+    if fault = no_fault then Hashtbl.remove net.faults (src, dst)
+    else Hashtbl.replace net.faults (src, dst) fault
+
+  let fault_for net ~src ~dst =
+    match Hashtbl.find_opt net.faults (src, dst) with
+    | Some f -> f
+    | None -> no_fault
+
+  let partition net ~name ~members =
+    net.partitions <-
+      (name, members) :: List.remove_assoc name net.partitions
+
+  let heal net ~name = net.partitions <- List.remove_assoc name net.partitions
+
+  let clear_faults net =
+    Hashtbl.reset net.faults;
+    net.partitions <- []
+
+  let separated net ~src ~dst =
+    List.exists
+      (fun (_, members) ->
+        List.mem src members <> List.mem dst members)
+      net.partitions
 
   let register net ~name handler = Hashtbl.replace net.handlers name handler
 
@@ -52,21 +91,49 @@ struct
       let jitter = Rng.uniform net.rng ~lo:0.95 ~hi:1.05 in
       (l.latency_s *. jitter) +. transfer
 
-  let send net ~src ~dst ~size_bytes payload =
-    let delay = delay_for net ~src ~dst ~size_bytes in
-    net.bytes <- net.bytes + size_bytes;
+  let deliver net ~src ~dst ~delay payload =
     Clock.schedule net.clock ~delay (fun () ->
         match Hashtbl.find_opt net.handlers dst with
-        | None -> () (* dropped: node down or obscured *)
+        | None ->
+            (* destination down (crashed/unregistered) at delivery time *)
+            net.dropped <- net.dropped + 1
         | Some h ->
             net.delivered <- net.delivered + 1;
-            h ~src payload);
+            h ~src payload)
+
+  let send net ~src ~dst ~size_bytes payload =
+    (* Rng draw order is load-bearing for reproducibility: the jitter draw
+       (inside [delay_for]) always happens exactly as in a fault-free net;
+       drop/duplicate draws only happen when the link has a non-zero fault
+       rate, so configuring no faults leaves the event stream untouched. *)
+    let delay = delay_for net ~src ~dst ~size_bytes in
+    net.bytes <- net.bytes + size_bytes;
+    if separated net ~src ~dst then net.dropped <- net.dropped + 1
+    else begin
+      let fault = fault_for net ~src ~dst in
+      if fault.drop > 0. && Rng.float net.rng < fault.drop then
+        net.dropped <- net.dropped + 1
+      else begin
+        deliver net ~src ~dst ~delay payload;
+        if fault.duplicate > 0. && Rng.float net.rng < fault.duplicate then begin
+          net.duplicated <- net.duplicated + 1;
+          (* the copy takes an independent jitter draw, so it can arrive
+             before or after the original *)
+          let delay' = delay_for net ~src ~dst ~size_bytes in
+          deliver net ~src ~dst ~delay:delay' payload
+        end
+      end
+    end;
     delay
 
   let broadcast net ~src ~dsts ~size_bytes payload =
     List.iter (fun dst -> ignore (send net ~src ~dst ~size_bytes payload)) dsts
 
   let delivered net = net.delivered
+
+  let dropped net = net.dropped
+
+  let duplicated net = net.duplicated
 
   let bytes_sent net = net.bytes
 end

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Brdb_consensus Brdb_contracts Brdb_core Brdb_ledger Brdb_node Brdb_sim Brdb_storage List Printf

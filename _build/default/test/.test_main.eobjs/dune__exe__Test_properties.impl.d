@@ -1,1 +1,1 @@
-test/test_properties.ml: Array Brdb_contracts Brdb_crypto Brdb_engine Brdb_ledger Brdb_node Brdb_storage List Node_core Printf QCheck QCheck_alcotest String
+test/test_properties.ml: Array Brdb_contracts Brdb_core Brdb_crypto Brdb_engine Brdb_ledger Brdb_node Brdb_storage List Node_core Printf QCheck QCheck_alcotest String

@@ -20,5 +20,6 @@ let () =
          Test_peer.suites;
          Test_scenarios.suites;
          Test_misc.suites;
+         Test_chaos.suites;
          Test_properties.suites;
        ])

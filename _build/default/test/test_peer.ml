@@ -32,7 +32,8 @@ let setup_contract =
   Registry.Native
     (fun ctx -> ignore (Api.execute ctx "CREATE TABLE kv (k INT PRIMARY KEY, v INT)"))
 
-let make_fx ?(flow = Node_core.Execute_order) ?(checkpoint_interval = 1) ?(n = 3) () =
+let make_fx ?(flow = Node_core.Execute_order) ?(checkpoint_interval = 1) ?(n = 3)
+    ?(inbox_window = 64) () =
   let clock = Clock.create () in
   let rng = Rng.create ~seed:5 in
   let net = Msg.Net.create ~clock ~rng ~default_link:Brdb_sim.Network.lan_link in
@@ -79,6 +80,11 @@ let make_fx ?(flow = Node_core.Execute_order) ?(checkpoint_interval = 1) ?(n = 3
               peer_names;
               forward_delay_mean = 0.;
               checkpoint_interval;
+              fetch_timeout = 0.05;
+              (* these tests run the clock until the queue drains, so the
+                 perpetual anti-entropy probe must stay off *)
+              sync_interval = 0.;
+              inbox_window;
             }
             ~registry
         in
@@ -314,6 +320,97 @@ let test_divergence_detected_via_checkpoints () =
        (Brdb_ledger.Checkpoint.divergent (Peer.checkpoints rogue)
           ~height:(Node_core.height (Peer.core rogue))))
 
+(* --- §3.6 catch-up -------------------------------------------------------- *)
+
+let test_restart_fetches_missed_blocks () =
+  let fx = make_fx ~flow:Node_core.Order_execute () in
+  init_chain fx;
+  let victim = List.nth fx.peers 2 in
+  Peer.crash victim;
+  (* two blocks go by while the victim is down — nobody re-delivers them *)
+  List.iter
+    (fun i ->
+      deliver_block fx
+        [
+          Block.make_tx ~id:(Printf.sprintf "m%d" i) ~identity:fx.client
+            ~contract:"put"
+            ~args:[ Value.Int i; Value.Int i ];
+        ])
+    [ 1; 2 ];
+  Alcotest.(check (list int)) "victim behind" [ 3; 3; 1 ] (heights fx);
+  (* messages to the dead node were counted as drops *)
+  Alcotest.(check bool) "drops visible" true (Msg.Net.dropped fx.net > 0);
+  Peer.restart victim;
+  ignore (Clock.run fx.clock);
+  Alcotest.(check (list int)) "caught up via fetch" [ 3; 3; 3 ] (heights fx);
+  Alcotest.(check int) "both blocks fetched" 2 (Peer.fetched_blocks victim);
+  Alcotest.(check bool) "used at least one request" true
+    (Peer.fetch_requests victim >= 1)
+
+let test_gap_triggers_fetch () =
+  let fx = make_fx ~flow:Node_core.Order_execute () in
+  init_chain fx;
+  (* block 2 is lost on the way to peer-3 only; block 3 reaches everyone.
+     Peer-3 must notice the gap and fetch block 2 from a neighbour. *)
+  let mk txs =
+    let height = (match fx.prev with None -> 0 | Some b -> b.Block.height) + 1 in
+    let prev_hash =
+      match fx.prev with None -> Block.genesis_hash | Some b -> b.Block.hash
+    in
+    let b = Block.sign (Block.create ~height ~txs ~metadata:"t" ~prev_hash) fx.orderer in
+    fx.prev <- Some b;
+    b
+  in
+  let send_to p b =
+    ignore
+      (Msg.Net.send fx.net ~src:"orderer-1" ~dst:(Peer.name p)
+         ~size_bytes:(Msg.size (Msg.Block_deliver b))
+         (Msg.Block_deliver b))
+  in
+  let b2 = mk [ Block.make_tx ~id:"g1" ~identity:fx.client ~contract:"put" ~args:[ Value.Int 1; Value.Int 1 ] ] in
+  let b3 = mk [ Block.make_tx ~id:"g2" ~identity:fx.client ~contract:"put" ~args:[ Value.Int 2; Value.Int 2 ] ] in
+  (match fx.peers with
+  | [ p1; p2; p3 ] ->
+      send_to p1 b2;
+      send_to p2 b2;
+      List.iter (fun p -> send_to p b3) [ p1; p2; p3 ]
+  | _ -> Alcotest.fail "expected 3 peers");
+  ignore (Clock.run fx.clock);
+  Alcotest.(check (list int)) "gap closed everywhere" [ 3; 3; 3 ] (heights fx);
+  let p3 = List.nth fx.peers 2 in
+  Alcotest.(check int) "the missing block was fetched" 1 (Peer.fetched_blocks p3)
+
+let test_inbox_bounded () =
+  let window = 8 in
+  let fx = make_fx ~flow:Node_core.Order_execute ~inbox_window:window () in
+  init_chain fx;
+  let p1 = List.hd fx.peers in
+  (* flood one peer with far-future heights: only the reorder window may
+     be buffered, everything else is dropped (fetch recovers it later) *)
+  let flood h =
+    let b =
+      Block.sign
+        (Block.create ~height:h
+           ~txs:[ Block.make_tx ~id:(Printf.sprintf "f%d" h) ~identity:fx.client ~contract:"put" ~args:[ Value.Int h; Value.Int h ] ]
+           ~metadata:"t" ~prev_hash:"bogus")
+        fx.orderer
+    in
+    ignore
+      (Msg.Net.send fx.net ~src:"orderer-1" ~dst:(Peer.name p1)
+         ~size_bytes:(Msg.size (Msg.Block_deliver b))
+         (Msg.Block_deliver b))
+  in
+  for h = 3 to 300 do
+    flood h
+  done;
+  ignore (Clock.run fx.clock);
+  Alcotest.(check bool)
+    (Printf.sprintf "inbox bounded by window (%d)" window)
+    true
+    (Peer.inbox_size p1 <= window);
+  Alcotest.(check int) "nothing processed (gap at 2)" 1
+    (Node_core.height (Peer.core p1))
+
 let suites =
   [
     ( "peer",
@@ -326,5 +423,9 @@ let suites =
         Alcotest.test_case "checkpoint interval" `Quick test_checkpoint_interval;
         Alcotest.test_case "tampered node flagged via checkpoints" `Quick
           test_divergence_detected_via_checkpoints;
+        Alcotest.test_case "restart fetches missed blocks" `Quick
+          test_restart_fetches_missed_blocks;
+        Alcotest.test_case "gap triggers fetch" `Quick test_gap_triggers_fetch;
+        Alcotest.test_case "inbox bounded" `Quick test_inbox_bounded;
       ] );
   ]

@@ -362,6 +362,35 @@ let prop_prune_preserves_live_state =
       ignore removed;
       before = after)
 
+let prop_chaos_schedules_preserve_determinism =
+  (* Any seeded fault schedule — random crashes (clean or mid-block),
+     healing partitions, up to 10% loss plus duplication — must leave all
+     nodes on identical chains with identical per-block write-set hashes,
+     and every client request decided (the ISSUE's chaos invariants). *)
+  QCheck.Test.make ~name:"chaos: random fault schedules keep nodes identical"
+    ~count:10
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 9999))
+    (fun seed ->
+      let spec =
+        {
+          Brdb_core.Chaos.default_spec with
+          Brdb_core.Chaos.seed;
+          rate = 100.;
+          duration = 0.8;
+          block_size = 8;
+          drop = 0.01 +. (0.009 *. float_of_int (seed mod 11));
+          duplicate = float_of_int (seed mod 3) /. 100.;
+          crashes = (seed mod 2) + 1;
+          partitions = seed mod 2;
+          crash_points = seed mod 3 = 0;
+        }
+      in
+      let r = Brdb_core.Chaos.run spec in
+      if not r.Brdb_core.Chaos.converged then
+        QCheck.Test.fail_reportf "seed %d diverged: %a" seed
+          Brdb_core.Chaos.pp_report r;
+      true)
+
 let suites =
   [
     ( "properties",
@@ -370,5 +399,6 @@ let suites =
         QCheck_alcotest.to_alcotest prop_oe_nodes_identical;
         QCheck_alcotest.to_alcotest prop_eo_serializable_with_pre_execution;
         QCheck_alcotest.to_alcotest prop_prune_preserves_live_state;
+        QCheck_alcotest.to_alcotest prop_chaos_schedules_preserve_determinism;
       ] );
   ]

@@ -85,7 +85,87 @@ let test_network_delivery () =
   ignore (Clock.run clock);
   Alcotest.(check (list (pair string string))) "delivered" [ ("a", "hello") ] !inbox;
   Alcotest.(check int) "only one delivered" 1 (Net.delivered net);
-  Alcotest.(check int) "bytes counted for both" 200 (Net.bytes_sent net)
+  Alcotest.(check int) "bytes counted for both" 200 (Net.bytes_sent net);
+  (* the silent drop to an unregistered destination is now visible *)
+  Alcotest.(check int) "drop to dead node counted" 1 (Net.dropped net)
+
+let test_network_drop_fault () =
+  let clock = Clock.create () in
+  let rng = Rng.create ~seed:2 in
+  let net = Net.create ~clock ~rng ~default_link:Network.lan_link in
+  let got = ref 0 in
+  Net.register net ~name:"b" (fun ~src:_ _ -> incr got);
+  Net.set_fault net ~src:"a" ~dst:"b" { Network.drop = 1.0; duplicate = 0. };
+  ignore (Net.send net ~src:"a" ~dst:"b" ~size_bytes:10 "x");
+  ignore (Clock.run clock);
+  Alcotest.(check int) "all dropped" 0 !got;
+  Alcotest.(check int) "counted" 1 (Net.dropped net);
+  (* clearing the fault restores delivery *)
+  Net.set_fault net ~src:"a" ~dst:"b" Network.no_fault;
+  ignore (Net.send net ~src:"a" ~dst:"b" ~size_bytes:10 "y");
+  ignore (Clock.run clock);
+  Alcotest.(check int) "delivered after clear" 1 !got;
+  (* a partial drop rate loses roughly that fraction, deterministically *)
+  Net.set_fault net ~src:"a" ~dst:"b" { Network.drop = 0.3; duplicate = 0. };
+  for _ = 1 to 1000 do
+    ignore (Net.send net ~src:"a" ~dst:"b" ~size_bytes:10 "z")
+  done;
+  ignore (Clock.run clock);
+  let lost = Net.dropped net - 1 in
+  Alcotest.(check bool) "~30% lost" true (lost > 230 && lost < 370)
+
+let test_network_duplicate_fault () =
+  let clock = Clock.create () in
+  let rng = Rng.create ~seed:3 in
+  let net = Net.create ~clock ~rng ~default_link:Network.lan_link in
+  let got = ref 0 in
+  Net.register net ~name:"b" (fun ~src:_ _ -> incr got);
+  Net.set_fault net ~src:"a" ~dst:"b" { Network.drop = 0.; duplicate = 1.0 };
+  ignore (Net.send net ~src:"a" ~dst:"b" ~size_bytes:10 "x");
+  ignore (Clock.run clock);
+  Alcotest.(check int) "delivered twice" 2 !got;
+  Alcotest.(check int) "duplication counted" 1 (Net.duplicated net);
+  Alcotest.(check int) "both deliveries counted" 2 (Net.delivered net)
+
+let test_network_partition_heal () =
+  let clock = Clock.create () in
+  let rng = Rng.create ~seed:4 in
+  let net = Net.create ~clock ~rng ~default_link:Network.lan_link in
+  let inbox = ref [] in
+  List.iter
+    (fun n -> Net.register net ~name:n (fun ~src payload -> inbox := (src, n, payload) :: !inbox))
+    [ "a"; "b"; "c" ];
+  Net.partition net ~name:"split" ~members:[ "c" ];
+  ignore (Net.send net ~src:"a" ~dst:"c" ~size_bytes:10 "cut");
+  ignore (Net.send net ~src:"c" ~dst:"a" ~size_bytes:10 "cut");
+  ignore (Net.send net ~src:"a" ~dst:"b" ~size_bytes:10 "same side");
+  ignore (Clock.run clock);
+  Alcotest.(check (list (triple string string string)))
+    "only the same-side message arrived"
+    [ ("a", "b", "same side") ]
+    !inbox;
+  Alcotest.(check int) "partition drops counted" 2 (Net.dropped net);
+  Net.heal net ~name:"split";
+  ignore (Net.send net ~src:"a" ~dst:"c" ~size_bytes:10 "healed");
+  ignore (Clock.run clock);
+  Alcotest.(check bool) "healed link delivers" true
+    (List.mem ("a", "c", "healed") !inbox)
+
+let test_network_fault_free_stream_unchanged () =
+  (* configuring no faults must not consume extra rng draws: two nets with
+     the same seed, one with a fault set on an UNUSED link, produce
+     identical delays on the used link *)
+  let delays seed with_fault =
+    let clock = Clock.create () in
+    let rng = Rng.create ~seed in
+    let net = Net.create ~clock ~rng ~default_link:Network.wan_link in
+    Net.register net ~name:"b" (fun ~src:_ _ -> ());
+    if with_fault then
+      Net.set_fault net ~src:"x" ~dst:"y" { Network.drop = 0.5; duplicate = 0.5 };
+    List.init 20 (fun _ -> Net.send net ~src:"a" ~dst:"b" ~size_bytes:100 "m")
+  in
+  Alcotest.(check (list (float 1e-12)))
+    "same jitter stream" (delays 9 false) (delays 9 true)
 
 let test_network_latency_model () =
   let clock = Clock.create () in
@@ -205,6 +285,11 @@ let suites =
       [
         Alcotest.test_case "delivery" `Quick test_network_delivery;
         Alcotest.test_case "latency model" `Quick test_network_latency_model;
+        Alcotest.test_case "drop fault" `Quick test_network_drop_fault;
+        Alcotest.test_case "duplicate fault" `Quick test_network_duplicate_fault;
+        Alcotest.test_case "partition and heal" `Quick test_network_partition_heal;
+        Alcotest.test_case "fault-free rng stream unchanged" `Quick
+          test_network_fault_free_stream_unchanged;
       ] );
     ("sim.cpu", [ Alcotest.test_case "serialization" `Quick test_cpu_serialization ]);
     ( "sim.workload",

@@ -186,18 +186,12 @@ let test_eo_recovery_catchup () =
   Peer.crash victim;
   ignore (submit_n 200 5);
   B.settle net;
+  (* restart triggers automatic catch-up from the other peers' block
+     stores (§3.6) — no manual re-delivery *)
   Peer.restart victim;
-  (* catch up from a healthy peer's block store *)
+  B.run net ~seconds:0.5;
   let healthy = Peer.core (B.peer net 0) in
   let vcore = Peer.core victim in
-  for h = Node_core.height vcore + 1 to Node_core.height healthy do
-    match Brdb_ledger.Block_store.get (Node_core.block_store healthy) h with
-    | Some b -> (
-        match Node_core.process_block vcore b with
-        | Ok _ -> ()
-        | Error e -> Alcotest.fail e)
-    | None -> Alcotest.fail "missing block"
-  done;
   let count core =
     match Node_core.query core "SELECT COUNT(*) FROM duty" with
     | Ok rs -> (
