@@ -57,19 +57,77 @@ let fig5b () =
 
 (* --------------------------------------------- Tables 4/5: micro metrics *)
 
+module Obs = Brdb_obs.Obs
+module Reg = Brdb_obs.Registry
+
+(* Per-phase breakdown from the metrics registry (the observability layer,
+   PR 2): order time from the network tap, block phases from node 0's
+   histograms, plus the cluster-wide abort taxonomy. *)
+let phase_breakdown dbs =
+  line "";
+  line "per-phase breakdown (registry histograms, ms — mean/p95):";
+  line "%4s | %15s %15s %15s %15s | %s" "bs" "order" "bpt" "bet" "bct"
+    "aborts by class";
+  List.iter
+    (fun (block_size, db) ->
+      let reg = Obs.metrics (Brdb_core.Blockchain_db.obs db) in
+      let cluster = Reg.cluster_view reg in
+      let hist name =
+        match
+          List.find_opt (fun (e : Reg.entry) -> e.Reg.e_name = name) cluster
+        with
+        | Some e -> Printf.sprintf "%7.2f/%-7.2f" e.Reg.e_value e.Reg.e_p95
+        | None -> Printf.sprintf "%7s/%-7s" "-" "-"
+      in
+      let node0 = "db-org1" in
+      let nhist name =
+        match Reg.histogram reg ~node:node0 name with
+        | Some s ->
+            Printf.sprintf "%7.2f/%-7.2f" (Metrics.Stat.mean s)
+              (Metrics.Stat.percentile s 95.)
+        | None -> Printf.sprintf "%7s/%-7s" "-" "-"
+      in
+      let aborts =
+        let prefix = "txn.aborted." in
+        let plen = String.length prefix in
+        cluster
+        |> List.filter_map (fun (e : Reg.entry) ->
+               if
+                 String.length e.Reg.e_name > plen
+                 && String.sub e.Reg.e_name 0 plen = prefix
+               then
+                 Some
+                   (Printf.sprintf "%s=%d"
+                      (String.sub e.Reg.e_name plen
+                         (String.length e.Reg.e_name - plen))
+                      e.Reg.e_count)
+               else None)
+      in
+      line "%4d | %15s %15s %15s %15s | %s" block_size
+        (hist "phase.order_ms") (nhist "phase.bpt_ms") (nhist "phase.bet_ms")
+        (nhist "phase.bct_ms")
+        (if aborts = [] then "none" else String.concat " " aborts))
+    dbs
+
 let micro_table ~flow ~rate ~title =
   header title;
   line "%4s | %8s %8s %9s %9s %9s %9s %7s %6s" "bs" "brr" "bpr" "bpt(ms)"
     "bet(ms)" "bct(ms)" "tet(ms)" "mt/s" "su%%";
-  List.iter
-    (fun block_size ->
-      let s =
-        Runner.run { Runner.default_spec with flow; block_size; rate; duration = dur () }
-      in
-      line "%4d | %8.1f %8.1f %9.2f %9.2f %9.2f %9.3f %7.0f %6.1f" block_size
-        s.Metrics.brr s.Metrics.bpr s.Metrics.bpt_ms s.Metrics.bet_ms
-        s.Metrics.bct_ms s.Metrics.tet_ms s.Metrics.mt_per_s s.Metrics.su_percent)
-    [ 10; 100; 500 ]
+  let dbs =
+    List.map
+      (fun block_size ->
+        let db, s =
+          Runner.run_db
+            { Runner.default_spec with flow; block_size; rate; duration = dur () }
+        in
+        line "%4d | %8.1f %8.1f %9.2f %9.2f %9.2f %9.3f %7.0f %6.1f" block_size
+          s.Metrics.brr s.Metrics.bpr s.Metrics.bpt_ms s.Metrics.bet_ms
+          s.Metrics.bct_ms s.Metrics.tet_ms s.Metrics.mt_per_s
+          s.Metrics.su_percent;
+        (block_size, db))
+      [ 10; 100; 500 ]
+  in
+  phase_breakdown dbs
 
 let table4 () =
   micro_table ~flow:Node_core.Order_execute ~rate:2100.
@@ -247,6 +305,7 @@ let chaos () =
     "parts" "slots" "resub" "loss" "fetched" "height" "converged";
   let seeds = if !quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   let failures = ref 0 in
+  let reports = ref [] in
   List.iter
     (fun seed ->
       let spec =
@@ -263,6 +322,7 @@ let chaos () =
         }
       in
       let r = Chaos.run spec in
+      reports := r :: !reports;
       if not r.Chaos.converged then incr failures;
       let height = match r.Chaos.heights with (_, h) :: _ -> h | [] -> 0 in
       line "%4d %4.0f%% %7d %5d | %5d %6d %5.1f%% %7d %7d | %s" seed
@@ -275,7 +335,37 @@ let chaos () =
     "%d/%d seeds converged (equal heights, chain & write-set hashes; every \
      request decided)"
     (List.length seeds - !failures)
-    (List.length seeds)
+    (List.length seeds);
+  (* Abort taxonomy + cross-node agreement, aggregated over all seeds. *)
+  let mismatches =
+    List.fold_left
+      (fun acc r -> acc + List.length r.Chaos.decision_mismatches)
+      0 !reports
+  in
+  let divergent_reasons =
+    List.fold_left
+      (fun acc r -> acc + List.length r.Chaos.reason_divergences)
+      0 !reports
+  in
+  let classes = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (c, n) ->
+          Hashtbl.replace classes c
+            (n + Option.value (Hashtbl.find_opt classes c) ~default:0))
+        r.Chaos.abort_classes)
+    !reports;
+  let class_list =
+    Hashtbl.fold (fun c n acc -> (c, n) :: acc) classes []
+    |> List.sort compare
+    |> List.map (fun (c, n) -> Printf.sprintf "%s=%d" c n)
+  in
+  line
+    "decision agreement: %d cross-node mismatches (must be 0); %d txns \
+     aborted for node-divergent reasons (legal); aborts by class: %s"
+    mismatches divergent_reasons
+    (if class_list = [] then "none" else String.concat ", " class_list)
 
 let all : (string * (unit -> unit)) list =
   [

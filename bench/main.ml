@@ -6,6 +6,8 @@
       dune exec bench/main.exe                 # all experiments
       dune exec bench/main.exe -- --quick      # shorter windows
       dune exec bench/main.exe -- --only fig5a # one experiment
+      dune exec bench/main.exe -- --only table4 --trace t.json
+                                               # ... with a Chrome trace
       dune exec bench/main.exe -- --micro      # Bechamel micro-benchmarks
       dune exec bench/main.exe -- --list       # list experiment names *)
 
@@ -20,7 +22,16 @@ let () =
     in
     find args
   in
+  let trace_out =
+    let rec find = function
+      | "--trace" :: file :: _ -> Some file
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   if has "--quick" then Experiments.quick := true;
+  Runner.trace_file := trace_out;
   if has "--list" then begin
     List.iter (fun (name, _) -> print_endline name) Experiments.all;
     exit 0
@@ -42,4 +53,14 @@ let () =
         "Blockchain relational database — evaluation reproduction (simulated \
          testbed; see EXPERIMENTS.md for paper-vs-measured)";
       List.iter (fun (_, f) -> f ()) Experiments.all);
+  (match trace_out with
+  | Some file ->
+      let events = !Runner.collected in
+      let oc = open_out file in
+      output_string oc (Brdb_obs.Export.chrome_string events);
+      close_out oc;
+      Printf.printf
+        "\nwrote %d trace events to %s (chrome://tracing / ui.perfetto.dev)\n"
+        (List.length events) file
+  | None -> ());
   print_endline "\ndone."

@@ -34,10 +34,20 @@ let default_spec =
     seed = 7;
   }
 
-(** Run the workload and summarize. Throughput counts transactions that
-    reached majority commit within the workload window (steady state), as
-    in the paper. *)
-let run (spec : spec) : Metrics.summary =
+(* --trace support: when set (by bench/main.ml), every run records a trace
+   and appends its events here, node names prefixed "run<i>/" so multiple
+   runs of one experiment land in distinct Chrome process lanes. *)
+let trace_file : string option ref = ref None
+
+let collected : Brdb_obs.Trace.event list ref = ref []
+
+let run_index = ref 0
+
+(** Run the workload and summarize, returning the deployment too (its
+    registry feeds the per-phase breakdown printed next to Tables 4/5).
+    Throughput counts transactions that reached majority commit within
+    the workload window (steady state), as in the paper. *)
+let run_db (spec : spec) : B.t * Metrics.summary =
   let config =
     {
       (B.default_config ()) with
@@ -51,6 +61,7 @@ let run (spec : spec) : Metrics.summary =
       forward_delay_mean =
         (if spec.flow = Node_core.Execute_order then 0.012 else 0.);
       seed = spec.seed;
+      tracing = !trace_file <> None;
     }
   in
   let net = B.create config in
@@ -71,7 +82,20 @@ let run (spec : spec) : Metrics.summary =
      in-flight transactions at the cut-off are not counted. *)
   B.run net ~seconds:spec.duration;
   ignore t0;
-  B.summary net ~duration_s:spec.duration
+  let summary = B.summary net ~duration_s:spec.duration in
+  if !trace_file <> None then begin
+    incr run_index;
+    let prefix = Printf.sprintf "run%d/" !run_index in
+    collected :=
+      !collected
+      @ List.map
+          (fun (e : Brdb_obs.Trace.event) ->
+            { e with Brdb_obs.Trace.node = prefix ^ e.Brdb_obs.Trace.node })
+          (B.trace_events net)
+  end;
+  (net, summary)
+
+let run spec = snd (run_db spec)
 
 (** Sweep arrival rates and report the best observed committed
     throughput with its summary. *)

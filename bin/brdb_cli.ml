@@ -5,6 +5,9 @@
       wrapped in signed blockchain transactions, SELECT/PROVENANCE queries
       run read-only against one replica.
     - [demo]: a scripted tour (contracts, conflicts, provenance, ledger).
+    - [trace]: run a scripted workload with deterministic tracing enabled and
+      export the full submit → order → execute → validate → commit lifecycle
+      as a Chrome trace (chrome://tracing, ui.perfetto.dev) or JSONL.
     - [info]: network/component summary. *)
 
 module B = Brdb_core.Blockchain_db
@@ -23,13 +26,14 @@ let print_result (rs : Brdb_engine.Exec.result_set) =
   if rs.Brdb_engine.Exec.affected > 0 then
     Printf.printf "(%d rows affected)\n" rs.Brdb_engine.Exec.affected
 
-let make_net ~flow ~block_size ~block_timeout =
+let make_net ?(tracing = false) ~flow ~block_size ~block_timeout () =
   let config =
     {
       (B.default_config ()) with
       B.flow;
       block_size;
       block_timeout;
+      tracing;
     }
   in
   let net = B.create config in
@@ -59,7 +63,7 @@ let sandbox flow_str block_size block_timeout =
     | "serial" -> Node_core.Serial_baseline
     | other -> failwith ("unknown flow: " ^ other)
   in
-  let net = make_net ~flow ~block_size ~block_timeout in
+  let net = make_net ~flow ~block_size ~block_timeout () in
   (* The sandbox signs as org1's admin so DDL statements are allowed. *)
   let user = B.admin net "org1" in
   Printf.printf
@@ -104,7 +108,7 @@ let sandbox flow_str block_size block_timeout =
 (* --- demo --------------------------------------------------------------------- *)
 
 let demo () =
-  let net = make_net ~flow:Node_core.Order_execute ~block_size:10 ~block_timeout:0.2 in
+  let net = make_net ~flow:Node_core.Order_execute ~block_size:10 ~block_timeout:0.2 () in
   let user = B.admin net "org1" in
   let say fmt = Printf.printf (fmt ^^ "\n%!") in
   let exec sql =
@@ -140,6 +144,70 @@ let demo () =
    with
   | Ok rs -> print_result rs
   | Error e -> say "error: %s" e);
+  `Ok ()
+
+(* --- trace -------------------------------------------------------------------- *)
+
+let trace flow_str out format =
+  let flow =
+    match flow_str with
+    | "oe" -> Node_core.Order_execute
+    | "eo" -> Node_core.Execute_order
+    | "serial" -> Node_core.Serial_baseline
+    | other -> failwith ("unknown flow: " ^ other)
+  in
+  let net = make_net ~tracing:true ~flow ~block_size:4 ~block_timeout:0.2 () in
+  let user = B.admin net "org1" in
+  let exec sql = B.submit net ~user ~contract:"__sql__" ~args:[ Value.Text sql ] in
+  let say fmt = Printf.printf (fmt ^^ "\n%!") in
+  say "brdb trace — %s flow, scripted workload, tracing on" flow_str;
+  ignore (exec "CREATE TABLE acct (id INT PRIMARY KEY, bal INT)");
+  B.settle net;
+  ignore (exec "INSERT INTO acct VALUES (1, 100), (2, 200)");
+  B.settle net;
+  (* Two conflicting updates in flight at once: exactly one commits, the
+     other aborts (ww first-in-block-wins under OE, rw/block-aware SSI
+     under EO) — exercising the abort taxonomy. The duplicate-key insert
+     exercises the uniqueness class. *)
+  let a = exec "UPDATE acct SET bal = bal - 10 WHERE id = 1" in
+  let b = exec "UPDATE acct SET bal = bal + 10 WHERE id = 1" in
+  let c = exec "INSERT INTO acct VALUES (2, 999)" in
+  B.settle net;
+  List.iter
+    (fun (label, id) ->
+      say "  %-38s -> %s" label
+        (match B.status net id with
+        | Some B.Committed -> "committed"
+        | Some (B.Aborted r) -> "aborted: " ^ r
+        | Some (B.Rejected r) -> "rejected: " ^ r
+        | None -> "undecided"))
+    [ ("UPDATE bal - 10", a); ("UPDATE bal + 10", b); ("INSERT duplicate key", c) ];
+  let events = B.trace_events net in
+  let oc = open_out out in
+  (match format with
+  | "chrome" -> output_string oc (Brdb_obs.Export.chrome_string events)
+  | "jsonl" -> output_string oc (Brdb_obs.Export.jsonl_string events)
+  | other -> failwith ("unknown format: " ^ other));
+  close_out oc;
+  say "";
+  say "wrote %d trace events to %s (%s)" (List.length events) out
+    (if format = "chrome" then "open in chrome://tracing or ui.perfetto.dev"
+     else "one JSON object per line");
+  let reg = Brdb_obs.Obs.metrics (B.obs net) in
+  let cluster = Brdb_obs.Registry.cluster_view reg in
+  let pick prefix =
+    List.filter
+      (fun e ->
+        let n = e.Brdb_obs.Registry.e_name in
+        String.length n >= String.length prefix
+        && String.sub n 0 (String.length prefix) = prefix)
+      cluster
+  in
+  say "";
+  say "cluster metrics (txn/block counters, abort taxonomy):";
+  Format.printf "%a@."
+    Brdb_obs.Registry.pp_entries
+    (pick "txn." @ pick "block." @ pick "client." @ pick "decided.");
   `Ok ()
 
 (* --- info --------------------------------------------------------------------- *)
@@ -184,6 +252,26 @@ let sandbox_cmd =
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"scripted tour") Term.(ret (const demo $ const ()))
 
+let out_arg =
+  Arg.(
+    value
+    & opt string "brdb-trace.json"
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"trace output file")
+
+let format_arg =
+  Arg.(
+    value
+    & opt string "chrome"
+    & info [ "format" ] ~docv:"FMT" ~doc:"chrome (trace_event JSON) or jsonl")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "run a scripted workload with tracing on and export the \
+          per-transaction lifecycle as a Chrome trace or JSONL")
+    Term.(ret (const trace $ flow_arg $ out_arg $ format_arg))
+
 let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"component summary")
     Term.(ret (const show_info $ const ()))
@@ -192,6 +280,6 @@ let main =
   Cmd.group
     (Cmd.info "brdb" ~version:"1.0.0"
        ~doc:"decentralized replicated relational database with blockchain properties")
-    [ sandbox_cmd; demo_cmd; info_cmd ]
+    [ sandbox_cmd; demo_cmd; trace_cmd; info_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,7 @@
+#!/bin/sh
+# The one-stop gate: build everything (including the determinism lint),
+# then run the full test suite. CI and pre-commit both call this.
+set -eu
+cd "$(dirname "$0")"
+dune build @all @lint
+dune runtest

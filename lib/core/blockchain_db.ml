@@ -10,6 +10,10 @@ module Rng = Brdb_sim.Rng
 module Network = Brdb_sim.Network
 module Metrics = Brdb_sim.Metrics
 module Cost_model = Brdb_sim.Cost_model
+module Obs = Brdb_obs.Obs
+module Reg = Brdb_obs.Registry
+module Trace = Brdb_obs.Trace
+module Abort_class = Brdb_obs.Abort_class
 
 type config = {
   orgs : string list;
@@ -23,6 +27,11 @@ type config = {
   contract_class_of : string -> Cost_model.contract_class;
   forward_delay_mean : float;
   seed : int;
+  tracing : bool;
+      (** record a deterministic trace of the run (see {!Brdb_obs}); off
+          by default — the null sink makes tracing zero-cost when
+          disabled, and enabling it never changes committed state, hashes
+          or cost-model output. *)
 }
 
 let default_config () =
@@ -38,6 +47,7 @@ let default_config () =
     contract_class_of = (fun _ -> Cost_model.Simple);
     forward_delay_mean = 0.;
     seed = 42;
+    tracing = false;
   }
 
 type final_status = Committed | Aborted of string | Rejected of string
@@ -58,6 +68,12 @@ type t = {
   service : Service.t;
   admins : (string * Identity.t) list;
   metrics : Metrics.t;  (** network-level throughput/latency *)
+  obs : Obs.t;
+  (* tx_id -> submission time; feeds the ordering-phase span and is
+     dropped once the transaction is decided *)
+  submit_ts : (string, float) Hashtbl.t;
+  (* block heights whose first delivery broadcast has been observed *)
+  seen_heights : (int, unit) Hashtbl.t;
   tracks : (string, tx_track) Hashtbl.t;
   majority : int;
   mutable submit_rr : int;
@@ -84,6 +100,26 @@ let track_final t tx_id status now =
           let decide final =
             track.final <- Some final;
             t.decided <- t.decided + 1;
+            (match final with
+            | Committed -> Reg.incr (Obs.metrics t.obs) ~node:"cluster" "decided.committed"
+            | Aborted _ -> Reg.incr (Obs.metrics t.obs) ~node:"cluster" "decided.aborted"
+            | Rejected _ -> Reg.incr (Obs.metrics t.obs) ~node:"cluster" "decided.rejected");
+            let tr = Obs.trace t.obs in
+            if Trace.enabled tr then begin
+              let outcome, detail =
+                match final with
+                | Committed -> ("committed", "")
+                | Aborted r -> ("aborted", r)
+                | Rejected r -> ("rejected", r)
+              in
+              Trace.async_end tr ~node:"client" ~cat:"txn" ~name:"lifecycle"
+                ~id:tx_id
+                ~args:
+                  (("outcome", Trace.S outcome)
+                  :: (if detail = "" then [] else [ ("detail", Trace.S detail) ]))
+                ()
+            end;
+            Hashtbl.remove t.submit_ts tx_id;
             List.iter (fun f -> f ~tx_id final) t.decision_listeners
           in
           if track.commits >= t.majority then begin
@@ -104,6 +140,7 @@ let create config =
   let clock = Clock.create () in
   let rng = Rng.create ~seed:config.seed in
   let net = Msg.Net.create ~clock ~rng:(Rng.split rng) ~default_link:config.link in
+  let obs = Obs.create ~tracing:config.tracing ~now:(fun () -> Clock.now clock) () in
   let registry = Identity.Registry.create () in
   let peer_names = List.map peer_name config.orgs in
   let orderer_names =
@@ -163,7 +200,7 @@ let create config =
             atomic_commit = false;
           }
         in
-        Peer.create ~net
+        Peer.create ~net ~obs
           {
             Peer.core = core_config;
             cost = config.cost;
@@ -192,6 +229,9 @@ let create config =
       service;
       admins;
       metrics = Metrics.create ();
+      obs;
+      submit_ts = Hashtbl.create 1024;
+      seen_heights = Hashtbl.create 256;
       tracks = Hashtbl.create 1024;
       majority = (List.length peer_names / 2) + 1;
       submit_rr = 0;
@@ -204,6 +244,50 @@ let create config =
     (fun p ->
       Peer.on_final p (fun ~tx_id ~status -> track_final t tx_id status (Clock.now clock)))
     peers;
+  (* Ordering-phase visibility without touching the four consensus
+     implementations: watch the first Block_deliver broadcast of each
+     height on the network tap. The tap fires after the send outcome is
+     decided and draws no rng, so it cannot perturb the simulation. *)
+  Msg.Net.set_tap net (fun ~src ~dst:_ ~size_bytes:_ ~dropped:_ msg ->
+      match msg with
+      | Msg.Block_deliver b when not (Hashtbl.mem t.seen_heights b.Block.height)
+        ->
+          Hashtbl.replace t.seen_heights b.Block.height ();
+          let now = Clock.now clock in
+          let started =
+            List.fold_left
+              (fun acc (tx : Block.tx) ->
+                match Hashtbl.find_opt t.submit_ts tx.Block.tx_id with
+                | Some ts -> Float.min acc ts
+                | None -> acc)
+              now b.Block.txs
+          in
+          Reg.observe (Obs.metrics t.obs) ~node:src "phase.order_ms"
+            ((now -. started) *. 1000.);
+          let tr = Obs.trace t.obs in
+          if Trace.enabled tr then begin
+            Trace.complete tr ~node:src ~track:"order" ~cat:"order"
+              ~name:(Printf.sprintf "order block %d" b.Block.height)
+              ~ts:started ~dur:(now -. started)
+              ~args:
+                [
+                  ("height", Trace.I b.Block.height);
+                  ("txs", Trace.I (List.length b.Block.txs));
+                ]
+              ();
+            List.iter
+              (fun (tx : Block.tx) ->
+                Trace.async_instant tr ~node:src ~cat:"txn" ~name:"lifecycle"
+                  ~id:tx.Block.tx_id
+                  ~args:
+                    [
+                      ("phase", Trace.S "ordered");
+                      ("height", Trace.I b.Block.height);
+                    ]
+                  ())
+              b.Block.txs
+          end
+      | _ -> ());
   t
 
 let clock t = t.clock
@@ -260,6 +344,18 @@ let submit t ~user ~contract ~args =
   Hashtbl.replace t.tracks tx_id
     { submitted_at = Clock.now t.clock; commits = 0; aborts = 0; final = None };
   Metrics.record_submit t.metrics ~time:(Clock.now t.clock);
+  Reg.incr (Obs.metrics t.obs) ~node:"cluster" "client.submitted";
+  Hashtbl.replace t.submit_ts tx_id (Clock.now t.clock);
+  (let tr = Obs.trace t.obs in
+   if Trace.enabled tr then
+     Trace.async_begin tr ~node:"client" ~cat:"txn" ~name:"lifecycle" ~id:tx_id
+       ~args:
+         [
+           ("user", Trace.S (Identity.name user));
+           ("contract", Trace.S contract);
+           ("target", Trace.S target);
+         ]
+       ());
   ignore
     (Msg.Net.send t.net
        ~src:("client/" ^ Identity.name user)
@@ -288,6 +384,17 @@ let settle t =
   let rec loop rounds =
     if undecided () && rounds < 600 then begin
       ignore (Clock.run ~until:(Clock.now t.clock +. 0.5) t.clock);
+      (let tr = Obs.trace t.obs in
+       if Trace.enabled tr then
+         let n =
+           Hashtbl.fold
+             (fun _ trk acc -> if trk.final = None then acc + 1 else acc)
+             t.tracks 0
+         in
+         Trace.instant tr ~node:"cluster" ~track:"settle" ~cat:"settle"
+           ~name:"settle.round"
+           ~args:[ ("round", Trace.I rounds); ("undecided", Trace.I n) ]
+           ());
       loop (rounds + 1)
     end
   in
@@ -335,7 +442,23 @@ let verified_query t ?params sql =
   | Some (_, Error e) -> Error e
   | None -> Error "internal: no majority answer"
 
+(* Mirror the network plane's counters and the orderers' block counts
+   into the registry, absorbing them into the same queryable namespace as
+   the per-node metrics. *)
+let sync_registry t =
+  let reg = Obs.metrics t.obs in
+  Reg.set reg ~node:"net" "net.delivered" (float_of_int (Msg.Net.delivered t.net));
+  Reg.set reg ~node:"net" "net.dropped" (float_of_int (Msg.Net.dropped t.net));
+  Reg.set reg ~node:"net" "net.duplicated"
+    (float_of_int (Msg.Net.duplicated t.net));
+  Reg.set reg ~node:"net" "net.bytes_sent" (float_of_int (Msg.Net.bytes_sent t.net));
+  List.iter
+    (fun (orderer, n) ->
+      Reg.set reg ~node:orderer "orderer.blocks_cut" (float_of_int n))
+    (Service.blocks_cut t.service)
+
 let summary t ~duration_s =
+  sync_registry t;
   Metrics.record_network t.metrics ~delivered:(Msg.Net.delivered t.net)
     ~dropped:(Msg.Net.dropped t.net) ~duplicated:(Msg.Net.duplicated t.net);
   let network = Metrics.summarize t.metrics ~duration_s in
@@ -355,3 +478,9 @@ let summary t ~duration_s =
 let submitted_count t = Hashtbl.length t.tracks
 
 let decided_count t = t.decided
+
+let obs t = t.obs
+
+let trace_events t =
+  sync_registry t;
+  Trace.events (Obs.trace t.obs)

@@ -32,6 +32,11 @@ type config = {
   contract_class_of : string -> Brdb_sim.Cost_model.contract_class;
   forward_delay_mean : float;  (** EO middleware replication delay (s) *)
   seed : int;
+  tracing : bool;
+      (** record a deterministic trace (spans for submit → order →
+          execute → validate → commit, exportable via {!Brdb_obs.Export});
+          off by default and guaranteed side-effect-free: enabling it
+          changes no committed state, hash, or cost-model output. *)
 }
 
 (** 3 orgs, order-then-execute, solo orderer, block size 100, 1 s timeout,
@@ -119,3 +124,13 @@ val summary : t -> duration_s:float -> Brdb_sim.Metrics.summary
 val submitted_count : t -> int
 
 val decided_count : t -> int
+
+(** The deployment's observability bundle: the shared metrics registry
+    (per-node and cluster views over txn/abort/block/fetch counters and
+    phase histograms) and the tracer ({!Brdb_obs.Trace.null} unless
+    [config.tracing]). *)
+val obs : t -> Brdb_obs.Obs.t
+
+(** Trace events recorded so far (empty unless [config.tracing]); also
+    refreshes the registry's network/orderer gauges. *)
+val trace_events : t -> Brdb_obs.Trace.event list

@@ -24,6 +24,7 @@ type spec = {
   crashes : int;
   partitions : int;
   crash_points : bool;
+  tracing : bool;
 }
 
 let default_spec =
@@ -40,6 +41,7 @@ let default_spec =
     crashes = 2;
     partitions = 1;
     crash_points = false;
+    tracing = false;
   }
 
 type report = {
@@ -59,6 +61,10 @@ type report = {
   fetched_blocks : int;
   crash_cycles : int;
   partition_cycles : int;
+  decision_mismatches : string list;
+  reason_divergences : string list;
+  abort_classes : (string * int) list;
+  trace_jsonl : string;
 }
 
 let crash_point_of_int = function
@@ -85,6 +91,7 @@ let run spec =
       block_size = spec.block_size;
       block_timeout = spec.block_timeout;
       seed = spec.seed;
+      tracing = spec.tracing;
     }
   in
   let db = B.create config in
@@ -92,6 +99,39 @@ let run spec =
   let netw = B.net db in
   let peers = B.peers db in
   let peer_names = List.map Peer.name peers in
+  (* Per-node decision record: tx_id -> (node, decision, abort class).
+     The CLAUDE.md gotcha, now checked: abort *reasons* may legitimately
+     differ across nodes, but the commit/abort decision never may. Keep
+     the first status each node reports (a §3.6 restart re-accounts its
+     repaired block, which must not double-count). *)
+  let decisions : (string, (string * string * string) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  List.iter
+    (fun p ->
+      let node = Peer.name p in
+      Peer.on_final p (fun ~tx_id ~status ->
+          let cell =
+            match Hashtbl.find_opt decisions tx_id with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.replace decisions tx_id c;
+                c
+          in
+          if not (List.exists (fun (n, _, _) -> String.equal n node) !cell)
+          then
+            let decision, cls =
+              match status with
+              | Node_core.S_committed -> ("commit", "")
+              | Node_core.S_aborted r ->
+                  ( "abort",
+                    Brdb_obs.Abort_class.to_string
+                      (Brdb_obs.Abort_class.of_reason r) )
+              | Node_core.S_rejected _ -> ("reject", "")
+            in
+            cell := (node, decision, cls) :: !cell))
+    peers;
   (* --- schema + workload contract (installed before any fault) ---------- *)
   B.install_contract db ~name:"chaos_setup"
     (Brdb_contracts.Registry.Native
@@ -249,8 +289,52 @@ let run spec =
       then incr committed
     end
   done;
+  (* Cross-node agreement: a transaction some node committed and another
+     node finalized differently is a serializability violation; differing
+     abort classes for the same aborted transaction are expected and
+     merely recorded. *)
+  let decision_mismatches = ref [] and reason_divergences = ref [] in
+  Hashtbl.fold (fun id _ acc -> id :: acc) decisions []
+  |> List.sort compare
+  |> List.iter (fun id ->
+         let votes = !(Hashtbl.find decisions id) in
+         let commits =
+           List.filter (fun (_, d, _) -> String.equal d "commit") votes
+         in
+         if commits <> [] && List.length commits <> List.length votes then
+           decision_mismatches := id :: !decision_mismatches
+         else
+           let classes =
+             List.sort_uniq compare
+               (List.filter_map
+                  (fun (_, d, c) ->
+                    if String.equal d "abort" then Some c else None)
+                  votes)
+           in
+           if List.length classes > 1 then
+             reason_divergences := id :: !reason_divergences);
+  let decision_mismatches = List.rev !decision_mismatches in
+  let reason_divergences = List.rev !reason_divergences in
+  let abort_classes =
+    let prefix = "txn.aborted." in
+    let plen = String.length prefix in
+    Brdb_obs.Registry.cluster_view (Brdb_obs.Obs.metrics (B.obs db))
+    |> List.filter_map (fun (e : Brdb_obs.Registry.entry) ->
+           if
+             String.length e.Brdb_obs.Registry.e_name > plen
+             && String.equal (String.sub e.e_name 0 plen) prefix
+           then
+             Some (String.sub e.e_name plen (String.length e.e_name - plen),
+                   e.e_count)
+           else None)
+  in
   let converged =
     divergent = [] && heights_equal () && !decided = n_slots
+    && decision_mismatches = []
+  in
+  let trace_jsonl =
+    if spec.tracing then Brdb_obs.Export.jsonl_string (B.trace_events db)
+    else ""
   in
   (* Byte-level fingerprint of the replicated state: equal across two runs
      of the same spec iff the fault schedule is deterministic end-to-end. *)
@@ -304,6 +388,10 @@ let run spec =
     fetched_blocks = sum Peer.fetched_blocks;
     crash_cycles = !crash_cycles;
     partition_cycles = !partition_cycles;
+    decision_mismatches;
+    reason_divergences;
+    abort_classes;
+    trace_jsonl;
   }
 
 let pp_report fmt r =
@@ -315,6 +403,17 @@ let pp_report fmt r =
     (String.concat "; "
        (List.map (fun (n, h) -> Printf.sprintf "%s:%d" n h) r.heights))
     (if r.converged then "CONVERGED"
+     else if r.decision_mismatches <> [] then
+       "DECISION MISMATCH: " ^ String.concat "," r.decision_mismatches
      else "DIVERGED: " ^ String.concat "," r.divergent)
     r.loss_percent r.dropped r.duplicated r.fetched_blocks r.fetch_requests
-    r.crash_cycles r.partition_cycles
+    r.crash_cycles r.partition_cycles;
+  if r.reason_divergences <> [] then
+    Format.fprintf fmt "; %d txns aborted for node-divergent reasons"
+      (List.length r.reason_divergences);
+  if r.abort_classes <> [] then
+    Format.fprintf fmt "; aborts by class: %s"
+      (String.concat ", "
+         (List.map
+            (fun (c, n) -> Printf.sprintf "%s=%d" c n)
+            r.abort_classes))

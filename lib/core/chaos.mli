@@ -33,6 +33,9 @@ type spec = {
   crash_points : bool;
       (** crash mid-block at a random §3.6 crash point instead of cleanly
           between messages *)
+  tracing : bool;
+      (** record a deterministic trace; the report then carries its JSONL
+          rendering, byte-identical across two runs of the same spec *)
 }
 
 (** 3 orgs, OE flow, 150 req/s for 1.5 s, 5% loss, 2% duplication,
@@ -60,6 +63,17 @@ type report = {
   fetched_blocks : int;  (** blocks recovered via §3.6 catch-up *)
   crash_cycles : int;
   partition_cycles : int;
+  decision_mismatches : string list;
+      (** transactions where one node committed and another finalized
+          differently — must be empty (also folded into [converged]) *)
+  reason_divergences : string list;
+      (** transactions aborted everywhere but with different
+          {!Brdb_obs.Abort_class} on different nodes — legal (CLAUDE.md
+          gotcha), recorded for visibility *)
+  abort_classes : (string * int) list;
+      (** cluster-wide abort taxonomy: (class name, count) *)
+  trace_jsonl : string;
+      (** JSONL trace when [spec.tracing]; [""] otherwise *)
 }
 
 (** Run one seeded chaos schedule to completion (bounded: the

@@ -2,11 +2,37 @@ open Brdb_storage
 open Brdb_sql.Ast
 module Txn = Brdb_txn.Txn
 
-type mode = { require_index : bool; allow_ddl : bool }
+type op_stat = { op_kind : string; op_table : string; mutable op_rows : int }
 
-let default_mode = { require_index = false; allow_ddl = true }
+type stats = {
+  mutable scans : op_stat list;
+  mutable stmts : int;
+  mutable rows_out : int;
+  mutable stats_affected : int;
+}
 
-let strict_mode = { require_index = true; allow_ddl = true }
+let new_stats () = { scans = []; stmts = 0; rows_out = 0; stats_affected = 0 }
+
+let scan_counts s =
+  List.sort compare
+    (List.map (fun o -> (o.op_kind, o.op_table, o.op_rows)) s.scans)
+
+type mode = { require_index : bool; allow_ddl : bool; stats : stats option }
+
+let default_mode = { require_index = false; allow_ddl = true; stats = None }
+
+let strict_mode = { require_index = true; allow_ddl = true; stats = None }
+
+let stats_scan mode ~op ~table ~rows =
+  match mode.stats with
+  | None -> ()
+  | Some s -> (
+      match
+        List.find_opt (fun o -> o.op_kind = op && o.op_table = table) s.scans
+      with
+      | Some o -> o.op_rows <- o.op_rows + rows
+      | None ->
+          s.scans <- { op_kind = op; op_table = table; op_rows = rows } :: s.scans)
 
 type error =
   | Missing_index of string
@@ -199,13 +225,15 @@ let visible txn ~provenance (v : Version.t) =
 let run_scan catalog txn mode spec env f =
   ignore catalog;
   let name = Table.name spec.sc_table in
+  let rows = ref 0 in
   let yield (v : Version.t) =
     if visible txn ~provenance:spec.sc_provenance v then begin
       if not spec.sc_provenance then Txn.record_read txn ~table:name ~vid:v.Version.vid;
+      incr rows;
       f v
     end
   in
-  match spec.sc_path with
+  (match spec.sc_path with
   | Index_range { column; restrictions } ->
       let lo, hi = bounds_of_restrictions env restrictions in
       if not spec.sc_provenance then
@@ -216,7 +244,10 @@ let run_scan catalog txn mode spec env f =
         raise (Exec_error (Missing_index name));
       if not spec.sc_provenance then
         Txn.record_predicate txn (Predicate.Full_scan { table = name });
-      Table.iter_versions spec.sc_table yield
+      Table.iter_versions spec.sc_table yield);
+  match spec.sc_path with
+  | Index_range _ -> stats_scan mode ~op:"index_scan" ~table:name ~rows:!rows
+  | Seq_scan -> stats_scan mode ~op:"seq_scan" ~table:name ~rows:!rows
 
 (* --- SELECT -------------------------------------------------------------- *)
 
@@ -763,7 +794,14 @@ let execute catalog txn ?(params = [||]) ?(named = []) ?(mode = default_mode) st
         exec_delete catalog txn mode ~env0:(root_env ()) ~del_table ~del_where
     | Create_table _ | Create_index _ | Drop_table _ -> exec_ddl catalog txn mode stmt
   with
-  | result -> Ok result
+  | result ->
+      (match mode.stats with
+      | None -> ()
+      | Some s ->
+          s.stmts <- s.stmts + 1;
+          s.rows_out <- s.rows_out + List.length result.rows;
+          s.stats_affected <- s.stats_affected + result.affected);
+      Ok result
   | exception Exec_error e -> Error e
   | exception Eval.Error msg -> Error (Sql_error msg)
 

@@ -10,9 +10,28 @@
     with [Missing_index], and [UPDATE]/[DELETE] without a [WHERE] clause
     fail with [Blind_update] (§3.4.3). *)
 
+(** Per-operator execution statistics, collected when [mode.stats] is set
+    (the observability layer enables it per contract run). Counting is
+    passive: it never changes plans, read sets or results. *)
+type op_stat = { op_kind : string; op_table : string; mutable op_rows : int }
+
+type stats = {
+  mutable scans : op_stat list;  (** rows produced per (operator, table) *)
+  mutable stmts : int;  (** statements executed *)
+  mutable rows_out : int;  (** result rows returned *)
+  mutable stats_affected : int;  (** rows inserted/updated/deleted *)
+}
+
+val new_stats : unit -> stats
+
+(** [(op_kind, table, rows)] triples sorted for deterministic rendering;
+    [op_kind] is ["index_scan"] or ["seq_scan"]. *)
+val scan_counts : stats -> (string * string * int) list
+
 type mode = {
   require_index : bool;
   allow_ddl : bool;  (** system/deployment contracts only *)
+  stats : stats option;  (** when set, scans/statements are counted *)
 }
 
 val default_mode : mode

@@ -13,6 +13,7 @@ module Determinism = Brdb_contracts.Determinism
 module System = Brdb_contracts.System
 module Rules = Brdb_ssi.Rules
 module Detect = Brdb_ssi.Detect
+module Trace = Brdb_obs.Trace
 
 type flow = Order_execute | Execute_order | Serial_baseline
 
@@ -55,6 +56,7 @@ type t = {
   exec_versions : (int, string * int) Hashtbl.t;
   mutable query_seq : int;
   mutable bootstrapped : bool;
+  mutable trace : Trace.t;
 }
 
 let create config ~registry =
@@ -70,7 +72,10 @@ let create config ~registry =
     exec_versions = Hashtbl.create 256;
     query_seq = 0;
     bootstrapped = false;
+    trace = Trace.null;
   }
+
+let set_trace t trace = t.trace <- trace
 
 let config t = t.config
 
@@ -187,8 +192,11 @@ let run_contract t txn (tx : Block.tx) =
       (* System contracts are trusted node software; the EO index-only
          restriction applies to user contracts. *)
       let is_system = List.mem tx.Block.tx_contract system_contract_names in
+      let stats =
+        if Trace.enabled t.trace then Some (Exec.new_stats ()) else None
+      in
       let mode =
-        { Exec.require_index = (not is_system) && strict_reads t; allow_ddl }
+        { Exec.require_index = (not is_system) && strict_reads t; allow_ddl; stats }
       in
       let ctx =
         Api.make ~catalog:t.catalog ~txn ~args:(Array.of_list tx.Block.tx_args)
@@ -201,14 +209,41 @@ let run_contract t txn (tx : Block.tx) =
           | Exec.Blind_update w -> Txn.Blind_update w
           | Exec.Sql_error m -> Txn.Contract_error m)
       in
+      let emit_exec_stats () =
+        match stats with
+        | None -> ()
+        | Some s ->
+            let scans =
+              Exec.scan_counts s
+              |> List.map (fun (op, table, rows) ->
+                     Printf.sprintf "%s(%s)=%d" op table rows)
+              |> String.concat ","
+            in
+            Trace.instant t.trace ~node:t.config.name ~track:"exec"
+              ~cat:"exec" ~name:"contract"
+              ~args:
+                [
+                  ("tx", Trace.S tx.Block.tx_id);
+                  ("contract", Trace.S tx.Block.tx_contract);
+                  ("stmts", Trace.I s.Exec.stmts);
+                  ("rows_out", Trace.I s.Exec.rows_out);
+                  ("affected", Trace.I s.Exec.stats_affected);
+                  ("scans", Trace.S scans);
+                ]
+              ()
+      in
       match
         match contract.Registry.body with
         | Registry.Native f -> f ctx
         | Registry.Procedural p -> Procedural.run p ctx
       with
-      | () -> ()
-      | exception Api.Failed e -> mark e
-      | exception Brdb_engine.Eval.Error m -> Txn.mark_abort txn (Txn.Contract_error m))
+      | () -> emit_exec_stats ()
+      | exception Api.Failed e ->
+          mark e;
+          emit_exec_stats ()
+      | exception Brdb_engine.Eval.Error m ->
+          Txn.mark_abort txn (Txn.Contract_error m);
+          emit_exec_stats ())
 
 (* --- acquiring transactions for a block ------------------------------------------ *)
 

@@ -54,6 +54,11 @@ type t
 
 val create : config -> registry:Brdb_crypto.Identity.Registry.t -> t
 
+(** Install a tracer (default {!Brdb_obs.Trace.null}). When enabled, each
+    contract run emits a per-operator row-count event; tracing never
+    affects execution, read sets or commit decisions. *)
+val set_trace : t -> Brdb_obs.Trace.t -> unit
+
 val config : t -> config
 
 val catalog : t -> Brdb_storage.Catalog.t

@@ -6,6 +6,10 @@ module Clock = Brdb_sim.Clock
 module Cpu = Brdb_sim.Cpu
 module Cost_model = Brdb_sim.Cost_model
 module Metrics = Brdb_sim.Metrics
+module Obs = Brdb_obs.Obs
+module Reg = Brdb_obs.Registry
+module Trace = Brdb_obs.Trace
+module Abort_class = Brdb_obs.Abort_class
 
 type config = {
   core : Node_core.config;
@@ -31,6 +35,7 @@ type t = {
   cpu : Cpu.t;
   core : Node_core.t;
   metrics : Metrics.t;
+  obs : Obs.t;
   checkpoints : Checkpoint.t;
   (* blocks waiting their turn (height -> block) *)
   inbox : (int, Block.t) Hashtbl.t;
@@ -64,6 +69,18 @@ let core t = t.core
 
 let metrics t = t.metrics
 
+let obs t = t.obs
+
+let reg t = Obs.metrics t.obs
+
+let tracer t = Obs.trace t.obs
+
+(* registry shorthands: every metric this peer records is keyed by its
+   own node name, giving the per-node view for free *)
+let mincr ?by t m = Reg.incr ?by (reg t) ~node:(name t) m
+
+let mobserve t m v = Reg.observe (reg t) ~node:(name t) m v
+
 let checkpoints t = t.checkpoints
 
 let blocks_processed t = t.blocks_done
@@ -94,8 +111,10 @@ let try_pre_execute t (tx : Block.tx) =
   match Node_core.pre_execute t.core tx with
   | Ok () ->
       let active = Brdb_txn.Manager.pending_count (Node_core.manager t.core) in
-      Metrics.record_tet t.metrics
-        (Cost_model.eo_tet t.config.cost ~tet:(tet_of t tx) ~active);
+      let tet = Cost_model.eo_tet t.config.cost ~tet:(tet_of t tx) ~active in
+      Metrics.record_tet t.metrics tet;
+      mincr t "eo.pre_executed";
+      mobserve t "phase.tet_ms" (tet *. 1000.);
       `Executed
   | Error "snapshot height not reached yet" -> `Defer
   | Error reason -> `Rejected reason
@@ -105,7 +124,9 @@ let handle_client_tx t ~src (tx : Block.tx) =
     let from_client = not (List.mem src t.config.peer_names) in
     (match try_pre_execute t tx with
     | `Executed | `Rejected _ -> ()
-    | `Defer -> t.deferred <- tx :: t.deferred);
+    | `Defer ->
+        mincr t "eo.deferred";
+        t.deferred <- tx :: t.deferred);
     (* The entry peer forwards to the other peers and the ordering
        service in the background (§3.4.1). Replication to peers goes
        through the middleware queue, whose delay is what makes some
@@ -167,6 +188,17 @@ let rec fetch_tick t seq ~blind =
         t.fetch_rotation <- t.fetch_rotation + 1;
         t.fetch_attempts <- t.fetch_attempts + 1;
         t.fetch_requests <- t.fetch_requests + 1;
+        mincr t "fetch.requests";
+        Trace.instant (tracer t) ~node:(name t) ~track:"fetch" ~cat:"fetch"
+          ~name:"fetch.request"
+          ~args:
+            [
+              ("dst", Trace.S dst);
+              ("from", Trace.I (Node_core.height t.core + 1));
+              ("attempt", Trace.I t.fetch_attempts);
+              ("backoff_s", Trace.F t.fetch_backoff);
+            ]
+          ();
         send t dst (Msg.Fetch_blocks { from_height = Node_core.height t.core + 1 });
         let delay = t.fetch_backoff in
         t.fetch_backoff <-
@@ -211,7 +243,9 @@ let serve_fetch t ~src ~from_height =
     in
     match collect upto [] with
     | [] -> ()
-    | blocks -> send t src (Msg.Blocks_reply { blocks })
+    | blocks ->
+        mincr t "fetch.served" ~by:(List.length blocks);
+        send t src (Msg.Blocks_reply { blocks })
   end
 
 (* --- block pipeline ------------------------------------------------------- *)
@@ -245,12 +279,52 @@ let block_times t (block : Block.t) ~missing =
    client notifications, abort metrics, checkpointing, deferred EO txs. *)
 let finish_block t (result : Node_core.block_result) =
   t.blocks_done <- t.blocks_done + 1;
+  let tr = tracer t in
+  let node = name t in
   List.iter
     (fun (tx_id, status) ->
+      (* Per-node abort taxonomy (§3.4/Table 2): the class is node-local —
+         only the decision must match across nodes (checked by Chaos). *)
       (match status with
-      | Node_core.S_committed -> ()
-      | Node_core.S_aborted _ | Node_core.S_rejected _ ->
-          Metrics.record_abort t.metrics);
+      | Node_core.S_committed -> mincr t "txn.committed"
+      | Node_core.S_aborted r ->
+          Metrics.record_abort t.metrics;
+          mincr t "txn.aborted";
+          mincr t ("txn.aborted." ^ Abort_class.to_string (Abort_class.of_reason r))
+      | Node_core.S_rejected _ ->
+          Metrics.record_abort t.metrics;
+          mincr t "txn.rejected");
+      if Trace.enabled tr then begin
+        let height = result.Node_core.br_height in
+        Trace.instant tr ~node ~track:"txn" ~cat:"validate" ~name:"validate"
+          ~args:[ ("tx", Trace.S tx_id); ("height", Trace.I height) ]
+          ();
+        match status with
+        | Node_core.S_committed ->
+            Trace.instant tr ~node ~track:"txn" ~cat:"commit" ~name:"commit"
+              ~args:[ ("tx", Trace.S tx_id); ("height", Trace.I height) ]
+              ()
+        | Node_core.S_aborted r ->
+            Trace.instant tr ~node ~track:"txn" ~cat:"commit" ~name:"abort"
+              ~args:
+                [
+                  ("tx", Trace.S tx_id);
+                  ("height", Trace.I height);
+                  ( "class",
+                    Trace.S (Abort_class.to_string (Abort_class.of_reason r)) );
+                  ("reason", Trace.S (Brdb_txn.Txn.abort_reason_to_string r));
+                ]
+              ()
+        | Node_core.S_rejected why ->
+            Trace.instant tr ~node ~track:"txn" ~cat:"commit" ~name:"reject"
+              ~args:
+                [
+                  ("tx", Trace.S tx_id);
+                  ("height", Trace.I height);
+                  ("reason", Trace.S why);
+                ]
+              ()
+      end;
       notify t tx_id status)
     result.Node_core.br_statuses;
   (* Checkpointing phase (§3.3.4): every [checkpoint_interval] blocks,
@@ -276,6 +350,9 @@ let do_crash t =
   t.crashed <- true;
   t.pending_crash <- None;
   cancel_fetch t;
+  mincr t "node.crashes";
+  Trace.instant (tracer t) ~node:(name t) ~track:"lifecycle" ~cat:"chaos"
+    ~name:"crash" ();
   Msg.Net.unregister t.net ~name:(name t)
 
 let rec process_ready t =
@@ -310,7 +387,10 @@ let rec process_ready t =
                 in
                 if t.config.core.Node_core.flow = Node_core.Order_execute then
                   List.iter
-                    (fun tx -> Metrics.record_tet t.metrics (tet_of t tx))
+                    (fun tx ->
+                      let tet = tet_of t tx in
+                      Metrics.record_tet t.metrics tet;
+                      mobserve t "phase.tet_ms" (tet *. 1000.))
                     block.Block.txs;
                 Cpu.run t.cpu ~cost:bpt (fun () ->
                     t.processing <- false;
@@ -319,6 +399,43 @@ let rec process_ready t =
                       ~bpt ~bet ~bct;
                     Metrics.record_missing_tx t.metrics
                       result.Node_core.br_missing;
+                    mincr t "block.processed";
+                    mobserve t "phase.bpt_ms" (bpt *. 1000.);
+                    mobserve t "phase.bet_ms" (bet *. 1000.);
+                    mobserve t "phase.bct_ms" (bct *. 1000.);
+                    mobserve t "block.size"
+                      (float_of_int (List.length block.Block.txs));
+                    let tr = tracer t in
+                    (if Trace.enabled tr then
+                       (* the block completes now; its phases are
+                          back-dated by their modelled costs (§5: bpt =
+                          const + bet + bct) *)
+                       let h = result.Node_core.br_height in
+                       let ts0 = Clock.now t.clock -. bpt in
+                       let const =
+                         t.config.cost.Brdb_sim.Cost_model.block_const
+                       in
+                       let node = name t in
+                       Trace.complete tr ~node ~track:"block" ~cat:"block"
+                         ~name:(Printf.sprintf "block %d" h)
+                         ~ts:ts0 ~dur:bpt
+                         ~args:
+                           [
+                             ("height", Trace.I h);
+                             ("txs", Trace.I (List.length block.Block.txs));
+                             ("missing", Trace.I result.Node_core.br_missing);
+                           ]
+                         ();
+                       Trace.complete tr ~node ~track:"block" ~cat:"execute"
+                         ~name:"execute" ~ts:(ts0 +. const) ~dur:bet
+                         ~args:[ ("height", Trace.I h) ]
+                         ();
+                       Trace.complete tr ~node ~track:"block" ~cat:"commit"
+                         ~name:"commit"
+                         ~ts:(ts0 +. const +. bet)
+                         ~dur:bct
+                         ~args:[ ("height", Trace.I h) ]
+                         ());
                     finish_block t result;
                     if not t.crashed then begin
                       process_ready t;
@@ -342,11 +459,16 @@ let handle_blocks_reply t blocks =
       note_height t b.Block.height;
       if block_is_new t b then begin
         t.fetched_blocks <- t.fetched_blocks + 1;
+        mincr t "fetch.blocks";
         Hashtbl.replace t.inbox b.Block.height b;
         progress := true
       end)
     blocks;
   if !progress then begin
+    Trace.instant (tracer t) ~node:(name t) ~track:"fetch" ~cat:"fetch"
+      ~name:"fetch.reply"
+      ~args:[ ("blocks", Trace.I (List.length blocks)) ]
+      ();
     (* the source answered: end the session (completion re-arms if the
        store is still behind) *)
     reset_fetch t;
@@ -361,6 +483,7 @@ let handle t ~src msg =
         note_height t block.Block.height;
         if block_is_new t block then begin
           Metrics.record_block_received t.metrics;
+          mincr t "block.received";
           Hashtbl.replace t.inbox block.Block.height block;
           process_ready t
         end;
@@ -373,15 +496,18 @@ let handle t ~src msg =
     | Msg.Blocks_reply { blocks } -> handle_blocks_reply t blocks
     | _ -> ()
 
-let create ~net (config : config) ~registry =
+let create ~net ?obs (config : config) ~registry =
   let clock = Msg.Net.clock net in
+  let obs = match obs with Some o -> o | None -> Obs.disabled () in
   let core = Node_core.create config.core ~registry in
+  Node_core.set_trace core (Obs.trace obs);
   Node_core.bootstrap core;
   let t =
     {
       config;
       net;
       clock;
+      obs;
       rng = Brdb_sim.Rng.create ~seed:(Hashtbl.hash config.core.Node_core.name);
       cpu = Cpu.create clock;
       core;
@@ -427,6 +553,9 @@ let crash ?at t =
 let restart t =
   t.crashed <- false;
   t.pending_crash <- None;
+  mincr t "node.restarts";
+  Trace.instant (tracer t) ~node:(name t) ~track:"lifecycle" ~cat:"chaos"
+    ~name:"restart" ();
   (match Node_core.recover t.core with
   | Ok None -> ()
   | Ok (Some result) ->

@@ -43,13 +43,27 @@ type config = {
 
 type t
 
-val create : net:Brdb_consensus.Msg.Net.net -> config -> registry:Brdb_crypto.Identity.Registry.t -> t
+(** [create ~net ?obs config ~registry] — [obs] is the shared
+    observability bundle ({!Brdb_obs.Obs.disabled} by default): the peer
+    records per-node counters and phase histograms into its registry
+    keyed by the peer's name, and — when tracing is enabled — emits block
+    spans (back-dated by their modelled bpt/bet/bct costs), per-tx
+    validate/commit/abort events with their {!Brdb_obs.Abort_class}, and
+    catch-up/crash instants. *)
+val create :
+  net:Brdb_consensus.Msg.Net.net ->
+  ?obs:Brdb_obs.Obs.t ->
+  config ->
+  registry:Brdb_crypto.Identity.Registry.t ->
+  t
 
 val core : t -> Node_core.t
 
 val name : t -> string
 
 val metrics : t -> Brdb_sim.Metrics.t
+
+val obs : t -> Brdb_obs.Obs.t
 
 val checkpoints : t -> Brdb_ledger.Checkpoint.t
 

@@ -1,0 +1,74 @@
+module Txn = Brdb_txn.Txn
+
+type t =
+  | Rw_antidependency
+  | Block_aware_commit
+  | Lost_update
+  | Stale_read
+  | Phantom_read
+  | Uniqueness
+  | Duplicate_txid
+  | Index_restriction
+  | Contract_failure
+  | Deploy_conflict
+  | Chaos_induced
+
+let all =
+  [
+    Rw_antidependency;
+    Block_aware_commit;
+    Lost_update;
+    Stale_read;
+    Phantom_read;
+    Uniqueness;
+    Duplicate_txid;
+    Index_restriction;
+    Contract_failure;
+    Deploy_conflict;
+    Chaos_induced;
+  ]
+
+let to_string = function
+  | Rw_antidependency -> "rw-antidependency"
+  | Block_aware_commit -> "block-aware-commit"
+  | Lost_update -> "lost-update"
+  | Stale_read -> "stale-read"
+  | Phantom_read -> "phantom-read"
+  | Uniqueness -> "uniqueness"
+  | Duplicate_txid -> "duplicate-txid"
+  | Index_restriction -> "index-restriction"
+  | Contract_failure -> "contract-failure"
+  | Deploy_conflict -> "deploy-conflict"
+  | Chaos_induced -> "chaos-induced"
+
+(* Rule names come from Brdb_ssi.Rules: the plain SSI detector (§2
+   background, Cahill/Ports-Grittner dangerous structures) vs the
+   block-aware abort-during-commit rules of Table 2. *)
+let block_aware_rules =
+  [
+    "committed-out-conflict";
+    "near-cross-block";
+    "rw-cycle";
+    "far-committed";
+    "same-block-later";
+    "far-cross-block";
+  ]
+
+(* Node_core marks rollbacks forced by the fault plane (crash replay,
+   snapshot clamping after an out-of-order delivery) with these reason
+   strings; they are chaos-induced, not workload conflicts. *)
+let chaos_markers = [ "crash rollback"; "snapshot clamped by ordering" ]
+
+let of_reason = function
+  | Txn.Ssi_conflict rule ->
+      if List.mem rule block_aware_rules then Block_aware_commit
+      else Rw_antidependency
+  | Txn.Ww_conflict _ -> Lost_update
+  | Txn.Stale_read -> Stale_read
+  | Txn.Phantom_read -> Phantom_read
+  | Txn.Duplicate_key _ -> Uniqueness
+  | Txn.Duplicate_txid -> Duplicate_txid
+  | Txn.Missing_index _ | Txn.Blind_update _ -> Index_restriction
+  | Txn.Contract_error msg ->
+      if List.mem msg chaos_markers then Chaos_induced else Contract_failure
+  | Txn.Update_conflict_on_deploy -> Deploy_conflict

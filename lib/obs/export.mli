@@ -1,0 +1,18 @@
+(** Trace exporters.
+
+    Both renderers are pure functions of the event list with fixed number
+    formatting: equal event streams produce byte-identical output, which
+    is how the determinism acceptance tests compare traces across runs.
+
+    - {!jsonl_string}: one JSON object per line, keeping node/track as
+      strings — the diff-friendly format.
+    - {!chrome_string}: Chrome [trace_event] JSON (loadable in
+      [chrome://tracing] or Perfetto). Nodes map to integer pids and
+      (node, track) pairs to tids, named via "M" metadata records;
+      timestamps/durations are microseconds; async events carry the
+      transaction id so submit → ordered → decided renders as one arrow
+      chain per transaction. *)
+
+val jsonl_string : Trace.event list -> string
+
+val chrome_string : Trace.event list -> string

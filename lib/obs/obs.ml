@@ -1,0 +1,15 @@
+type t = { trace : Trace.t; metrics : Registry.t }
+
+let create ?(tracing = false) ?now () =
+  {
+    trace = (if tracing then Trace.create ?now () else Trace.null);
+    metrics = Registry.create ();
+  }
+
+let disabled () = create ()
+
+let trace t = t.trace
+
+let metrics t = t.metrics
+
+let tracing t = Trace.enabled t.trace

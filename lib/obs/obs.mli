@@ -1,0 +1,20 @@
+(** Observability bundle threaded through the node/core layers: one
+    {!Trace} sink (disabled unless requested) plus one always-on
+    {!Registry} shared by every node of a deployment, so the registry can
+    offer per-node and cluster-wide views. *)
+
+type t = { trace : Trace.t; metrics : Registry.t }
+
+(** [create ~tracing ~now ()] — pass [now = Brdb_sim.Clock.now clock] when
+    tracing so span timestamps follow simulated time. *)
+val create : ?tracing:bool -> ?now:(unit -> float) -> unit -> t
+
+(** Fresh bundle with the null tracer — the default for components built
+    outside a {!Brdb_core.Blockchain_db} deployment. *)
+val disabled : unit -> t
+
+val trace : t -> Trace.t
+
+val metrics : t -> Registry.t
+
+val tracing : t -> bool

@@ -1,0 +1,167 @@
+module Stat = Brdb_sim.Metrics.Stat
+
+type metric = Counter of int ref | Gauge of float ref | Histogram of Stat.t
+
+type t = { tbl : (string * string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or t ~node name mk =
+  let key = (node, name) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some m -> m
+  | None ->
+      let m = mk () in
+      Hashtbl.replace t.tbl key m;
+      m
+
+let mismatch name m want =
+  invalid_arg
+    (Printf.sprintf "Registry: metric %S is a %s, not a %s" name (kind_name m)
+       want)
+
+let incr ?(by = 1) t ~node name =
+  match find_or t ~node name (fun () -> Counter (ref 0)) with
+  | Counter r -> r := !r + by
+  | m -> mismatch name m "counter"
+
+let set t ~node name v =
+  match find_or t ~node name (fun () -> Gauge (ref 0.)) with
+  | Gauge r -> r := v
+  | m -> mismatch name m "gauge"
+
+let observe t ~node name v =
+  match find_or t ~node name (fun () -> Histogram (Stat.create ())) with
+  | Histogram s -> Stat.add s v
+  | m -> mismatch name m "histogram"
+
+let counter t ~node name =
+  match Hashtbl.find_opt t.tbl (node, name) with
+  | Some (Counter r) -> !r
+  | _ -> 0
+
+let gauge t ~node name =
+  match Hashtbl.find_opt t.tbl (node, name) with
+  | Some (Gauge r) -> !r
+  | _ -> 0.
+
+let histogram t ~node name =
+  match Hashtbl.find_opt t.tbl (node, name) with
+  | Some (Histogram s) -> Some s
+  | _ -> None
+
+type entry = {
+  e_node : string;
+  e_name : string;
+  e_kind : string;
+  e_count : int;
+  e_value : float;
+  e_min : float;
+  e_max : float;
+  e_p95 : float;
+}
+
+let entry_of node name = function
+  | Counter r ->
+      {
+        e_node = node;
+        e_name = name;
+        e_kind = "counter";
+        e_count = !r;
+        e_value = float_of_int !r;
+        e_min = 0.;
+        e_max = 0.;
+        e_p95 = 0.;
+      }
+  | Gauge g ->
+      {
+        e_node = node;
+        e_name = name;
+        e_kind = "gauge";
+        e_count = 0;
+        e_value = !g;
+        e_min = 0.;
+        e_max = 0.;
+        e_p95 = 0.;
+      }
+  | Histogram s ->
+      {
+        e_node = node;
+        e_name = name;
+        e_kind = "histogram";
+        e_count = Stat.count s;
+        e_value = Stat.mean s;
+        e_min = Stat.min s;
+        e_max = Stat.max s;
+        e_p95 = Stat.percentile s 95.;
+      }
+
+(* Hashtbl iteration order is nondeterministic; every view sorts before
+   returning so registry output can be diffed across runs. *)
+let snapshot t =
+  Hashtbl.fold (fun (node, name) m acc -> entry_of node name m :: acc) t.tbl []
+  |> List.sort (fun a b ->
+         match compare a.e_name b.e_name with
+         | 0 -> compare a.e_node b.e_node
+         | c -> c)
+
+let node_view t ~node = List.filter (fun e -> e.e_node = node) (snapshot t)
+
+let nodes t =
+  Hashtbl.fold (fun (node, _) _ acc -> node :: acc) t.tbl []
+  |> List.sort_uniq compare
+
+let cluster_view t =
+  let items =
+    Hashtbl.fold (fun (node, name) m acc -> ((name, node), m) :: acc) t.tbl []
+    |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+  in
+  let rec group = function
+    | [] -> []
+    | (((name, _), _) :: _) as l ->
+        let same, rest = List.partition (fun ((n, _), _) -> n = name) l in
+        (name, List.map snd same) :: group rest
+  in
+  List.map
+    (fun (name, ms) ->
+      match ms with
+      | Counter _ :: _ ->
+          let total =
+            List.fold_left
+              (fun acc -> function Counter r -> acc + !r | _ -> acc)
+              0 ms
+          in
+          entry_of "cluster" name (Counter (ref total))
+      | Gauge _ :: _ ->
+          let total =
+            List.fold_left
+              (fun acc -> function Gauge g -> acc +. !g | _ -> acc)
+              0. ms
+          in
+          entry_of "cluster" name (Gauge (ref total))
+      | Histogram _ :: _ ->
+          let merged = Stat.create () in
+          List.iter
+            (function
+              | Histogram s -> List.iter (Stat.add merged) (Stat.samples s)
+              | _ -> ())
+            ms;
+          entry_of "cluster" name (Histogram merged)
+      | [] -> assert false)
+    (group items)
+
+let pp_entry ppf e =
+  match e.e_kind with
+  | "counter" -> Format.fprintf ppf "%-34s %-12s %8d" e.e_name e.e_node e.e_count
+  | "gauge" -> Format.fprintf ppf "%-34s %-12s %8.1f" e.e_name e.e_node e.e_value
+  | _ ->
+      Format.fprintf ppf "%-34s %-12s n=%-5d mean=%-8.3f p95=%-8.3f max=%.3f"
+        e.e_name e.e_node e.e_count e.e_value e.e_p95 e.e_max
+
+let pp_entries ppf es =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) es

@@ -1,0 +1,61 @@
+(** Metrics registry: named counters, gauges and histograms keyed by
+    (node, metric name), with per-node and cluster-wide views.
+
+    Histograms reuse {!Brdb_sim.Metrics.Stat} (all samples retained, so a
+    cluster view can merge per-node distributions exactly). Metrics are
+    created on first use; using the same name with a different kind is a
+    programmer error ([Invalid_argument]).
+
+    The registry is always-on (it never touches rng, clock scheduling or
+    committed state); only {!Trace} is gated behind an enabled flag. *)
+
+type t
+
+val create : unit -> t
+
+(** [incr ?by t ~node name] bumps a counter (created at 0). *)
+val incr : ?by:int -> t -> node:string -> string -> unit
+
+(** [set t ~node name v] installs an absolute gauge value. *)
+val set : t -> node:string -> string -> float -> unit
+
+(** [observe t ~node name v] adds a sample to a histogram. *)
+val observe : t -> node:string -> string -> float -> unit
+
+(** Current counter value; [0] when absent. *)
+val counter : t -> node:string -> string -> int
+
+(** Current gauge value; [0.] when absent. *)
+val gauge : t -> node:string -> string -> float
+
+val histogram : t -> node:string -> string -> Brdb_sim.Metrics.Stat.t option
+
+(** One row of a view; [e_count]/[e_value] carry the counter value, the
+    gauge value, or the histogram count/mean depending on [e_kind]. *)
+type entry = {
+  e_node : string;
+  e_name : string;
+  e_kind : string;  (** ["counter"] | ["gauge"] | ["histogram"] *)
+  e_count : int;
+  e_value : float;
+  e_min : float;
+  e_max : float;
+  e_p95 : float;
+}
+
+(** All metrics, sorted by (name, node) — deterministic regardless of
+    insertion order. *)
+val snapshot : t -> entry list
+
+val node_view : t -> node:string -> entry list
+
+(** Nodes that have recorded at least one metric, sorted. *)
+val nodes : t -> string list
+
+(** One entry per metric name aggregated over all nodes (counters and
+    gauges sum; histograms merge their samples); [e_node = "cluster"]. *)
+val cluster_view : t -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val pp_entries : Format.formatter -> entry list -> unit

@@ -24,6 +24,8 @@ module Stat = struct
 
   let max t = if t.count = 0 then 0. else t.max
 
+  let samples t = List.rev t.samples
+
   let percentile t p =
     match t.samples with
     | [] -> 0.

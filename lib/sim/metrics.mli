@@ -19,6 +19,11 @@ module Stat : sig
 
   (** Exact percentile over retained samples (all samples are kept). *)
   val percentile : t -> float -> float
+
+  (** All retained samples in insertion order (used by
+      {!Brdb_obs.Registry} to merge per-node histograms into cluster
+      views). *)
+  val samples : t -> float list
 end
 
 (** A full experiment record for one run. *)

@@ -26,6 +26,9 @@ struct
     mutable dropped : int;
     mutable duplicated : int;
     mutable bytes : int;
+    mutable tap :
+      (src:string -> dst:string -> size_bytes:int -> dropped:bool -> P.payload -> unit)
+      option;
   }
 
   let create ~clock ~rng ~default_link =
@@ -41,7 +44,10 @@ struct
       dropped = 0;
       duplicated = 0;
       bytes = 0;
+      tap = None;
     }
+
+  let set_tap net f = net.tap <- Some f
 
   let clock net = net.clock
 
@@ -108,22 +114,36 @@ struct
        rate, so configuring no faults leaves the event stream untouched. *)
     let delay = delay_for net ~src ~dst ~size_bytes in
     net.bytes <- net.bytes + size_bytes;
-    if separated net ~src ~dst then net.dropped <- net.dropped + 1
-    else begin
-      let fault = fault_for net ~src ~dst in
-      if fault.drop > 0. && Rng.float net.rng < fault.drop then
-        net.dropped <- net.dropped + 1
+    let was_dropped =
+      if separated net ~src ~dst then begin
+        net.dropped <- net.dropped + 1;
+        true
+      end
       else begin
-        deliver net ~src ~dst ~delay payload;
-        if fault.duplicate > 0. && Rng.float net.rng < fault.duplicate then begin
-          net.duplicated <- net.duplicated + 1;
-          (* the copy takes an independent jitter draw, so it can arrive
-             before or after the original *)
-          let delay' = delay_for net ~src ~dst ~size_bytes in
-          deliver net ~src ~dst ~delay:delay' payload
+        let fault = fault_for net ~src ~dst in
+        if fault.drop > 0. && Rng.float net.rng < fault.drop then begin
+          net.dropped <- net.dropped + 1;
+          true
+        end
+        else begin
+          deliver net ~src ~dst ~delay payload;
+          if fault.duplicate > 0. && Rng.float net.rng < fault.duplicate
+          then begin
+            net.duplicated <- net.duplicated + 1;
+            (* the copy takes an independent jitter draw, so it can arrive
+               before or after the original *)
+            let delay' = delay_for net ~src ~dst ~size_bytes in
+            deliver net ~src ~dst ~delay:delay' payload
+          end;
+          false
         end
       end
-    end;
+    in
+    (* The tap observes after the outcome is decided and draws no rng, so
+       installing one cannot perturb the fault schedule. *)
+    (match net.tap with
+    | Some f -> f ~src ~dst ~size_bytes ~dropped:was_dropped payload
+    | None -> ());
     delay
 
   let broadcast net ~src ~dsts ~size_bytes payload =

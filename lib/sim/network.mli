@@ -61,6 +61,16 @@ end) : sig
   (** Remove all per-link faults and all partitions. *)
   val clear_faults : net -> unit
 
+  (** [set_tap net f] installs a passive send-side observer: [f] fires
+      once per {!send} after the drop/deliver outcome is decided (the
+      duplicate copy does not re-fire it). The tap draws no rng and
+      schedules nothing, so observability hooks cannot perturb the fault
+      schedule or event stream. *)
+  val set_tap :
+    net ->
+    (src:string -> dst:string -> size_bytes:int -> dropped:bool -> P.payload -> unit) ->
+    unit
+
   val register : net -> name:string -> (src:string -> P.payload -> unit) -> unit
 
   val unregister : net -> name:string -> unit

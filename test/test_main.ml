@@ -21,5 +21,6 @@ let () =
          Test_scenarios.suites;
          Test_misc.suites;
          Test_chaos.suites;
+         Test_obs.suites;
          Test_properties.suites;
        ])

@@ -391,6 +391,44 @@ let prop_chaos_schedules_preserve_determinism =
           Brdb_core.Chaos.pp_report r;
       true)
 
+let prop_chaos_decisions_agree_even_when_reasons_diverge =
+  (* The CLAUDE.md gotcha as a property: under chaos, the *reason* a
+     transaction aborted may legally differ across nodes (rw-conflict on
+     one node can surface as a stale read on another), but the
+     commit/abort *decision* and the write-set hashes never may. The
+     harness records both; reason divergences are tolerated, decision
+     mismatches fail the property. *)
+  QCheck.Test.make
+    ~name:"chaos: abort reasons may diverge, decisions and hashes never"
+    ~count:5
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 9999))
+    (fun seed ->
+      let spec =
+        {
+          Brdb_core.Chaos.default_spec with
+          Brdb_core.Chaos.seed = seed + 17;
+          rate = 120.;
+          duration = 0.7;
+          block_size = 6;
+          drop = 0.02 +. (0.008 *. float_of_int (seed mod 7));
+          duplicate = float_of_int (seed mod 4) /. 100.;
+          crashes = (seed mod 2) + 1;
+          partitions = (seed + 1) mod 2;
+          crash_points = seed mod 2 = 0;
+        }
+      in
+      let r = Brdb_core.Chaos.run spec in
+      if r.Brdb_core.Chaos.decision_mismatches <> [] then
+        QCheck.Test.fail_reportf
+          "seed %d: cross-node decision mismatch on %s" seed
+          (String.concat ", " r.Brdb_core.Chaos.decision_mismatches);
+      if not r.Brdb_core.Chaos.converged then
+        QCheck.Test.fail_reportf "seed %d diverged: %a" seed
+          Brdb_core.Chaos.pp_report r;
+      (* reason_divergences is deliberately unconstrained: non-empty is
+         legal and expected under contention. *)
+      true)
+
 let suites =
   [
     ( "properties",
@@ -400,5 +438,7 @@ let suites =
         QCheck_alcotest.to_alcotest prop_eo_serializable_with_pre_execution;
         QCheck_alcotest.to_alcotest prop_prune_preserves_live_state;
         QCheck_alcotest.to_alcotest prop_chaos_schedules_preserve_determinism;
+        QCheck_alcotest.to_alcotest
+          prop_chaos_decisions_agree_even_when_reasons_diverge;
       ] );
   ]

@@ -234,6 +234,41 @@ let test_metrics_summary () =
   Alcotest.(check (float 1e-9)) "mt" 0.5 s.Metrics.mt_per_s;
   Alcotest.(check int) "aborted" 1 s.Metrics.aborted
 
+let test_stat_percentile_edges () =
+  let empty = Metrics.Stat.create () in
+  Alcotest.(check (float 0.)) "empty p50" 0. (Metrics.Stat.percentile empty 50.);
+  Alcotest.(check (float 0.)) "empty p100" 0. (Metrics.Stat.percentile empty 100.);
+  let single = Metrics.Stat.create () in
+  Metrics.Stat.add single 42.;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "single p%g" p)
+        42.
+        (Metrics.Stat.percentile single p))
+    [ 0.; 50.; 95.; 100. ];
+  let s = Metrics.Stat.create () in
+  List.iter (Metrics.Stat.add s) [ 5.; 1.; 3.; 2.; 4. ];
+  Alcotest.(check (float 0.)) "p0 = min" (Metrics.Stat.min s)
+    (Metrics.Stat.percentile s 0.);
+  Alcotest.(check (float 0.)) "p100 = max" (Metrics.Stat.max s)
+    (Metrics.Stat.percentile s 100.);
+  Alcotest.(check bool) "monotone" true
+    (Metrics.Stat.percentile s 25. <= Metrics.Stat.percentile s 75.);
+  (* duplicates: percentiles sit on the repeated value *)
+  let d = Metrics.Stat.create () in
+  List.iter (Metrics.Stat.add d) [ 7.; 7.; 7.; 7. ];
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "dupes p%g" p)
+        7.
+        (Metrics.Stat.percentile d p))
+    [ 0.; 50.; 95.; 100. ];
+  (* samples are retained in insertion order *)
+  Alcotest.(check (list (float 0.)))
+    "samples order" [ 5.; 1.; 3.; 2.; 4. ] (Metrics.Stat.samples s)
+
 let test_cost_model_shapes () =
   let m = Cost_model.default in
   (* Calibration targets from Tables 4/5 (within 20%). *)
@@ -297,6 +332,11 @@ let suites =
         Alcotest.test_case "poisson rate" `Quick test_workload_poisson_rate;
         Alcotest.test_case "uniform" `Quick test_workload_uniform;
       ] );
-    ("sim.metrics", [ Alcotest.test_case "summary" `Quick test_metrics_summary ]);
+    ( "sim.metrics",
+      [
+        Alcotest.test_case "summary" `Quick test_metrics_summary;
+        Alcotest.test_case "percentile edge cases" `Quick
+          test_stat_percentile_edges;
+      ] );
     ("sim.cost_model", [ Alcotest.test_case "calibration shapes" `Quick test_cost_model_shapes ]);
   ]

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Determinism lint: library code must never read the wall clock or the
+# global Random state — simulations use Brdb_sim.Clock and Brdb_sim.Rng
+# (seeded), so a run is a pure function of its inputs (CLAUDE.md).
+# Run via `dune build @lint` (the alias passes lib/ in) or directly:
+#   sh tools/lint.sh lib
+set -eu
+
+dir="${1:-lib}"
+
+# [^.[:alnum:]_]Random\. rejects the global Random module while allowing
+# qualified deterministic uses like Brdb_sim.Rng and Foo.Random_local.
+pattern='Unix\.gettimeofday|Unix\.time[^a-z]|Sys\.time|[^.[:alnum:]_]Random\.'
+
+matches=$(grep -rnE "$pattern" "$dir" --include='*.ml' --include='*.mli' || true)
+
+if [ -n "$matches" ]; then
+  echo "determinism lint failed — wall-clock or global Random in library code:" >&2
+  echo "$matches" >&2
+  exit 1
+fi
+echo "lint ok: no wall-clock or global Random under $dir/"
