@@ -8,8 +8,61 @@
       dune exec bench/main.exe -- --only fig5a # one experiment
       dune exec bench/main.exe -- --only table4 --trace t.json
                                                # ... with a Chrome trace
+      dune exec bench/main.exe -- --json out.json
+                                               # machine-readable summary
+                                               # (per-run metrics + exec.*
+                                               # per-operator row counts)
       dune exec bench/main.exe -- --micro      # Bechamel micro-benchmarks
       dune exec bench/main.exe -- --list       # list experiment names *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_value = function
+  | Runner.J_str s -> "\"" ^ json_escape s ^ "\""
+  | Runner.J_int i -> string_of_int i
+  | Runner.J_float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.6g" f
+
+let write_json file =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"generated_by\": \"bench/main.exe\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"quick\": %b,\n  \"records\": [\n" !Experiments.quick);
+  let records = List.rev !Runner.json_records in
+  List.iteri
+    (fun i (experiment, fields) ->
+      Buffer.add_string buf "    { ";
+      Buffer.add_string buf
+        (Printf.sprintf "\"experiment\": \"%s\"" (json_escape experiment));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf ", \"%s\": %s" (json_escape k) (json_value v)))
+        fields;
+      Buffer.add_string buf
+        (if i = List.length records - 1 then " }\n" else " },\n"))
+    records;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark records to %s\n" (List.length records)
+    file
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -30,8 +83,17 @@ let () =
     in
     find args
   in
+  let json_out =
+    let rec find = function
+      | "--json" :: file :: _ -> Some file
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   if has "--quick" then Experiments.quick := true;
   Runner.trace_file := trace_out;
+  Runner.json_file := json_out;
   if has "--list" then begin
     List.iter (fun (name, _) -> print_endline name) Experiments.all;
     exit 0
@@ -41,10 +103,14 @@ let () =
     Micro.benchmark ();
     exit 0
   end;
+  let run_experiment (name, f) =
+    Runner.current_experiment := name;
+    f ()
+  in
   (match only with
   | Some name -> (
       match List.assoc_opt name Experiments.all with
-      | Some f -> f ()
+      | Some f -> run_experiment (name, f)
       | None ->
           Printf.eprintf "unknown experiment %s; try --list\n" name;
           exit 1)
@@ -52,7 +118,7 @@ let () =
       print_endline
         "Blockchain relational database — evaluation reproduction (simulated \
          testbed; see EXPERIMENTS.md for paper-vs-measured)";
-      List.iter (fun (_, f) -> f ()) Experiments.all);
+      List.iter run_experiment Experiments.all);
   (match trace_out with
   | Some file ->
       let events = !Runner.collected in
@@ -63,4 +129,5 @@ let () =
         "\nwrote %d trace events to %s (chrome://tracing / ui.perfetto.dev)\n"
         (List.length events) file
   | None -> ());
+  (match json_out with Some file -> write_json file | None -> ());
   print_endline "\ndone."

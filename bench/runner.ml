@@ -43,6 +43,31 @@ let collected : Brdb_obs.Trace.event list ref = ref []
 
 let run_index = ref 0
 
+(* --json support: when set, every run appends a machine-readable record
+   (spec + summary + the per-operator executor counters the peers publish
+   as exec.rows.* / exec.visited.* registry metrics); bench/main.ml dumps
+   them at exit. Experiments may also append their own records. *)
+let json_file : string option ref = ref None
+
+type json_value = J_str of string | J_float of float | J_int of int
+
+let current_experiment = ref "-"
+
+let json_records : (string * (string * json_value) list) list ref = ref []
+
+let record fields =
+  if !json_file <> None then
+    json_records := (!current_experiment, fields) :: !json_records
+
+let exec_counters net =
+  let reg = Brdb_obs.Obs.metrics (B.obs net) in
+  Brdb_obs.Registry.cluster_view reg
+  |> List.filter_map (fun (e : Brdb_obs.Registry.entry) ->
+         if String.length e.Brdb_obs.Registry.e_name >= 5
+            && String.sub e.Brdb_obs.Registry.e_name 0 5 = "exec."
+         then Some (e.Brdb_obs.Registry.e_name, J_int e.Brdb_obs.Registry.e_count)
+         else None)
+
 (** Run the workload and summarize, returning the deployment too (its
     registry feeds the per-phase breakdown printed next to Tables 4/5).
     Throughput counts transactions that reached majority commit within
@@ -93,6 +118,25 @@ let run_db (spec : spec) : B.t * Metrics.summary =
             { e with Brdb_obs.Trace.node = prefix ^ e.Brdb_obs.Trace.node })
           (B.trace_events net)
   end;
+  record
+    ([
+       ("kind", J_str "run");
+       ( "flow",
+         J_str
+           (match spec.flow with
+           | Node_core.Order_execute -> "order-execute"
+           | Node_core.Execute_order -> "execute-order"
+           | Node_core.Serial_baseline -> "serial") );
+       ("contract", J_str (Workloads.contract_name spec.contract));
+       ("block_size", J_int spec.block_size);
+       ("rate", J_float spec.rate);
+       ("duration_s", J_float spec.duration);
+       ("throughput_tps", J_float summary.Metrics.throughput_tps);
+       ("avg_latency_s", J_float summary.Metrics.avg_latency_s);
+       ("committed", J_int summary.Metrics.committed);
+       ("aborted", J_int summary.Metrics.aborted);
+     ]
+    @ exec_counters net);
   (net, summary)
 
 let run spec = snd (run_db spec)

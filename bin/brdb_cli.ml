@@ -210,6 +210,57 @@ let trace flow_str out format =
     (pick "txn." @ pick "block." @ pick "client." @ pick "decided.");
   `Ok ()
 
+(* --- explain ------------------------------------------------------------------- *)
+
+(* Offline plan inspection: DDL statements build up a scratch catalog
+   (tables + indexes, never committed anywhere), every other statement is
+   rendered through [Exec.explain] — the workflow for vetting a contract's
+   queries against the EO index-only restriction before deploying it. *)
+let explain_cmd sql_args =
+  let catalog = Brdb_storage.Catalog.create () in
+  let manager = Brdb_txn.Manager.create catalog in
+  let txn =
+    match
+      Brdb_txn.Manager.begin_txn manager ~global_id:"__explain__" ~client:"cli"
+        ~snapshot_height:0 ()
+    with
+    | Ok txn -> txn
+    | Error `Duplicate_txid -> assert false
+  in
+  let input =
+    match sql_args with
+    | [] ->
+        let buf = Buffer.create 256 in
+        (try
+           while true do
+             Buffer.add_channel buf stdin 1
+           done
+         with End_of_file -> ());
+        Buffer.contents buf
+    | args -> String.concat " ; " args
+  in
+  List.iter
+    (fun sql ->
+      let sql = String.trim sql in
+      if sql <> "" then
+        match Brdb_sql.Parser.parse sql with
+        | Error e -> Printf.printf "-- %s\nerror: %s\n" sql e
+        | Ok
+            ((Brdb_sql.Ast.Create_table _ | Brdb_sql.Ast.Create_index _
+             | Brdb_sql.Ast.Drop_table _) as stmt) -> (
+            match Brdb_engine.Exec.execute catalog txn stmt with
+            | Ok _ -> Printf.printf "-- %s\n  (applied to scratch catalog)\n" sql
+            | Error e ->
+                Printf.printf "-- %s\nerror: %s\n" sql
+                  (Brdb_engine.Exec.error_to_string e))
+        | Ok stmt -> (
+            Printf.printf "-- %s\n" sql;
+            match Brdb_engine.Exec.explain catalog stmt with
+            | Ok plan -> print_string plan
+            | Error e -> Printf.printf "error: %s\n" e))
+    (String.split_on_char ';' input);
+  `Ok ()
+
 (* --- info --------------------------------------------------------------------- *)
 
 let show_info () =
@@ -272,6 +323,22 @@ let trace_cmd =
           per-transaction lifecycle as a Chrome trace or JSONL")
     Term.(ret (const trace $ flow_arg $ out_arg $ format_arg))
 
+let sql_args =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"SQL"
+        ~doc:
+          "semicolon-separated statements (read from stdin when omitted); \
+           DDL builds a scratch catalog, everything else is explained")
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "print the access plan (scans, join strategy, aggregation and \
+          ordering operators) the executor would choose for each statement")
+    Term.(ret (const explain_cmd $ sql_args))
+
 let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"component summary")
     Term.(ret (const show_info $ const ()))
@@ -280,6 +347,6 @@ let main =
   Cmd.group
     (Cmd.info "brdb" ~version:"1.0.0"
        ~doc:"decentralized replicated relational database with blockchain properties")
-    [ sandbox_cmd; demo_cmd; trace_cmd; info_cmd ]
+    [ sandbox_cmd; demo_cmd; trace_cmd; explain_cmd; info_cmd ]
 
 let () = exit (Cmd.eval main)

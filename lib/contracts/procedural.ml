@@ -140,6 +140,7 @@ let run t (ctx : Api.t) =
         params = ctx.Api.args;
         named = ctx.Api.locals;
         subquery = None;
+        semijoin = None;
       }
     in
     match Brdb_engine.Eval.eval_bool env expr with

@@ -23,6 +23,12 @@ type env = {
   subquery : (select -> env -> Value.t array list) option;
       (* provided by the executor; runs a subquery with this env as the
          correlated outer context and returns its rows *)
+  semijoin : (select -> env -> (Value.t -> Value.t option) option) option;
+      (* optional hash-membership fast path for [IN (SELECT ...)], also
+         provided by the executor. [get sel env] returns a probe function
+         when the subquery's result can be consulted as a set; the probe
+         returns [None] to demand the (error-preserving) linear fallback
+         for that particular left-hand value. *)
 }
 
 let binding_of_version ~alias ~schema ~provenance (v : Version.t) =
@@ -283,6 +289,15 @@ let rec eval env e =
       let xv = eval env x in
       if Value.is_null xv then Value.Null
       else
+        let fast =
+          match env.semijoin with
+          | None -> None
+          | Some get -> (
+              match get sel env with None -> None | Some probe -> probe xv)
+        in
+        match fast with
+        | Some v -> v
+        | None ->
         let rows = run_subquery env sel in
         let rec loop unknown = function
           | [] -> if unknown then Value.Null else Value.Bool false

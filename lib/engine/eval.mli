@@ -30,6 +30,15 @@ type env = {
       (** subquery executor, injected by {!Brdb_engine.Exec}; runs the
           query with this env as correlated outer context and returns its
           rows (scalar/EXISTS/IN semantics are applied by {!eval}) *)
+  semijoin :
+    (Brdb_sql.Ast.select -> env -> (Brdb_storage.Value.t -> Brdb_storage.Value.t option) option)
+    option;
+      (** hash-membership fast path for [x IN (SELECT ...)], also injected
+          by the executor. When present and [get sel env] yields a probe,
+          [probe xv] answers the membership test directly ([Some] of a
+          [Bool]/[Null]); it returns [None] when that [xv] needs the
+          linear row walk (e.g. the subquery mixes value classes, where
+          the walk's comparison-error semantics must be preserved). *)
 }
 
 val binding_of_version :

@@ -2,7 +2,12 @@ open Brdb_storage
 open Brdb_sql.Ast
 module Txn = Brdb_txn.Txn
 
-type op_stat = { op_kind : string; op_table : string; mutable op_rows : int }
+type op_stat = {
+  op_kind : string;
+  op_table : string;
+  mutable op_rows : int;
+  mutable op_visited : int;
+}
 
 type stats = {
   mutable scans : op_stat list;
@@ -17,22 +22,62 @@ let scan_counts s =
   List.sort compare
     (List.map (fun o -> (o.op_kind, o.op_table, o.op_rows)) s.scans)
 
-type mode = { require_index : bool; allow_ddl : bool; stats : stats option }
+let visited_counts s =
+  List.sort compare
+    (List.map (fun o -> (o.op_kind, o.op_table, o.op_visited)) s.scans)
 
-let default_mode = { require_index = false; allow_ddl = true; stats = None }
+let merge_stats ~into (src : stats) =
+  List.iter
+    (fun o ->
+      match
+        List.find_opt
+          (fun d -> d.op_kind = o.op_kind && d.op_table = o.op_table)
+          into.scans
+      with
+      | Some d ->
+          d.op_rows <- d.op_rows + o.op_rows;
+          d.op_visited <- d.op_visited + o.op_visited
+      | None ->
+          into.scans <-
+            {
+              op_kind = o.op_kind;
+              op_table = o.op_table;
+              op_rows = o.op_rows;
+              op_visited = o.op_visited;
+            }
+            :: into.scans)
+    src.scans;
+  into.stmts <- into.stmts + src.stmts;
+  into.rows_out <- into.rows_out + src.rows_out;
+  into.stats_affected <- into.stats_affected + src.stats_affected
 
-let strict_mode = { require_index = true; allow_ddl = true; stats = None }
+type mode = {
+  require_index : bool;
+  allow_ddl : bool;
+  stats : stats option;
+  hash_ops : bool;
+}
 
-let stats_scan mode ~op ~table ~rows =
+let default_mode =
+  { require_index = false; allow_ddl = true; stats = None; hash_ops = true }
+
+let strict_mode =
+  { require_index = true; allow_ddl = true; stats = None; hash_ops = true }
+
+let stats_scan mode ~op ~table ~rows ~visited =
   match mode.stats with
   | None -> ()
   | Some s -> (
       match
         List.find_opt (fun o -> o.op_kind = op && o.op_table = table) s.scans
       with
-      | Some o -> o.op_rows <- o.op_rows + rows
+      | Some o ->
+          o.op_rows <- o.op_rows + rows;
+          o.op_visited <- o.op_visited + visited
       | None ->
-          s.scans <- { op_kind = op; op_table = table; op_rows = rows } :: s.scans)
+          s.scans <-
+            { op_kind = op; op_table = table; op_rows = rows; op_visited = visited }
+            :: s.scans)
 
 type error =
   | Missing_index of string
@@ -68,8 +113,6 @@ let column_refs e =
   iter_expr (function Col (q, c) -> acc := (q, c) :: !acc | _ -> ()) e;
   !acc
 
-(* Does [e] only reference columns already bound in [env]? (Constants and
-   params qualify trivially.) *)
 let contains_subquery e =
   let found = ref false in
   iter_expr
@@ -77,6 +120,8 @@ let contains_subquery e =
     e;
   !found
 
+(* Does [e] only reference columns already bound in [env]? (Constants and
+   params qualify trivially.) *)
 let bound_in env e =
   (not (contains_subquery e))
   && List.for_all
@@ -94,10 +139,27 @@ let scan_column schema alias q c =
   | Some _ -> None
   | None -> Schema.column_index schema c
 
+(* --- deterministic hash keys -------------------------------------------- *)
+
+(* Hash-operator keys must collide exactly when [Value.compare_total] calls
+   the values equal. Int and Float compare numerically, so integral floats
+   are canonicalised to the Int spelling before encoding (beyond 2^52 the
+   float grid is coarser than int and the comparison itself is already
+   approximate; those pathological keys keep their float encoding). *)
+let canon_encode v =
+  match v with
+  | Value.Float f when Float.is_integer f && Float.abs f <= 4503599627370496. ->
+      "I" ^ string_of_int (int_of_float f)
+  | v -> Value.encode v
+
+(* Injective: every component self-delimits, so the separator is cosmetic. *)
+let key_string vs = String.concat "\x00" (List.map canon_encode vs)
+
 type restriction = {
   r_column : int;
-  r_op : [ `Eq | `Lt | `Le | `Gt | `Ge ];
-  r_key : expr;  (* evaluable in the bound env *)
+  r_op : [ `Eq | `Lt | `Le | `Gt | `Ge | `In ];
+  r_keys : expr list;
+      (* evaluable in the bound env; singleton except for [`In] *)
 }
 
 let flip_op = function `Eq -> `Eq | `Lt -> `Gt | `Le -> `Ge | `Gt -> `Lt | `Ge -> `Le
@@ -107,7 +169,8 @@ let rec restriction_of_conjunct env schema alias conjunct =
     match column_refs lhs with
     | [ (q, c) ] when lhs = Col (q, c) -> (
         match scan_column schema alias q c with
-        | Some i when bound_in env rhs -> Some { r_column = i; r_op = op; r_key = rhs }
+        | Some i when bound_in env rhs ->
+            Some { r_column = i; r_op = op; r_keys = [ rhs ] }
         | _ -> None)
     | _ -> None
   in
@@ -130,32 +193,47 @@ let rec restriction_of_conjunct env schema alias conjunct =
   | Between (x, lo, hi) ->
       restriction_of_conjunct env schema alias (Binop (Ge, x, lo))
       @ restriction_of_conjunct env schema alias (Binop (Le, x, hi))
+  | In_list (x, (_ :: _ as es)) -> (
+      (* x IN (k1, ..., kn) probes the index once per distinct key. *)
+      match column_refs x with
+      | [ (q, c) ] when x = Col (q, c) -> (
+          match scan_column schema alias q c with
+          | Some i when List.for_all (bound_in env) es ->
+              [ { r_column = i; r_op = `In; r_keys = es } ]
+          | _ -> [])
+      | _ -> [])
   | _ -> []
 
 type path =
   | Seq_scan
   | Index_range of { column : int; restrictions : restriction list }
 
-(* Pick the most selective indexed column: equality beats range. *)
-let choose_path table env alias where_conjuncts =
+(* Pick the most selective indexed column: equality (or IN) beats range.
+   Grouping is list-based so candidate order never depends on hashtable
+   internals. *)
+let choose_path table env ~hash_ops alias where_conjuncts =
   let schema = Table.schema table in
   let restrictions =
     List.concat_map (restriction_of_conjunct env schema alias) where_conjuncts
   in
-  let by_column = Hashtbl.create 4 in
-  List.iter
-    (fun r ->
-      let cur = try Hashtbl.find by_column r.r_column with Not_found -> [] in
-      Hashtbl.replace by_column r.r_column (r :: cur))
-    restrictions;
+  let restrictions =
+    (* IN-probes are a fast-path feature: with hash_ops off they fall back
+       to the seed plan (seq scan + WHERE), which A/B tests rely on. *)
+    if hash_ops then restrictions
+    else List.filter (fun r -> r.r_op <> `In) restrictions
+  in
+  let columns =
+    List.sort_uniq compare (List.map (fun r -> r.r_column) restrictions)
+  in
   let candidates =
-    Hashtbl.fold
-      (fun col rs acc ->
+    List.filter_map
+      (fun col ->
         if Table.has_index table ~column:col then
-          let has_eq = List.exists (fun r -> r.r_op = `Eq) rs in
-          (col, rs, has_eq) :: acc
-        else acc)
-      by_column []
+          let rs = List.filter (fun r -> r.r_column = col) restrictions in
+          let has_eq = List.exists (fun r -> r.r_op = `Eq || r.r_op = `In) rs in
+          Some (col, rs, has_eq)
+        else None)
+      columns
     |> List.sort (fun (c1, _, eq1) (c2, _, eq2) ->
            (* eq-restricted columns first, then by column position *)
            match compare eq2 eq1 with 0 -> compare c1 c2 | c -> c)
@@ -164,7 +242,8 @@ let choose_path table env alias where_conjuncts =
   | (column, rs, _) :: _ -> Index_range { column; restrictions = rs }
   | [] -> Seq_scan
 
-(* Evaluate a path's bounds in the (join-)bound environment. *)
+(* Evaluate a path's range bounds in the (join-)bound environment; [`In]
+   restrictions are handled separately by the scan. *)
 let bounds_of_restrictions env restrictions =
   let lo = ref Index.Unbounded and hi = ref Index.Unbounded in
   let tighten_lo b =
@@ -194,7 +273,9 @@ let bounds_of_restrictions env restrictions =
   in
   List.iter
     (fun r ->
-      let key = Eval.eval env r.r_key in
+      let key =
+        match r.r_keys with [ e ] -> Eval.eval env e | _ -> assert false
+      in
       match r.r_op with
       | `Eq ->
           tighten_lo (Index.Incl key);
@@ -202,7 +283,8 @@ let bounds_of_restrictions env restrictions =
       | `Lt -> tighten_hi (Index.Excl key)
       | `Le -> tighten_hi (Index.Incl key)
       | `Gt -> tighten_lo (Index.Excl key)
-      | `Ge -> tighten_lo (Index.Incl key))
+      | `Ge -> tighten_lo (Index.Incl key)
+      | `In -> assert false)
     restrictions;
   (!lo, !hi)
 
@@ -213,6 +295,10 @@ type scan_spec = {
   sc_alias : string;
   sc_path : path;
   sc_provenance : bool;
+  sc_filters : expr list;
+      (* single-table WHERE conjuncts pushed below materialization;
+         evaluated after the read is recorded, so the SSI read set is
+         unchanged by pushdown *)
 }
 
 let visible txn ~provenance (v : Version.t) =
@@ -220,34 +306,102 @@ let visible txn ~provenance (v : Version.t) =
   else
     Version.visible_to v ~txid:txn.Txn.txid ~height:txn.Txn.snapshot_height
 
+let within_bounds v ~lo ~hi =
+  (match lo with
+  | Index.Unbounded -> true
+  | Index.Incl l -> Value.compare_total v l >= 0
+  | Index.Excl l -> Value.compare_total v l > 0)
+  &&
+  match hi with
+  | Index.Unbounded -> true
+  | Index.Incl h -> Value.compare_total v h <= 0
+  | Index.Excl h -> Value.compare_total v h < 0
+
 (* Iterate visible versions of a scan; registers the predicate and the
-   per-row reads unless the scan is a provenance read. *)
+   per-row reads unless the scan is a provenance read. The callback gets
+   the row's environment (scan binding appended) plus the binding itself.
+   [op_visited] counts versions examined, [op_rows] rows surviving
+   visibility + pushed filters. *)
 let run_scan catalog txn mode spec env f =
   ignore catalog;
   let name = Table.name spec.sc_table in
-  let rows = ref 0 in
+  let schema = Table.schema spec.sc_table in
+  let rows = ref 0 and visited = ref 0 in
   let yield (v : Version.t) =
+    incr visited;
     if visible txn ~provenance:spec.sc_provenance v then begin
       if not spec.sc_provenance then Txn.record_read txn ~table:name ~vid:v.Version.vid;
-      incr rows;
-      f v
+      let b =
+        Eval.binding_of_version ~alias:spec.sc_alias ~schema
+          ~provenance:spec.sc_provenance v
+      in
+      let env' = { env with Eval.bindings = env.Eval.bindings @ [ b ] } in
+      if List.for_all (fun c -> Eval.eval_bool env' c = Some true) spec.sc_filters
+      then begin
+        incr rows;
+        f env' b
+      end
     end
   in
   (match spec.sc_path with
-  | Index_range { column; restrictions } ->
-      let lo, hi = bounds_of_restrictions env restrictions in
-      if not spec.sc_provenance then
-        Txn.record_predicate txn (Predicate.Range { table = name; column; lo; hi });
-      Table.iter_index spec.sc_table ~column ~lo ~hi yield
+  | Index_range { column; restrictions } -> (
+      let ins, ranges = List.partition (fun r -> r.r_op = `In) restrictions in
+      let lo, hi = bounds_of_restrictions env ranges in
+      match ins with
+      | [] ->
+          if not spec.sc_provenance then
+            Txn.record_predicate txn (Predicate.Range { table = name; column; lo; hi });
+          Table.iter_index spec.sc_table ~column ~lo ~hi yield
+      | _ ->
+          (* Intersect the IN key sets, keep keys inside the range bounds,
+             and probe each surviving key. NULL keys can never match and
+             are dropped; the per-key point predicates are together at
+             least as precise as the seed's full-scan predicate. *)
+          let set_of r =
+            List.filter_map
+              (fun e ->
+                let v = Eval.eval env e in
+                if Value.is_null v then None else Some v)
+              r.r_keys
+            |> List.sort_uniq Value.compare_total
+          in
+          let keys =
+            match List.map set_of ins with
+            | [] -> assert false
+            | s :: rest ->
+                List.fold_left
+                  (fun acc s' ->
+                    List.filter
+                      (fun v ->
+                        List.exists (fun u -> Value.compare_total u v = 0) s')
+                      acc)
+                  s rest
+          in
+          let keys = List.filter (fun v -> within_bounds v ~lo ~hi) keys in
+          List.iter
+            (fun k ->
+              if not spec.sc_provenance then
+                Txn.record_predicate txn
+                  (Predicate.Range
+                     { table = name; column; lo = Index.Incl k; hi = Index.Incl k });
+              Table.iter_index spec.sc_table ~column ~lo:(Index.Incl k)
+                ~hi:(Index.Incl k) yield)
+            keys)
   | Seq_scan ->
       if mode.require_index && not spec.sc_provenance then
         raise (Exec_error (Missing_index name));
       if not spec.sc_provenance then
         Txn.record_predicate txn (Predicate.Full_scan { table = name });
-      Table.iter_versions spec.sc_table yield);
-  match spec.sc_path with
-  | Index_range _ -> stats_scan mode ~op:"index_scan" ~table:name ~rows:!rows
-  | Seq_scan -> stats_scan mode ~op:"seq_scan" ~table:name ~rows:!rows
+      if mode.hash_ops && not spec.sc_provenance then
+        (* Visibility index: skip versions that are dead at the snapshot
+           height instead of wading through the full history (ascending
+           vid, same order as the heap). *)
+        Table.iter_live spec.sc_table ~height:txn.Txn.snapshot_height yield
+      else Table.iter_versions spec.sc_table yield);
+  let op =
+    match spec.sc_path with Index_range _ -> "index_scan" | Seq_scan -> "seq_scan"
+  in
+  stats_scan mode ~op ~table:name ~rows:!rows ~visited:!visited
 
 (* --- SELECT -------------------------------------------------------------- *)
 
@@ -260,64 +414,361 @@ let empty_env params named subquery =
     Eval.params = params;
     Eval.named = named;
     Eval.subquery = subquery;
+    Eval.semijoin = None;
   }
 
-(* Produce the stream of joined environments for FROM ... JOIN ... *)
-let joined_rows catalog txn mode ~provenance ~base_env (sel : select) f =
+let null_binding ~provenance alias table =
+  {
+    Eval.alias;
+    schema = Table.schema table;
+    values = Array.make (Schema.arity (Table.schema table)) Value.Null;
+    version = None;
+    provenance;
+  }
+
+module KeyMap = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare_total
+end)
+
+(* --- static select planning --------------------------------------------- *)
+
+type join_strategy =
+  | Nested
+      (* per-outer-row scan; access path re-chosen with the outer row bound *)
+  | Hashed of {
+      h_key_cols : int list;  (* inner columns of the equi-key *)
+      h_key_outer : expr list;  (* matching outer-side expressions *)
+      h_build_filters : expr list;  (* inner-only conjuncts, applied at build *)
+      h_probe_filters : expr list;  (* remaining assigned conjuncts, per match *)
+    }
+
+type table_plan = {
+  tp_ref : table_ref;
+  tp_table : Table.t;  (* resolved once at plan time *)
+  tp_filters : expr list;
+      (* WHERE conjuncts assigned to this scan (empty for hashed joins,
+         whose filters live in the strategy) *)
+  tp_path_hint : path;
+      (* the path [choose_path] picks with all earlier tables pseudo-bound;
+         what a nested-loop scan will use at runtime (display + strategy) *)
+  tp_join : (join_clause * join_strategy) option;  (* None for the base table *)
+}
+
+type select_plan = {
+  sp_tables : table_plan list;
+  sp_residual : expr list option;
+      (* [Some conjuncts] with hash_ops on: WHERE conjuncts not pushed into
+         any scan. [None] with hash_ops off: evaluate the whole WHERE tree
+         per row, exactly like the seed executor. *)
+}
+
+(* Decide, before any row is read, which WHERE conjunct filters at which
+   scan and which joins can be hash joins. Decisions only consult the
+   catalog and name-resolution against pseudo-bound (NULL-row) envs, so
+   every node plans identically for the same statement. *)
+let plan_select catalog mode ~base_env (sel : select) =
   match sel.from with
-  | None -> f base_env
+  | None -> None
   | Some base ->
+      let provenance = sel.provenance in
+      let hash = mode.hash_ops in
+      let where_conj = match sel.where with None -> [] | Some w -> conjuncts_of w in
+      let tables =
+        List.map
+          (fun (tr, j) -> (tr, table_or_fail catalog tr.table, j))
+          ((base, None) :: List.map (fun j -> (j.j_table, Some j)) sel.joins)
+      in
+      let n = List.length tables in
+      (* Cumulative pseudo-envs: envs.(i) has the first [i] tables bound to
+         null rows — computed once, shared by every conjunct-placement and
+         path decision below. *)
+      let nulls =
+        Array.of_list
+          (List.map
+             (fun (tr, table, _) -> null_binding ~provenance (alias_of tr) table)
+             tables)
+      in
+      let envs = Array.make (n + 1) base_env in
+      for i = 0 to n - 1 do
+        envs.(i + 1) <-
+          {
+            envs.(i) with
+            Eval.bindings = envs.(i).Eval.bindings @ [ nulls.(i) ];
+          }
+      done;
+      let assigned = Array.make n [] in
+      let residual = ref [] in
+      if hash then begin
+        (* Each conjunct filters at the earliest scan where all its names
+           resolve. LEFT-JOIN scan points are skipped: their matches are
+           defined by ON alone, and WHERE must see the null-extended row. *)
+        List.iter
+          (fun c ->
+            let rec place i = function
+              | [] -> residual := c :: !residual
+              | (_, _, j) :: rest ->
+                  let eligible =
+                    match j with None -> true | Some j -> j.j_kind = J_inner
+                  in
+                  if eligible && bound_in envs.(i + 1) c then
+                    assigned.(i) <- c :: assigned.(i)
+                  else place (i + 1) rest
+            in
+            place 0 tables)
+          where_conj;
+        residual := List.rev !residual;
+        Array.iteri (fun i l -> assigned.(i) <- List.rev l) assigned
+      end;
+      let plans =
+        List.mapi
+          (fun i (tr, table, j) ->
+            let alias = alias_of tr in
+            let env = envs.(i) in
+            let filters = assigned.(i) in
+            let hint_conjuncts =
+              match j with
+              | None -> where_conj
+              | Some j ->
+                  conjuncts_of j.j_on
+                  @ (if j.j_kind = J_inner then where_conj else [])
+            in
+            let hint = choose_path table env ~hash_ops:hash alias hint_conjuncts in
+            match j with
+            | None ->
+                { tp_ref = tr; tp_table = table; tp_filters = filters;
+                  tp_path_hint = hint; tp_join = None }
+            | Some j ->
+                let strat =
+                  if (not hash) || provenance || mode.require_index
+                     || hint <> Seq_scan
+                  then Nested
+                  else begin
+                    let schema = Table.schema table in
+                    let equi =
+                      List.filter_map
+                        (fun c ->
+                          match c with
+                          | Binop (Eq, a, b) ->
+                              let pair x y =
+                                match column_refs x with
+                                | [ (q, cname) ] when x = Col (q, cname) -> (
+                                    match scan_column schema alias q cname with
+                                    | Some col when bound_in env y -> Some (col, y)
+                                    | _ -> None)
+                                | _ -> None
+                              in
+                              (match pair a b with
+                              | Some p -> Some p
+                              | None -> pair b a)
+                          | _ -> None)
+                        (conjuncts_of j.j_on)
+                    in
+                    if equi = [] then Nested
+                    else begin
+                      (* Filters whose names resolve against the inner
+                         table alone (plus correlated outer context) can
+                         shrink the build side; the rest run per match. *)
+                      let build_env =
+                        {
+                          base_env with
+                          Eval.bindings = base_env.Eval.bindings @ [ nulls.(i) ];
+                        }
+                      in
+                      let build_filters, probe_filters =
+                        List.partition (bound_in build_env) filters
+                      in
+                      Hashed
+                        {
+                          h_key_cols = List.map fst equi;
+                          h_key_outer = List.map snd equi;
+                          h_build_filters = build_filters;
+                          h_probe_filters = probe_filters;
+                        }
+                    end
+                  end
+                in
+                let filters = match strat with Hashed _ -> [] | Nested -> filters in
+                { tp_ref = tr; tp_table = table; tp_filters = filters;
+                  tp_path_hint = hint; tp_join = Some (j, strat) })
+          tables
+      in
+      Some
+        {
+          sp_tables = plans;
+          sp_residual = (if hash then Some !residual else None);
+        }
+
+(* Produce the stream of joined environments for FROM ... JOIN ...,
+   WHERE already applied. *)
+let joined_rows catalog txn mode ~provenance ~base_env (sel : select) f =
+  let full_where env =
+    match sel.where with None -> true | Some w -> Eval.eval_bool env w = Some true
+  in
+  match plan_select catalog mode ~base_env sel with
+  | None -> if full_where base_env then f base_env
+  | Some plan ->
+      let keep env =
+        match plan.sp_residual with
+        | None -> full_where env
+        | Some residual ->
+            List.for_all (fun c -> Eval.eval_bool env c = Some true) residual
+      in
       let where_conj = match sel.where with None -> [] | Some w -> conjuncts_of w in
       (* WHERE conjuncts may sharpen the access path of inner joins, but a
          LEFT JOIN's matches are defined by its ON clause alone. *)
-      let scan_one (tr : table_ref) extra_conjuncts ~use_where env k =
-        let table = table_or_fail catalog tr.table in
-        let alias = alias_of tr in
-        let conjuncts = extra_conjuncts @ if use_where then where_conj else [] in
-        let path = choose_path table env alias conjuncts in
-        let spec = { sc_table = table; sc_alias = alias; sc_path = path; sc_provenance = provenance } in
-        run_scan catalog txn mode spec env (fun v ->
-            let b =
-              Eval.binding_of_version ~alias ~schema:(Table.schema table) ~provenance v
-            in
-            k { env with Eval.bindings = env.Eval.bindings @ [ b ] })
-      in
-      let null_extended env (tr : table_ref) =
-        let table = table_or_fail catalog tr.table in
-        let b =
+      let scan_one ?path (tp : table_plan) extra_conjuncts ~use_where env k =
+        let table = tp.tp_table in
+        let alias = alias_of tp.tp_ref in
+        let path =
+          match path with
+          | Some p -> p
+          | None ->
+              let conjuncts =
+                extra_conjuncts @ if use_where then where_conj else []
+              in
+              choose_path table env ~hash_ops:mode.hash_ops alias conjuncts
+        in
+        let spec =
           {
-            Eval.alias = alias_of tr;
-            schema = Table.schema table;
-            values = Array.make (Schema.arity (Table.schema table)) Value.Null;
-            version = None;
-            provenance;
+            sc_table = table;
+            sc_alias = alias;
+            sc_path = path;
+            sc_provenance = provenance;
+            sc_filters = tp.tp_filters;
           }
         in
-        { env with Eval.bindings = env.Eval.bindings @ [ b ] }
+        run_scan catalog txn mode spec env (fun env' _b -> k env')
       in
-      let rec do_joins joins env =
-        match joins with
-        | [] -> f env
-        | j :: rest -> (
-            match j.j_kind with
-            | J_inner ->
-                scan_one j.j_table (conjuncts_of j.j_on) ~use_where:true env
-                  (fun env' ->
-                    match Eval.eval_bool env' j.j_on with
-                    | Some true -> do_joins rest env'
-                    | _ -> ())
-            | J_left ->
-                let matched = ref false in
-                scan_one j.j_table (conjuncts_of j.j_on) ~use_where:false env
-                  (fun env' ->
-                    match Eval.eval_bool env' j.j_on with
-                    | Some true ->
-                        matched := true;
-                        do_joins rest env'
-                    | _ -> ());
-                if not !matched then do_joins rest (null_extended env j.j_table))
+      let null_extended env (tp : table_plan) =
+        {
+          env with
+          Eval.bindings =
+            env.Eval.bindings
+            @ [ null_binding ~provenance (alias_of tp.tp_ref) tp.tp_table ];
+        }
       in
-      scan_one base [] ~use_where:true base_env (fun env -> do_joins sel.joins env)
+      let base_tp, join_tps =
+        match plan.sp_tables with
+        | base :: rest ->
+            ( base,
+              List.map
+                (fun tp ->
+                  let j, strat =
+                    match tp.tp_join with Some js -> js | None -> assert false
+                  in
+                  let build =
+                    match strat with
+                    | Nested -> None
+                    | Hashed h ->
+                        let table = tp.tp_table in
+                        let alias = alias_of tp.tp_ref in
+                        (* Built on the first probe so that a join with no
+                           outer rows records exactly the seed's (empty)
+                           read/predicate footprint. Buckets are assembled
+                           by prepend and reversed once, keeping heap (vid)
+                           order without iterating the hashtable. *)
+                        Some
+                          (lazy
+                            (let tbl : (string, Eval.binding list ref) Hashtbl.t
+                               =
+                               Hashtbl.create 64
+                             in
+                             let spec =
+                               {
+                                 sc_table = table;
+                                 sc_alias = alias;
+                                 sc_path = Seq_scan;
+                                 sc_provenance = false;
+                                 sc_filters = h.h_build_filters;
+                               }
+                             in
+                             run_scan catalog txn mode spec base_env
+                               (fun _env (b : Eval.binding) ->
+                                 let key =
+                                   List.map
+                                     (fun col -> b.Eval.values.(col))
+                                     h.h_key_cols
+                                 in
+                                 if not (List.exists Value.is_null key) then
+                                   let ks = key_string key in
+                                   match Hashtbl.find_opt tbl ks with
+                                   | Some r -> r := b :: !r
+                                   | None -> Hashtbl.add tbl ks (ref [ b ]));
+                             Hashtbl.filter_map_inplace
+                               (fun _ r ->
+                                 r := List.rev !r;
+                                 Some r)
+                               tbl;
+                             tbl))
+                  in
+                  (tp, j, strat, build))
+                rest )
+        | [] -> assert false
+      in
+      let rec do_joins js env =
+        match js with
+        | [] -> if keep env then f env
+        | (tp, j, strat, build) :: rest -> (
+            match strat with
+            | Nested -> (
+                match j.j_kind with
+                | J_inner ->
+                    scan_one tp (conjuncts_of j.j_on) ~use_where:true env
+                      (fun env' ->
+                        match Eval.eval_bool env' j.j_on with
+                        | Some true -> do_joins rest env'
+                        | _ -> ())
+                | J_left ->
+                    let matched = ref false in
+                    scan_one tp (conjuncts_of j.j_on) ~use_where:false env
+                      (fun env' ->
+                        match Eval.eval_bool env' j.j_on with
+                        | Some true ->
+                            matched := true;
+                            do_joins rest env'
+                        | _ -> ());
+                    if not !matched then do_joins rest (null_extended env tp))
+            | Hashed h -> (
+                let buckets = Lazy.force (Option.get build) in
+                let keyv = List.map (Eval.eval env) h.h_key_outer in
+                let bucket =
+                  if List.exists Value.is_null keyv then []
+                  else
+                    match Hashtbl.find_opt buckets (key_string keyv) with
+                    | Some r -> !r
+                    | None -> []
+                in
+                let matched = ref false and matches = ref 0 in
+                List.iter
+                  (fun (b : Eval.binding) ->
+                    let env' =
+                      { env with Eval.bindings = env.Eval.bindings @ [ b ] }
+                    in
+                    let ok =
+                      Eval.eval_bool env' j.j_on = Some true
+                      && List.for_all
+                           (fun c -> Eval.eval_bool env' c = Some true)
+                           h.h_probe_filters
+                    in
+                    if ok then begin
+                      matched := true;
+                      incr matches;
+                      do_joins rest env'
+                    end)
+                  bucket;
+                stats_scan mode ~op:"hash_join" ~table:tp.tp_ref.table
+                  ~rows:!matches ~visited:(List.length bucket);
+                match j.j_kind with
+                | J_left when not !matched ->
+                    do_joins rest (null_extended env tp)
+                | _ -> ()))
+      in
+      (* The base scan's inputs are exactly the hint's: reuse it instead of
+         re-deriving the path. *)
+      scan_one ~path:base_tp.tp_path_hint base_tp [] ~use_where:true base_env
+        (fun env -> do_joins join_tps env)
 
 let item_columns ~provenance (sel : select) (sample_env : Eval.env option) =
   let star_columns () =
@@ -387,12 +838,7 @@ let exec_select catalog txn mode ~base_env (sel : select) =
   let provenance = sel.provenance in
   let envs = ref [] in
   joined_rows catalog txn mode ~provenance ~base_env sel (fun env ->
-      let keep =
-        match sel.where with
-        | None -> true
-        | Some w -> Eval.eval_bool env w = Some true
-      in
-      if keep then envs := env :: !envs);
+      envs := env :: !envs);
   let envs = List.rev !envs in
   let aggregated =
     sel.group_by <> []
@@ -440,29 +886,53 @@ let exec_select catalog txn mode ~base_env (sel : select) =
               if (not (Eval.has_aggregate e)) && not (List.mem (expr_to_string e) group_keys)
               then fail "column %s must appear in GROUP BY or an aggregate" (expr_to_string e))
         sel.items;
-      let module KeyMap = Map.Make (struct
-        type t = Value.t list
-
-        let compare = List.compare Value.compare_total
-      end) in
+      (* Both grouping paths produce [(key, rows-in-arrival-order)] in
+         ascending key order ([Value.compare_total], then canonical
+         encoding on ties), so downstream output is path-independent. *)
       let groups =
-        match (sel.group_by, envs) with
-        | [], _ ->
-            (* A single group — even when there are no input rows. *)
-            KeyMap.singleton [] (List.rev envs)
-        | _, _ ->
-            List.fold_left
-              (fun acc env ->
+        match sel.group_by with
+        | [] -> [ ([], envs) ] (* a single group — even with no input rows *)
+        | _ when mode.hash_ops ->
+            let tbl = Hashtbl.create 64 in
+            List.iter
+              (fun env ->
                 let key = List.map (Eval.eval env) sel.group_by in
-                KeyMap.update key
-                  (function None -> Some [ env ] | Some g -> Some (env :: g))
-                  acc)
-              KeyMap.empty envs
+                let ks = key_string key in
+                match Hashtbl.find_opt tbl ks with
+                | Some (_, r) -> r := env :: !r
+                | None -> Hashtbl.add tbl ks (key, ref [ env ]))
+              envs;
+            let drained =
+              Brdb_util.Sorted_tbl.sorted_bindings tbl
+              |> List.map (fun (ks, (key, r)) -> (ks, key, List.rev !r))
+            in
+            stats_scan mode ~op:"hash_agg" ~table:"-"
+              ~rows:(List.length drained) ~visited:(List.length envs);
+            List.sort
+              (fun (s1, k1, _) (s2, k2, _) ->
+                match List.compare Value.compare_total k1 k2 with
+                | 0 -> compare s1 s2
+                | c -> c)
+              drained
+            |> List.map (fun (_, key, group) -> (key, group))
+        | _ ->
+            let m =
+              List.fold_left
+                (fun acc env ->
+                  let key = List.map (Eval.eval env) sel.group_by in
+                  KeyMap.update key
+                    (function None -> Some [ env ] | Some g -> Some (env :: g))
+                    acc)
+                KeyMap.empty envs
+            in
+            List.rev
+              (KeyMap.fold
+                 (fun key group acc -> (key, List.rev group) :: acc)
+                 m [])
       in
       let decorated =
-        KeyMap.fold
-          (fun _key group acc ->
-            let group = List.rev group in
+        List.filter_map
+          (fun (_key, group) ->
             let rep = match group with e :: _ -> e | [] -> base_env in
             let keep =
               match sel.having with
@@ -472,7 +942,7 @@ let exec_select catalog txn mode ~base_env (sel : select) =
                   | Value.Bool true -> true
                   | _ -> false)
             in
-            if not keep then acc
+            if not keep then None
             else
               let keys =
                 List.map
@@ -487,31 +957,39 @@ let exec_select catalog txn mode ~base_env (sel : select) =
                     | Sel_expr (e, _) -> [ Eval.eval_grouped ~group rep e ])
                   sel.items
               in
-              (keys, values) :: acc)
-          groups []
-        |> List.rev
+              Some (keys, values))
+          groups
       in
       (decorated, sel.order_by)
     end
   in
   let decorated, order_by = rows in
+  let cmp (ka, _) (kb, _) =
+    let rec loop ks ka kb =
+      match (ks, ka, kb) with
+      | [], _, _ -> 0
+      | k :: ks, a :: ka, b :: kb ->
+          let c = Value.compare_total a b in
+          let c = if k.o_asc then c else -c in
+          if c <> 0 then c else loop ks ka kb
+      | _ -> 0
+    in
+    loop order_by ka kb
+  in
   let sorted =
     match order_by with
     | [] -> decorated
-    | keys ->
-        let cmp (ka, _) (kb, _) =
-          let rec loop ks ka kb =
-            match (ks, ka, kb) with
-            | [], _, _ -> 0
-            | k :: ks, a :: ka, b :: kb ->
-                let c = Value.compare_total a b in
-                let c = if k.o_asc then c else -c in
-                if c <> 0 then c else loop ks ka kb
-            | _ -> 0
-          in
-          loop keys ka kb
-        in
-        List.stable_sort cmp decorated
+    | _ -> (
+        match sel.limit with
+        | Some k when mode.hash_ops && not sel.distinct ->
+            (* ORDER BY ... LIMIT k: bounded heap, first k of the stable
+               sort without sorting the full input. (DISTINCT dedups after
+               the sort, so it still needs every row.) *)
+            let out = Brdb_util.Topk.select ~k ~cmp decorated in
+            stats_scan mode ~op:"top_k" ~table:"-" ~rows:(List.length out)
+              ~visited:(List.length decorated);
+            out
+        | _ -> List.stable_sort cmp decorated)
   in
   let deduped =
     if not sel.distinct then sorted
@@ -595,15 +1073,39 @@ let target_rows catalog txn mode ~env0 ~table_name ~where f =
   let table = table_or_fail catalog table_name in
   let alias = table_name in
   let conjuncts = match where with None -> [] | Some w -> conjuncts_of w in
-  let path = choose_path table env0 alias conjuncts in
-  let spec = { sc_table = table; sc_alias = alias; sc_path = path; sc_provenance = false } in
-  run_scan catalog txn mode spec env0 (fun v ->
-      let b = Eval.binding_of_version ~alias ~schema:(Table.schema table) ~provenance:false v in
-      let env = { env0 with Eval.bindings = [ b ] } in
-      let keep =
-        match where with None -> true | Some w -> Eval.eval_bool env w = Some true
+  let path = choose_path table env0 ~hash_ops:mode.hash_ops alias conjuncts in
+  let pushed, residual =
+    if mode.hash_ops then
+      let penv =
+        {
+          env0 with
+          Eval.bindings =
+            env0.Eval.bindings @ [ null_binding ~provenance:false alias table ];
+        }
       in
-      if keep then f table env v)
+      List.partition (bound_in penv) conjuncts
+    else ([], conjuncts)
+  in
+  let spec =
+    {
+      sc_table = table;
+      sc_alias = alias;
+      sc_path = path;
+      sc_provenance = false;
+      sc_filters = pushed;
+    }
+  in
+  run_scan catalog txn mode spec env0 (fun env (b : Eval.binding) ->
+      let keep =
+        if mode.hash_ops then
+          List.for_all (fun c -> Eval.eval_bool env c = Some true) residual
+        else
+          match where with None -> true | Some w -> Eval.eval_bool env w = Some true
+      in
+      if keep then
+        match b.Eval.version with
+        | Some v -> f table env v
+        | None -> assert false)
 
 let exec_update catalog txn mode ~env0 ~upd_table ~upd_sets ~upd_where =
   if mode.require_index && upd_where = None then
@@ -690,75 +1192,142 @@ let describe_path table path =
       let ops =
         List.map
           (fun r ->
-            let op =
-              match r.r_op with
-              | `Eq -> "="
-              | `Lt -> "<"
-              | `Le -> "<="
-              | `Gt -> ">"
-              | `Ge -> ">="
-            in
-            Printf.sprintf "%s %s %s" cname op (expr_to_string r.r_key))
+            match r.r_op with
+            | `In ->
+                Printf.sprintf "%s in (%s)" cname
+                  (String.concat ", " (List.map expr_to_string r.r_keys))
+            | (`Eq | `Lt | `Le | `Gt | `Ge) as op ->
+                let op =
+                  match op with
+                  | `Eq -> "="
+                  | `Lt -> "<"
+                  | `Le -> "<="
+                  | `Gt -> ">"
+                  | `Ge -> ">="
+                in
+                let key =
+                  match r.r_keys with [ e ] -> expr_to_string e | _ -> "?"
+                in
+                Printf.sprintf "%s %s %s" cname op key)
           restrictions
       in
       Printf.sprintf "index scan on %s.%s (%s)" (Table.name table) cname
         (String.concat " and " ops)
 
+let describe_filters = function
+  | [] -> ""
+  | fs -> "; filter: " ^ String.concat " AND " (List.map expr_to_string fs)
+
 exception Explain_error of string
 
 let explain catalog stmt =
-  (* A pseudo-environment where every column of the given aliases resolves:
-     we reuse [choose_path] with a binding of NULL rows so join-key
-     expressions referencing outer tables count as bound. *)
+  (* Plans with [default_mode] (hash operators on) against pseudo-bound
+     NULL rows: the decisions shown are exactly the ones [plan_select] and
+     [choose_path] make at execution time, parameters treated as opaque. *)
   let buf = Buffer.create 128 in
-  let null_binding alias table =
-    {
-      Eval.alias;
-      schema = Table.schema table;
-      values = Array.make (Schema.arity (Table.schema table)) Value.Null;
-      version = None;
-      provenance = false;
-    }
-  in
+  let line s = Buffer.add_string buf ("  " ^ s ^ "\n") in
+  let mode = default_mode in
+  let env0 = empty_env [||] [] None in
   let table_of name =
     match Catalog.find catalog name with
     | Some t -> t
     | None -> raise (Explain_error (Printf.sprintf "table %s does not exist" name))
   in
-  let plan_scan env (tr : table_ref) conjuncts =
-    let table = table_of tr.table in
-    let alias = alias_of tr in
-    let path = choose_path table env alias conjuncts in
-    Buffer.add_string buf ("  " ^ describe_path table path ^ "\n");
-    { env with Eval.bindings = env.Eval.bindings @ [ null_binding alias table ] }
+  let order_keys ks =
+    String.concat ", "
+      (List.map
+         (fun o -> expr_to_string o.o_expr ^ if o.o_asc then "" else " DESC")
+         ks)
   in
-  let env0 =
-    {
-      Eval.bindings = [];
-      Eval.scope_start = 0;
-      Eval.params = [||];
-      Eval.named = [];
-      Eval.subquery = None;
-    }
+  let explain_select (sel : select) =
+    match plan_select catalog mode ~base_env:env0 sel with
+    | None -> line "no table access"
+    | Some plan ->
+        List.iter
+          (fun tp ->
+            let table = table_of tp.tp_ref.table in
+            match tp.tp_join with
+            | None ->
+                line (describe_path table tp.tp_path_hint
+                      ^ describe_filters tp.tp_filters)
+            | Some (j, Nested) ->
+                let kind =
+                  match j.j_kind with J_inner -> "inner" | J_left -> "left"
+                in
+                line
+                  (Printf.sprintf "nested loop (%s) via %s%s" kind
+                     (describe_path table tp.tp_path_hint)
+                     (describe_filters tp.tp_filters))
+            | Some (j, Hashed h) ->
+                let kind =
+                  match j.j_kind with J_inner -> "inner" | J_left -> "left"
+                in
+                let schema = Table.schema table in
+                let keys =
+                  List.map2
+                    (fun col e ->
+                      Printf.sprintf "%s.%s = %s" (alias_of tp.tp_ref)
+                        schema.Schema.columns.(col).Schema.name
+                        (expr_to_string e))
+                    h.h_key_cols h.h_key_outer
+                in
+                line
+                  (Printf.sprintf "hash join (%s) on %s [build: seq scan on %s%s]"
+                     kind
+                     (String.concat ", " keys)
+                     (Table.name table)
+                     (describe_filters h.h_build_filters));
+                if h.h_probe_filters <> [] then
+                  line ("  probe" ^ describe_filters h.h_probe_filters))
+          plan.sp_tables;
+        (match plan.sp_residual with
+        | Some (_ :: _ as res) -> line ("residual" ^ describe_filters res)
+        | _ -> ());
+        let aggregated =
+          sel.group_by <> []
+          || sel.having <> None
+          || List.exists
+               (function Sel_expr (e, _) -> Eval.has_aggregate e | Star -> false)
+               sel.items
+        in
+        if aggregated then (
+          match sel.group_by with
+          | [] -> line "aggregate (single group)"
+          | ks ->
+              line
+                (Printf.sprintf "hash aggregate by %s"
+                   (String.concat ", " (List.map expr_to_string ks))));
+        (match (sel.order_by, sel.limit) with
+        | [], _ -> ()
+        | ks, Some k when not sel.distinct ->
+            line (Printf.sprintf "top-%d by %s" k (order_keys ks))
+        | ks, _ -> line (Printf.sprintf "sort by %s" (order_keys ks)));
+        if sel.distinct then line "distinct";
+        (match sel.limit with
+        | Some n when sel.order_by = [] || sel.distinct ->
+            line (Printf.sprintf "limit %d" n)
+        | _ -> ())
+  in
+  let explain_dml what name where =
+    Buffer.add_string buf (what ^ ":\n");
+    let table = table_of name in
+    let conjuncts = match where with None -> [] | Some w -> conjuncts_of w in
+    let path = choose_path table env0 ~hash_ops:mode.hash_ops name conjuncts in
+    let penv =
+      {
+        env0 with
+        Eval.bindings = [ null_binding ~provenance:false name table ];
+      }
+    in
+    let pushed = List.filter (bound_in penv) conjuncts in
+    line (describe_path table path ^ describe_filters pushed)
   in
   (match stmt with
-  | Select ({ from = Some base; _ } as sel) ->
+  | Select sel ->
       Buffer.add_string buf "select:\n";
-      let where_conj = match sel.where with None -> [] | Some w -> conjuncts_of w in
-      let env = plan_scan env0 base where_conj in
-      ignore
-        (List.fold_left
-           (fun env j -> plan_scan env j.j_table (conjuncts_of j.j_on @ where_conj))
-           env sel.joins)
-  | Select _ -> Buffer.add_string buf "select: no table access\n"
-  | Update { upd_table; upd_where; _ } ->
-      Buffer.add_string buf "update:\n";
-      let conjuncts = match upd_where with None -> [] | Some w -> conjuncts_of w in
-      ignore (plan_scan env0 { table = upd_table; alias = None } conjuncts)
-  | Delete { del_table; del_where } ->
-      Buffer.add_string buf "delete:\n";
-      let conjuncts = match del_where with None -> [] | Some w -> conjuncts_of w in
-      ignore (plan_scan env0 { table = del_table; alias = None } conjuncts)
+      explain_select sel
+  | Update { upd_table; upd_where; _ } -> explain_dml "update" upd_table upd_where
+  | Delete { del_table; del_where } -> explain_dml "delete" del_table del_where
   | Insert { ins_table; _ } ->
       Buffer.add_string buf
         (Printf.sprintf "insert into %s: no scans\n" ins_table)
@@ -770,19 +1339,164 @@ let explain catalog stmt =
   match explain catalog stmt with
   | plan -> Ok plan
   | exception Explain_error msg -> Error msg
+  | exception Exec_error e -> Error (error_to_string e)
 
 let explain_sql catalog sql =
   match Brdb_sql.Parser.parse sql with
   | Error msg -> Error msg
   | Ok stmt -> explain catalog stmt
 
+(* --- uncorrelated-subquery analysis -------------------------------------- *)
+
+(* Conservative static check: every column reference inside [sel]
+   (recursively) resolves against tables that [sel] itself — or a nested
+   subquery on the path to the reference — brings into scope, so executing
+   [sel] under different outer rows cannot change its result. References
+   that would need the enclosing statement's scope, including output-alias
+   references in ORDER BY/HAVING, make the select correlated. A reference
+   into an unknown table is treated as local (execution fails the same way
+   either path). *)
+let select_uncorrelated catalog (sel : select) =
+  let ok = ref true in
+  let scope_of (s : select) =
+    let tables =
+      match s.from with
+      | None -> []
+      | Some base -> base :: List.map (fun j -> j.j_table) s.joins
+    in
+    ( List.map
+        (fun (tr : table_ref) -> (alias_of tr, Catalog.find catalog tr.table))
+        tables,
+      s.provenance )
+  in
+  let resolves scopes q c =
+    List.exists
+      (fun (tables, prov) ->
+        List.exists
+          (fun (alias, table) ->
+            let col_ok =
+              match table with
+              | None -> true
+              | Some t ->
+                  Schema.column_index (Table.schema t) c <> None
+                  || (prov && List.mem c [ "xmin"; "xmax"; "creator"; "deleter" ])
+            in
+            (match q with Some q -> String.equal q alias | None -> true)
+            && col_ok)
+          tables)
+      scopes
+  in
+  let rec walk scopes (s : select) =
+    let scopes = scope_of s :: scopes in
+    let check e =
+      iter_expr
+        (fun e ->
+          match e with
+          | Col (q, c) -> if not (resolves scopes q c) then ok := false
+          | Subquery inner | Exists inner | In_select (_, inner) ->
+              walk scopes inner
+          | _ -> ())
+        e
+    in
+    List.iter (function Star -> () | Sel_expr (e, _) -> check e) s.items;
+    List.iter (fun j -> check j.j_on) s.joins;
+    Option.iter check s.where;
+    List.iter check s.group_by;
+    Option.iter check s.having;
+    List.iter (fun k -> check k.o_expr) s.order_by
+  in
+  walk [] sel;
+  !ok
+
+module VSet = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare_total
+end)
+
+let value_class = function
+  | Value.Null -> `Null
+  | Value.Bool _ -> `Bool
+  | Value.Int _ | Value.Float _ -> `Num
+  | Value.Text _ -> `Text
+
+(* Hash-set membership for [x IN (SELECT ...)]. Returns [None] (caller
+   falls back to the linear walk) whenever the set answer could differ
+   from walking the rows: wrong arity (the walk raises), or the probed
+   value's class differs from / the set mixes value classes (the walk's
+   comparison raises a type error the set lookup would hide). *)
+let membership_probe rows =
+  if List.exists (fun (r : Value.t array) -> Array.length r <> 1) rows then
+    fun _ -> None
+  else begin
+    let vals = List.map (fun (r : Value.t array) -> r.(0)) rows in
+    let has_null = List.exists Value.is_null vals in
+    let vals = List.filter (fun v -> not (Value.is_null v)) vals in
+    let classes = List.sort_uniq compare (List.map value_class vals) in
+    let set = VSet.of_list vals in
+    fun xv ->
+      match classes with
+      | [] -> Some (if has_null then Value.Null else Value.Bool false)
+      | [ c ] when c = value_class xv ->
+          if VSet.mem xv set then Some (Value.Bool true)
+          else if has_null then Some Value.Null
+          else Some (Value.Bool false)
+      | _ -> None
+  end
+
 (* --- entry points --------------------------------------------------------- *)
 
 let execute catalog txn ?(params = [||]) ?(named = []) ?(mode = default_mode) stmt =
   (* Scalar subqueries re-enter the executor with the outer row's env as
-     their correlated context. *)
-  let rec run_subquery sel env = (exec_select catalog txn mode ~base_env:env sel).rows
-  and root_env () = empty_env params named (Some run_subquery) in
+     their correlated context. Per-statement caches (keyed by physical
+     identity of the AST node) memoize uncorrelated subqueries: their rows,
+     and the membership probe backing IN (SELECT ...). Re-running such a
+     subquery per outer row adds nothing to the read/predicate sets (they
+     deduplicate), so caching leaves the SSI footprint byte-identical. *)
+  let uncorr : (select * bool) list ref = ref [] in
+  let row_cache : (select * Value.t array list) list ref = ref [] in
+  let probe_cache : (select * (Value.t -> Value.t option)) list ref = ref [] in
+  let find_phys cache sel =
+    let rec go = function
+      | [] -> None
+      | (s, v) :: _ when s == sel -> Some v
+      | _ :: rest -> go rest
+    in
+    go !cache
+  in
+  let is_uncorrelated sel =
+    match find_phys uncorr sel with
+    | Some b -> b
+    | None ->
+        let b = select_uncorrelated catalog sel in
+        uncorr := (sel, b) :: !uncorr;
+        b
+  in
+  let rec run_subquery sel env =
+    if mode.hash_ops && is_uncorrelated sel then (
+      match find_phys row_cache sel with
+      | Some rows -> rows
+      | None ->
+          let rows = (exec_select catalog txn mode ~base_env:env sel).rows in
+          row_cache := (sel, rows) :: !row_cache;
+          rows)
+    else (exec_select catalog txn mode ~base_env:env sel).rows
+  and semijoin sel env =
+    if not (mode.hash_ops && is_uncorrelated sel) then None
+    else
+      match find_phys probe_cache sel with
+      | Some probe -> Some probe
+      | None ->
+          let probe = membership_probe (run_subquery sel env) in
+          probe_cache := (sel, probe) :: !probe_cache;
+          Some probe
+  in
+  let root_env () =
+    {
+      (empty_env params named (Some run_subquery)) with
+      Eval.semijoin = Some semijoin;
+    }
+  in
   match
     match stmt with
     | Select sel -> exec_select catalog txn mode ~base_env:(root_env ()) sel

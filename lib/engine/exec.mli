@@ -8,15 +8,34 @@
     In [require_index] mode (the EO flow's restriction from §4.3) every
     table access must go through an index range; sequential scans fail
     with [Missing_index], and [UPDATE]/[DELETE] without a [WHERE] clause
-    fail with [Blind_update] (§3.4.3). *)
+    fail with [Blind_update] (§3.4.3).
+
+    With [hash_ops] on (the default) the executor additionally uses
+    deterministic fast paths: hash joins for equi-joins, hash grouping for
+    GROUP BY, a bounded top-k heap for ORDER BY ... LIMIT, predicate
+    pushdown into scans, index probes for [IN (k1, ..., kn)], cached hash
+    semi-joins for uncorrelated [IN (SELECT ...)], and the storage layer's
+    live-version visibility index for sequential scans. Every hash
+    structure is drained in key order ([Brdb_storage.Value.compare_total]),
+    so results, read/predicate sets and commit decisions are identical to
+    the nested-loop/sort paths — [hash_ops = false] is the executable
+    oracle for that claim. *)
 
 (** Per-operator execution statistics, collected when [mode.stats] is set
     (the observability layer enables it per contract run). Counting is
-    passive: it never changes plans, read sets or results. *)
-type op_stat = { op_kind : string; op_table : string; mutable op_rows : int }
+    passive: it never changes plans, read sets or results. [op_visited]
+    counts versions examined by a scan (or candidates probed by a hash
+    operator); [op_rows] counts rows the operator produced — the gap
+    between the two is what the fast paths save. *)
+type op_stat = {
+  op_kind : string;
+  op_table : string;
+  mutable op_rows : int;
+  mutable op_visited : int;
+}
 
 type stats = {
-  mutable scans : op_stat list;  (** rows produced per (operator, table) *)
+  mutable scans : op_stat list;  (** per (operator, table) counters *)
   mutable stmts : int;  (** statements executed *)
   mutable rows_out : int;  (** result rows returned *)
   mutable stats_affected : int;  (** rows inserted/updated/deleted *)
@@ -25,13 +44,25 @@ type stats = {
 val new_stats : unit -> stats
 
 (** [(op_kind, table, rows)] triples sorted for deterministic rendering;
-    [op_kind] is ["index_scan"] or ["seq_scan"]. *)
+    [op_kind] is ["index_scan"], ["seq_scan"], ["hash_join"],
+    ["hash_agg"] or ["top_k"] (the latter two use ["-"] as table). *)
 val scan_counts : stats -> (string * string * int) list
+
+(** Same triples, but counting versions/candidates examined. *)
+val visited_counts : stats -> (string * string * int) list
+
+(** Accumulate [src] into [into] (summing matching operators) — used to
+    keep per-node running totals across contract invocations. *)
+val merge_stats : into:stats -> stats -> unit
 
 type mode = {
   require_index : bool;
   allow_ddl : bool;  (** system/deployment contracts only *)
   stats : stats option;  (** when set, scans/statements are counted *)
+  hash_ops : bool;
+      (** enable the hash/top-k/pushdown/visibility-index fast paths;
+          [false] reproduces the seed nested-loop executor (the A/B
+          oracle used by property tests and benchmarks) *)
 }
 
 val default_mode : mode
@@ -60,11 +91,13 @@ val execute :
   Brdb_sql.Ast.stmt ->
   (result_set, error) result
 
-(** [explain catalog stmt] renders the access plan the executor would
-    choose: one line per table scan with the index column and bounds, or
-    [seq scan] — the tool for checking a contract against the EO flow's
-    index-only restriction before deploying it. Parameters are treated as
-    opaque values. *)
+(** [explain catalog stmt] renders the plan the executor would choose
+    under [default_mode]: one line per table access (index column and
+    bounds, or [seq scan]) with pushed-down filters, the join strategy
+    (nested loop or hash join with its build side), and the
+    aggregation/ordering operators — the tool for checking a contract
+    against the EO flow's index-only restriction before deploying it.
+    Parameters are treated as opaque values. *)
 val explain : Brdb_storage.Catalog.t -> Brdb_sql.Ast.stmt -> (string, string) result
 
 val explain_sql : Brdb_storage.Catalog.t -> string -> (string, string) result

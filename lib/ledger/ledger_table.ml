@@ -51,8 +51,7 @@ let record_statuses catalog ~height statuses =
              append one carrying the outcome. *)
           let values = Array.copy v.Version.values in
           values.(c_status) <- Value.Text status;
-          v.Version.deleter_block <- height;
-          v.Version.xmax <- 0;
+          Table.mark_deleted table v ~xmax:0 ~height;
           ignore (system_insert table ~height values)))
     statuses
 
@@ -84,4 +83,4 @@ let erase_block catalog ~height =
   let table = ledger catalog in
   Table.iter_versions table (fun v ->
       if v.Version.values.(c_blocknumber) = Value.Int height then
-        v.Version.xmin_aborted <- true)
+        Table.mark_aborted table v)

@@ -57,6 +57,9 @@ type t = {
   mutable query_seq : int;
   mutable bootstrapped : bool;
   mutable trace : Trace.t;
+  (* cumulative per-operator executor counters across all contract runs;
+     deterministic, so peers surface them as registry metrics *)
+  exec_totals : Exec.stats;
 }
 
 let create config ~registry =
@@ -73,9 +76,12 @@ let create config ~registry =
     query_seq = 0;
     bootstrapped = false;
     trace = Trace.null;
+    exec_totals = Exec.new_stats ();
   }
 
 let set_trace t trace = t.trace <- trace
+
+let exec_totals t = t.exec_totals
 
 let config t = t.config
 
@@ -192,11 +198,19 @@ let run_contract t txn (tx : Block.tx) =
       (* System contracts are trusted node software; the EO index-only
          restriction applies to user contracts. *)
       let is_system = List.mem tx.Block.tx_contract system_contract_names in
+      (* Counters accumulate straight into the node totals; a per-run
+         snapshot is only needed when tracing wants per-contract deltas. *)
+      let tracing = Trace.enabled t.trace in
       let stats =
-        if Trace.enabled t.trace then Some (Exec.new_stats ()) else None
+        Some (if tracing then Exec.new_stats () else t.exec_totals)
       in
       let mode =
-        { Exec.require_index = (not is_system) && strict_reads t; allow_ddl; stats }
+        {
+          Exec.require_index = (not is_system) && strict_reads t;
+          allow_ddl;
+          stats;
+          hash_ops = true;
+        }
       in
       let ctx =
         Api.make ~catalog:t.catalog ~txn ~args:(Array.of_list tx.Block.tx_args)
@@ -213,24 +227,27 @@ let run_contract t txn (tx : Block.tx) =
         match stats with
         | None -> ()
         | Some s ->
-            let scans =
-              Exec.scan_counts s
-              |> List.map (fun (op, table, rows) ->
-                     Printf.sprintf "%s(%s)=%d" op table rows)
-              |> String.concat ","
-            in
-            Trace.instant t.trace ~node:t.config.name ~track:"exec"
-              ~cat:"exec" ~name:"contract"
-              ~args:
-                [
-                  ("tx", Trace.S tx.Block.tx_id);
-                  ("contract", Trace.S tx.Block.tx_contract);
-                  ("stmts", Trace.I s.Exec.stmts);
-                  ("rows_out", Trace.I s.Exec.rows_out);
-                  ("affected", Trace.I s.Exec.stats_affected);
-                  ("scans", Trace.S scans);
-                ]
-              ()
+            if tracing then begin
+              Exec.merge_stats ~into:t.exec_totals s;
+              let scans =
+                Exec.scan_counts s
+                |> List.map (fun (op, table, rows) ->
+                       Printf.sprintf "%s(%s)=%d" op table rows)
+                |> String.concat ","
+              in
+              Trace.instant t.trace ~node:t.config.name ~track:"exec"
+                ~cat:"exec" ~name:"contract"
+                ~args:
+                  [
+                    ("tx", Trace.S tx.Block.tx_id);
+                    ("contract", Trace.S tx.Block.tx_contract);
+                    ("stmts", Trace.I s.Exec.stmts);
+                    ("rows_out", Trace.I s.Exec.rows_out);
+                    ("affected", Trace.I s.Exec.stats_affected);
+                    ("scans", Trace.S scans);
+                  ]
+                ()
+            end
       in
       match
         match contract.Registry.body with

@@ -59,6 +59,12 @@ val create : config -> registry:Brdb_crypto.Identity.Registry.t -> t
     affects execution, read sets or commit decisions. *)
 val set_trace : t -> Brdb_obs.Trace.t -> unit
 
+(** Cumulative per-operator executor counters (rows produced / versions
+    visited) summed over every contract run on this node. Purely a
+    function of the processed block stream, so identical across replicas;
+    the peer layer republishes them as registry metrics. *)
+val exec_totals : t -> Brdb_engine.Exec.stats
+
 val config : t -> config
 
 val catalog : t -> Brdb_storage.Catalog.t

@@ -61,6 +61,9 @@ type t = {
   mutable fetched_blocks : int;
   (* a crash point to inject into the next block (§3.6 testing) *)
   mutable pending_crash : Node_core.crash_point option;
+  (* executor counter values already pushed to the registry, so each
+     [finish_block] publishes only the delta since the last one *)
+  mutable exec_published : (string * int) list;
 }
 
 let name t = t.config.core.Node_core.name
@@ -274,11 +277,40 @@ let block_times t (block : Block.t) ~missing =
       let bpt = Cost_model.serial_bpt cost ~n ~tet:tet_avg +. auth in
       (bpt, 0.)
 
+(* Republish the node's cumulative executor counters (rows produced and
+   versions visited per operator kind) as registry counters. Counters are
+   monotone, so only the delta since the last publication is added. *)
+let publish_exec_totals t =
+  let s = Node_core.exec_totals t.core in
+  let sum_by_op entries =
+    List.fold_left
+      (fun acc (op, _table, n) ->
+        match List.assoc_opt op acc with
+        | Some m -> (op, m + n) :: List.remove_assoc op acc
+        | None -> (op, n) :: acc)
+      [] entries
+  in
+  let totals =
+    List.map (fun (op, n) -> ("exec.rows." ^ op, n))
+      (sum_by_op (Brdb_engine.Exec.scan_counts s))
+    @ List.map (fun (op, n) -> ("exec.visited." ^ op, n))
+        (sum_by_op (Brdb_engine.Exec.visited_counts s))
+  in
+  List.iter
+    (fun (metric, total) ->
+      let published =
+        Option.value (List.assoc_opt metric t.exec_published) ~default:0
+      in
+      if total > published then mincr t metric ~by:(total - published))
+    totals;
+  t.exec_published <- totals
+
 (* Post-block bookkeeping shared by the normal completion path and the
    recovery path ({!restart} re-accounting a §3.6 repaired block):
    client notifications, abort metrics, checkpointing, deferred EO txs. *)
 let finish_block t (result : Node_core.block_result) =
   t.blocks_done <- t.blocks_done + 1;
+  publish_exec_totals t;
   let tr = tracer t in
   let node = name t in
   List.iter
@@ -530,6 +562,7 @@ let create ~net ?obs (config : config) ~registry =
       fetch_requests = 0;
       fetched_blocks = 0;
       pending_crash = None;
+      exec_published = [];
     }
   in
   Msg.Net.register net ~name:(name t) (fun ~src msg -> handle t ~src msg);

@@ -32,8 +32,7 @@ let find t name = Hashtbl.find_opt t.tables name
 
 let mem t name = Hashtbl.mem t.tables name
 
-let table_names t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
+let table_names t = Brdb_util.Sorted_tbl.sorted_keys t.tables
 
 let create_table t schema =
   let name = schema.Schema.table_name in

@@ -1,4 +1,6 @@
 open Brdb_util
+module ISet = Set.Make (Int)
+module IMap = Map.Make (Int)
 
 type t = {
   schema : Schema.t;
@@ -6,10 +8,29 @@ type t = {
   heap : Version.t option Vec.t;
   mutable indexes : Index.t list;
   mutable uniques : int list;
+  (* Visibility index: [live] holds vids whose versions are not aborted and
+     have no deleter yet; [dead] buckets retired (not aborted) vids by the
+     block that deleted them. A snapshot scan at height [h] only needs
+     [live] plus the buckets with key > h, so it skips dead history instead
+     of filtering it per version. Membership is maintained by the
+     lifecycle functions below — raw writes to [deleter_block] or
+     [xmin_aborted] elsewhere would desynchronize it (checked by
+     {!check_visibility}). *)
+  live : Bitset.t;
+  mutable dead : ISet.t IMap.t;
 }
 
 let create schema =
-  let t = { schema; heap = Vec.create (); indexes = []; uniques = [] } in
+  let t =
+    {
+      schema;
+      heap = Vec.create ();
+      indexes = [];
+      uniques = [];
+      live = Bitset.create ();
+      dead = IMap.empty;
+    }
+  in
   (match schema.Schema.pk_index with
   | Some column ->
       t.indexes <- [ Index.create ~column ];
@@ -23,6 +44,8 @@ let name t = t.schema.Schema.table_name
 
 let version_count t = Vec.length t.heap
 
+let live_count t = Bitset.cardinal t.live
+
 let get_version t vid =
   match Vec.get t.heap vid with
   | Some v -> v
@@ -32,6 +55,7 @@ let insert_version t ~xmin values =
   let vid = Vec.length t.heap in
   let v = Version.make ~vid ~xmin values in
   ignore (Vec.push t.heap (Some v));
+  Bitset.add t.live vid;
   List.iter (fun idx -> Index.add idx values.(Index.column idx) vid) t.indexes;
   v
 
@@ -58,8 +82,60 @@ let add_index t ~column ~unique =
 
 let unique_columns t = t.uniques
 
+(* --- version lifecycle --------------------------------------------------- *)
+
+let dead_remove dead height vid =
+  IMap.update height
+    (function
+      | None -> None
+      | Some s ->
+          let s = ISet.remove vid s in
+          if ISet.is_empty s then None else Some s)
+    dead
+
+let mark_deleted t (v : Version.t) ~xmax ~height =
+  v.Version.xmax <- xmax;
+  v.Version.deleter_block <- height;
+  v.Version.claimants <- [];
+  if not v.Version.xmin_aborted then begin
+    Bitset.remove t.live v.Version.vid;
+    t.dead <-
+      IMap.update height
+        (function
+          | None -> Some (ISet.singleton v.Version.vid)
+          | Some s -> Some (ISet.add v.Version.vid s))
+        t.dead
+  end
+
+let unmark_deleted t (v : Version.t) =
+  let was = v.Version.deleter_block in
+  v.Version.xmax <- 0;
+  v.Version.deleter_block <- Version.unset_block;
+  if not v.Version.xmin_aborted then begin
+    if was <> Version.unset_block then t.dead <- dead_remove t.dead was v.Version.vid;
+    Bitset.add t.live v.Version.vid
+  end
+
+let mark_aborted t (v : Version.t) =
+  if not v.Version.xmin_aborted then begin
+    v.Version.xmin_aborted <- true;
+    if v.Version.deleter_block = Version.unset_block then
+      Bitset.remove t.live v.Version.vid
+    else t.dead <- dead_remove t.dead v.Version.deleter_block v.Version.vid
+  end
+
+(* --- iteration ----------------------------------------------------------- *)
+
 let iter_versions t f =
   Vec.iter (function Some v -> f v | None -> ()) t.heap
+
+let iter_live t ~height f =
+  (* Buckets with deleter <= height hold versions invisible at [height];
+     only the (few, recent) buckets above it can still be visible. *)
+  let _, _, recent = IMap.split height t.dead in
+  let extra = IMap.fold (fun _ bucket acc -> ISet.union bucket acc) recent ISet.empty in
+  Bitset.iter_union t.live (ISet.elements extra) (fun vid ->
+      match Vec.get t.heap vid with Some v -> f v | None -> ())
 
 let iter_index t ~column ~lo ~hi f =
   match find_index t column with
@@ -88,8 +164,45 @@ let prune t ~keep =
       match slot with
       | Some v when not (keep v) ->
           remove_from_indexes t v;
+          if not v.Version.xmin_aborted then begin
+            if v.Version.deleter_block = Version.unset_block then
+              Bitset.remove t.live vid
+            else t.dead <- dead_remove t.dead v.Version.deleter_block vid
+          end;
           Vec.set t.heap vid None;
           incr removed
       | _ -> ())
     t.heap;
   !removed
+
+let check_visibility t =
+  let expect_live = ref ISet.empty and expect_dead = ref IMap.empty in
+  Vec.iteri
+    (fun vid slot ->
+      match slot with
+      | None -> ()
+      | Some v ->
+          if not v.Version.xmin_aborted then
+            if v.Version.deleter_block = Version.unset_block then
+              expect_live := ISet.add vid !expect_live
+            else
+              expect_dead :=
+                IMap.update v.Version.deleter_block
+                  (function
+                    | None -> Some (ISet.singleton vid)
+                    | Some s -> Some (ISet.add vid s))
+                  !expect_dead)
+    t.heap;
+  let errors = ref [] in
+  let live_now = ISet.of_list (Bitset.elements t.live) in
+  if not (ISet.equal !expect_live live_now) then begin
+    let diff a b = ISet.elements (ISet.diff a b) in
+    errors :=
+      Printf.sprintf "%s: live set mismatch (missing %s, stale %s)" (name t)
+        (String.concat "," (List.map string_of_int (diff !expect_live live_now)))
+        (String.concat "," (List.map string_of_int (diff live_now !expect_live)))
+      :: !errors
+  end;
+  if not (IMap.equal ISet.equal !expect_dead t.dead) then
+    errors := Printf.sprintf "%s: dead buckets mismatch" (name t) :: !errors;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " es)

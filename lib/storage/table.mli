@@ -15,6 +15,10 @@ val name : t -> string
 (** Number of versions ever created (live, dead and uncommitted). *)
 val version_count : t -> int
 
+(** Number of versions in the live visibility set (not aborted, no
+    deleter); includes uncommitted inserts. *)
+val live_count : t -> int
+
 val get_version : t -> int -> Version.t
 
 (** [insert_version t ~xmin values] appends a new uncommitted version and
@@ -34,8 +38,36 @@ val indexed_columns : t -> int list
     key). Enforced at commit time by the transaction manager. *)
 val unique_columns : t -> int list
 
+(** {2 Version lifecycle}
+
+    Commit/abort/rollback transitions must go through these so the
+    visibility index stays coherent with the version fields (the
+    transaction manager and the system ledger are the only callers).
+    Setting [creator_block] needs no helper: it never changes index
+    membership. *)
+
+(** [mark_deleted t v ~xmax ~height] retires a version: sets its [xmax]
+    and [deleter_block], clears claimants, and moves it from the live set
+    to the dead bucket of [height] (commit of UPDATE/DELETE, §3.3.3). *)
+val mark_deleted : t -> Version.t -> xmax:int -> height:int -> unit
+
+(** Reverse of {!mark_deleted}: clears [xmax]/[deleter_block] and returns
+    the version to the live set (§3.6 block rollback). *)
+val unmark_deleted : t -> Version.t -> unit
+
+(** [mark_aborted t v] sets [xmin_aborted] and drops the version from the
+    visibility index (live set or dead bucket). Idempotent. *)
+val mark_aborted : t -> Version.t -> unit
+
 (** [iter_versions t f] walks every version in vid order. *)
 val iter_versions : t -> (Version.t -> unit) -> unit
+
+(** [iter_live t ~height f] walks, in vid order, every version that can be
+    visible to some transaction whose snapshot is [height]: the live set
+    plus versions deleted by blocks above [height]. A strict superset of
+    the versions [Version.visible_at ~height] accepts (callers still apply
+    MVCC visibility), skipping dead history entirely. *)
+val iter_live : t -> height:int -> (Version.t -> unit) -> unit
 
 (** [iter_index t ~column ~lo ~hi f] walks matching versions in key order.
     Raises [Invalid_argument] when no index covers [column]. *)
@@ -50,5 +82,10 @@ val remove_from_indexes : t -> Version.t -> unit
 
 (** [prune t ~keep] physically drops versions not satisfying [keep]
     (the vacuum analogue, §7 of the paper). Returns number removed.
-    Retained versions keep their vids. *)
+    Retained versions keep their vids; pruned vids also leave the
+    visibility index. *)
 val prune : t -> keep:(Version.t -> bool) -> int
+
+(** Debug validator: recomputes the visibility index from the heap and
+    compares. [Error] describes the first divergence found. *)
+val check_visibility : t -> (unit, string) result

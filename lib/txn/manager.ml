@@ -157,17 +157,14 @@ let commit t txn ~height =
           v.Version.creator_block <- height
       | Txn.W_update { table; old_vid; new_vid } ->
           let tbl = table_exn t table in
-          let old_v = Table.get_version tbl old_vid in
-          old_v.Version.xmax <- txn.Txn.txid;
-          old_v.Version.deleter_block <- height;
-          old_v.Version.claimants <- [];
+          Table.mark_deleted tbl (Table.get_version tbl old_vid)
+            ~xmax:txn.Txn.txid ~height;
           let new_v = Table.get_version tbl new_vid in
           new_v.Version.creator_block <- height
       | Txn.W_delete { table; old_vid } ->
-          let old_v = Table.get_version (table_exn t table) old_vid in
-          old_v.Version.xmax <- txn.Txn.txid;
-          old_v.Version.deleter_block <- height;
-          old_v.Version.claimants <- [])
+          let tbl = table_exn t table in
+          Table.mark_deleted tbl (Table.get_version tbl old_vid)
+            ~xmax:txn.Txn.txid ~height)
     (Txn.writes_in_order txn);
   txn.Txn.status <- Txn.Committed height;
   List.iter (fun f -> f ()) (List.rev txn.Txn.on_commit)
@@ -177,11 +174,12 @@ let abort t txn reason =
     (fun w ->
       match w with
       | Txn.W_insert { table; vid } ->
-          (Table.get_version (table_exn t table) vid).Version.xmin_aborted <- true
+          let tbl = table_exn t table in
+          Table.mark_aborted tbl (Table.get_version tbl vid)
       | Txn.W_update { table; old_vid; new_vid } ->
           let tbl = table_exn t table in
           Version.unclaim (Table.get_version tbl old_vid) txn.Txn.txid;
-          (Table.get_version tbl new_vid).Version.xmin_aborted <- true
+          Table.mark_aborted tbl (Table.get_version tbl new_vid)
       | Txn.W_delete { table; old_vid } ->
           Version.unclaim (Table.get_version (table_exn t table) old_vid) txn.Txn.txid)
     txn.Txn.writes;
@@ -226,21 +224,19 @@ let rollback_committed t txn =
     (fun w ->
       match w with
       | Txn.W_insert { table; vid } ->
-          let v = Table.get_version (table_exn t table) vid in
+          let tbl = table_exn t table in
+          let v = Table.get_version tbl vid in
           v.Version.creator_block <- Version.unset_block;
-          v.Version.xmin_aborted <- true
+          Table.mark_aborted tbl v
       | Txn.W_update { table; old_vid; new_vid } ->
           let tbl = table_exn t table in
-          let old_v = Table.get_version tbl old_vid in
-          old_v.Version.xmax <- 0;
-          old_v.Version.deleter_block <- Version.unset_block;
+          Table.unmark_deleted tbl (Table.get_version tbl old_vid);
           let new_v = Table.get_version tbl new_vid in
           new_v.Version.creator_block <- Version.unset_block;
-          new_v.Version.xmin_aborted <- true
+          Table.mark_aborted tbl new_v
       | Txn.W_delete { table; old_vid } ->
-          let old_v = Table.get_version (table_exn t table) old_vid in
-          old_v.Version.xmax <- 0;
-          old_v.Version.deleter_block <- Version.unset_block)
+          let tbl = table_exn t table in
+          Table.unmark_deleted tbl (Table.get_version tbl old_vid))
     (Txn.writes_in_order txn);
   List.iter (fun f -> f ()) txn.Txn.on_abort;
   txn.Txn.status <- Txn.Pending;

@@ -1,0 +1,64 @@
+(* Bounded selection: the k smallest elements of a stream under [cmp],
+   in sorted order, without sorting the whole input. A binary max-heap of
+   size <= k keeps the current worst candidate at the root; each new
+   element either displaces it or is dropped, so the pass is O(n log k).
+
+   Stability is delegated to the caller's comparator: [select] tags each
+   element with its arrival index and breaks ties on it, which makes the
+   result exactly the first k elements of [List.stable_sort cmp]. *)
+
+type 'a heap = { cmp : 'a -> 'a -> int; mutable size : int; slots : 'a option array }
+
+let heap_create ~cmp k = { cmp; size = 0; slots = Array.make (max k 1) None }
+
+let slot h i = match h.slots.(i) with Some x -> x | None -> assert false
+
+let swap h i j =
+  let t = h.slots.(i) in
+  h.slots.(i) <- h.slots.(j);
+  h.slots.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp (slot h i) (slot h parent) > 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < h.size && h.cmp (slot h l) (slot h !largest) > 0 then largest := l;
+  if r < h.size && h.cmp (slot h r) (slot h !largest) > 0 then largest := r;
+  if !largest <> i then begin
+    swap h i !largest;
+    sift_down h !largest
+  end
+
+let heap_add h k x =
+  if h.size < k then begin
+    h.slots.(h.size) <- Some x;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+  end
+  else if h.cmp x (slot h 0) < 0 then begin
+    h.slots.(0) <- Some x;
+    sift_down h 0
+  end
+
+let select ~k ~cmp items =
+  if k <= 0 then []
+  else begin
+    let tagged_cmp (a, ia) (b, ib) =
+      match cmp a b with 0 -> Int.compare ia ib | c -> c
+    in
+    let h = heap_create ~cmp:tagged_cmp k in
+    List.iteri (fun i x -> heap_add h k (x, i)) items;
+    let kept = ref [] in
+    for i = 0 to h.size - 1 do
+      kept := slot h i :: !kept
+    done;
+    List.map fst (List.sort tagged_cmp !kept)
+  end

@@ -1,0 +1,6 @@
+(** Bounded top-k selection (heap-based [ORDER BY ... LIMIT k]).
+
+    [select ~k ~cmp items] is observably [List.stable_sort cmp items]
+    truncated to its first [k] elements, computed in O(n log k) time and
+    O(k) space. Deterministic: ties under [cmp] keep arrival order. *)
+val select : k:int -> cmp:('a -> 'a -> int) -> 'a list -> 'a list

@@ -429,6 +429,179 @@ let prop_chaos_decisions_agree_even_when_reasons_diverge =
          legal and expected under contention. *)
       true)
 
+(* --------------------------------------------- executor fast-path oracle *)
+
+(* The hash join / hash aggregation / top-k fast paths claim to be
+   observationally identical to the seed nested-loop/sort executor
+   ([hash_ops = false], kept alive exactly as this oracle). Random tiny
+   tables over a hot value domain (lots of join matches, duplicate group
+   keys, NULLs); every query runs under both modes. *)
+
+module Exec = Brdb_engine.Exec
+module Manager = Brdb_txn.Manager
+module Catalog = Brdb_storage.Catalog
+
+let oracle_mode = { Exec.default_mode with Exec.hash_ops = false }
+
+(* Fresh single-node catalog: t1(a pk, b, c) and t2(d pk, e) with b/e drawn
+   from a small domain; b and e are NULL when negative. Returns a runner
+   that executes one auto-committed statement. *)
+let ab_fixture rows1 rows2 =
+  let catalog = Catalog.create () in
+  let mgr = Manager.create catalog in
+  let height = ref 0 in
+  let n = ref 0 in
+  let run ?mode sql =
+    incr n;
+    let txn =
+      match
+        Manager.begin_txn mgr
+          ~global_id:(Printf.sprintf "ab-%d" !n)
+          ~client:"prop" ~snapshot_height:!height ()
+      with
+      | Ok t -> t
+      | Error `Duplicate_txid -> assert false
+    in
+    match Exec.execute_sql catalog txn ?mode sql with
+    | Ok rs ->
+        incr height;
+        Brdb_txn.Manager.commit mgr txn ~height:!height;
+        rs
+    | Error e -> QCheck.Test.fail_reportf "%s: %s" sql (Exec.error_to_string e)
+  in
+  let lit v = if v < 0 then "NULL" else string_of_int v in
+  ignore (run "CREATE TABLE t1 (a INT PRIMARY KEY, b INT, c INT)");
+  ignore (run "CREATE TABLE t2 (d INT PRIMARY KEY, e INT)");
+  List.iteri
+    (fun i (b, c) ->
+      ignore (run (Printf.sprintf "INSERT INTO t1 VALUES (%d, %s, %d)" i (lit b) c)))
+    rows1;
+  List.iteri
+    (fun i e ->
+      ignore (run (Printf.sprintf "INSERT INTO t2 VALUES (%d, %s)" i (lit e))))
+    rows2;
+  run
+
+let multiset (rs : Exec.result_set) =
+  List.sort
+    (List.compare Value.compare_total)
+    (List.map Array.to_list rs.Exec.rows)
+
+let gen_tables =
+  QCheck.Gen.(
+    pair
+      (list_size (0 -- 20) (pair (-1 -- 5) (int_bound 9)))
+      (list_size (0 -- 12) (-1 -- 6)))
+
+let print_tables (r1, r2) =
+  Printf.sprintf "t1=[%s] t2=[%s]"
+    (String.concat ";" (List.map (fun (b, c) -> Printf.sprintf "%d,%d" b c) r1))
+    (String.concat ";" (List.map string_of_int r2))
+
+let arbitrary_tables = QCheck.make ~print:print_tables gen_tables
+
+(* [ordered = true] compares row lists exactly (the query pins its output
+   order); [false] compares multisets (hash probes may legally reorder
+   unordered results). *)
+let check_ab (run : ?mode:Exec.mode -> string -> Exec.result_set) (sql, ordered)
+    =
+  let fast = run sql in
+  let slow = run ~mode:oracle_mode sql in
+  let eq =
+    if ordered then fast.Exec.rows = slow.Exec.rows
+    else multiset fast = multiset slow
+  in
+  if not eq then QCheck.Test.fail_reportf "fast/oracle mismatch on: %s" sql
+
+let prop_hash_join_matches_nested_loop =
+  QCheck.Test.make ~name:"executor: hash join == nested-loop oracle" ~count:60
+    arbitrary_tables
+    (fun (rows1, rows2) ->
+      let run = ab_fixture rows1 rows2 in
+      List.iter (check_ab run)
+        [
+          ("SELECT t1.a, t2.d FROM t1 JOIN t2 ON t1.b = t2.e", false);
+          ( "SELECT t1.a, t2.d FROM t1 JOIN t2 ON t1.b = t2.e WHERE t1.c > 4",
+            false );
+          ( "SELECT t1.a, t2.d FROM t1 JOIN t2 ON t1.b = t2.e AND t1.c > 2",
+            false );
+          ( "SELECT t1.a, t2.d, t1.c FROM t1 LEFT JOIN t2 ON t1.b = t2.e \
+             ORDER BY t1.a, t2.d",
+            true );
+          ( "SELECT x.a, y.a FROM t1 x JOIN t1 y ON x.b = y.b WHERE x.a < y.a",
+            false );
+        ];
+      true)
+
+let prop_hash_agg_matches_list_agg =
+  QCheck.Test.make
+    ~name:"executor: hash aggregation/top-k == sort oracle" ~count:60
+    arbitrary_tables
+    (fun (rows1, rows2) ->
+      let run = ab_fixture rows1 rows2 in
+      List.iter (check_ab run)
+        [
+          ( "SELECT b, COUNT(*), SUM(c) FROM t1 GROUP BY b ORDER BY b",
+            true );
+          ("SELECT b, MAX(c) FROM t1 GROUP BY b HAVING COUNT(*) > 1", false);
+          ("SELECT DISTINCT b FROM t1", false);
+          ("SELECT COUNT(*), SUM(c) FROM t1 WHERE b >= 2", true);
+          ("SELECT a FROM t1 WHERE b IN (SELECT e FROM t2)", false);
+          ("SELECT a, c FROM t1 ORDER BY c, a LIMIT 3", true);
+          ("SELECT a FROM t1 WHERE b IN (1, 3, 5)", false);
+        ];
+      true)
+
+(* Regression: the index probe (including IN-probes) must examine strictly
+   fewer versions than a sequential scan of the same data — counted by the
+   executor's own [op_visited], the number the §4.3 EO restriction is
+   about. *)
+let test_index_probe_scans_fewer_rows () =
+  let run = ab_fixture [] [] in
+  ignore (run "CREATE TABLE big (a INT PRIMARY KEY, b INT, c INT)");
+  ignore (run "CREATE TABLE twin (a INT PRIMARY KEY, b INT, c INT)");
+  ignore (run "CREATE INDEX big_b ON big (b)");
+  for i = 0 to 99 do
+    ignore
+      (run (Printf.sprintf "INSERT INTO big VALUES (%d, %d, %d)" i (i mod 10) i));
+    ignore
+      (run (Printf.sprintf "INSERT INTO twin VALUES (%d, %d, %d)" i (i mod 10) i))
+  done;
+  let visited sql =
+    let stats = Exec.new_stats () in
+    let rs = run ~mode:{ Exec.default_mode with Exec.stats = Some stats } sql in
+    let total =
+      List.fold_left (fun acc (_, _, v) -> acc + v) 0 (Exec.visited_counts stats)
+    in
+    (rs, total)
+  in
+  let check_pair name probe_sql twin_sql =
+    let probe_rs, probe_visited = visited probe_sql in
+    let twin_rs, twin_visited = visited twin_sql in
+    Alcotest.(check bool)
+      (name ^ ": same answer") true
+      (multiset probe_rs = multiset twin_rs);
+    if probe_visited >= twin_visited then
+      Alcotest.failf "%s: index probe visited %d >= seq twin %d" name
+        probe_visited twin_visited
+  in
+  check_pair "eq probe" "SELECT c FROM big WHERE b = 3"
+    "SELECT c FROM twin WHERE b = 3";
+  check_pair "in probe" "SELECT c FROM big WHERE b IN (1, 4)"
+    "SELECT c FROM twin WHERE b IN (1, 4)";
+  (* Pushdown accounting on the seq side: the filter runs inside the scan,
+     so the scan's produced rows (20) sit well below versions visited (100). *)
+  let stats = Exec.new_stats () in
+  ignore
+    (run
+       ~mode:{ Exec.default_mode with Exec.stats = Some stats }
+       "SELECT c FROM twin WHERE b IN (1, 4)");
+  (match (Exec.scan_counts stats, Exec.visited_counts stats) with
+  | [ ("seq_scan", "twin", rows) ], [ ("seq_scan", "twin", visited) ] ->
+      Alcotest.(check int) "pushdown rows" 20 rows;
+      Alcotest.(check int) "pushdown visited" 100 visited
+  | _ -> Alcotest.fail "unexpected operator counters")
+
 let suites =
   [
     ( "properties",
@@ -440,5 +613,9 @@ let suites =
         QCheck_alcotest.to_alcotest prop_chaos_schedules_preserve_determinism;
         QCheck_alcotest.to_alcotest
           prop_chaos_decisions_agree_even_when_reasons_diverge;
+        QCheck_alcotest.to_alcotest prop_hash_join_matches_nested_loop;
+        QCheck_alcotest.to_alcotest prop_hash_agg_matches_list_agg;
+        Alcotest.test_case "index probe scans fewer rows than seq twin" `Quick
+          test_index_probe_scans_fewer_rows;
       ] );
   ]

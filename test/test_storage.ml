@@ -222,6 +222,87 @@ let test_table_prune () =
   (* vids remain stable after pruning *)
   Alcotest.(check int) "stable vid" 1 (Table.get_version t 1).Version.vid
 
+(* Vacuum coherence under churn: six "blocks" of committed inserts,
+   updates (delete + reinsert) and aborted inserts, with a prune of dead
+   history in the middle and at the end. After every step the visibility
+   index must agree with the heap ([check_visibility]), and at the end the
+   three access paths — visibility-index scan, secondary index, raw heap —
+   must surface the same committed rows. *)
+let test_prune_mid_workload_visibility () =
+  let t = Table.create (sample_schema ()) in
+  Table.add_index t ~column:2 ~unique:false;
+  let check msg =
+    match Table.check_visibility t with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: %s" msg e
+  in
+  let committed_insert ~height id qty =
+    let v =
+      Table.insert_version t ~xmin:(100 + height)
+        [| Value.Int id; Value.Text (Printf.sprintf "n%d" id); Value.Int qty |]
+    in
+    v.Version.creator_block <- height;
+    v
+  in
+  let last_block = 6 in
+  for blk = 1 to last_block do
+    for i = 0 to 2 do
+      let id = (blk * 10) + i in
+      ignore (committed_insert ~height:blk id (id mod 7))
+    done;
+    (* an insert whose transaction aborted: never visible, prunable *)
+    let va =
+      Table.insert_version t ~xmin:(1000 + blk)
+        [| Value.Int ((blk * 10) + 5); Value.Text "gone"; Value.Int 99 |]
+    in
+    Table.mark_aborted t va;
+    (* update a row from the previous block: retire + reinsert *)
+    if blk > 1 then begin
+      let id = (blk - 1) * 10 in
+      let cur = ref None in
+      Table.pk_lookup t (Value.Int id) (fun v ->
+          if Version.visible_at v ~height:blk then cur := Some v);
+      match !cur with
+      | None -> Alcotest.failf "block %d: no live version of %d" blk id
+      | Some v ->
+          Table.mark_deleted t v ~xmax:(2000 + blk) ~height:blk;
+          ignore (committed_insert ~height:blk id ((id + blk) mod 7))
+    end;
+    check (Printf.sprintf "after block %d" blk);
+    if blk = 3 || blk = last_block then begin
+      let h = blk - 1 in
+      let removed =
+        Table.prune t ~keep:(fun v ->
+            (not v.Version.xmin_aborted) && v.Version.deleter_block > h)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "prune at block %d removed history" blk)
+        true (removed > 0);
+      check (Printf.sprintf "after prune at block %d" blk)
+    end
+  done;
+  let collect iter =
+    let acc = ref [] in
+    iter (fun v ->
+        if Version.visible_at v ~height:last_block then
+          match v.Version.values.(0) with
+          | Value.Int id -> acc := id :: !acc
+          | _ -> Alcotest.fail "non-int pk");
+    List.sort_uniq compare !acc
+  in
+  let via_live = collect (Table.iter_live t ~height:last_block) in
+  let via_heap = collect (Table.iter_versions t) in
+  let via_index =
+    collect (fun f ->
+        Table.iter_index t ~column:2 ~lo:Index.Unbounded ~hi:Index.Unbounded f)
+  in
+  Alcotest.(check (list int)) "live scan = heap scan" via_heap via_live;
+  Alcotest.(check (list int)) "secondary index = heap scan" via_heap via_index;
+  Alcotest.(check int) "all committed rows survive" (3 * last_block)
+    (List.length via_heap);
+  Alcotest.(check int) "live set matches"
+    (3 * last_block) (Table.live_count t)
+
 let test_catalog () =
   let c = Catalog.create () in
   Alcotest.(check bool) "ledger exists" true (Catalog.mem c Catalog.ledger_table);
@@ -270,6 +351,8 @@ let suites =
       [
         Alcotest.test_case "pk and indexes" `Quick test_table_pk_and_indexes;
         Alcotest.test_case "prune" `Quick test_table_prune;
+        Alcotest.test_case "prune mid-workload keeps visibility coherent"
+          `Quick test_prune_mid_workload_visibility;
       ] );
     ("storage.catalog", [ Alcotest.test_case "basics" `Quick test_catalog ]);
   ]

@@ -19,4 +19,26 @@ if [ -n "$matches" ]; then
   echo "$matches" >&2
   exit 1
 fi
-echo "lint ok: no wall-clock or global Random under $dir/"
+
+# Executor/storage code must never iterate a hashtable in insertion-history
+# order: anything that reaches committed state, read sets or hashes has to
+# drain in key order (Brdb_util.Sorted_tbl) or via an explicit index
+# (Table.iter_live). Hashtbl.filter_map_inplace is allowed — it rewrites
+# in place and exposes no ordering.
+hashtbl_pattern='Hashtbl\.(iter|fold)[^a-z_]'
+hashtbl_matches=''
+for sub in engine storage; do
+  d="$dir/$sub"
+  [ -d "$d" ] || continue
+  m=$(grep -rnE "$hashtbl_pattern" "$d" --include='*.ml' --include='*.mli' || true)
+  [ -n "$m" ] && hashtbl_matches="$hashtbl_matches$m
+"
+done
+
+if [ -n "$hashtbl_matches" ]; then
+  echo "determinism lint failed — unordered Hashtbl iteration in executor/storage code" >&2
+  echo "(use Brdb_util.Sorted_tbl or an ordered index instead):" >&2
+  printf '%s' "$hashtbl_matches" >&2
+  exit 1
+fi
+echo "lint ok: no wall-clock, global Random, or unordered Hashtbl iteration under $dir/"
