@@ -2,6 +2,7 @@
     prints the same rows/series the paper reports; EXPERIMENTS.md records
     paper-vs-measured. *)
 
+module B = Brdb_core.Blockchain_db
 module Node_core = Brdb_node.Node_core
 module Service = Brdb_consensus.Service
 module Metrics = Brdb_sim.Metrics
@@ -279,8 +280,8 @@ let contention () =
   line "%28s | %9s %9s %9s" "flow" "committed" "aborted" "abort%%";
   List.iter
     (fun flow ->
-      let s =
-        Runner.run
+      let net, s =
+        Runner.run_db
           {
             Runner.default_spec with
             flow;
@@ -294,7 +295,19 @@ let contention () =
       line "%28s | %9d %9d %8.1f%%" (flow_name flow) s.Metrics.committed
         s.Metrics.aborted
         (if total = 0 then 0.
-         else 100. *. float_of_int s.Metrics.aborted /. float_of_int total))
+         else 100. *. float_of_int s.Metrics.aborted /. float_of_int total);
+      (* Table 2 breakdown straight from the introspection schema
+         (DESIGN.md §10) — the same query a live deployment would run. *)
+      match B.query net "SELECT class, n FROM sys.aborts WHERE n > 0" with
+      | Error e -> line "  sys.aborts query failed: %s" e
+      | Ok rs ->
+          List.iter
+            (fun row ->
+              match row with
+              | [| Brdb_storage.Value.Text cls; Brdb_storage.Value.Int n |] ->
+                  line "%28s |   %-18s %6d" "" cls n
+              | _ -> ())
+            rs.Brdb_engine.Exec.rows)
     [ Node_core.Order_execute; Node_core.Execute_order; Node_core.Serial_baseline ]
 
 (* ------------------------------------------- chaos: §3.5/§3.6 resilience *)

@@ -68,6 +68,29 @@ let exec_counters net =
          then Some (e.Brdb_obs.Registry.e_name, J_int e.Brdb_obs.Registry.e_count)
          else None)
 
+(* Per-phase latency percentiles (ms) from node 0's registry histograms —
+   the same source sys.metrics serves, so BENCH_obs.json numbers can be
+   cross-checked with a [SELECT p50, p95 FROM sys.metrics] on a live
+   deployment. *)
+let phase_percentiles net =
+  let reg = Brdb_obs.Obs.metrics (B.obs net) in
+  List.concat_map
+    (fun (short, metric) ->
+      match Brdb_obs.Registry.histogram reg ~node:"db-org1" metric with
+      | None -> []
+      | Some s ->
+          let module Stat = Brdb_sim.Metrics.Stat in
+          [
+            (short ^ "_p50_ms", J_float (Stat.percentile s 50.));
+            (short ^ "_p95_ms", J_float (Stat.percentile s 95.));
+          ])
+    [
+      ("bpt", "phase.bpt_ms");
+      ("bet", "phase.bet_ms");
+      ("bct", "phase.bct_ms");
+      ("tet", "phase.tet_ms");
+    ]
+
 (** Run the workload and summarize, returning the deployment too (its
     registry feeds the per-phase breakdown printed next to Tables 4/5).
     Throughput counts transactions that reached majority commit within
@@ -136,7 +159,7 @@ let run_db (spec : spec) : B.t * Metrics.summary =
        ("committed", J_int summary.Metrics.committed);
        ("aborted", J_int summary.Metrics.aborted);
      ]
-    @ exec_counters net);
+    @ phase_percentiles net @ exec_counters net);
   (net, summary)
 
 let run spec = snd (run_db spec)

@@ -69,15 +69,41 @@ let sandbox flow_str block_size block_timeout =
   Printf.printf
     "brdb sandbox — 3 orgs, %s flow, block size %d, timeout %.2fs\n\
      Statements are submitted as signed blockchain transactions; SELECT and\n\
-     PROVENANCE SELECT run read-only. Ctrl-D to exit.\n%!"
+     PROVENANCE SELECT run read-only. \\sys lists the introspection views;\n\
+     EXPLAIN ANALYZE <select> runs it sandboxed with actual row counts.\n\
+     Ctrl-D to exit.\n%!"
     flow_str block_size block_timeout;
+  let starts_upper line p =
+    String.length line >= String.length p
+    && String.uppercase_ascii (String.sub line 0 (String.length p)) = p
+  in
   (try
      while true do
        print_string "brdb> ";
        let line = input_line stdin in
        let line = String.trim line in
        if line <> "" then
-         if String.length line > 8 && String.uppercase_ascii (String.sub line 0 8) = "EXPLAIN " then (
+         if line = "\\sys" then
+           let catalog = Node_core.catalog (Brdb_node.Peer.core (B.peer net 0)) in
+           List.iter
+             (fun name ->
+               match Brdb_storage.Catalog.virtual_schema catalog name with
+               | None -> ()
+               | Some schema ->
+                   Printf.printf "%-18s %s\n" name
+                     (String.concat ", "
+                        (Array.to_list
+                           (Array.map
+                              (fun c -> c.Brdb_storage.Schema.name)
+                              schema.Brdb_storage.Schema.columns))))
+             (Brdb_storage.Catalog.virtual_names catalog)
+         else if starts_upper line "EXPLAIN ANALYZE " then (
+           let n = String.length "EXPLAIN ANALYZE " in
+           let sql = String.sub line n (String.length line - n) in
+           match B.explain_analyze net sql with
+           | Ok (plan, _) -> print_string plan
+           | Error e -> Printf.printf "error: %s\n" e)
+         else if starts_upper line "EXPLAIN " then (
            let sql = String.sub line 8 (String.length line - 8) in
            match
              Brdb_engine.Exec.explain_sql
@@ -193,22 +219,78 @@ let trace flow_str out format =
   say "wrote %d trace events to %s (%s)" (List.length events) out
     (if format = "chrome" then "open in chrome://tracing or ui.perfetto.dev"
      else "one JSON object per line");
-  let reg = Brdb_obs.Obs.metrics (B.obs net) in
-  let cluster = Brdb_obs.Registry.cluster_view reg in
-  let pick prefix =
-    List.filter
-      (fun e ->
-        let n = e.Brdb_obs.Registry.e_name in
-        String.length n >= String.length prefix
-        && String.sub n 0 (String.length prefix) = prefix)
-      cluster
-  in
   say "";
-  say "cluster metrics (txn/block counters, abort taxonomy):";
-  Format.printf "%a@."
-    Brdb_obs.Registry.pp_entries
-    (pick "txn." @ pick "block." @ pick "client." @ pick "decided.");
+  say "metrics via SELECT ... FROM sys.metrics (txn/block counters, abort taxonomy):";
+  (match
+     B.query net
+       "SELECT name, node, n FROM sys.metrics WHERE name = 'txn.committed' \
+        OR name = 'txn.aborted' OR name = 'block.processed' \
+        OR name = 'client.submitted' OR name = 'decided.committed' \
+        OR name = 'decided.aborted' ORDER BY name, node"
+   with
+  | Ok rs -> print_result rs
+  | Error e -> say "error: %s" e);
+  say "";
+  say "abort taxonomy via SELECT * FROM sys.aborts (Table 2 classes):";
+  (match B.query net "SELECT * FROM sys.aborts WHERE n > 0" with
+  | Ok rs -> print_result rs
+  | Error e -> say "error: %s" e);
   `Ok ()
+
+(* --- sys ----------------------------------------------------------------------- *)
+
+(* Scripted smoke run for the introspection layer (used by check.sh): a
+   short workload, then each given statement — or a built-in sweep of every
+   sys.* view plus EXPLAIN ANALYZE — against one replica. Exits nonzero if
+   any statement fails, so the gate catches a broken provider. *)
+let sys_smoke sql_args =
+  let net = make_net ~flow:Node_core.Order_execute ~block_size:10 ~block_timeout:0.2 () in
+  let user = B.admin net "org1" in
+  let exec sql =
+    ignore (B.submit net ~user ~contract:"__sql__" ~args:[ Value.Text sql ])
+  in
+  exec "CREATE TABLE smoke_kv (id INT PRIMARY KEY, v INT)";
+  B.settle net;
+  exec "INSERT INTO smoke_kv VALUES (1, 10), (2, 20), (3, 30)";
+  exec "INSERT INTO smoke_kv VALUES (1, 99)";
+  B.settle net;
+  let stmts =
+    match sql_args with
+    | [] ->
+        [
+          "SELECT height, txs, committime, state_digest FROM sys.blocks";
+          "SELECT gid, block, decision, abort_class FROM sys.transactions";
+          "SELECT * FROM sys.aborts WHERE n > 0";
+          "SELECT * FROM sys.tables";
+          "SELECT * FROM sys.indexes";
+          "SELECT node, height, inbox FROM sys.nodes";
+          "SELECT name, node, n FROM sys.metrics WHERE name = 'block.processed'";
+          "EXPLAIN ANALYZE SELECT * FROM smoke_kv WHERE id > 1";
+        ]
+    | args -> args
+  in
+  let failed = ref false in
+  List.iter
+    (fun sql ->
+      Printf.printf "-- %s\n" sql;
+      let n = String.length "EXPLAIN ANALYZE " in
+      if
+        String.length sql > n
+        && String.uppercase_ascii (String.sub sql 0 n) = "EXPLAIN ANALYZE "
+      then (
+        match B.explain_analyze net (String.sub sql n (String.length sql - n)) with
+        | Ok (plan, _) -> print_string plan
+        | Error e ->
+            failed := true;
+            Printf.printf "error: %s\n" e)
+      else
+        match B.query net sql with
+        | Ok rs -> print_result rs
+        | Error e ->
+            failed := true;
+            Printf.printf "error: %s\n" e)
+    stmts;
+  if !failed then `Error (false, "a sys.* statement failed") else `Ok ()
 
 (* --- explain ------------------------------------------------------------------- *)
 
@@ -279,7 +361,25 @@ let show_info () =
     \  oe      order-then-execute  (§3.3)\n\
     \  eo      execute-order-in-parallel (§3.4, block-height SSI)\n\
     \  serial  Ethereum-style baseline (§5.1)\n\n\
-     see: dune exec bench/main.exe -- --list   for the evaluation experiments";
+     introspection (SELECT-able on every node; see DESIGN.md section 10):";
+  (* Render the registered views from a live node so the listing can never
+     drift from the code. *)
+  let net = make_net ~flow:Node_core.Order_execute ~block_size:10 ~block_timeout:0.2 () in
+  let catalog = Node_core.catalog (Brdb_node.Peer.core (B.peer net 0)) in
+  List.iter
+    (fun name ->
+      match Brdb_storage.Catalog.virtual_schema catalog name with
+      | None -> ()
+      | Some schema ->
+          Printf.printf "  %-18s %s\n" name
+            (String.concat ", "
+               (Array.to_list
+                  (Array.map
+                     (fun c -> c.Brdb_storage.Schema.name)
+                     schema.Brdb_storage.Schema.columns))))
+    (Brdb_storage.Catalog.virtual_names catalog);
+  print_endline
+    "\nsee: dune exec bench/main.exe -- --list   for the evaluation experiments";
   `Ok ()
 
 (* --- cmdliner ------------------------------------------------------------------ *)
@@ -343,10 +443,26 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"component summary")
     Term.(ret (const show_info $ const ()))
 
+let sys_sql_args =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"SQL"
+        ~doc:
+          "statements to run against the sys.* views after a scripted \
+           workload (a built-in sweep of every view when omitted)")
+
+let sys_cmd =
+  Cmd.v
+    (Cmd.info "sys"
+       ~doc:
+         "run a scripted workload and query the sys.* introspection views \
+          (nonzero exit if any statement fails — the check.sh smoke step)")
+    Term.(ret (const sys_smoke $ sys_sql_args))
+
 let main =
   Cmd.group
     (Cmd.info "brdb" ~version:"1.0.0"
        ~doc:"decentralized replicated relational database with blockchain properties")
-    [ sandbox_cmd; demo_cmd; trace_cmd; explain_cmd; info_cmd ]
+    [ sandbox_cmd; demo_cmd; trace_cmd; explain_cmd; info_cmd; sys_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,7 +1,11 @@
 #!/bin/sh
 # The one-stop gate: build everything (including the determinism lint),
-# then run the full test suite. CI and pre-commit both call this.
+# run the full test suite, then smoke-test the sys.* introspection views
+# end-to-end through the CLI (DESIGN.md §10). CI and pre-commit both call
+# this.
 set -eu
 cd "$(dirname "$0")"
 dune build @all @lint
 dune runtest
+dune exec bin/brdb_cli.exe -- sys > /dev/null
+echo "sys.* smoke ok"

@@ -244,6 +244,30 @@ let create config =
     (fun p ->
       Peer.on_final p (fun ~tx_id ~status -> track_final t tx_id status (Clock.now clock)))
     peers;
+  (* sys.nodes: one row per database peer — liveness and catch-up
+     counters as this cluster sees them right now. Registered on every
+     peer's catalog so any node can serve the view. *)
+  let nodes_rows ~height:_ =
+    List.map
+      (fun p ->
+        let reg = Obs.metrics obs in
+        let node = Peer.name p in
+        Brdb_obs.Sysview.node_row ~node
+          ~height:(Node_core.height (Peer.core p))
+          ~inbox:(Peer.inbox_size p) ~crashed:(Peer.is_crashed p)
+          ~fetch_requests:(Peer.fetch_requests p)
+          ~fetched_blocks:(Peer.fetched_blocks p)
+          ~crashes:(Reg.counter reg ~node "node.crashes")
+          ~restarts:(Reg.counter reg ~node "node.restarts"))
+      peers
+  in
+  List.iter
+    (fun p ->
+      Brdb_storage.Catalog.register_virtual
+        (Node_core.catalog (Peer.core p))
+        ~name:"sys.nodes" ~columns:Brdb_obs.Sysview.nodes_columns
+        ~rows:nodes_rows)
+    peers;
   (* Ordering-phase visibility without touching the four consensus
      implementations: watch the first Block_deliver broadcast of each
      height on the network tap. The tap fires after the send outcome is
@@ -402,6 +426,13 @@ let settle t =
   ignore (Clock.run ~until:(Clock.now t.clock +. 1.5) t.clock)
 
 let query t ?(node = 0) ?params sql = Node_core.query (Peer.core (peer t node)) ?params sql
+
+let explain_analyze t ?(node = 0) ?params sql =
+  (* Per-row operator time is modelled from the calibrated cost model:
+     tet_simple is the charge for a ~100-row contract statement, so a
+     visited version costs tet_simple / 100 seconds of simulated time. *)
+  let row_cost = t.config.cost.Cost_model.tet_simple /. 100. in
+  Node_core.explain_analyze (Peer.core (peer t node)) ?params ~row_cost sql
 
 let verified_query t ?params sql =
   let answers =

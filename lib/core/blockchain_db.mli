@@ -109,6 +109,17 @@ val query :
   t -> ?node:int -> ?params:Value.t array -> string ->
   (Brdb_engine.Exec.result_set, string) result
 
+(** [explain_analyze t sql] — EXPLAIN ANALYZE against one node
+    (DESIGN.md §10): runs the [SELECT] in a sandboxed read-only
+    transaction and returns the plan annotated with actual rows/visited
+    counts and per-operator times modelled from the cost model
+    ([tet_simple] per ~100 visited versions — never the wall clock),
+    plus the raw executor counters. Leaves no residue in any state,
+    hash, metric or trace. *)
+val explain_analyze :
+  t -> ?node:int -> ?params:Value.t array -> string ->
+  (string * Brdb_engine.Exec.stats, string) result
+
 (** §3.5(5): run the query on every node and cross-check the answers — the
     paper's defence against a single node tampering with query results.
     Returns the majority answer plus the names of divergent nodes. *)

@@ -64,6 +64,7 @@ type report = {
   decision_mismatches : string list;
   reason_divergences : string list;
   abort_classes : (string * int) list;
+  first_divergent_height : int option;
   trace_jsonl : string;
 }
 
@@ -79,6 +80,51 @@ let rec interleave a b =
   match (a, b) with
   | [], rest | rest, [] -> rest
   | x :: a', y :: b' -> x :: y :: interleave a' b'
+
+(* --- online divergence monitor: SQL bisection over sys.blocks ------------ *)
+
+let digest_at db ~node ~height =
+  match
+    B.query db ~node
+      ~params:[| Value.Int height |]
+      "SELECT state_digest FROM sys.blocks WHERE height = $1"
+  with
+  | Ok rs -> (
+      match rs.Brdb_engine.Exec.rows with
+      | [ [| Value.Text d |] ] -> Some d
+      | _ -> None)
+  | Error _ -> None
+
+let find_divergence db =
+  let peers = B.peers db in
+  let nodes = List.mapi (fun i _ -> i) peers in
+  let top =
+    List.fold_left
+      (fun acc p -> min acc (Node_core.height (Peer.core p)))
+      max_int peers
+  in
+  if top = max_int || top < 1 then None
+  else
+    (* The published digest is chained, so disagreement is monotone in
+       height: agree below the first divergent block, disagree at it and
+       everywhere above. Height 0 (genesis, no sys.blocks row) always
+       agrees, establishing the bisection invariant. *)
+    let agree h =
+      if h = 0 then true
+      else
+        match List.map (fun i -> digest_at db ~node:i ~height:h) nodes with
+        | [] -> true
+        | d :: rest -> List.for_all (( = ) d) rest
+    in
+    if agree top then None
+    else begin
+      let lo = ref 0 and hi = ref top in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if agree mid then lo := mid else hi := mid
+      done;
+      Some !hi
+    end
 
 let run spec =
   if spec.orgs < 2 then invalid_arg "Chaos.run: need at least two orgs";
@@ -332,6 +378,11 @@ let run spec =
     divergent = [] && heights_equal () && !decided = n_slots
     && decision_mismatches = []
   in
+  (* When write sets diverged, pinpoint the earliest bad block through the
+     SQL monitor — the same path an operator would use. *)
+  let first_divergent_height =
+    if divergent = [] then None else find_divergence db
+  in
   let trace_jsonl =
     if spec.tracing then Brdb_obs.Export.jsonl_string (B.trace_events db)
     else ""
@@ -391,6 +442,7 @@ let run spec =
     decision_mismatches;
     reason_divergences;
     abort_classes;
+    first_divergent_height;
     trace_jsonl;
   }
 
@@ -405,7 +457,12 @@ let pp_report fmt r =
     (if r.converged then "CONVERGED"
      else if r.decision_mismatches <> [] then
        "DECISION MISMATCH: " ^ String.concat "," r.decision_mismatches
-     else "DIVERGED: " ^ String.concat "," r.divergent)
+     else
+       "DIVERGED: " ^ String.concat "," r.divergent
+       ^
+       match r.first_divergent_height with
+       | Some h -> Printf.sprintf " (first divergent block: %d)" h
+       | None -> "")
     r.loss_percent r.dropped r.duplicated r.fetched_blocks r.fetch_requests
     r.crash_cycles r.partition_cycles;
   if r.reason_divergences <> [] then

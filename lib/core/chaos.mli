@@ -72,6 +72,10 @@ type report = {
           gotcha), recorded for visibility *)
   abort_classes : (string * int) list;
       (** cluster-wide abort taxonomy: (class name, count) *)
+  first_divergent_height : int option;
+      (** when write sets diverged, the earliest height at which two nodes
+          publish different [sys.blocks.state_digest] values, located by
+          {!find_divergence}; [None] when converged *)
   trace_jsonl : string;
       (** JSONL trace when [spec.tracing]; [""] otherwise *)
 }
@@ -80,5 +84,13 @@ type report = {
     post-heal convergence loop gives up after ~30 simulated seconds, which
     shows up as [converged = false]). *)
 val run : spec -> report
+
+(** Online divergence monitor (DESIGN.md §10): locate the first block
+    height at which any two nodes publish different
+    [sys.blocks.state_digest] values, by binary search over SQL queries
+    against every node. [None] when all nodes agree up to the lowest
+    common height. Works because the digest is chained (cumulative):
+    disagreement is monotone in height. *)
+val find_divergence : Blockchain_db.t -> int option
 
 val pp_report : Format.formatter -> report -> unit

@@ -54,15 +54,28 @@ let merge_stats ~into (src : stats) =
 type mode = {
   require_index : bool;
   allow_ddl : bool;
+  allow_sys : bool;
   stats : stats option;
   hash_ops : bool;
 }
 
 let default_mode =
-  { require_index = false; allow_ddl = true; stats = None; hash_ops = true }
+  {
+    require_index = false;
+    allow_ddl = true;
+    allow_sys = true;
+    stats = None;
+    hash_ops = true;
+  }
 
 let strict_mode =
-  { require_index = true; allow_ddl = true; stats = None; hash_ops = true }
+  {
+    require_index = true;
+    allow_ddl = true;
+    allow_sys = false;
+    stats = None;
+    hash_ops = true;
+  }
 
 let stats_scan mode ~op ~table ~rows ~visited =
   match mode.stats with
@@ -99,6 +112,36 @@ let table_or_fail catalog name =
   match Catalog.find catalog name with
   | Some t -> t
   | None -> fail "table %s does not exist" name
+
+(* Materialize a [sys.*] view as an ephemeral table at [height]: provider
+   rows become versions committed at block 0, so ordinary MVCC visibility
+   accepts them and the whole executor (joins, aggregates, pushdown,
+   provenance pseudo-columns) applies unchanged. The table lives only for
+   the current statement and never enters the catalog. *)
+let materialize_virtual (v : Catalog.virtual_table) ~height =
+  let t = Table.create v.Catalog.v_schema in
+  List.iter
+    (fun row ->
+      let ver = Table.insert_version t ~xmin:0 row in
+      ver.Version.creator_block <- 0)
+    (v.Catalog.v_rows ~height);
+  t
+
+(* Read-side table resolution: real tables first, then registered virtual
+   views (materialized at the transaction's snapshot height). Contracts run
+   with [allow_sys = false]: several views (sys.nodes, sys.metrics) expose
+   node-local facts, so reading them during block processing would fork the
+   write sets. *)
+let resolve_table catalog txn mode name =
+  match Catalog.find catalog name with
+  | Some t -> t
+  | None -> (
+      match Catalog.find_virtual catalog name with
+      | Some v ->
+          if not mode.allow_sys then
+            fail "%s is not readable from contracts" name
+          else materialize_virtual v ~height:txn.Txn.snapshot_height
+      | None -> fail "table %s does not exist" name)
 
 (* --- access-path selection --------------------------------------------- *)
 
@@ -325,12 +368,16 @@ let within_bounds v ~lo ~hi =
 let run_scan catalog txn mode spec env f =
   ignore catalog;
   let name = Table.name spec.sc_table in
+  (* Virtual views are statement-local materializations: they are not part
+     of the SSI-visible database, so scans over them register neither reads
+     nor predicates (a sys.* read can never abort anything). *)
+  let record = not spec.sc_provenance && not (Catalog.is_sys_name name) in
   let schema = Table.schema spec.sc_table in
   let rows = ref 0 and visited = ref 0 in
   let yield (v : Version.t) =
     incr visited;
     if visible txn ~provenance:spec.sc_provenance v then begin
-      if not spec.sc_provenance then Txn.record_read txn ~table:name ~vid:v.Version.vid;
+      if record then Txn.record_read txn ~table:name ~vid:v.Version.vid;
       let b =
         Eval.binding_of_version ~alias:spec.sc_alias ~schema
           ~provenance:spec.sc_provenance v
@@ -349,7 +396,7 @@ let run_scan catalog txn mode spec env f =
       let lo, hi = bounds_of_restrictions env ranges in
       match ins with
       | [] ->
-          if not spec.sc_provenance then
+          if record then
             Txn.record_predicate txn (Predicate.Range { table = name; column; lo; hi });
           Table.iter_index spec.sc_table ~column ~lo ~hi yield
       | _ ->
@@ -380,7 +427,7 @@ let run_scan catalog txn mode spec env f =
           let keys = List.filter (fun v -> within_bounds v ~lo ~hi) keys in
           List.iter
             (fun k ->
-              if not spec.sc_provenance then
+              if record then
                 Txn.record_predicate txn
                   (Predicate.Range
                      { table = name; column; lo = Index.Incl k; hi = Index.Incl k });
@@ -388,9 +435,9 @@ let run_scan catalog txn mode spec env f =
                 ~hi:(Index.Incl k) yield)
             keys)
   | Seq_scan ->
-      if mode.require_index && not spec.sc_provenance then
+      if mode.require_index && record then
         raise (Exec_error (Missing_index name));
-      if not spec.sc_provenance then
+      if record then
         Txn.record_predicate txn (Predicate.Full_scan { table = name });
       if mode.hash_ops && not spec.sc_provenance then
         (* Visibility index: skip versions that are dead at the snapshot
@@ -468,7 +515,7 @@ type select_plan = {
    scan and which joins can be hash joins. Decisions only consult the
    catalog and name-resolution against pseudo-bound (NULL-row) envs, so
    every node plans identically for the same statement. *)
-let plan_select catalog mode ~base_env (sel : select) =
+let plan_select resolve mode ~base_env (sel : select) =
   match sel.from with
   | None -> None
   | Some base ->
@@ -477,7 +524,7 @@ let plan_select catalog mode ~base_env (sel : select) =
       let where_conj = match sel.where with None -> [] | Some w -> conjuncts_of w in
       let tables =
         List.map
-          (fun (tr, j) -> (tr, table_or_fail catalog tr.table, j))
+          (fun (tr, j) -> (tr, resolve tr.table, j))
           ((base, None) :: List.map (fun j -> (j.j_table, Some j)) sel.joins)
       in
       let n = List.length tables in
@@ -606,7 +653,7 @@ let joined_rows catalog txn mode ~provenance ~base_env (sel : select) f =
   let full_where env =
     match sel.where with None -> true | Some w -> Eval.eval_bool env w = Some true
   in
-  match plan_select catalog mode ~base_env sel with
+  match plan_select (resolve_table catalog txn mode) mode ~base_env sel with
   | None -> if full_where base_env then f base_env
   | Some plan ->
       let keep env =
@@ -1036,6 +1083,7 @@ let check_unique_at_insert catalog txn table row ~exclude_vid =
     (Table.unique_columns table)
 
 let exec_insert catalog txn ~env0 ~ins_table ~ins_cols ~ins_rows =
+  if Catalog.is_sys_name ins_table then fail "sys.* tables are read-only";
   let table = table_or_fail catalog ins_table in
   let schema = Table.schema table in
   let arity = Schema.arity schema in
@@ -1070,6 +1118,7 @@ let exec_insert catalog txn ~env0 ~ins_table ~ins_cols ~ins_rows =
   { columns = []; rows = []; affected = !count }
 
 let target_rows catalog txn mode ~env0 ~table_name ~where f =
+  if Catalog.is_sys_name table_name then fail "sys.* tables are read-only";
   let table = table_or_fail catalog table_name in
   let alias = table_name in
   let conjuncts = match where with None -> [] | Some w -> conjuncts_of w in
@@ -1161,6 +1210,7 @@ let exec_ddl catalog txn mode stmt =
                 Txn.record_ddl txn (Txn.D_created_table t_name);
                 { columns = []; rows = []; affected = 0 }))
   | Create_index { i_table; i_column; i_unique; _ } -> (
+      if Catalog.is_sys_name i_table then fail "sys.* tables are read-only";
       let table = table_or_fail catalog i_table in
       match Schema.column_index (Table.schema table) i_column with
       | None -> fail "unknown column %s on %s" i_column i_table
@@ -1169,6 +1219,7 @@ let exec_ddl catalog txn mode stmt =
           Txn.record_ddl txn (Txn.D_created_index { table = i_table; column });
           { columns = []; rows = []; affected = 0 })
   | Drop_table { d_name; if_exists } -> (
+      if Catalog.is_sys_name d_name then fail "sys.* tables are read-only";
       match Catalog.find catalog d_name with
       | None ->
           if if_exists then { columns = []; rows = []; affected = 0 }
@@ -1220,18 +1271,44 @@ let describe_filters = function
 
 exception Explain_error of string
 
-let explain catalog stmt =
+let explain_gen ?actual catalog stmt =
   (* Plans with [default_mode] (hash operators on) against pseudo-bound
      NULL rows: the decisions shown are exactly the ones [plan_select] and
-     [choose_path] make at execution time, parameters treated as opaque. *)
+     [choose_path] make at execution time, parameters treated as opaque.
+     With [actual = Some (stats, op_ms)] (EXPLAIN ANALYZE) each operator
+     line carries the rows/visited counts recorded while executing the same
+     statement plus its modelled time; stats are aggregated per
+     (operator, table), so repeated scans of one table show totals. *)
   let buf = Buffer.create 128 in
-  let line s = Buffer.add_string buf ("  " ^ s ^ "\n") in
   let mode = default_mode in
   let env0 = empty_env [||] [] None in
+  let annotate ops table s =
+    match actual with
+    | None -> s
+    | Some ((st : stats), op_ms) ->
+        let rows = ref 0 and visited = ref 0 and ms = ref 0. in
+        List.iter
+          (fun o ->
+            if List.mem o.op_kind ops && o.op_table = table then begin
+              rows := !rows + o.op_rows;
+              visited := !visited + o.op_visited;
+              ms := !ms +. op_ms ~op:o.op_kind ~visited:o.op_visited
+            end)
+          st.scans;
+        Printf.sprintf "%s (actual rows=%d visited=%d time=%.3f ms)" s !rows
+          !visited !ms
+  in
+  let scan_ops = [ "seq_scan"; "index_scan" ] in
+  let line s = Buffer.add_string buf ("  " ^ s ^ "\n") in
   let table_of name =
     match Catalog.find catalog name with
     | Some t -> t
-    | None -> raise (Explain_error (Printf.sprintf "table %s does not exist" name))
+    | None -> (
+        match Catalog.virtual_schema catalog name with
+        | Some schema -> Table.create schema
+        | None ->
+            raise
+              (Explain_error (Printf.sprintf "table %s does not exist" name)))
   in
   let order_keys ks =
     String.concat ", "
@@ -1240,24 +1317,27 @@ let explain catalog stmt =
          ks)
   in
   let explain_select (sel : select) =
-    match plan_select catalog mode ~base_env:env0 sel with
+    match plan_select table_of mode ~base_env:env0 sel with
     | None -> line "no table access"
     | Some plan ->
         List.iter
           (fun tp ->
-            let table = table_of tp.tp_ref.table in
+            let table = tp.tp_table in
             match tp.tp_join with
             | None ->
-                line (describe_path table tp.tp_path_hint
-                      ^ describe_filters tp.tp_filters)
+                line
+                  (annotate scan_ops (Table.name table)
+                     (describe_path table tp.tp_path_hint
+                     ^ describe_filters tp.tp_filters))
             | Some (j, Nested) ->
                 let kind =
                   match j.j_kind with J_inner -> "inner" | J_left -> "left"
                 in
                 line
-                  (Printf.sprintf "nested loop (%s) via %s%s" kind
-                     (describe_path table tp.tp_path_hint)
-                     (describe_filters tp.tp_filters))
+                  (annotate scan_ops (Table.name table)
+                     (Printf.sprintf "nested loop (%s) via %s%s" kind
+                        (describe_path table tp.tp_path_hint)
+                        (describe_filters tp.tp_filters)))
             | Some (j, Hashed h) ->
                 let kind =
                   match j.j_kind with J_inner -> "inner" | J_left -> "left"
@@ -1272,11 +1352,12 @@ let explain catalog stmt =
                     h.h_key_cols h.h_key_outer
                 in
                 line
-                  (Printf.sprintf "hash join (%s) on %s [build: seq scan on %s%s]"
-                     kind
-                     (String.concat ", " keys)
-                     (Table.name table)
-                     (describe_filters h.h_build_filters));
+                  (annotate [ "hash_join" ] tp.tp_ref.table
+                     (Printf.sprintf
+                        "hash join (%s) on %s [build: seq scan on %s%s]" kind
+                        (String.concat ", " keys)
+                        (Table.name table)
+                        (describe_filters h.h_build_filters)));
                 if h.h_probe_filters <> [] then
                   line ("  probe" ^ describe_filters h.h_probe_filters))
           plan.sp_tables;
@@ -1295,12 +1376,15 @@ let explain catalog stmt =
           | [] -> line "aggregate (single group)"
           | ks ->
               line
-                (Printf.sprintf "hash aggregate by %s"
-                   (String.concat ", " (List.map expr_to_string ks))));
+                (annotate [ "hash_agg" ] "-"
+                   (Printf.sprintf "hash aggregate by %s"
+                      (String.concat ", " (List.map expr_to_string ks)))));
         (match (sel.order_by, sel.limit) with
         | [], _ -> ()
         | ks, Some k when not sel.distinct ->
-            line (Printf.sprintf "top-%d by %s" k (order_keys ks))
+            line
+              (annotate [ "top_k" ] "-"
+                 (Printf.sprintf "top-%d by %s" k (order_keys ks)))
         | ks, _ -> line (Printf.sprintf "sort by %s" (order_keys ks)));
         if sel.distinct then line "distinct";
         (match sel.limit with
@@ -1320,7 +1404,7 @@ let explain catalog stmt =
       }
     in
     let pushed = List.filter (bound_in penv) conjuncts in
-    line (describe_path table path ^ describe_filters pushed)
+    line (annotate scan_ops name (describe_path table path ^ describe_filters pushed))
   in
   (match stmt with
   | Select sel ->
@@ -1336,7 +1420,13 @@ let explain catalog stmt =
   Buffer.contents buf
 
 let explain catalog stmt =
-  match explain catalog stmt with
+  match explain_gen catalog stmt with
+  | plan -> Ok plan
+  | exception Explain_error msg -> Error msg
+  | exception Exec_error e -> Error (error_to_string e)
+
+let explain_analyzed catalog stats ~op_ms stmt =
+  match explain_gen ~actual:(stats, op_ms) catalog stmt with
   | plan -> Ok plan
   | exception Explain_error msg -> Error msg
   | exception Exec_error e -> Error (error_to_string e)

@@ -58,6 +58,11 @@ val merge_stats : into:stats -> stats -> unit
 type mode = {
   require_index : bool;
   allow_ddl : bool;  (** system/deployment contracts only *)
+  allow_sys : bool;
+      (** allow reads of [sys.*] virtual views (DESIGN.md §10). Off for
+          contract execution: several views expose node-local facts
+          (inbox depth, metrics), so a contract reading them during block
+          processing could fork the cluster's write sets. *)
   stats : stats option;  (** when set, scans/statements are counted *)
   hash_ops : bool;
       (** enable the hash/top-k/pushdown/visibility-index fast paths;
@@ -99,6 +104,21 @@ val execute :
     against the EO flow's index-only restriction before deploying it.
     Parameters are treated as opaque values. *)
 val explain : Brdb_storage.Catalog.t -> Brdb_sql.Ast.stmt -> (string, string) result
+
+(** [explain_analyzed catalog stats ~op_ms stmt] renders the same plan as
+    {!explain} with each operator line annotated by the actual
+    [rows]/[visited] counters recorded in [stats] while executing [stmt]
+    (EXPLAIN ANALYZE; see {!Scan_counts} note: counters aggregate per
+    (operator, table), so a table scanned twice shows totals on each line)
+    and a modelled per-operator time [op_ms ~op ~visited] in milliseconds —
+    the caller derives it from the simulation {!Brdb_sim.Cost_model}, never
+    from the wall clock. *)
+val explain_analyzed :
+  Brdb_storage.Catalog.t ->
+  stats ->
+  op_ms:(op:string -> visited:int -> float) ->
+  Brdb_sql.Ast.stmt ->
+  (string, string) result
 
 val explain_sql : Brdb_storage.Catalog.t -> string -> (string, string) result
 

@@ -44,6 +44,17 @@ type block_result = {
   br_missing : int;
 }
 
+(* One sys.transactions row (DESIGN.md §10): everything the view shows
+   about a transaction, recorded when its block is processed and replaced
+   wholesale when §3.6 recovery re-executes the block. *)
+type tx_record = {
+  r_pos : int;
+  r_gid : string;
+  r_user : string;
+  r_contract : string;
+  r_status : tx_status;
+}
+
 type t = {
   config : config;
   registry : Identity.Registry.t;
@@ -60,6 +71,15 @@ type t = {
   (* cumulative per-operator executor counters across all contract runs;
      deterministic, so peers surface them as registry metrics *)
   exec_totals : Exec.stats;
+  (* height -> per-transaction records backing sys.transactions/sys.aborts;
+     replaced wholesale when recovery re-executes a block *)
+  tx_log : (int, tx_record list) Hashtbl.t;
+  (* height -> write-set digest (§3.3.4): the per-block state digest the
+     divergence monitor publishes into sys.blocks *)
+  digests : (int, string) Hashtbl.t;
+  (* modelled base execution time (seconds) per contract name, installed by
+     the peer from the calibrated cost model; backs sys.transactions.tet_ms *)
+  mutable tet_model : string -> float;
 }
 
 let create config ~registry =
@@ -77,11 +97,42 @@ let create config ~registry =
     bootstrapped = false;
     trace = Trace.null;
     exec_totals = Exec.new_stats ();
+    tx_log = Hashtbl.create 64;
+    digests = Hashtbl.create 64;
+    tet_model = (fun _ -> 0.);
   }
 
 let set_trace t trace = t.trace <- trace
 
+let set_tet_model t f = t.tet_model <- f
+
 let exec_totals t = t.exec_totals
+
+(* Chained state digest at [height]: a running hash over every block's
+   write-set hash up to [height]. Cumulative on purpose — once two nodes
+   diverge at block d their chained digests differ at every height >= d,
+   which is the monotonicity SQL bisection over sys.blocks relies on. *)
+let chained_digest t ~height =
+  let acc = ref Block.genesis_hash in
+  for h = 1 to height do
+    let ws = Option.value (Hashtbl.find_opt t.digests h) ~default:"" in
+    acc := Brdb_util.Hex.encode (Brdb_crypto.Sha256.digest_concat [ !acc; ws ])
+  done;
+  !acc
+
+let state_digest t ~height =
+  if height < 1 || height > Block_store.height t.store then None
+  else Some (chained_digest t ~height)
+
+(* Testing hook for the divergence monitor: corrupt this node's recorded
+   write-set hash at [height], which poisons the published chained digest
+   from [height] onwards — exactly the shape of a real state divergence,
+   so SQL bisection over sys.blocks has something to find. Only sys.blocks
+   is affected; checkpoints already gossiped are not rewritten. *)
+let tamper_digest_for_test t ~height =
+  match Hashtbl.find_opt t.digests height with
+  | None -> ()
+  | Some d -> Hashtbl.replace t.digests height ("tampered:" ^ d)
 
 let config t = t.config
 
@@ -99,11 +150,174 @@ let height t = Block_store.height t.store
 
 let strict_reads t = t.config.flow = Execute_order || t.config.require_index
 
+(* --- sys.* introspection views (DESIGN.md §10) ------------------------------- *)
+
+let decision_of = function
+  | S_committed -> "committed"
+  | S_aborted _ -> "aborted"
+  | S_rejected _ -> "rejected"
+
+let abort_class_of = function
+  | S_aborted r -> Brdb_obs.Abort_class.(to_string (of_reason r))
+  | S_committed | S_rejected _ -> ""
+
+let detail_of = function
+  | S_committed -> ""
+  | S_aborted r -> Txn.abort_reason_to_string r
+  | S_rejected r -> r
+
+(* Transaction records of all blocks up to [height], in (block, pos)
+   order. *)
+let tx_records_upto t ~height =
+  let acc = ref [] in
+  for h = height downto 1 do
+    match Hashtbl.find_opt t.tx_log h with
+    | Some records ->
+        acc := List.map (fun r -> (h, r)) records @ !acc
+    | None -> ()
+  done;
+  !acc
+
+(* The node-level virtual tables. Everything each provider renders is a
+   pure function of the block stream and contract registry at the
+   requested height (the sys.* determinism contract); node-only facts
+   (metrics, peer gossip state) live in the views the peer layer
+   registers. *)
+let register_sys_views t =
+  let open Brdb_sql.Ast in
+  let col ?(pk = false) name ty =
+    { Schema.name; ty; not_null = false; primary_key = pk }
+  in
+  Catalog.register_virtual t.catalog ~name:"sys.blocks"
+    ~columns:
+      [
+        col ~pk:true "height" T_int;
+        col "txs" T_int;
+        col "hash" T_text;
+        col "prev_hash" T_text;
+        col "committime" T_int;
+        col "state_digest" T_text;
+      ]
+    ~rows:(fun ~height ->
+      let rows = ref [] and digest = ref Block.genesis_hash in
+      for h = 1 to height do
+        let ws = Option.value (Hashtbl.find_opt t.digests h) ~default:"" in
+        digest :=
+          Brdb_util.Hex.encode
+            (Brdb_crypto.Sha256.digest_concat [ !digest; ws ]);
+        match Block_store.get t.store h with
+        | None -> ()
+        | Some b ->
+            rows :=
+              [|
+                Value.Int b.Block.height;
+                Value.Int (List.length b.Block.txs);
+                Value.Text b.Block.hash;
+                Value.Text b.Block.prev_hash;
+                Value.Int b.Block.height;
+                Value.Text !digest;
+              |]
+              :: !rows
+      done;
+      List.rev !rows);
+  Catalog.register_virtual t.catalog ~name:"sys.transactions"
+    ~columns:
+      [
+        col "gid" T_text;
+        col "block" T_int;
+        col "pos" T_int;
+        col "txuser" T_text;
+        col "contract" T_text;
+        col "decision" T_text;
+        col "abort_class" T_text;
+        col "detail" T_text;
+        col "tet_ms" T_float;
+      ]
+    ~rows:(fun ~height ->
+      List.map
+        (fun (h, r) ->
+          [|
+            Value.Text r.r_gid;
+            Value.Int h;
+            Value.Int r.r_pos;
+            Value.Text r.r_user;
+            Value.Text r.r_contract;
+            Value.Text (decision_of r.r_status);
+            Value.Text (abort_class_of r.r_status);
+            Value.Text (detail_of r.r_status);
+            Value.Float (t.tet_model r.r_contract *. 1000.);
+          |])
+        (tx_records_upto t ~height));
+  Catalog.register_virtual t.catalog ~name:"sys.aborts"
+    ~columns:[ col ~pk:true "class" T_text; col "n" T_int ]
+    ~rows:(fun ~height ->
+      let records = tx_records_upto t ~height in
+      List.map
+        (fun cls ->
+          let name = Brdb_obs.Abort_class.to_string cls in
+          let n =
+            List.length
+              (List.filter (fun (_, r) -> abort_class_of r.r_status = name) records)
+          in
+          [| Value.Text name; Value.Int n |])
+        Brdb_obs.Abort_class.all);
+  Catalog.register_virtual t.catalog ~name:"sys.tables"
+    ~columns:
+      [
+        col ~pk:true "name" T_text;
+        col "columns" T_int;
+        col "versions" T_int;
+        col "live" T_int;
+        col "pruned" T_int;
+        col "indexes" T_int;
+      ]
+    ~rows:(fun ~height:_ ->
+      List.filter_map
+        (fun name ->
+          match Catalog.find t.catalog name with
+          | None -> None
+          | Some table ->
+              Some
+                [|
+                  Value.Text name;
+                  Value.Int (Schema.arity (Table.schema table));
+                  Value.Int (Table.version_count table);
+                  Value.Int (Table.live_count table);
+                  Value.Int (Table.pruned_total table);
+                  Value.Int (List.length (Table.indexed_columns table));
+                |])
+        (Catalog.table_names t.catalog));
+  Catalog.register_virtual t.catalog ~name:"sys.indexes"
+    ~columns:
+      [
+        col "table_name" T_text;
+        col "column_name" T_text;
+        col "is_unique" T_bool;
+      ]
+    ~rows:(fun ~height:_ ->
+      List.concat_map
+        (fun name ->
+          match Catalog.find t.catalog name with
+          | None -> []
+          | Some table ->
+              let schema = Table.schema table in
+              let uniques = Table.unique_columns table in
+              List.map
+                (fun c ->
+                  [|
+                    Value.Text name;
+                    Value.Text schema.Schema.columns.(c).Schema.name;
+                    Value.Bool (List.mem c uniques);
+                  |])
+                (Table.indexed_columns table))
+        (Catalog.table_names t.catalog))
+
 (* --- bootstrap -------------------------------------------------------------- *)
 
 let bootstrap t =
   if not t.bootstrapped then begin
     t.bootstrapped <- true;
+    register_sys_views t;
     System.register_all t.contracts;
     match
       Manager.begin_txn t.manager ~global_id:"__bootstrap__" ~client:"system"
@@ -208,6 +422,9 @@ let run_contract t txn (tx : Block.tx) =
         {
           Exec.require_index = (not is_system) && strict_reads t;
           allow_ddl;
+          (* Contracts must stay pure functions of (block stream, contract
+             registry); node-local sys.* views are for clients only. *)
+          allow_sys = false;
           stats;
           hash_ops = true;
         }
@@ -386,7 +603,7 @@ let commit_one t ~block_height ~graph slot =
       | Some reason ->
           Manager.abort t.manager txn reason;
           Wal.append t.wal ~txid:txn.Txn.txid ~height:block_height
-            (Wal.Aborted (Txn.abort_reason_to_string reason));
+            (Wal.Aborted reason);
           (tx.Block.tx_id, S_aborted reason, Some txn)
       | None ->
           (* First committer in block order wins every ww conflict. *)
@@ -492,6 +709,21 @@ let process_appended t (block : Block.t) =
       br_missing = !missing;
     }
   in
+  (* sys.* bookkeeping: per-tx records (slot order = block order) and the
+     per-block state digest the divergence monitor publishes. Replace, not
+     add: recovery re-processing overwrites the partial attempt. *)
+  Hashtbl.replace t.tx_log block_height
+    (List.mapi
+       (fun pos ((tx : Block.tx), (_, status, _)) ->
+         {
+           r_pos = pos;
+           r_gid = tx.Block.tx_id;
+           r_user = tx.Block.tx_user;
+           r_contract = tx.Block.tx_contract;
+           r_status = status;
+         })
+       (List.combine block.Block.txs slots));
+  Hashtbl.replace t.digests block_height result.br_write_set_hash;
   (* Garbage-collect bookkeeping for long-finished transactions (their
      effects live on in the heap; duplicate-id detection is preserved).
      A window of a few blocks keeps everything §3.6 recovery inspects. *)
@@ -544,6 +776,42 @@ let query t ?(params = [||]) sql =
       Manager.abort t.manager txn (Txn.Contract_error "read-only");
       Manager.release t.manager txn;
       result
+
+let explain_analyze t ?(params = [||]) ~row_cost sql =
+  bootstrap t;
+  match Brdb_sql.Parser.parse sql with
+  | Error e -> Error e
+  | Ok stmt -> (
+      match stmt with
+      | Brdb_sql.Ast.Select _ ->
+          t.query_seq <- t.query_seq + 1;
+          (match
+             Manager.begin_txn t.manager
+               ~global_id:(Printf.sprintf "__explain-%d__" t.query_seq)
+               ~client:"reader" ~snapshot_height:(height t) ()
+           with
+          | Error `Duplicate_txid -> Error "internal: query id collision"
+          | Ok txn ->
+              (* A private stats record, never merged into [exec_totals]: the
+                 sandboxed run must leave no residue in any counter a later
+                 query or hash could observe. *)
+              let stats = Exec.new_stats () in
+              let mode = { Exec.default_mode with Exec.stats = Some stats } in
+              let result =
+                match Exec.execute t.catalog txn ~params ~mode stmt with
+                | Error e -> Error (Exec.error_to_string e)
+                | Ok _ ->
+                    let op_ms ~op:_ ~visited =
+                      float_of_int visited *. row_cost *. 1000.
+                    in
+                    Result.map
+                      (fun plan -> (plan, stats))
+                      (Exec.explain_analyzed t.catalog stats ~op_ms stmt)
+              in
+              Manager.abort t.manager txn (Txn.Contract_error "read-only");
+              Manager.release t.manager txn;
+              result)
+      | _ -> Error "EXPLAIN ANALYZE supports SELECT statements only")
 
 (* --- crash & recovery (§3.6) ------------------------------------------------------------ *)
 
@@ -640,7 +908,8 @@ let recover t =
             (fun (txid, s) ->
               match s with
               | Some Wal.Committed -> (txid, "committed")
-              | Some (Wal.Aborted r) -> (txid, "aborted: " ^ r)
+              | Some (Wal.Aborted r) ->
+                  (txid, "aborted: " ^ Txn.abort_reason_to_string r)
               | None -> assert false)
             wal_statuses
         in
@@ -655,7 +924,7 @@ let recover t =
               in
               match s with
               | Some Wal.Committed -> (gid, S_committed)
-              | Some (Wal.Aborted r) -> (gid, S_aborted (Txn.Contract_error r))
+              | Some (Wal.Aborted r) -> (gid, S_aborted r)
               | None -> assert false)
             wal_statuses
         in
@@ -664,14 +933,40 @@ let recover t =
             (fun (txid, s) -> if s = Some Wal.Committed then Manager.find t.manager txid else None)
             wal_statuses
         in
-        Ok
-          (Some
-             {
-               br_height = h;
-               br_statuses;
-               br_write_set_hash = Manager.write_set_digest t.manager committed;
-               br_missing = 0;
-             })
+        let result =
+          {
+            br_height = h;
+            br_statuses;
+            br_write_set_hash = Manager.write_set_digest t.manager committed;
+            br_missing = 0;
+          }
+        in
+        (* Rebuild the sys.* records the interrupted processing never
+           wrote. Transactions absent from the WAL were rejected before
+           reaching it (duplicate ids); the exact reject reason is not
+           recoverable, but the decision — all the cross-node invariants
+           cover — is. *)
+        (match Block_store.get t.store h with
+        | None -> ()
+        | Some block ->
+            Hashtbl.replace t.tx_log h
+              (List.mapi
+                 (fun pos (tx : Block.tx) ->
+                   let status =
+                     match List.assoc_opt tx.Block.tx_id br_statuses with
+                     | Some s -> s
+                     | None -> S_rejected "duplicate transaction identifier"
+                   in
+                   {
+                     r_pos = pos;
+                     r_gid = tx.Block.tx_id;
+                     r_user = tx.Block.tx_user;
+                     r_contract = tx.Block.tx_contract;
+                     r_status = status;
+                   })
+                 block.Block.txs));
+        Hashtbl.replace t.digests h result.br_write_set_hash;
+        Ok (Some result)
       end
       else begin
         (* Case (b): some transactions never reached the log. Roll back

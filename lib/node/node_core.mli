@@ -108,6 +108,38 @@ val query :
   string ->
   (Brdb_engine.Exec.result_set, string) result
 
+(** [explain_analyze t ~row_cost sql] — EXPLAIN ANALYZE (DESIGN.md §10):
+    execute the [SELECT] in a sandboxed read-only transaction that is
+    aborted afterwards, and return the plan annotated with the actual
+    rows/visited counters plus a modelled per-operator time of
+    [visited * row_cost] seconds (rendered in ms). Uses a private stats
+    record so the run leaves no residue in {!exec_totals}, the metrics
+    registry, traces, or any committed state or hash. Non-[SELECT]
+    statements are an [Error]. *)
+val explain_analyze :
+  t ->
+  ?params:Brdb_storage.Value.t array ->
+  row_cost:float ->
+  string ->
+  (string * Brdb_engine.Exec.stats, string) result
+
+(** Install the simulated per-contract transaction-execution-time model
+    used by the [sys.transactions] view's [tet_ms] column (the peer layer
+    wires this to {!Brdb_sim.Cost_model}; defaults to 0). *)
+val set_tet_model : t -> (string -> float) -> unit
+
+(** The chained state digest this node publishes in
+    [sys.blocks.state_digest]: a running hash of every committed block's
+    write-set hash up to [height]. Cumulative, so two diverged nodes
+    disagree at every height from the first divergent block on — the
+    monotonicity the {!Chaos} SQL bisection relies on. *)
+val state_digest : t -> height:int -> string option
+
+(** Corrupt the recorded write-set hash at [height], poisoning the
+    published chained digest from [height] onwards (divergence-injection
+    for the chaos harness and tests only). *)
+val tamper_digest_for_test : t -> height:int -> unit
+
 (** {2 Crash & recovery (§3.6)} *)
 
 type crash_point =

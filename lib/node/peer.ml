@@ -94,6 +94,8 @@ let fetched_blocks t = t.fetched_blocks
 
 let inbox_size t = Hashtbl.length t.inbox
 
+let is_crashed t = t.crashed
+
 let on_final t f = t.listeners <- f :: t.listeners
 
 let notify t tx_id status =
@@ -523,6 +525,22 @@ let handle t ~src msg =
     | Msg.Checkpoint_hash { height; hash } ->
         note_height t height;
         Checkpoint.receive t.checkpoints ~from:src ~height ~hash;
+        (* Online divergence monitor (§3.5 item 3): the moment a peer's
+           reported checkpoint hash disagrees with ours, raise the metric
+           — Chaos then pinpoints the first divergent block by bisecting
+           [sys.blocks.state_digest]. *)
+        let divergent = Checkpoint.divergent t.checkpoints ~height in
+        if divergent <> [] then begin
+          mincr t "divergence.detected";
+          Trace.instant (tracer t) ~node:(name t) ~track:"checkpoint"
+            ~cat:"chaos" ~name:"divergence"
+            ~args:
+              [
+                ("height", Trace.I height);
+                ("peers", Trace.S (String.concat "," divergent));
+              ]
+            ()
+        end;
         maybe_arm_fetch t
     | Msg.Fetch_blocks { from_height } -> serve_fetch t ~src ~from_height
     | Msg.Blocks_reply { blocks } -> handle_blocks_reply t blocks
@@ -566,6 +584,17 @@ let create ~net ?obs (config : config) ~registry =
     }
   in
   Msg.Net.register net ~name:(name t) (fun ~src msg -> handle t ~src msg);
+  (* sys.transactions models per-tx execution time with the same cost
+     model the simulation charges (tet by contract class). *)
+  Node_core.set_tet_model core (fun contract ->
+      Cost_model.tet config.cost (config.contract_class_of contract));
+  (* sys.metrics: a registry snapshot rendered through the fixed
+     {!Brdb_obs.Sysview} schema. Node-local facts — readable by clients,
+     never by contracts (the executor refuses sys reads during block
+     processing). *)
+  Brdb_storage.Catalog.register_virtual (Node_core.catalog core)
+    ~name:"sys.metrics" ~columns:Brdb_obs.Sysview.metrics_columns
+    ~rows:(fun ~height:_ -> Brdb_obs.Sysview.metric_rows (Reg.snapshot (reg t)));
   (* Periodic anti-entropy probe: even a peer that missed every delivery
      and every gossip message (total silence) eventually discovers and
      fetches missed blocks. Perpetual — only enable under drivers that

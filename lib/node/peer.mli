@@ -83,6 +83,9 @@ val fetched_blocks : t -> int
 (** Out-of-order blocks currently buffered (bounded by [inbox_window]). *)
 val inbox_size : t -> int
 
+(** The peer is currently down (between {!crash} and {!restart}). *)
+val is_crashed : t -> bool
+
 (** [crash t] simulates a fail-stop crash: the peer stops handling
     messages and leaves the network. [crash ~at t] instead injects a
     §3.6 mid-block crash: the peer dies at the given {!Node_core.crash_point}

@@ -1,4 +1,4 @@
-type status = Committed | Aborted of string
+type status = Committed | Aborted of Brdb_txn.Txn.abort_reason
 
 type t = {
   by_txid : (int, int * status) Hashtbl.t; (* txid -> height, status *)

@@ -4,7 +4,7 @@
     against the ledger table to decide which of the two atomic steps of
     block processing completed. *)
 
-type status = Committed | Aborted of string
+type status = Committed | Aborted of Brdb_txn.Txn.abort_reason
 
 type t
 

@@ -63,6 +63,7 @@ type entry = {
   e_value : float;
   e_min : float;
   e_max : float;
+  e_p50 : float;
   e_p95 : float;
 }
 
@@ -76,6 +77,7 @@ let entry_of node name = function
         e_value = float_of_int !r;
         e_min = 0.;
         e_max = 0.;
+        e_p50 = 0.;
         e_p95 = 0.;
       }
   | Gauge g ->
@@ -87,6 +89,7 @@ let entry_of node name = function
         e_value = !g;
         e_min = 0.;
         e_max = 0.;
+        e_p50 = 0.;
         e_p95 = 0.;
       }
   | Histogram s ->
@@ -98,6 +101,7 @@ let entry_of node name = function
         e_value = Stat.mean s;
         e_min = Stat.min s;
         e_max = Stat.max s;
+        e_p50 = Stat.percentile s 50.;
         e_p95 = Stat.percentile s 95.;
       }
 
@@ -160,8 +164,8 @@ let pp_entry ppf e =
   | "counter" -> Format.fprintf ppf "%-34s %-12s %8d" e.e_name e.e_node e.e_count
   | "gauge" -> Format.fprintf ppf "%-34s %-12s %8.1f" e.e_name e.e_node e.e_value
   | _ ->
-      Format.fprintf ppf "%-34s %-12s n=%-5d mean=%-8.3f p95=%-8.3f max=%.3f"
-        e.e_name e.e_node e.e_count e.e_value e.e_p95 e.e_max
+      Format.fprintf ppf "%-34s %-12s n=%-5d mean=%-8.3f p50=%-8.3f p95=%-8.3f max=%.3f"
+        e.e_name e.e_node e.e_count e.e_value e.e_p50 e.e_p95 e.e_max
 
 let pp_entries ppf es =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) es

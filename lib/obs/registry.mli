@@ -40,6 +40,7 @@ type entry = {
   e_value : float;
   e_min : float;
   e_max : float;
+  e_p50 : float;
   e_p95 : float;
 }
 

@@ -1,0 +1,60 @@
+module Value = Brdb_storage.Value
+module Schema = Brdb_storage.Schema
+
+let col ?(pk = false) name ty =
+  { Schema.name; ty; not_null = false; primary_key = pk }
+
+let metrics_columns =
+  let open Brdb_sql.Ast in
+  [
+    col "node" T_text;
+    col "name" T_text;
+    col "kind" T_text;
+    col "n" T_int;
+    col "value" T_float;
+    col "vmin" T_float;
+    col "vmax" T_float;
+    col "p50" T_float;
+    col "p95" T_float;
+  ]
+
+let metric_row (e : Registry.entry) =
+  [|
+    Value.Text e.Registry.e_node;
+    Value.Text e.Registry.e_name;
+    Value.Text e.Registry.e_kind;
+    Value.Int e.Registry.e_count;
+    Value.Float e.Registry.e_value;
+    Value.Float e.Registry.e_min;
+    Value.Float e.Registry.e_max;
+    Value.Float e.Registry.e_p50;
+    Value.Float e.Registry.e_p95;
+  |]
+
+let metric_rows entries = List.map metric_row entries
+
+let nodes_columns =
+  let open Brdb_sql.Ast in
+  [
+    col ~pk:true "node" T_text;
+    col "height" T_int;
+    col "inbox" T_int;
+    col "crashed" T_bool;
+    col "fetch_requests" T_int;
+    col "fetched_blocks" T_int;
+    col "crashes" T_int;
+    col "restarts" T_int;
+  ]
+
+let node_row ~node ~height ~inbox ~crashed ~fetch_requests ~fetched_blocks
+    ~crashes ~restarts =
+  [|
+    Value.Text node;
+    Value.Int height;
+    Value.Int inbox;
+    Value.Bool crashed;
+    Value.Int fetch_requests;
+    Value.Int fetched_blocks;
+    Value.Int crashes;
+    Value.Int restarts;
+  |]

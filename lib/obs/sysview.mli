@@ -1,0 +1,33 @@
+(** Row-snapshot renderers for the node-local introspection views
+    (DESIGN.md §10): the column lists and [Value.t] row encodings of
+    [sys.metrics] and [sys.nodes]. The node layer owns registration (via
+    [Catalog.register_virtual]) and supplies the facts; this module only
+    fixes the schemas so every node renders identical bytes for identical
+    inputs. *)
+
+(** Columns of [sys.metrics]: node, name, kind, n, value, vmin, vmax,
+    p50, p95 — one row per {!Registry.entry} ([value] is the counter
+    value, gauge value or histogram mean depending on [kind]; the
+    min/max/percentile columns are 0 for non-histograms). *)
+val metrics_columns : Brdb_storage.Schema.column list
+
+val metric_row : Registry.entry -> Brdb_storage.Value.t array
+
+(** Rows for a registry snapshot, in the snapshot's (already sorted)
+    order. *)
+val metric_rows : Registry.entry list -> Brdb_storage.Value.t array list
+
+(** Columns of [sys.nodes]: node (PK), height, inbox, crashed,
+    fetch_requests, fetched_blocks, crashes, restarts. *)
+val nodes_columns : Brdb_storage.Schema.column list
+
+val node_row :
+  node:string ->
+  height:int ->
+  inbox:int ->
+  crashed:bool ->
+  fetch_requests:int ->
+  fetched_blocks:int ->
+  crashes:int ->
+  restarts:int ->
+  Brdb_storage.Value.t array

@@ -51,6 +51,13 @@ let int_lit st =
   | Lexer.Int_lit i -> i
   | t -> error "expected integer, found %s" (Lexer.token_to_string t)
 
+(* A table name: a plain identifier, or a schema-qualified [sys.blocks]
+   style dotted pair (kept as a single dotted string — the catalog treats
+   the dotted form as an opaque name). *)
+let table_name st =
+  let n = ident st in
+  if accept_sym st "." then n ^ "." ^ ident st else n
+
 (* --- expressions ------------------------------------------------------ *)
 
 (* forward reference to the statement parser for scalar subqueries *)
@@ -280,7 +287,7 @@ let parse_create st =
            true
          end
     in
-    let t_name = ident st in
+    let t_name = table_name st in
     expect_sym st "(";
     let rec cols acc =
       let c = parse_column_def st in
@@ -294,7 +301,7 @@ let parse_create st =
     expect_kw st "INDEX";
     let i_name = ident st in
     expect_kw st "ON";
-    let i_table = ident st in
+    let i_table = table_name st in
     expect_sym st "(";
     let i_column = ident st in
     expect_sym st ")";
@@ -311,12 +318,12 @@ let parse_drop st =
          true
        end
   in
-  Drop_table { d_name = ident st; if_exists }
+  Drop_table { d_name = table_name st; if_exists }
 
 let parse_insert st =
   expect_kw st "INSERT";
   expect_kw st "INTO";
-  let ins_table = ident st in
+  let ins_table = table_name st in
   let ins_cols =
     if accept_sym st "(" then begin
       let rec cols acc =
@@ -348,7 +355,7 @@ let parse_insert st =
 
 let parse_update st =
   expect_kw st "UPDATE";
-  let upd_table = ident st in
+  let upd_table = table_name st in
   expect_kw st "SET";
   let rec sets acc =
     let c = ident st in
@@ -363,12 +370,12 @@ let parse_update st =
 let parse_delete st =
   expect_kw st "DELETE";
   expect_kw st "FROM";
-  let del_table = ident st in
+  let del_table = table_name st in
   let del_where = if accept_kw st "WHERE" then Some (parse_or st) else None in
   Delete { del_table; del_where }
 
 let parse_table_ref st =
-  let table = ident st in
+  let table = table_name st in
   let alias =
     if accept_kw st "AS" then Some (ident st)
     else

@@ -1,6 +1,20 @@
-type t = { tables : (string, Table.t) Hashtbl.t }
+type virtual_table = {
+  v_schema : Schema.t;
+  v_rows : height:int -> Value.t array list;
+}
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  virtuals : (string, virtual_table) Hashtbl.t;
+}
 
 let ledger_table = "pgledger"
+
+let sys_prefix = "sys."
+
+let is_sys_name name =
+  String.length name >= String.length sys_prefix
+  && String.sub name 0 (String.length sys_prefix) = sys_prefix
 
 let ledger_schema () =
   let open Brdb_sql.Ast in
@@ -24,9 +38,25 @@ let ledger_schema () =
   | Error msg -> failwith ("internal: ledger schema invalid: " ^ msg)
 
 let create () =
-  let t = { tables = Hashtbl.create 16 } in
+  let t = { tables = Hashtbl.create 16; virtuals = Hashtbl.create 16 } in
   Hashtbl.replace t.tables ledger_table (Table.create (ledger_schema ()));
   t
+
+let register_virtual t ~name ~columns ~rows =
+  if not (is_sys_name name) then
+    invalid_arg (Printf.sprintf "Catalog.register_virtual: %s is not a sys.* name" name)
+  else
+    match Schema.create ~name ~columns with
+    | Error msg ->
+        invalid_arg (Printf.sprintf "Catalog.register_virtual %s: %s" name msg)
+    | Ok v_schema -> Hashtbl.replace t.virtuals name { v_schema; v_rows = rows }
+
+let find_virtual t name = Hashtbl.find_opt t.virtuals name
+
+let virtual_names t = Brdb_util.Sorted_tbl.sorted_keys t.virtuals
+
+let virtual_schema t name =
+  Option.map (fun v -> v.v_schema) (find_virtual t name)
 
 let find t name = Hashtbl.find_opt t.tables name
 
@@ -36,7 +66,8 @@ let table_names t = Brdb_util.Sorted_tbl.sorted_keys t.tables
 
 let create_table t schema =
   let name = schema.Schema.table_name in
-  if Hashtbl.mem t.tables name then Error (Printf.sprintf "table %s already exists" name)
+  if is_sys_name name then Error "sys.* tables are read-only"
+  else if Hashtbl.mem t.tables name then Error (Printf.sprintf "table %s already exists" name)
   else begin
     let table = Table.create schema in
     Hashtbl.replace t.tables name table;
@@ -44,7 +75,8 @@ let create_table t schema =
   end
 
 let drop_table t name =
-  if String.equal name ledger_table then Error "cannot drop system table"
+  if is_sys_name name then Error "sys.* tables are read-only"
+  else if String.equal name ledger_table then Error "cannot drop system table"
   else if not (Hashtbl.mem t.tables name) then
     Error (Printf.sprintf "table %s does not exist" name)
   else begin

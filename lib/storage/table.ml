@@ -18,6 +18,9 @@ type t = {
      {!check_visibility}). *)
   live : Bitset.t;
   mutable dead : ISet.t IMap.t;
+  (* Cumulative count of versions physically removed by {!prune}
+     (surfaced by the sys.tables view). *)
+  mutable pruned_total : int;
 }
 
 let create schema =
@@ -29,6 +32,7 @@ let create schema =
       uniques = [];
       live = Bitset.create ();
       dead = IMap.empty;
+      pruned_total = 0;
     }
   in
   (match schema.Schema.pk_index with
@@ -173,7 +177,10 @@ let prune t ~keep =
           incr removed
       | _ -> ())
     t.heap;
+  t.pruned_total <- t.pruned_total + !removed;
   !removed
+
+let pruned_total t = t.pruned_total
 
 let check_visibility t =
   let expect_live = ref ISet.empty and expect_dead = ref IMap.empty in

@@ -86,6 +86,10 @@ val remove_from_indexes : t -> Version.t -> unit
     visibility index. *)
 val prune : t -> keep:(Version.t -> bool) -> int
 
+(** Cumulative count of versions removed by {!prune} over the table's
+    lifetime (the sys.tables [pruned] column). *)
+val pruned_total : t -> int
+
 (** Debug validator: recomputes the visibility index from the heap and
     compares. [Error] describes the first divergence found. *)
 val check_visibility : t -> (unit, string) result

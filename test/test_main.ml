@@ -22,5 +22,6 @@ let () =
          Test_misc.suites;
          Test_chaos.suites;
          Test_obs.suites;
+         Test_sysviews.suites;
          Test_properties.suites;
        ])

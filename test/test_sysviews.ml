@@ -1,0 +1,369 @@
+(* The SQL-queryable introspection layer (DESIGN.md §10): sys.* virtual
+   tables, EXPLAIN ANALYZE, and the online divergence monitor. *)
+
+module B = Brdb_core.Blockchain_db
+module Chaos = Brdb_core.Chaos
+module Value = Brdb_storage.Value
+module Catalog = Brdb_storage.Catalog
+module Node_core = Brdb_node.Node_core
+module Peer = Brdb_node.Peer
+module Exec = Brdb_engine.Exec
+module Registry = Brdb_contracts.Registry
+module Api = Brdb_contracts.Api
+module Reg = Brdb_obs.Registry
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let init_net ?(seed = 42) ?(tracing = false) ?(block_size = 10) () =
+  let config =
+    {
+      (B.default_config ()) with
+      B.seed;
+      tracing;
+      block_size;
+      block_timeout = 0.25;
+    }
+  in
+  let net = B.create config in
+  B.install_contract net ~name:"init"
+    (Registry.Native
+       (fun ctx ->
+         ignore (Api.execute ctx "CREATE TABLE kv (k INT PRIMARY KEY, v INT)")));
+  (match
+     B.install_contract_source net ~name:"put" "INSERT INTO kv VALUES ($1, $2)"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let admin = B.admin net "org1" in
+  let id = B.submit net ~user:admin ~contract:"init" ~args:[] in
+  B.settle net;
+  (match B.status net id with
+  | Some B.Committed -> ()
+  | _ -> Alcotest.fail "init did not commit");
+  net
+
+let query_ok net ?node sql =
+  match B.query net ?node sql with
+  | Ok rs -> rs
+  | Error e -> Alcotest.failf "%s failed: %s" sql e
+
+let render (rs : Exec.result_set) =
+  String.concat ","  rs.Exec.columns
+  ^ "\n"
+  ^ String.concat "\n"
+      (List.map
+         (fun row ->
+           String.concat "|" (Array.to_list (Array.map Value.encode row)))
+         rs.Exec.rows)
+
+(* A workload with guaranteed conflicts: keys collide, so some
+   transactions abort with a Table-2 class. *)
+let conflicting_workload ?(n = 12) net =
+  let u = B.register_user net "sys/alice" in
+  for i = 1 to n do
+    ignore
+      (B.submit net ~user:u ~contract:"put"
+         ~args:[ Value.Int (1 + (i mod 4)); Value.Int i ])
+  done;
+  B.settle net
+
+(* --- view contents ------------------------------------------------------- *)
+
+let test_views_populated () =
+  let net = init_net () in
+  conflicting_workload net;
+  let blocks = query_ok net "SELECT height, txs, committime FROM sys.blocks" in
+  Alcotest.(check bool) "at least two blocks" true (List.length blocks.Exec.rows >= 2);
+  List.iter
+    (fun row ->
+      match row with
+      | [| Value.Int h; Value.Int txs; Value.Int ct |] ->
+          Alcotest.(check bool) "positive height" true (h >= 1);
+          Alcotest.(check bool) "has txs" true (txs >= 1);
+          Alcotest.(check int) "committime = height (pgledger convention)" h ct
+      | _ -> Alcotest.fail "bad sys.blocks row")
+    blocks.Exec.rows;
+  let txs =
+    query_ok net "SELECT gid, decision FROM sys.transactions WHERE decision = 'aborted'"
+  in
+  Alcotest.(check bool) "conflicting workload aborted something" true
+    (txs.Exec.rows <> []);
+  (* sys.aborts totals must equal the per-transaction abort rows. *)
+  let aborts =
+    match (query_ok net "SELECT SUM(n) FROM sys.aborts").Exec.rows with
+    | [ [| Value.Int n |] ] -> n
+    | _ -> Alcotest.fail "bad sys.aborts sum"
+  in
+  Alcotest.(check int) "sys.aborts matches sys.transactions"
+    (List.length txs.Exec.rows) aborts;
+  (* The views join with ordinary tables like any other relation. *)
+  let joined =
+    query_ok net
+      "SELECT t.gid FROM sys.transactions t JOIN sys.blocks b ON t.block = \
+       b.height WHERE t.decision = 'committed'"
+  in
+  Alcotest.(check bool) "sys views join" true (joined.Exec.rows <> []);
+  let tables = query_ok net "SELECT name, live FROM sys.tables WHERE name = 'kv'" in
+  (match tables.Exec.rows with
+  | [ [| Value.Text _; Value.Int live |] ] ->
+      Alcotest.(check int) "kv live rows" 4 live
+  | _ -> Alcotest.fail "kv missing from sys.tables");
+  match (query_ok net "SELECT node, height FROM sys.nodes").Exec.rows with
+  | rows when List.length rows = 3 -> ()
+  | _ -> Alcotest.fail "sys.nodes should list all three peers"
+
+let test_views_read_only () =
+  let net = init_net () in
+  conflicting_workload net;
+  let expect_reject sql =
+    match B.query net sql with
+    | Ok _ -> Alcotest.failf "%s should have been rejected" sql
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s rejected as read-only (got: %s)" sql e)
+          true
+          (e = "sys.* tables are read-only"
+          || e = "read-only queries cannot modify state")
+  in
+  expect_reject "INSERT INTO sys.blocks VALUES (99, 1, 'x', 'y', 99, 'z')";
+  expect_reject "UPDATE sys.aborts SET n = 0 WHERE class = 'uniqueness'";
+  expect_reject "DELETE FROM sys.transactions WHERE block = 1";
+  expect_reject "DROP TABLE sys.blocks";
+  expect_reject "CREATE TABLE sys.mine (a INT PRIMARY KEY)";
+  expect_reject "CREATE UNIQUE INDEX sys_idx ON sys.blocks (height)";
+  (* Catalog-level guard, independent of the executor. *)
+  let catalog = Catalog.create () in
+  (match
+     Brdb_storage.Schema.create ~name:"sys.rogue"
+       ~columns:
+         [
+           {
+             Brdb_storage.Schema.name = "a";
+             ty = Brdb_sql.Ast.T_int;
+             not_null = false;
+             primary_key = true;
+           };
+         ]
+   with
+  | Error e -> Alcotest.fail e
+  | Ok schema -> (
+      match Catalog.create_table catalog schema with
+      | Ok _ -> Alcotest.fail "catalog accepted a sys.* base table"
+      | Error e ->
+          Alcotest.(check string) "catalog guard" "sys.* tables are read-only" e));
+  (* PROVENANCE over a virtual table is a plain read, not a crash:
+     materialized rows carry a synthetic creator block. *)
+  let rs = query_ok net "PROVENANCE SELECT height FROM sys.blocks WHERE height = 1" in
+  Alcotest.(check int) "provenance no-op on sys views" 1 (List.length rs.Exec.rows)
+
+let test_contracts_cannot_read_sys () =
+  let net = init_net () in
+  (match
+     B.install_contract_source net ~name:"spy" "SELECT n FROM sys.aborts"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let u = B.register_user net "sys/mallory" in
+  let id = B.submit net ~user:u ~contract:"spy" ~args:[] in
+  B.settle net;
+  match B.status net id with
+  | Some (B.Aborted reason) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "abort mentions contract restriction (got: %s)" reason)
+        true
+        (contains reason "not readable from contracts")
+  | s ->
+      Alcotest.failf "contract reading sys.* should abort, got %s"
+        (match s with
+        | Some B.Committed -> "committed"
+        | Some (B.Rejected r) -> "rejected: " ^ r
+        | None -> "undecided"
+        | Some (B.Aborted _) -> assert false)
+
+(* --- determinism: byte-identical across nodes ----------------------------- *)
+
+let test_views_byte_identical_across_nodes () =
+  let net = init_net ~seed:7 () in
+  conflicting_workload net;
+  List.iter
+    (fun sql ->
+      let reference = render (query_ok net ~node:0 sql) in
+      List.iter
+        (fun node ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s identical on node %d" sql node)
+            reference
+            (render (query_ok net ~node sql)))
+        [ 1; 2 ])
+    [
+      "SELECT * FROM sys.blocks";
+      "SELECT * FROM sys.transactions";
+      "SELECT * FROM sys.aborts";
+      "SELECT * FROM sys.tables";
+      "SELECT * FROM sys.indexes";
+    ]
+
+(* --- EXPLAIN ANALYZE ------------------------------------------------------ *)
+
+let test_explain_analyze_annotates_and_is_neutral () =
+  let net = init_net ~tracing:true () in
+  conflicting_workload net;
+  let core = Peer.core (B.peer net 0) in
+  let snapshot () =
+    let reg_entries = Reg.snapshot (Brdb_obs.Obs.metrics (B.obs net)) in
+    let totals = Exec.scan_counts (Node_core.exec_totals core) in
+    let pending = Brdb_txn.Manager.pending_count (Node_core.manager core) in
+    let versions =
+      List.filter_map
+        (fun name ->
+          Option.map
+            (fun t -> (name, Brdb_storage.Table.version_count t))
+            (Catalog.find (Node_core.catalog core) name))
+        (Catalog.table_names (Node_core.catalog core))
+    in
+    let digest = Node_core.state_digest core ~height:(Node_core.height core) in
+    let traces = List.length (Brdb_obs.Trace.events (Brdb_obs.Obs.trace (B.obs net))) in
+    (reg_entries, totals, pending, versions, digest, traces)
+  in
+  let baseline_rows =
+    List.length (query_ok net "SELECT * FROM kv WHERE k > 1").Exec.rows
+  in
+  let before = snapshot () in
+  (match B.explain_analyze net "SELECT * FROM kv WHERE k > 1" with
+  | Error e -> Alcotest.fail e
+  | Ok (plan, stats) ->
+      (* The annotation carries the actual executor counters. *)
+      let rows =
+        List.fold_left
+          (fun acc (_, _, n) -> acc + n)
+          0
+          (Exec.scan_counts stats)
+      in
+      Alcotest.(check int) "stats row count matches a real execution"
+        baseline_rows rows;
+      Alcotest.(check bool) "plan shows actual counters" true
+        (contains plan (Printf.sprintf "actual rows=%d" baseline_rows));
+      Alcotest.(check bool) "plan shows modelled time" true
+        (contains plan "time="));
+  Alcotest.(check bool) "EXPLAIN ANALYZE leaves no residue" true
+    (before = snapshot ());
+  (* Writes and DDL are refused up front. *)
+  (match B.explain_analyze net "INSERT INTO kv VALUES (99, 99)" with
+  | Ok _ -> Alcotest.fail "EXPLAIN ANALYZE accepted DML"
+  | Error e ->
+      Alcotest.(check string) "EA rejects non-SELECT"
+        "EXPLAIN ANALYZE supports SELECT statements only" e);
+  match B.explain_analyze net "SELECT * FROM sys.aborts" with
+  | Ok (plan, _) ->
+      Alcotest.(check bool) "EA works on sys views" true
+        (contains plan "actual rows=")
+  | Error e -> Alcotest.fail e
+
+(* --- divergence monitor --------------------------------------------------- *)
+
+let test_bisection_finds_tampered_height () =
+  let net = init_net ~seed:11 () in
+  let u = B.register_user net "sys/bob" in
+  for i = 1 to 10 do
+    ignore
+      (B.submit net ~user:u ~contract:"put"
+         ~args:[ Value.Int (100 + i); Value.Int i ]);
+    B.settle net
+  done;
+  Alcotest.(check (option int)) "healthy cluster has no divergence" None
+    (Chaos.find_divergence net);
+  let victim = Peer.core (B.peer net 1) in
+  let target = Node_core.height victim - 3 in
+  Node_core.tamper_digest_for_test victim ~height:target;
+  Alcotest.(check (option int)) "bisection pinpoints the first bad block"
+    (Some target) (Chaos.find_divergence net);
+  (* The digest accessor agrees with what the view publishes. *)
+  match
+    B.query net ~node:1
+      ~params:[| Value.Int target |]
+      "SELECT state_digest FROM sys.blocks WHERE height = $1"
+  with
+  | Ok { Exec.rows = [ [| Value.Text d |] ]; _ } ->
+      Alcotest.(check (option string)) "state_digest accessor matches view"
+        (Some d)
+        (Node_core.state_digest victim ~height:target)
+  | Ok _ -> Alcotest.fail "bad digest row"
+  | Error e -> Alcotest.fail e
+
+(* --- cross-node agreement under chaos (qcheck) ---------------------------- *)
+
+let prop_sys_views_agree_under_chaos =
+  (* Under a seeded fault schedule (a crash/restart cycle plus catch-up),
+     every node must publish the same sys.transactions decisions and the
+     same sys.blocks chained digests — the abort *reason* columns are
+     node-local, but gid/decision and the digests are consensus-critical. *)
+  QCheck.Test.make
+    ~name:"sys views: decisions and digests agree across nodes under chaos"
+    ~count:6
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 9999))
+    (fun seed ->
+      let net = init_net ~seed ~block_size:6 () in
+      let u = B.register_user net "sys/chaos" in
+      let put i =
+        ignore
+          (B.submit net ~user:u ~contract:"put"
+             ~args:[ Value.Int (1 + (i mod 7)); Value.Int i ])
+      in
+      for i = 1 to 15 do put i done;
+      B.run net ~seconds:0.4;
+      let victim = B.peer net (seed mod 3) in
+      Peer.crash victim;
+      for i = 16 to 30 do put i done;
+      B.run net ~seconds:0.8;
+      Peer.restart victim;
+      B.settle net;
+      (* drive until every node holds the same height *)
+      let height n = Node_core.height (Peer.core (B.peer net n)) in
+      let rounds = ref 0 in
+      while
+        (not (height 0 = height 1 && height 1 = height 2)) && !rounds < 40
+      do
+        incr rounds;
+        B.run net ~seconds:0.5
+      done;
+      if not (height 0 = height 1 && height 1 = height 2) then
+        QCheck.Test.fail_reportf "seed %d: heights never converged" seed;
+      List.iter
+        (fun sql ->
+          let reference = render (query_ok net ~node:0 sql) in
+          List.iter
+            (fun node ->
+              let got = render (query_ok net ~node sql) in
+              if got <> reference then
+                QCheck.Test.fail_reportf
+                  "seed %d: %s differs between node 0 and node %d:\n%s\n--\n%s"
+                  seed sql node reference got)
+            [ 1; 2 ])
+        [
+          "SELECT gid, block, decision FROM sys.transactions";
+          "SELECT height, txs, hash, state_digest FROM sys.blocks";
+        ];
+      true)
+
+let suites =
+  [
+    ( "sysviews",
+      [
+        Alcotest.test_case "views populated and joinable" `Quick
+          test_views_populated;
+        Alcotest.test_case "sys.* rejects writes and DDL" `Quick
+          test_views_read_only;
+        Alcotest.test_case "contracts cannot read sys.*" `Quick
+          test_contracts_cannot_read_sys;
+        Alcotest.test_case "byte-identical across nodes" `Quick
+          test_views_byte_identical_across_nodes;
+        Alcotest.test_case "EXPLAIN ANALYZE annotates, leaves no residue"
+          `Quick test_explain_analyze_annotates_and_is_neutral;
+        Alcotest.test_case "SQL bisection finds tampered digest" `Quick
+          test_bisection_finds_tampered_height;
+        QCheck_alcotest.to_alcotest prop_sys_views_agree_under_chaos;
+      ] );
+  ]
