@@ -510,9 +510,201 @@ let fastpath () =
         ])
     queries
 
+(* ---------------- snapshot bootstrap: join time & compaction (§11) ------ *)
+
+module Peer = Brdb_node.Peer
+module Msg = Brdb_consensus.Msg
+module Block = Brdb_ledger.Block
+module Identity = Brdb_crypto.Identity
+module Value = Brdb_storage.Value
+module Snapshot = Brdb_snapshot.Snapshot
+module Chunk = Brdb_snapshot.Chunk
+module Clock = Brdb_sim.Clock
+module Rng = Brdb_sim.Rng
+
+type boot_result = {
+  join_s : float;  (** simulated seconds from restart to convergence *)
+  fetched : int;  (** blocks the victim fetched after restarting *)
+  installs : int;  (** snapshots the victim installed (0 or 1) *)
+  resident_archive : int;
+  resident_pruned : int;
+  bytes_archive : int;
+  bytes_pruned : int;
+  chunks : int;  (** archive-snapshot chunk count at the transfer size *)
+}
+
+(* A 3-peer cluster fed a block stream directly (fake orderer, as in the
+   peer test fixture): peer-3 crashes after the setup block, the chain
+   grows to [blocks]+1, then peer-3 restarts and catches up — by linear
+   block replay (threshold 0) or by snapshot transfer (threshold 4). The
+   workload is update-heavy (keyspace 40, the rest bumps) so dead version
+   chains accumulate and Pruned compaction has something to drop. *)
+let bootstrap_join ~blocks ~threshold ~compaction ~seed =
+  let chunk_size = 4096 in
+  let clock = Clock.create () in
+  let rng = Rng.create ~seed in
+  let net = Msg.Net.create ~clock ~rng ~default_link:Network.lan_link in
+  let registry = Identity.Registry.create () in
+  let orderer = Identity.create "orderer/bench" in
+  let admin = Identity.create "org1/admin" in
+  let client = Identity.create "org1/bench" in
+  List.iter
+    (fun id ->
+      match Identity.Registry.register registry id with
+      | Ok () -> ()
+      | Error _ -> assert false)
+    [ orderer; admin; client ];
+  Msg.Net.register net ~name:"orderer-1" (fun ~src:_ _ -> ());
+  let peer_names = [ "peer-1"; "peer-2"; "peer-3" ] in
+  let peers =
+    List.map
+      (fun name ->
+        let p =
+          Peer.create ~net
+            {
+              Peer.core =
+                Node_core.make_config ~name ~org:"org1"
+                  ~flow:Node_core.Order_execute ~orgs:[ "org1" ] ();
+              cost = Brdb_sim.Cost_model.default;
+              contract_class_of = (fun _ -> Brdb_sim.Cost_model.Simple);
+              orderer_target = "orderer-1";
+              peer_names;
+              forward_delay_mean = 0.;
+              checkpoint_interval = 4;
+              fetch_timeout = 0.05;
+              sync_interval = 0.;
+              inbox_window = 64;
+              snapshot_threshold = threshold;
+              snapshot_chunk_size = chunk_size;
+              compaction;
+            }
+            ~registry
+        in
+        List.iter
+          (fun (cname, sql) ->
+            Node_core.install_contract (Peer.core p) ~name:cname
+              (Brdb_contracts.Registry.Native
+                 (fun ctx -> ignore (Brdb_contracts.Api.execute ctx sql))))
+          [
+            ("setup", "CREATE TABLE kv (k INT PRIMARY KEY, v INT)");
+            ("put", "INSERT INTO kv VALUES ($1, $2)");
+            ("bump", "UPDATE kv SET v = v + 1 WHERE k = $1");
+          ];
+        p)
+      peer_names
+  in
+  let prev = ref None in
+  let deliver txs =
+    let height = (match !prev with None -> 0 | Some b -> b.Block.height) + 1 in
+    let prev_hash =
+      match !prev with None -> Block.genesis_hash | Some b -> b.Block.hash
+    in
+    let block =
+      Block.sign (Block.create ~height ~txs ~metadata:"bench" ~prev_hash) orderer
+    in
+    prev := Some block;
+    List.iter
+      (fun p ->
+        ignore
+          (Msg.Net.send net ~src:"orderer-1" ~dst:(Peer.name p)
+             ~size_bytes:(Msg.size (Msg.Block_deliver block))
+             (Msg.Block_deliver block)))
+      peers;
+    ignore (Clock.run clock)
+  in
+  deliver [ Block.make_tx ~id:"setup" ~identity:admin ~contract:"setup" ~args:[] ];
+  let victim = List.nth peers 2 in
+  Peer.crash victim;
+  let keyspace = 40 in
+  let txc = ref 0 in
+  for b = 1 to blocks do
+    let txs =
+      List.init 10 (fun j ->
+          let i = ((b - 1) * 10) + j in
+          incr txc;
+          let id = Printf.sprintf "t%d" !txc in
+          if i < keyspace then
+            Block.make_tx ~id ~identity:client ~contract:"put"
+              ~args:[ Value.Int i; Value.Int i ]
+          else
+            Block.make_tx ~id ~identity:client ~contract:"bump"
+              ~args:[ Value.Int (i mod keyspace) ])
+    in
+    deliver txs
+  done;
+  let target = blocks + 1 in
+  let live = List.hd peers in
+  assert (Node_core.height (Peer.core live) = target);
+  let fetched0 = Peer.fetched_blocks victim in
+  let t0 = Clock.now clock in
+  Peer.restart victim;
+  ignore (Clock.run clock);
+  let h = Node_core.height (Peer.core victim) in
+  if h <> target then
+    failwith (Printf.sprintf "bootstrap: victim stuck at %d/%d" h target);
+  let snap c = Node_core.export_snapshot (Peer.core live) ~compaction:c in
+  let arch = snap Snapshot.Archive and pruned = snap Snapshot.Pruned in
+  let bytes_archive = String.length (Snapshot.encode arch) in
+  {
+    join_s = Clock.now clock -. t0;
+    fetched = Peer.fetched_blocks victim - fetched0;
+    installs = Peer.snapshots_installed victim;
+    resident_archive = Snapshot.resident_versions arch;
+    resident_pruned = Snapshot.resident_versions pruned;
+    bytes_archive;
+    bytes_pruned = String.length (Snapshot.encode pruned);
+    chunks = (bytes_archive + chunk_size - 1) / chunk_size;
+  }
+
+let bootstrap () =
+  header
+    "Bootstrap: snapshot vs replay join time and compaction residency (§11)";
+  line "%6s | %9s %7s | %9s %9s %6s | %9s %9s | %8s %8s" "blocks" "replay(s)"
+    "fetched" "arch(s)" "prune(s)" "chunks" "bytes-a" "bytes-p" "res-arch"
+    "res-prun";
+  let sizes = if !quick then [ 8; 16; 32 ] else [ 8; 16; 32; 64; 128 ] in
+  List.iter
+    (fun blocks ->
+      let replay =
+        bootstrap_join ~blocks ~threshold:0 ~compaction:Snapshot.Archive ~seed:11
+      in
+      let arch =
+        bootstrap_join ~blocks ~threshold:4 ~compaction:Snapshot.Archive ~seed:11
+      in
+      let prune =
+        bootstrap_join ~blocks ~threshold:4 ~compaction:Snapshot.Pruned ~seed:11
+      in
+      if replay.installs <> 0 || arch.installs <> 1 || prune.installs <> 1 then
+        line "  (unexpected install counts: replay=%d arch=%d pruned=%d)"
+          replay.installs arch.installs prune.installs;
+      line "%6d | %9.3f %7d | %9.3f %9.3f %6d | %9d %9d | %8d %8d" blocks
+        replay.join_s replay.fetched arch.join_s prune.join_s arch.chunks
+        arch.bytes_archive arch.bytes_pruned arch.resident_archive
+        arch.resident_pruned;
+      Runner.record
+        [
+          ("kind", Runner.J_str "bootstrap");
+          ("blocks", Runner.J_int blocks);
+          ("replay_join_s", Runner.J_float replay.join_s);
+          ("replay_fetched", Runner.J_int replay.fetched);
+          ("snapshot_archive_join_s", Runner.J_float arch.join_s);
+          ("snapshot_pruned_join_s", Runner.J_float prune.join_s);
+          ("chunks", Runner.J_int arch.chunks);
+          ("bytes_archive", Runner.J_int arch.bytes_archive);
+          ("bytes_pruned", Runner.J_int arch.bytes_pruned);
+          ("resident_archive", Runner.J_int arch.resident_archive);
+          ("resident_pruned", Runner.J_int arch.resident_pruned);
+        ])
+    sizes;
+  line
+    "replay time grows with chain length; snapshot join time tracks state \
+     size (chunks), and Pruned drops dead version chains (res-prun < \
+     res-arch)."
+
 let all : (string * (unit -> unit)) list =
   [
     ("fastpath", fastpath);
+    ("bootstrap", bootstrap);
     ("fig5a", fig5a);
     ("fig5b", fig5b);
     ("table4", table4);

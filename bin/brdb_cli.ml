@@ -8,6 +8,8 @@
     - [trace]: run a scripted workload with deterministic tracing enabled and
       export the full submit → order → execute → validate → commit lifecycle
       as a Chrome trace (chrome://tracing, ui.perfetto.dev) or JSONL.
+    - [snapshot]: capture → chunk → verify → install round-trip of a §11
+      state snapshot on a demo chain (the check.sh smoke step).
     - [info]: network/component summary. *)
 
 module B = Brdb_core.Blockchain_db
@@ -292,7 +294,101 @@ let sys_smoke sql_args =
     stmts;
   if !failed then `Error (false, "a sys.* statement failed") else `Ok ()
 
-(* --- explain ------------------------------------------------------------------- *)
+(* --- snapshot ------------------------------------------------------------------ *)
+
+(* Round-trip a §11 deterministic state snapshot on a demo chain:
+   capture from one replica, chunk + manifest, verify every hop (plus a
+   tamper-detection spot check), assemble, decode, install onto another
+   replica, and confirm heights, state digests and query results agree.
+   Exits nonzero on any mismatch — the check.sh smoke step. *)
+let snapshot_cmd_impl mode chunk_size =
+  let module Snapshot = Brdb_snapshot.Snapshot in
+  let module Chunk = Brdb_snapshot.Chunk in
+  let say fmt = Printf.printf (fmt ^^ "\n%!") in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Failure m)) fmt in
+  try
+    let compaction =
+      match mode with
+      | "archive" -> Snapshot.Archive
+      | "pruned" -> Snapshot.Pruned
+      | other -> fail "unknown compaction mode: %s (archive or pruned)" other
+    in
+    let net = make_net ~flow:Node_core.Order_execute ~block_size:10 ~block_timeout:0.2 () in
+    let user = B.admin net "org1" in
+    let exec sql =
+      ignore (B.submit net ~user ~contract:"__sql__" ~args:[ Value.Text sql ])
+    in
+    exec "CREATE TABLE snap_kv (id INT PRIMARY KEY, v INT)";
+    B.settle net;
+    exec "INSERT INTO snap_kv VALUES (1, 10), (2, 20), (3, 30)";
+    B.settle net;
+    exec "UPDATE snap_kv SET v = 99 WHERE id = 2";
+    exec "DELETE FROM snap_kv WHERE id = 3";
+    B.settle net;
+    let src = Brdb_node.Peer.core (B.peer net 0) in
+    let dst = Brdb_node.Peer.core (B.peer net 2) in
+    let h = Node_core.height src in
+    let snap = Node_core.export_snapshot src ~compaction in
+    let payload = Snapshot.encode snap in
+    say "captured %s snapshot at height %d: %d bytes, %d resident versions"
+      (Snapshot.compaction_to_string compaction)
+      h (String.length payload)
+      (Snapshot.resident_versions snap);
+    let chunks = Chunk.split ~chunk_size payload in
+    let manifest =
+      Chunk.manifest_of_chunks ~height:snap.Snapshot.height
+        ~state_digest:snap.Snapshot.state_digest ~chunk_size
+        ~total_bytes:(String.length payload) chunks
+    in
+    if not (Chunk.verify_manifest manifest) then fail "manifest verification failed";
+    Array.iter
+      (fun c ->
+        if not (Chunk.verify_chunk manifest c) then
+          fail "chunk %d failed verification" c.Chunk.c_index)
+      chunks;
+    say "chunked into %d x %d B; manifest root %s... verified (all chunks)"
+      (Array.length chunks) chunk_size
+      (String.sub manifest.Chunk.m_root 0 12);
+    (* tamper-detection spot check on the first chunk *)
+    (let c0 = chunks.(0) in
+     let bytes = Bytes.of_string c0.Chunk.c_payload in
+     Bytes.set bytes 0 (Char.chr (Char.code (Bytes.get bytes 0) lxor 1));
+     let mangled = { c0 with Chunk.c_payload = Bytes.to_string bytes } in
+     if Chunk.verify_chunk manifest mangled then
+       fail "tampered chunk was NOT rejected";
+     say "tampered chunk rejected by content-hash verification");
+    let parts = Array.map (fun c -> Some c.Chunk.c_payload) chunks in
+    let assembled =
+      match Chunk.assemble manifest parts with
+      | Ok s -> s
+      | Error e -> fail "assemble failed: %s" e
+    in
+    if not (String.equal assembled payload) then fail "assembled payload differs";
+    let decoded =
+      match Snapshot.decode assembled with
+      | Ok s -> s
+      | Error e -> fail "decode failed: %s" e
+    in
+    (match Node_core.install_snapshot dst decoded with
+    | Ok () -> say "installed onto %s" (Brdb_node.Peer.name (B.peer net 2))
+    | Error e -> fail "install failed: %s" e);
+    if Node_core.height dst <> h then
+      fail "height mismatch after install: %d vs %d" (Node_core.height dst) h;
+    let digest core =
+      match Node_core.state_digest core ~height:h with
+      | Some d -> d
+      | None -> fail "no state digest at %d" h
+    in
+    if not (String.equal (digest src) (digest dst)) then
+      fail "state digest mismatch after install";
+    say "state digest at height %d matches the source: %s..." h
+      (String.sub (digest src) 0 12);
+    (match B.query net ~node:2 "SELECT id, v FROM snap_kv ORDER BY id" with
+    | Ok rs -> print_result rs
+    | Error e -> fail "post-install query failed: %s" e);
+    say "snapshot round-trip OK (%s mode)" (Snapshot.compaction_to_string compaction);
+    `Ok ()
+  with Failure m -> `Error (false, m)
 
 (* Offline plan inspection: DDL statements build up a scratch catalog
    (tables + indexes, never committed anywhere), every other statement is
@@ -459,10 +555,30 @@ let sys_cmd =
           (nonzero exit if any statement fails — the check.sh smoke step)")
     Term.(ret (const sys_smoke $ sys_sql_args))
 
+let compaction_arg =
+  Arg.(
+    value & opt string "archive"
+    & info [ "compaction" ] ~docv:"MODE"
+        ~doc:"archive (keep dead version chains) or pruned (drop them)")
+
+let chunk_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "chunk-size" ] ~docv:"BYTES" ~doc:"snapshot transfer chunk size")
+
+let snapshot_cmd =
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "capture a deterministic state snapshot of a demo chain, chunk and \
+          verify it, install it onto another replica and check digests agree \
+          (nonzero exit on any mismatch — the check.sh smoke step)")
+    Term.(ret (const snapshot_cmd_impl $ compaction_arg $ chunk_arg))
+
 let main =
   Cmd.group
     (Cmd.info "brdb" ~version:"1.0.0"
        ~doc:"decentralized replicated relational database with blockchain properties")
-    [ sandbox_cmd; demo_cmd; trace_cmd; explain_cmd; info_cmd; sys_cmd ]
+    [ sandbox_cmd; demo_cmd; trace_cmd; explain_cmd; info_cmd; sys_cmd; snapshot_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,11 +1,14 @@
 #!/bin/sh
 # The one-stop gate: build everything (including the determinism lint),
 # run the full test suite, then smoke-test the sys.* introspection views
-# end-to-end through the CLI (DESIGN.md §10). CI and pre-commit both call
-# this.
+# and the §11 snapshot round-trip end-to-end through the CLI. CI and
+# pre-commit both call this.
 set -eu
 cd "$(dirname "$0")"
 dune build @all @lint
 dune runtest
 dune exec bin/brdb_cli.exe -- sys > /dev/null
 echo "sys.* smoke ok"
+dune exec bin/brdb_cli.exe -- snapshot > /dev/null
+dune exec bin/brdb_cli.exe -- snapshot --compaction pruned > /dev/null
+echo "snapshot round-trip smoke ok (archive + pruned)"

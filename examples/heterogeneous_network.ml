@@ -74,6 +74,9 @@ let () =
               fetch_timeout = 0.05;
               sync_interval = 0.;
               inbox_window = 64;
+              snapshot_threshold = 0;
+              snapshot_chunk_size = Brdb_snapshot.Chunk.default_size;
+              compaction = Brdb_snapshot.Snapshot.Archive;
             }
             ~registry
         in

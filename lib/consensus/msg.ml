@@ -44,6 +44,18 @@ type t =
   | Blocks_reply of { blocks : Block.t list }
       (** peer → peer: a contiguous batch served from the responder's
           block store *)
+  | Snapshot_request of { min_height : int }
+      (** peer → peer: snapshot bootstrap (DESIGN.md §11) — ask for a
+          state-snapshot manifest at height >= [min_height]; peers that
+          cannot serve one stay silent (the requester rotates on
+          timeout) *)
+  | Snapshot_manifest of { manifest : Brdb_snapshot.Chunk.manifest }
+      (** peer → peer: chunk addresses + Merkle root bound to the
+          checkpoint's chained state digest *)
+  | Snapshot_chunk_request of { height : int; index : int }
+  | Snapshot_chunk of { height : int; chunk : Brdb_snapshot.Chunk.chunk }
+      (** peer → peer: one content-addressed chunk of the encoded
+          snapshot at [height] *)
   | Kafka_publish of kafka_entry  (** orderer → kafka cluster *)
   | Kafka_record of { offset : int; entry : kafka_entry }  (** cluster → orderer *)
   | Raft of raft_msg
@@ -62,6 +74,12 @@ let size = function
   | Fetch_blocks _ -> 32
   | Blocks_reply { blocks } ->
       64 + List.fold_left (fun acc b -> acc + block_size b) 0 blocks
+  | Snapshot_request _ | Snapshot_chunk_request _ -> 32
+  | Snapshot_manifest { manifest } ->
+      (* height, digest, root, binding + one 32-byte address per chunk *)
+      128 + (32 * Brdb_snapshot.Chunk.chunk_count manifest)
+  | Snapshot_chunk { chunk; _ } ->
+      64 + String.length chunk.Brdb_snapshot.Chunk.c_payload
   | Kafka_publish (K_tx _) | Kafka_record { entry = K_tx _; _ } -> tx_size + 16
   | Kafka_publish (K_ttc _) | Kafka_record { entry = K_ttc _; _ } -> 32
   | Raft (Append_entries { entries; _ }) -> 64 + (List.length entries * (tx_size + 24))

@@ -36,6 +36,31 @@ let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.contracts [] |> List.sort
 
 let snapshot t name = find t name
 
+(* --- snapshot support (DESIGN.md §11) ------------------------------------- *)
+
+let next_version t = t.next_version
+
+let set_next_version t v = t.next_version <- v
+
+let export_procedural t =
+  Hashtbl.fold
+    (fun name c acc ->
+      match c.body with
+      | Procedural p -> (name, c.version, p.Procedural.source) :: acc
+      | Native _ -> acc)
+    t.contracts []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let install_exact t ~name ~version ~source =
+  match Procedural.parse source with
+  | Error e -> Error e
+  | Ok program -> (
+      match Determinism.check_program program with
+      | Error e -> Error e
+      | Ok () ->
+          Hashtbl.replace t.contracts name { name; version; body = Procedural program };
+          Ok ())
+
 let restore t name prev =
   match prev with
   | None -> Hashtbl.remove t.contracts name

@@ -34,3 +34,21 @@ val names : t -> string list
 val snapshot : t -> string -> contract option
 
 val restore : t -> string -> contract option -> unit
+
+(** {2 Snapshot support (DESIGN.md §11)} *)
+
+(** Version counter carried in state snapshots so deploys after a
+    bootstrap allocate the same versions as on a replaying node. *)
+val next_version : t -> int
+
+val set_next_version : t -> int -> unit
+
+(** Procedural contracts as [(name, version, source)], sorted by name.
+    Native contracts are not serializable; nodes install them
+    out-of-band at startup, identically on every peer. *)
+val export_procedural : t -> (string * int * string) list
+
+(** Install a procedural contract at an exact version (snapshot install);
+    parses and determinism-checks the source. *)
+val install_exact :
+  t -> name:string -> version:int -> source:string -> (unit, string) result

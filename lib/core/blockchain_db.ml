@@ -32,6 +32,13 @@ type config = {
           by default — the null sink makes tracing zero-cost when
           disabled, and enabling it never changes committed state, hashes
           or cost-model output. *)
+  snapshot_threshold : int;
+      (** a restarting/lagging peer whose height gap strictly exceeds this
+          bootstraps from a peer snapshot instead of replaying blocks
+          (DESIGN.md §11); 0 (the default) disables snapshots. *)
+  compaction : Brdb_snapshot.Snapshot.compaction;
+      (** per-node version-chain retention: [Archive] (default) keeps dead
+          chains, [Pruned] drops them at checkpoints (§11). *)
 }
 
 let default_config () =
@@ -48,6 +55,8 @@ let default_config () =
     forward_delay_mean = 0.;
     seed = 42;
     tracing = false;
+    snapshot_threshold = 0;
+    compaction = Brdb_snapshot.Snapshot.Archive;
   }
 
 type final_status = Committed | Aborted of string | Rejected of string
@@ -215,6 +224,9 @@ let create config =
             fetch_timeout = 0.05;
             sync_interval = 0.25;
             inbox_window = 64;
+            snapshot_threshold = config.snapshot_threshold;
+            snapshot_chunk_size = Brdb_snapshot.Chunk.default_size;
+            compaction = config.compaction;
           }
           ~registry)
       config.orgs

@@ -37,6 +37,16 @@ type config = {
           execute → validate → commit, exportable via {!Brdb_obs.Export});
           off by default and guaranteed side-effect-free: enabling it
           changes no committed state, hash, or cost-model output. *)
+  snapshot_threshold : int;
+      (** a restarting/lagging peer whose height gap strictly exceeds
+          this bootstraps from a chunked, Merkle-verified peer snapshot
+          instead of replaying every block (DESIGN.md §11); a gap equal
+          to the threshold replays. 0 (the default) disables snapshots. *)
+  compaction : Brdb_snapshot.Snapshot.compaction;
+      (** per-node version-chain retention (§11): [Archive] (default)
+          keeps dead version chains — full PROVENANCE history; [Pruned]
+          drops chains dead below checkpoint - margin at every
+          checkpoint, bounding resident row-versions. *)
 }
 
 (** 3 orgs, order-then-execute, solo orderer, block size 100, 1 s timeout,

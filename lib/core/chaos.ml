@@ -21,6 +21,12 @@ type spec = {
   block_timeout : float;
   drop : float;
   duplicate : float;
+  snap_corrupt : float;
+      (** probability a snapshot chunk is bit-flipped in flight on
+          peer<->peer links (§11 — content addressing must reject it and
+          the fetcher must recover by re-requesting / rotating sources) *)
+  snapshot_threshold : int;  (** {!Blockchain_db.config.snapshot_threshold} *)
+  compaction : Brdb_snapshot.Snapshot.compaction;
   crashes : int;
   partitions : int;
   crash_points : bool;
@@ -38,6 +44,9 @@ let default_spec =
     block_timeout = 0.05;
     drop = 0.05;
     duplicate = 0.02;
+    snap_corrupt = 0.;
+    snapshot_threshold = 0;
+    compaction = Brdb_snapshot.Snapshot.Archive;
     crashes = 2;
     partitions = 1;
     crash_points = false;
@@ -56,6 +65,9 @@ type report = {
   delivered : int;
   dropped : int;
   duplicated : int;
+  corrupted : int;  (** payloads the corruption fault actually mangled *)
+  snapshots_installed : int;  (** snapshot bootstraps across all peers *)
+  chunks_corrupted : int;  (** chunks rejected by content-address checks *)
   loss_percent : float;
   fetch_requests : int;
   fetched_blocks : int;
@@ -138,6 +150,8 @@ let run spec =
       block_timeout = spec.block_timeout;
       seed = spec.seed;
       tracing = spec.tracing;
+      snapshot_threshold = spec.snapshot_threshold;
+      compaction = spec.compaction;
     }
   in
   let db = B.create config in
@@ -200,14 +214,35 @@ let run spec =
   let user = B.register_user db "chaos/client" in
   (* --- fault schedule (pure function of the spec seed) ------------------ *)
   let rng = Rng.create ~seed:(spec.seed lxor 0x5bd1e995) in
-  if spec.drop > 0. || spec.duplicate > 0. then
+  (* The corruption fault targets snapshot chunk payloads only: one bit of
+     the first byte is flipped in flight, exactly what the per-chunk
+     content addresses (§11) must detect. Other message kinds pass
+     through untouched (the block plane has its own signature checks). *)
+  if spec.snap_corrupt > 0. then
+    Msg.Net.set_corrupter netw (function
+      | Msg.Snapshot_chunk { height; chunk }
+        when String.length chunk.Brdb_snapshot.Chunk.c_payload > 0 ->
+          let p = Bytes.of_string chunk.Brdb_snapshot.Chunk.c_payload in
+          Bytes.set p 0 (Char.chr (Char.code (Bytes.get p 0) lxor 1));
+          Msg.Snapshot_chunk
+            {
+              height;
+              chunk =
+                { chunk with Brdb_snapshot.Chunk.c_payload = Bytes.to_string p };
+            }
+      | m -> m);
+  if spec.drop > 0. || spec.duplicate > 0. || spec.snap_corrupt > 0. then
     List.iter
       (fun a ->
         List.iter
           (fun b ->
             if a <> b then
               Msg.Net.set_fault netw ~src:a ~dst:b
-                { Network.drop = spec.drop; duplicate = spec.duplicate })
+                {
+                  Network.drop = spec.drop;
+                  duplicate = spec.duplicate;
+                  corrupt = spec.snap_corrupt;
+                })
           peer_names)
       peer_names;
   (* Block delivery is additionally lossy towards ONE victim peer; every
@@ -216,7 +251,7 @@ let run spec =
   let delivery_victim = List.nth peer_names (Rng.int rng spec.orgs) in
   if spec.drop > 0. then
     Msg.Net.set_fault netw ~src:"orderer-1" ~dst:delivery_victim
-      { Network.drop = spec.drop; duplicate = 0. };
+      { Network.drop = spec.drop; duplicate = 0.; corrupt = 0. };
   let n_events = spec.crashes + spec.partitions in
   let window = spec.duration /. float_of_int (max 1 n_events) in
   let kinds =
@@ -431,6 +466,16 @@ let run spec =
     delivered = Msg.Net.delivered netw;
     dropped = Msg.Net.dropped netw;
     duplicated = Msg.Net.duplicated netw;
+    corrupted = Msg.Net.corrupted netw;
+    snapshots_installed = sum Peer.snapshots_installed;
+    chunks_corrupted =
+      List.fold_left
+        (fun acc (e : Brdb_obs.Registry.entry) ->
+          if String.equal e.Brdb_obs.Registry.e_name "snapshot.chunks_corrupted"
+          then acc + e.e_count
+          else acc)
+        0
+        (Brdb_obs.Registry.cluster_view (Brdb_obs.Obs.metrics (B.obs db)));
     loss_percent =
       (let total = Msg.Net.delivered netw + Msg.Net.dropped netw in
        if total = 0 then 0.
@@ -468,6 +513,11 @@ let pp_report fmt r =
   if r.reason_divergences <> [] then
     Format.fprintf fmt "; %d txns aborted for node-divergent reasons"
       (List.length r.reason_divergences);
+  if r.snapshots_installed > 0 || r.chunks_corrupted > 0 then
+    Format.fprintf fmt
+      "; %d snapshot bootstraps (%d chunks rejected corrupt, %d payloads \
+       mangled in flight)"
+      r.snapshots_installed r.chunks_corrupted r.corrupted;
   if r.abort_classes <> [] then
     Format.fprintf fmt "; aborts by class: %s"
       (String.concat ", "

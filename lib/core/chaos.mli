@@ -28,6 +28,16 @@ type spec = {
   block_timeout : float;
   drop : float;  (** per-message loss probability on faulted links (0–1) *)
   duplicate : float;  (** per-message duplication probability *)
+  snap_corrupt : float;
+      (** probability a snapshot chunk payload is bit-flipped in flight on
+          peer<->peer links (§11): chunk content addresses must reject the
+          mangled chunk and the fetcher must recover (re-request, rotate
+          sources). Other message kinds are never corrupted. *)
+  snapshot_threshold : int;
+      (** {!Blockchain_db.config.snapshot_threshold} — gap above which a
+          restarting peer bootstraps from a snapshot; 0 disables *)
+  compaction : Brdb_snapshot.Snapshot.compaction;
+      (** version-chain retention on every peer (§11) *)
   crashes : int;  (** crash/restart cycles, one victim at a time *)
   partitions : int;  (** partition/heal cycles, one victim at a time *)
   crash_points : bool;
@@ -58,6 +68,13 @@ type report = {
   delivered : int;
   dropped : int;
   duplicated : int;
+  corrupted : int;
+      (** payloads actually mangled by the corruption fault in flight *)
+  snapshots_installed : int;
+      (** snapshot bootstraps completed across all peers (§11) *)
+  chunks_corrupted : int;
+      (** snapshot chunks rejected by per-chunk content-address
+          verification, summed across peers *)
   loss_percent : float;
   fetch_requests : int;  (** catch-up requests sent across the cluster *)
   fetched_blocks : int;  (** blocks recovered via §3.6 catch-up *)

@@ -42,5 +42,22 @@ let audit t registry =
     t.blocks;
   match !bad with None -> Ok () | Some h -> Error h
 
+let restore t blocks =
+  let scratch = create () in
+  let rec load = function
+    | [] -> Ok ()
+    | b :: rest -> (
+        match append scratch b with
+        | Ok () -> load rest
+        | Error _ ->
+            Error (Printf.sprintf "block %d does not chain" b.Block.height))
+  in
+  match load blocks with
+  | Error _ as e -> e
+  | Ok () ->
+      Vec.clear t.blocks;
+      Vec.iter (fun b -> ignore (Vec.push t.blocks b)) scratch.blocks;
+      Ok ()
+
 let tamper_for_test t h b =
   if h >= 1 && h <= Vec.length t.blocks then Vec.set t.blocks (h - 1) b

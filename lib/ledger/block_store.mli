@@ -24,5 +24,11 @@ val iter : t -> (Block.t -> unit) -> unit
 (** Full-chain integrity check; returns the height of the first bad block. *)
 val audit : t -> Brdb_crypto.Identity.Registry.t -> (unit, int) result
 
+(** [restore t blocks] replaces the store's contents with [blocks]
+    (heights 1..n, snapshot install — DESIGN.md §11). The sequence is
+    validated exactly as by repeated {!append}; on [Error] the store is
+    unchanged. Signatures are not checked here — run {!audit} after. *)
+val restore : t -> Block.t list -> (unit, string) result
+
 (** Tamper with a stored block (testing §3.5 scenarios only). *)
 val tamper_for_test : t -> int -> Block.t -> unit

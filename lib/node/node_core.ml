@@ -124,6 +124,8 @@ let state_digest t ~height =
   if height < 1 || height > Block_store.height t.store then None
   else Some (chained_digest t ~height)
 
+let write_set_hash t ~height = Hashtbl.find_opt t.digests height
+
 (* Testing hook for the divergence monitor: corrupt this node's recorded
    write-set hash at [height], which poisons the published chained digest
    from [height] onwards — exactly the shape of a real state divergence,
@@ -890,7 +892,34 @@ let process_block_with_crash t block ~crash =
         Wal.erase_block t.wal ~height:block_height
       end
 
+(* A crash between [Wal.begin_install] and [Wal.complete_install] leaves
+   the node half-swapped between its old state and the snapshot's. The
+   snapshot transfer is idempotent, so the cheapest correct recovery is a
+   clean bootstrap slate and a fresh fetch (DESIGN.md §11): discard every
+   table, block, contract and bookkeeping entry, then re-run bootstrap so
+   the node looks exactly like a freshly created one. *)
+let reset_half_installed t =
+  Catalog.reset t.catalog;
+  (match Block_store.restore t.store [] with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  List.iter
+    (fun (name, _, _) -> ignore (Registry.drop t.contracts ~name))
+    (Registry.export_procedural t.contracts);
+  Manager.restore_globals t.manager ~next_txid:1 [];
+  Hashtbl.reset t.digests;
+  Hashtbl.reset t.tx_log;
+  Hashtbl.reset t.exec_versions;
+  Wal.restore t.wal [];
+  t.bootstrapped <- false;
+  bootstrap t
+
 let recover t =
+  match Wal.installing t.wal with
+  | Some _ ->
+      reset_half_installed t;
+      Ok None
+  | None ->
   let h = Ledger_table.last_recorded_block t.catalog in
   if h = 0 then Ok None
   else
@@ -1006,3 +1035,173 @@ let prune t ?before () =
       | Some table when name <> Catalog.ledger_table -> acc + Table.prune table ~keep
       | _ -> acc)
     0 (Catalog.table_names t.catalog)
+
+(* --- state snapshots (DESIGN.md §11) ------------------------------------------------------ *)
+
+module Snapshot = Brdb_snapshot.Snapshot
+module Scodec = Brdb_snapshot.Codec
+
+(* The storage layers travel as Snapshot.t proper; the node-layer
+   bookkeeping that backs sys.* and the WAL tail rides in named [extra]
+   sections, each canonically encoded with the snapshot codec. *)
+
+let status_tag = function
+  | S_committed -> "C"
+  | S_aborted r -> "A" ^ Txn.abort_reason_encode r
+  | S_rejected reason -> "R" ^ reason
+
+let status_of_tag s =
+  if String.length s = 0 then Scodec.fail "empty status tag"
+  else
+    let rest = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'C' when rest = "" -> S_committed
+    | 'A' -> (
+        match Txn.abort_reason_decode rest with
+        | Some r -> S_aborted r
+        | None -> Scodec.fail (Printf.sprintf "bad abort reason tag %S" rest))
+    | 'R' -> S_rejected rest
+    | _ -> Scodec.fail (Printf.sprintf "bad status tag %S" s)
+
+let wal_status_tag = function
+  | Wal.Committed -> "C"
+  | Wal.Aborted r -> "A" ^ Txn.abort_reason_encode r
+
+let wal_status_of_tag s =
+  if String.length s = 0 then Scodec.fail "empty wal status tag"
+  else
+    let rest = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'C' when rest = "" -> Wal.Committed
+    | 'A' -> (
+        match Txn.abort_reason_decode rest with
+        | Some r -> Wal.Aborted r
+        | None -> Scodec.fail (Printf.sprintf "bad abort reason tag %S" rest))
+    | _ -> Scodec.fail (Printf.sprintf "bad wal status tag %S" s)
+
+let heights_upto height = List.init height (fun i -> i + 1)
+
+let digests_extra t ~height =
+  let w = Scodec.writer () in
+  Scodec.list w
+    (fun w h ->
+      Scodec.str w (Option.value (Hashtbl.find_opt t.digests h) ~default:""))
+    (heights_upto height);
+  Scodec.contents w
+
+let decode_digests payload = Scodec.decode payload (fun r -> Scodec.r_list r Scodec.r_str)
+
+let tx_log_extra t ~height =
+  let w = Scodec.writer () in
+  Scodec.list w
+    (fun w h ->
+      Scodec.int w h;
+      Scodec.list w
+        (fun w rec_ ->
+          Scodec.int w rec_.r_pos;
+          Scodec.str w rec_.r_gid;
+          Scodec.str w rec_.r_user;
+          Scodec.str w rec_.r_contract;
+          Scodec.str w (status_tag rec_.r_status))
+        (Hashtbl.find t.tx_log h))
+    (List.filter (Hashtbl.mem t.tx_log) (heights_upto height));
+  Scodec.contents w
+
+let decode_tx_log payload =
+  Scodec.decode payload (fun r ->
+      Scodec.r_list r (fun r ->
+          let h = Scodec.r_int r in
+          let records =
+            Scodec.r_list r (fun r ->
+                let r_pos = Scodec.r_int r in
+                let r_gid = Scodec.r_str r in
+                let r_user = Scodec.r_str r in
+                let r_contract = Scodec.r_str r in
+                let r_status = status_of_tag (Scodec.r_str r) in
+                { r_pos; r_gid; r_user; r_contract; r_status })
+          in
+          (h, records)))
+
+let wal_extra t ~height =
+  let w = Scodec.writer () in
+  Scodec.list w
+    (fun w (txid, h, status) ->
+      Scodec.int w txid;
+      Scodec.int w h;
+      Scodec.str w (wal_status_tag status))
+    (Wal.export t.wal ~above:(height - 4));
+  Scodec.contents w
+
+let decode_wal payload =
+  Scodec.decode payload (fun r ->
+      Scodec.r_list r (fun r ->
+          let txid = Scodec.r_int r in
+          let h = Scodec.r_int r in
+          let status = wal_status_of_tag (Scodec.r_str r) in
+          (txid, h, status)))
+
+let export_snapshot t ~compaction =
+  bootstrap t;
+  let height = height t in
+  Snapshot.capture ~catalog:t.catalog ~store:t.store ~contracts:t.contracts
+    ~manager:t.manager ~height
+    ~state_digest:(chained_digest t ~height)
+    ~compaction
+    ~extra:
+      [
+        ("digests", digests_extra t ~height);
+        ("txlog", tx_log_extra t ~height);
+        ("wal", wal_extra t ~height);
+      ]
+    ()
+
+let require_extra snap name =
+  match Snapshot.find_extra snap name with
+  | Some payload -> Ok payload
+  | None -> Error (Printf.sprintf "snapshot lacks the %s section" name)
+
+let install_snapshot ?(crash_after_tables = false) t (snap : Snapshot.t) =
+  let ( let* ) = Result.bind in
+  (* Validate every node-layer section before touching any state. *)
+  let* digests = Result.bind (require_extra snap "digests") decode_digests in
+  let* tx_log = Result.bind (require_extra snap "txlog") decode_tx_log in
+  let* wal_entries = Result.bind (require_extra snap "wal") decode_wal in
+  if List.length digests <> snap.Snapshot.height then
+    Error "snapshot digest section does not cover every height"
+  else
+    let chained =
+      List.fold_left
+        (fun acc ws ->
+          Brdb_util.Hex.encode (Brdb_crypto.Sha256.digest_concat [ acc; ws ]))
+        Block.genesis_hash digests
+    in
+    if not (String.equal chained snap.Snapshot.state_digest) then
+      Error "snapshot per-block digests do not chain to the claimed state digest"
+    else begin
+      (* The target node must be bootstrapped (sys.* views, native system
+         contracts) before the storage swap; install then replaces the
+         bootstrap-created tables wholesale. *)
+      bootstrap t;
+      Wal.begin_install t.wal ~height:snap.Snapshot.height;
+      match
+        Snapshot.install ~catalog:t.catalog ~store:t.store ~contracts:t.contracts
+          ~manager:t.manager ~identities:t.registry snap
+      with
+      | Error _ as e ->
+          (* Phase 1 failed: nothing was mutated, so just drop the guard. *)
+          Wal.complete_install t.wal;
+          e
+      | Ok () when crash_after_tables ->
+          (* Test hook: storage swapped, node bookkeeping not — the guard
+             stays set, exactly the window §11 recovery must handle. *)
+          Ok ()
+      | Ok () ->
+          Hashtbl.reset t.digests;
+          List.iteri (fun i ws -> Hashtbl.replace t.digests (i + 1) ws) digests;
+          Hashtbl.reset t.tx_log;
+          List.iter (fun (h, records) -> Hashtbl.replace t.tx_log h records) tx_log;
+          Hashtbl.reset t.exec_versions;
+          Wal.restore t.wal wal_entries;
+          Wal.complete_install t.wal;
+          Ok ()
+    end

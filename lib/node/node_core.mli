@@ -135,6 +135,11 @@ val set_tet_model : t -> (string -> float) -> unit
     monotonicity the {!Chaos} SQL bisection relies on. *)
 val state_digest : t -> height:int -> string option
 
+(** The write-set hash the node recorded for the block at [height]
+    ([None] above the current height). The peer layer uses it to rebuild
+    checkpoint records after a snapshot install (DESIGN.md §11). *)
+val write_set_hash : t -> height:int -> string option
+
 (** Corrupt the recorded write-set hash at [height], poisoning the
     published chained digest from [height] onwards (divergence-injection
     for the chaos harness and tests only). *)
@@ -163,3 +168,26 @@ val recover : t -> (block_result option, string) result
     aborted versions and, when [before] is given, versions whose deleter
     committed at or below that height. Returns versions removed. *)
 val prune : t -> ?before:int -> unit -> int
+
+(** {2 State snapshots (DESIGN.md §11)} *)
+
+(** [export_snapshot t ~compaction] captures this node's full state at
+    its current height: the storage layers via
+    {!Brdb_snapshot.Snapshot.capture}, plus node-layer [extra] sections
+    (per-block write-set digests, the sys.transactions record log, and
+    the WAL tail recovery inspects) in the snapshot codec. Deterministic:
+    two nodes with identical state produce byte-identical snapshots. *)
+val export_snapshot :
+  t -> compaction:Brdb_snapshot.Snapshot.compaction -> Brdb_snapshot.Snapshot.t
+
+(** [install_snapshot t snap] replaces this node's state with the
+    snapshot's. Validation first (node sections decode, the per-block
+    digests chain exactly to the snapshot's claimed state digest, blocks
+    verify, tables are coherent) — [Error] leaves the node untouched.
+    The mutation window is guarded by the WAL install marker: a crash
+    inside it is detected by {!recover}, which resets the node to a
+    clean bootstrap slate so the peer layer can fetch afresh.
+    [crash_after_tables] is a test hook that simulates exactly that
+    crash (storage swapped, bookkeeping and guard not finalized). *)
+val install_snapshot :
+  ?crash_after_tables:bool -> t -> Brdb_snapshot.Snapshot.t -> (unit, string) result

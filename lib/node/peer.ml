@@ -2,6 +2,8 @@ module Msg = Brdb_consensus.Msg
 module Block = Brdb_ledger.Block
 module Block_store = Brdb_ledger.Block_store
 module Checkpoint = Brdb_ledger.Checkpoint
+module Snapshot = Brdb_snapshot.Snapshot
+module Chunk = Brdb_snapshot.Chunk
 module Clock = Brdb_sim.Clock
 module Cpu = Brdb_sim.Cpu
 module Cost_model = Brdb_sim.Cost_model
@@ -22,10 +24,21 @@ type config = {
   fetch_timeout : float;
   sync_interval : float;
   inbox_window : int;
+  snapshot_threshold : int;
+  snapshot_chunk_size : int;
+  compaction : Snapshot.compaction;
 }
 
 (* Blocks returned per {!Msg.Fetch_blocks} request. *)
 let fetch_batch = 32
+
+(* Outstanding {!Msg.Snapshot_chunk_request}s per source (DESIGN.md §11). *)
+let snap_window = 8
+
+(* Blocks of history every compaction pass keeps above the prune horizon:
+   covers the §3.6 recovery window (Manager.forget_finished keeps 4) plus
+   the EO stale-snapshot lag the middleware forwarding delay can cause. *)
+let compaction_margin = 8
 
 type t = {
   config : config;
@@ -64,6 +77,26 @@ type t = {
   (* executor counter values already pushed to the registry, so each
      [finish_block] publishes only the delta since the last one *)
   mutable exec_published : (string * int) list;
+  (* §11 snapshot bootstrap: one transfer session at a time, mirroring the
+     block-fetch machinery (rotating source, exponential backoff,
+     [snap_seq] invalidates stale retry ticks) *)
+  mutable snap_armed : bool;
+  mutable snap_seq : int;
+  mutable snap_backoff : float;
+  mutable snap_attempts : int;
+  mutable snap_rotation : int;
+  mutable snap_manifest : Chunk.manifest option;
+  (* verified chunk payloads of the active transfer, by index *)
+  mutable snap_parts : string option array;
+  mutable snap_received : int;
+  mutable snap_next_req : int;
+  mutable snap_src : string;
+  mutable snap_started : float;
+  (* installs performed, newest first: (height, chunks, bytes, root,
+     source, duration) — the rows behind sys.snapshots *)
+  mutable snap_log : (int * int * int * string * string * float) list;
+  (* snapshot served to joining peers, rebuilt when our height moves *)
+  mutable serve_cache : (int * Chunk.manifest * Chunk.chunk array) option;
 }
 
 let name t = t.config.core.Node_core.name
@@ -93,6 +126,8 @@ let fetch_requests t = t.fetch_requests
 let fetched_blocks t = t.fetched_blocks
 
 let inbox_size t = Hashtbl.length t.inbox
+
+let snapshots_installed t = List.length t.snap_log
 
 let is_crashed t = t.crashed
 
@@ -229,8 +264,109 @@ let arm_fetch ?(blind = false) ?(delay = 0.) t =
     else Clock.schedule t.clock ~delay (fun () -> fetch_tick t seq ~blind)
   end
 
+(* --- §11 snapshot bootstrap: session management --------------------------- *)
+
+(* The catch-up path a height gap takes: chunked state transfer only when
+   snapshots are enabled and the gap strictly exceeds the threshold; a gap
+   equal to the threshold replays blocks. *)
+let snapshot_decision t ~gap =
+  if t.config.snapshot_threshold > 0 && gap > t.config.snapshot_threshold then
+    `Snapshot
+  else `Replay
+
+let wants_snapshot t =
+  snapshot_decision t ~gap:(t.known_height - Node_core.height t.core)
+  = `Snapshot
+
+let cancel_snapshot t =
+  t.snap_seq <- t.snap_seq + 1;
+  t.snap_armed <- false;
+  t.snap_manifest <- None;
+  t.snap_parts <- [||];
+  t.snap_received <- 0;
+  t.snap_next_req <- 0
+
+(* One retry tick: before the manifest arrives, ask a rotating source for
+   one; after it, re-request a window of still-missing chunks (same
+   rotation — a source that keeps sending corrupt or no chunks is walked
+   away from). Chunk progress restarts the timer ([snap_progress]); after
+   2x|other peers| fruitless ticks the session gives up and falls back to
+   block replay, which always converges. *)
+let rec snap_tick t seq =
+  if t.snap_seq = seq && t.snap_armed && not t.crashed then begin
+    let others = other_peers t in
+    let n = List.length others in
+    if n = 0 || t.snap_attempts >= 2 * n then begin
+      cancel_snapshot t;
+      mincr t "snapshot.sessions_failed";
+      arm_fetch t ~blind:true
+    end
+    else begin
+      let dst = List.nth others (t.snap_rotation mod n) in
+      t.snap_rotation <- t.snap_rotation + 1;
+      t.snap_attempts <- t.snap_attempts + 1;
+      t.snap_src <- dst;
+      (match t.snap_manifest with
+      | None ->
+          mincr t "snapshot.requests";
+          Trace.instant (tracer t) ~node:(name t) ~track:"snapshot"
+            ~cat:"snapshot" ~name:"snapshot.request"
+            ~args:
+              [ ("dst", Trace.S dst); ("attempt", Trace.I t.snap_attempts) ]
+            ();
+          send t dst
+            (Msg.Snapshot_request { min_height = Node_core.height t.core + 1 })
+      | Some m ->
+          let h = m.Chunk.m_height in
+          let resent = ref 0 in
+          Array.iteri
+            (fun index part ->
+              if part = None && !resent < snap_window then begin
+                incr resent;
+                send t dst (Msg.Snapshot_chunk_request { height = h; index })
+              end)
+            t.snap_parts;
+          if !resent > 0 then mincr t "snapshot.chunks_retried" ~by:!resent);
+      let delay = t.snap_backoff in
+      t.snap_backoff <-
+        Float.min (t.snap_backoff *. 2.) (t.config.fetch_timeout *. 8.);
+      Clock.schedule t.clock ~delay (fun () -> snap_tick t seq)
+    end
+  end
+
+(* Progress arrived: reset the attempt budget and restart the inactivity
+   timer (the pending tick is invalidated through [snap_seq]). *)
+let snap_progress t =
+  t.snap_seq <- t.snap_seq + 1;
+  t.snap_attempts <- 0;
+  t.snap_backoff <- t.config.fetch_timeout;
+  let seq = t.snap_seq in
+  Clock.schedule t.clock ~delay:t.snap_backoff (fun () -> snap_tick t seq)
+
+let arm_snapshot t =
+  if
+    (not t.snap_armed) && (not t.crashed)
+    && t.config.fetch_timeout > 0.
+    && t.config.snapshot_threshold > 0
+  then begin
+    (* the snapshot covers everything a block fetch would bring *)
+    cancel_fetch t;
+    t.snap_armed <- true;
+    t.snap_seq <- t.snap_seq + 1;
+    t.snap_attempts <- 0;
+    t.snap_backoff <- t.config.fetch_timeout;
+    t.snap_manifest <- None;
+    t.snap_parts <- [||];
+    t.snap_received <- 0;
+    t.snap_next_req <- 0;
+    t.snap_started <- Clock.now t.clock;
+    mincr t "snapshot.sessions";
+    snap_tick t t.snap_seq
+  end
+
 let maybe_arm_fetch t =
-  if needs_fetch t then arm_fetch t ~delay:t.config.fetch_timeout
+  if wants_snapshot t then arm_snapshot t
+  else if needs_fetch t then arm_fetch t ~delay:t.config.fetch_timeout
 
 (* Serve a catch-up request from our block store (bounded batch). *)
 let serve_fetch t ~src ~from_height =
@@ -376,7 +512,17 @@ let finish_block t (result : Node_core.block_result) =
         (fun p ->
           send t p
             (Msg.Checkpoint_hash { height = result.Node_core.br_height; hash }))
-        (other_peers t)
+        (other_peers t);
+    (* Version-chain compaction (§11): in pruned mode, once a checkpoint
+       is durable, drop version chains dead well below it. The margin
+       keeps everything §3.6 recovery and lagging EO snapshots read. *)
+    if t.config.compaction = Snapshot.Pruned then begin
+      let before = result.Node_core.br_height - compaction_margin in
+      if before > 0 then begin
+        let removed = Node_core.prune t.core ~before () in
+        if removed > 0 then mincr t "compaction.pruned" ~by:removed
+      end
+    end
   end;
   drain_deferred t
 
@@ -384,6 +530,7 @@ let do_crash t =
   t.crashed <- true;
   t.pending_crash <- None;
   cancel_fetch t;
+  cancel_snapshot t;
   mincr t "node.crashes";
   Trace.instant (tracer t) ~node:(name t) ~track:"lifecycle" ~cat:"chaos"
     ~name:"crash" ();
@@ -506,8 +653,242 @@ let handle_blocks_reply t blocks =
     (* the source answered: end the session (completion re-arms if the
        store is still behind) *)
     reset_fetch t;
-    process_ready t
+    (* The reply may be the first evidence of how far behind we really
+       are (a restarting peer's blind probe): a revealed gap strictly
+       beyond the snapshot threshold switches to snapshot bootstrap —
+       the install supersedes the blocks just buffered (§11). *)
+    if wants_snapshot t then arm_snapshot t
+    else begin
+      process_ready t;
+      (* A full batch means the source's store may extend past what the
+         batch bound let it send — and on a quiet network nothing else
+         will reveal the remainder. Probe again (deferred so the batch
+         just buffered can be processed first); an empty-handed probe
+         disarms after one tick. *)
+      if List.length blocks >= fetch_batch && not (needs_fetch t) then
+        arm_fetch t ~blind:true ~delay:t.config.fetch_timeout
+    end
   end
+
+(* --- §11 snapshot bootstrap: serving and transfer ------------------------- *)
+
+(* The snapshot a peer serves is always of its current height; it is
+   captured once, chunked, and cached until the height moves. Capture is
+   deterministic, so two honest peers at the same height serve manifests
+   with the same binding and interchangeable chunks. *)
+let build_serve_cache t =
+  let h = Node_core.height t.core in
+  match t.serve_cache with
+  | Some (ch, m, chunks) when ch = h -> Some (m, chunks)
+  | _ ->
+      if h < 1 then None
+      else begin
+        let snap =
+          Node_core.export_snapshot t.core ~compaction:t.config.compaction
+        in
+        let payload = Snapshot.encode snap in
+        let chunks =
+          Chunk.split ~chunk_size:t.config.snapshot_chunk_size payload
+        in
+        let m =
+          Chunk.manifest_of_chunks ~height:h
+            ~state_digest:snap.Snapshot.state_digest
+            ~chunk_size:t.config.snapshot_chunk_size
+            ~total_bytes:(String.length payload) chunks
+        in
+        t.serve_cache <- Some (h, m, chunks);
+        Some (m, chunks)
+      end
+
+let serve_snapshot_request t ~src ~min_height =
+  if List.mem src t.config.peer_names && Node_core.height t.core >= min_height
+  then
+    match build_serve_cache t with
+    | None -> ()
+    | Some (m, _) ->
+        mincr t "snapshot.served";
+        send t src (Msg.Snapshot_manifest { manifest = m })
+
+let serve_snapshot_chunk t ~src ~height ~index =
+  if List.mem src t.config.peer_names then
+    let cached =
+      match t.serve_cache with
+      | Some (ch, m, chunks) when ch = height -> Some (m, chunks)
+      | _ ->
+          (* cache evicted (or never built) but we are still at that
+             height: rebuild; otherwise stay silent — the requester's
+             timeout rotates it to another source *)
+          if Node_core.height t.core = height then build_serve_cache t
+          else None
+    in
+    match cached with
+    | Some (_, chunks) when index >= 0 && index < Array.length chunks ->
+        mincr t "snapshot.chunks_served";
+        send t src (Msg.Snapshot_chunk { height; chunk = chunks.(index) })
+    | _ -> ()
+
+(* Local modelled cost of verifying + installing an assembled snapshot;
+   deliberately outside {!Cost_model} (whose constants are calibrated
+   against the paper's Tables 4/5): a small constant plus a per-byte
+   deserialize/index-rebuild term. *)
+let snapshot_install_cost ~bytes = 0.005 +. (1e-8 *. float_of_int bytes)
+
+(* All chunks verified: assemble, decode, install under the WAL guard,
+   then rebuild the node-layer gossip state (checkpoints, pending hashes)
+   exactly as block-by-block replay would have, and switch to normal
+   block catch-up for anything above the snapshot height. *)
+let finish_snapshot t (m : Chunk.manifest) =
+  let parts = t.snap_parts and src = t.snap_src and started = t.snap_started in
+  cancel_snapshot t;
+  match Chunk.assemble m parts with
+  | Error e ->
+      mincr t "snapshot.install_failed";
+      Logs.warn (fun f ->
+          f "snapshot assembly failed on %s: %s" (name t) e);
+      arm_fetch t ~blind:true
+  | Ok payload ->
+      Cpu.run t.cpu
+        ~cost:(snapshot_install_cost ~bytes:m.Chunk.m_total_bytes)
+        (fun () ->
+          let install () =
+            match Snapshot.decode payload with
+            | Error _ as e -> e
+            | Ok snap ->
+                if
+                  snap.Snapshot.height <> m.Chunk.m_height
+                  || not
+                       (String.equal snap.Snapshot.state_digest
+                          m.Chunk.m_state_digest)
+                then Error "assembled snapshot does not match its manifest"
+                else Node_core.install_snapshot t.core snap
+          in
+          match install () with
+          | Error e ->
+              mincr t "snapshot.install_failed";
+              Logs.warn (fun f ->
+                  f "snapshot install failed on %s: %s" (name t) e);
+              if not t.crashed then arm_fetch t ~blind:true
+          | Ok () ->
+              let h = m.Chunk.m_height in
+              note_height t h;
+              (* Recreate the checkpoint record replay would have built:
+                 one local hash per full interval, and the write-set
+                 hashes of the partial interval above the last boundary. *)
+              let ws hh =
+                Option.value
+                  (Node_core.write_set_hash t.core ~height:hh)
+                  ~default:""
+              in
+              let interval = max 1 t.config.checkpoint_interval in
+              let boundary = ref interval in
+              while !boundary <= h do
+                let hash =
+                  Brdb_crypto.Sha256.digest_concat
+                    (List.init interval (fun i ->
+                         ws (!boundary - interval + 1 + i)))
+                in
+                Checkpoint.record_local t.checkpoints ~height:!boundary ~hash;
+                boundary := !boundary + interval
+              done;
+              t.pending_hashes <- [];
+              for hh = (h / interval * interval) + 1 to h do
+                t.pending_hashes <- ws hh :: t.pending_hashes
+              done;
+              (* buffered blocks the snapshot already covers are stale *)
+              let stale =
+                Hashtbl.fold
+                  (fun hh _ acc -> if hh <= h then hh :: acc else acc)
+                  t.inbox []
+              in
+              List.iter (Hashtbl.remove t.inbox) stale;
+              mincr t "snapshot.installed";
+              let duration = Clock.now t.clock -. started in
+              t.snap_log <-
+                ( h,
+                  Chunk.chunk_count m,
+                  m.Chunk.m_total_bytes,
+                  m.Chunk.m_root,
+                  src,
+                  duration )
+                :: t.snap_log;
+              Trace.instant (tracer t) ~node:(name t) ~track:"snapshot"
+                ~cat:"snapshot" ~name:"snapshot.installed"
+                ~args:
+                  [
+                    ("height", Trace.I h);
+                    ("chunks", Trace.I (Chunk.chunk_count m));
+                    ("bytes", Trace.I m.Chunk.m_total_bytes);
+                    ("src", Trace.S src);
+                    ("duration_s", Trace.F duration);
+                  ]
+                ();
+              if not t.crashed then begin
+                drain_deferred t;
+                process_ready t;
+                if needs_fetch t then arm_fetch t
+              end)
+
+let handle_snapshot_manifest t ~src (m : Chunk.manifest) =
+  if t.snap_armed && t.snap_manifest = None then begin
+    if not (Chunk.verify_manifest m) then
+      mincr t "snapshot.manifests_rejected"
+    else if m.Chunk.m_height <= Node_core.height t.core then begin
+      (* nothing to gain over our own state: replay the difference *)
+      cancel_snapshot t;
+      arm_fetch t ~blind:true
+    end
+    else begin
+      mincr t "snapshot.manifests";
+      note_height t m.Chunk.m_height;
+      t.snap_manifest <- Some m;
+      t.snap_parts <- Array.make (Chunk.chunk_count m) None;
+      t.snap_received <- 0;
+      t.snap_src <- src;
+      let w = min snap_window (Chunk.chunk_count m) in
+      for index = 0 to w - 1 do
+        send t src
+          (Msg.Snapshot_chunk_request { height = m.Chunk.m_height; index })
+      done;
+      t.snap_next_req <- w;
+      snap_progress t
+    end
+  end
+
+let handle_snapshot_chunk t ~src ~height (c : Chunk.chunk) =
+  match t.snap_manifest with
+  | Some m
+    when t.snap_armed
+         && height = m.Chunk.m_height
+         && c.Chunk.c_index >= 0
+         && c.Chunk.c_index < Array.length t.snap_parts
+         && t.snap_parts.(c.Chunk.c_index) = None ->
+      if not (Chunk.verify_chunk m c) then begin
+        (* content address mismatch: corrupted in flight or served by a
+           lying peer — reject; the retry tick re-requests it, rotating
+           sources on repeated failure *)
+        mincr t "snapshot.chunks_corrupted";
+        Trace.instant (tracer t) ~node:(name t) ~track:"snapshot"
+          ~cat:"snapshot" ~name:"snapshot.corrupt_chunk"
+          ~args:[ ("index", Trace.I c.Chunk.c_index); ("src", Trace.S src) ]
+          ()
+      end
+      else begin
+        t.snap_parts.(c.Chunk.c_index) <- Some c.Chunk.c_payload;
+        t.snap_received <- t.snap_received + 1;
+        mincr t "snapshot.chunks";
+        if t.snap_received = Array.length t.snap_parts then finish_snapshot t m
+        else begin
+          (* keep the request pipeline full from the responsive source *)
+          t.snap_src <- src;
+          if t.snap_next_req < Array.length t.snap_parts then begin
+            send t src
+              (Msg.Snapshot_chunk_request { height; index = t.snap_next_req });
+            t.snap_next_req <- t.snap_next_req + 1
+          end;
+          snap_progress t
+        end
+      end
+  | _ -> ()
 
 let handle t ~src msg =
   if not t.crashed then
@@ -544,6 +925,14 @@ let handle t ~src msg =
         maybe_arm_fetch t
     | Msg.Fetch_blocks { from_height } -> serve_fetch t ~src ~from_height
     | Msg.Blocks_reply { blocks } -> handle_blocks_reply t blocks
+    | Msg.Snapshot_request { min_height } ->
+        serve_snapshot_request t ~src ~min_height
+    | Msg.Snapshot_manifest { manifest } ->
+        handle_snapshot_manifest t ~src manifest
+    | Msg.Snapshot_chunk_request { height; index } ->
+        serve_snapshot_chunk t ~src ~height ~index
+    | Msg.Snapshot_chunk { height; chunk } ->
+        handle_snapshot_chunk t ~src ~height chunk
     | _ -> ()
 
 let create ~net ?obs (config : config) ~registry =
@@ -581,6 +970,19 @@ let create ~net ?obs (config : config) ~registry =
       fetched_blocks = 0;
       pending_crash = None;
       exec_published = [];
+      snap_armed = false;
+      snap_seq = 0;
+      snap_backoff = config.fetch_timeout;
+      snap_attempts = 0;
+      snap_rotation = 0;
+      snap_manifest = None;
+      snap_parts = [||];
+      snap_received = 0;
+      snap_next_req = 0;
+      snap_src = "";
+      snap_started = 0.;
+      snap_log = [];
+      serve_cache = None;
     }
   in
   Msg.Net.register net ~name:(name t) (fun ~src msg -> handle t ~src msg);
@@ -595,6 +997,35 @@ let create ~net ?obs (config : config) ~registry =
   Brdb_storage.Catalog.register_virtual (Node_core.catalog core)
     ~name:"sys.metrics" ~columns:Brdb_obs.Sysview.metrics_columns
     ~rows:(fun ~height:_ -> Brdb_obs.Sysview.metric_rows (Reg.snapshot (reg t)));
+  (* sys.snapshots: every snapshot bootstrap this node performed
+     (DESIGN.md §11) — node-local history, like sys.metrics. *)
+  (let open Brdb_sql.Ast in
+   let col ?(pk = false) name ty =
+     { Brdb_storage.Schema.name; ty; not_null = false; primary_key = pk }
+   in
+   Brdb_storage.Catalog.register_virtual (Node_core.catalog core)
+     ~name:"sys.snapshots"
+     ~columns:
+       [
+         col ~pk:true "height" T_int;
+         col "chunks" T_int;
+         col "bytes" T_int;
+         col "merkle_root" T_text;
+         col "source" T_text;
+         col "install_s" T_float;
+       ]
+     ~rows:(fun ~height:_ ->
+       List.rev_map
+         (fun (h, chunks, bytes, root, src, dur) ->
+           [|
+             Brdb_storage.Value.Int h;
+             Brdb_storage.Value.Int chunks;
+             Brdb_storage.Value.Int bytes;
+             Brdb_storage.Value.Text root;
+             Brdb_storage.Value.Text src;
+             Brdb_storage.Value.Float dur;
+           |])
+         t.snap_log));
   (* Periodic anti-entropy probe: even a peer that missed every delivery
      and every gossip message (total silence) eventually discovers and
      fetches missed blocks. Perpetual — only enable under drivers that
@@ -628,7 +1059,12 @@ let restart t =
   | Error e -> Logs.warn (fun m -> m "recovery failed on %s: %s" (name t) e));
   Msg.Net.register t.net ~name:(name t) (fun ~src msg -> handle t ~src msg);
   reset_fetch t;
+  cancel_snapshot t;
   process_ready t;
-  (* catch up on whatever we missed while down, without waiting for the
-     next delivery or gossip message *)
-  arm_fetch t ~blind:true
+  (* Catch up on whatever we missed while down, without waiting for the
+     next delivery or gossip message. The restart gap decides the path
+     (§11): a gap strictly beyond the snapshot threshold bootstraps from a
+     peer snapshot; otherwise (including gap = threshold) replay blocks. *)
+  match snapshot_decision t ~gap:(t.known_height - Node_core.height t.core) with
+  | `Snapshot -> arm_snapshot t
+  | `Replay -> arm_fetch t ~blind:true

@@ -11,7 +11,13 @@
     - §3.6 catch-up: a peer that detects a gap in the block stream
       (crash, partition, message loss) fetches the missing blocks from
       rotating source peers with exponential backoff, served from their
-      {!Brdb_ledger.Block_store}. *)
+      {!Brdb_ledger.Block_store};
+    - §11 snapshot bootstrap: when the gap strictly exceeds
+      [snapshot_threshold], the peer instead negotiates a snapshot
+      manifest, fetches content-addressed chunks (verified one by one,
+      rotating away from sources that send corrupt or no data), installs
+      the state atomically under the WAL guard, then switches to normal
+      block catch-up for the remainder. *)
 
 type config = {
   core : Node_core.config;
@@ -39,6 +45,17 @@ type config = {
       (** out-of-order blocks are buffered only within this many heights
           of the next needed block; anything farther is dropped (bounded
           memory) and recovered by catch-up once the gap closes. *)
+  snapshot_threshold : int;
+      (** a height gap strictly greater than this bootstraps from a peer
+          snapshot instead of replaying blocks (DESIGN.md §11); a gap
+          equal to the threshold replays. 0 disables snapshots. *)
+  snapshot_chunk_size : int;
+      (** bytes per snapshot transfer chunk
+          ({!Brdb_snapshot.Chunk.default_size} is the usual choice). *)
+  compaction : Brdb_snapshot.Snapshot.compaction;
+      (** [Archive] keeps dead version chains (full PROVENANCE history);
+          [Pruned] drops versions dead below [checkpoint height - margin]
+          at every checkpoint, and serves pruned snapshots. *)
 }
 
 type t
@@ -83,6 +100,15 @@ val fetched_blocks : t -> int
 (** Out-of-order blocks currently buffered (bounded by [inbox_window]). *)
 val inbox_size : t -> int
 
+(** Snapshot bootstraps this peer has completed (the [sys.snapshots]
+    row count). *)
+val snapshots_installed : t -> int
+
+(** The catch-up path a height gap takes (§11): [`Snapshot] only when
+    snapshots are enabled and [gap > snapshot_threshold]; a gap equal to
+    the threshold — or any gap with snapshots disabled — is [`Replay]. *)
+val snapshot_decision : t -> gap:int -> [ `Snapshot | `Replay ]
+
 (** The peer is currently down (between {!crash} and {!restart}). *)
 val is_crashed : t -> bool
 
@@ -95,7 +121,8 @@ val crash : ?at:Node_core.crash_point -> t -> unit
 
 (** Restart after a crash: runs {!Node_core.recover} (§3.6 — completing
     or rolling back and re-executing a partially-processed block from the
-    block store), re-registers on the network, resumes buffered blocks,
-    and automatically fetches any blocks missed while down from the other
-    peers' block stores. *)
+    block store; a crash mid-snapshot-install resets to a clean bootstrap
+    slate), re-registers on the network, resumes buffered blocks, and
+    catches up on whatever was missed while down — via snapshot bootstrap
+    or block replay per {!snapshot_decision}. *)
 val restart : t -> unit

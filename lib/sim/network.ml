@@ -4,9 +4,9 @@ let lan_link = { latency_s = 0.0001; bandwidth_bps = 5e9 }
 
 let wan_link = { latency_s = 0.050; bandwidth_bps = 55e6 }
 
-type fault = { drop : float; duplicate : float }
+type fault = { drop : float; duplicate : float; corrupt : float }
 
-let no_fault = { drop = 0.; duplicate = 0. }
+let no_fault = { drop = 0.; duplicate = 0.; corrupt = 0. }
 
 module Make (P : sig
   type payload
@@ -25,7 +25,13 @@ struct
     mutable delivered : int;
     mutable dropped : int;
     mutable duplicated : int;
+    mutable corrupted : int;
     mutable bytes : int;
+    (* payload transformer applied when the corruption fault fires; [None]
+       leaves corruption a no-op (the rng draw still happens whenever the
+       rate is non-zero, so installing a corrupter never shifts the
+       schedule) *)
+    mutable corrupter : (P.payload -> P.payload) option;
     mutable tap :
       (src:string -> dst:string -> size_bytes:int -> dropped:bool -> P.payload -> unit)
       option;
@@ -43,11 +49,15 @@ struct
       delivered = 0;
       dropped = 0;
       duplicated = 0;
+      corrupted = 0;
       bytes = 0;
       tap = None;
+      corrupter = None;
     }
 
   let set_tap net f = net.tap <- Some f
+
+  let set_corrupter net f = net.corrupter <- Some f
 
   let clock net = net.clock
 
@@ -126,6 +136,15 @@ struct
           true
         end
         else begin
+          let payload =
+            if fault.corrupt > 0. && Rng.float net.rng < fault.corrupt then
+              match net.corrupter with
+              | Some f ->
+                  net.corrupted <- net.corrupted + 1;
+                  f payload
+              | None -> payload
+            else payload
+          in
           deliver net ~src ~dst ~delay payload;
           if fault.duplicate > 0. && Rng.float net.rng < fault.duplicate
           then begin
@@ -154,6 +173,8 @@ struct
   let dropped net = net.dropped
 
   let duplicated net = net.duplicated
+
+  let corrupted net = net.corrupted
 
   let bytes_sent net = net.bytes
 end

@@ -26,10 +26,15 @@ val wan_link : link
 
 (** Per-link fault rates: [drop] is the probability a message vanishes in
     flight, [duplicate] the probability a delivered message arrives twice
-    (with independent jitter, so the copy may overtake the original). *)
-type fault = { drop : float; duplicate : float }
+    (with independent jitter, so the copy may overtake the original), and
+    [corrupt] the probability the delivered payload is passed through the
+    net's corrupter ({!Make.set_corrupter}) before delivery — modelling
+    in-flight bit rot that integrity checks (snapshot chunk hashes,
+    DESIGN.md §11) must catch. *)
+type fault = { drop : float; duplicate : float; corrupt : float }
 
-(** [{ drop = 0.; duplicate = 0. }] — the default for every link. *)
+(** [{ drop = 0.; duplicate = 0.; corrupt = 0. }] — the default for every
+    link. *)
 val no_fault : fault
 
 module Make (P : sig
@@ -71,6 +76,13 @@ end) : sig
     (src:string -> dst:string -> size_bytes:int -> dropped:bool -> P.payload -> unit) ->
     unit
 
+  (** [set_corrupter net f] installs the payload transformer the [corrupt]
+      fault applies. Without one, a firing corruption fault delivers the
+      payload unchanged; the rng draw happens whenever the link's rate is
+      non-zero either way, so installing a corrupter never perturbs the
+      drop/duplicate schedule. *)
+  val set_corrupter : net -> (P.payload -> P.payload) -> unit
+
   val register : net -> name:string -> (src:string -> P.payload -> unit) -> unit
 
   val unregister : net -> name:string -> unit
@@ -92,6 +104,10 @@ end) : sig
 
   (** Extra copies injected by the duplication fault so far. *)
   val duplicated : net -> int
+
+  (** Payloads actually corrupted (fault fired with a corrupter installed)
+      so far. *)
+  val corrupted : net -> int
 
   (** Bytes sent so far. *)
   val bytes_sent : net -> int

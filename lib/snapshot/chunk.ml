@@ -1,0 +1,86 @@
+module Sha256 = Brdb_crypto.Sha256
+module Merkle = Brdb_crypto.Merkle
+module Hex = Brdb_util.Hex
+
+let default_size = 4096
+
+type chunk = { c_index : int; c_hash : string; c_payload : string }
+
+type manifest = {
+  m_height : int;
+  m_state_digest : string;
+  m_chunk_size : int;
+  m_total_bytes : int;
+  m_hashes : string array;
+  m_root : string;
+  m_binding : string;
+}
+
+let hash_payload payload = Sha256.hex payload
+
+let split ~chunk_size payload =
+  if chunk_size <= 0 then invalid_arg "Chunk.split: chunk_size must be positive";
+  let total = String.length payload in
+  let n = max 1 ((total + chunk_size - 1) / chunk_size) in
+  Array.init n (fun i ->
+      let off = i * chunk_size in
+      let len = min chunk_size (total - off) in
+      let c_payload = String.sub payload off (max 0 len) in
+      { c_index = i; c_hash = hash_payload c_payload; c_payload })
+
+let bind ~root ~state_digest ~height =
+  Hex.encode (Sha256.digest_concat [ root; state_digest; string_of_int height ])
+
+let manifest ~height ~state_digest ~chunk_size ~total_bytes hashes =
+  let root = Hex.encode (Merkle.root (Array.to_list hashes)) in
+  {
+    m_height = height;
+    m_state_digest = state_digest;
+    m_chunk_size = chunk_size;
+    m_total_bytes = total_bytes;
+    m_hashes = hashes;
+    m_root = root;
+    m_binding = bind ~root ~state_digest ~height;
+  }
+
+let manifest_of_chunks ~height ~state_digest ~chunk_size ~total_bytes chunks =
+  manifest ~height ~state_digest ~chunk_size ~total_bytes
+    (Array.map (fun c -> c.c_hash) chunks)
+
+let chunk_count m = Array.length m.m_hashes
+
+let verify_manifest m =
+  let root = Hex.encode (Merkle.root (Array.to_list m.m_hashes)) in
+  String.equal root m.m_root
+  && String.equal
+       (bind ~root ~state_digest:m.m_state_digest ~height:m.m_height)
+       m.m_binding
+  && m.m_chunk_size > 0
+  && m.m_total_bytes >= 0
+  && chunk_count m = max 1 ((m.m_total_bytes + m.m_chunk_size - 1) / m.m_chunk_size)
+
+let verify_chunk m c =
+  c.c_index >= 0
+  && c.c_index < chunk_count m
+  && String.equal (hash_payload c.c_payload) m.m_hashes.(c.c_index)
+  && String.equal c.c_hash m.m_hashes.(c.c_index)
+
+let assemble m parts =
+  if Array.length parts <> chunk_count m then Error "wrong chunk count"
+  else
+    let buf = Buffer.create m.m_total_bytes in
+    let missing = ref None in
+    Array.iteri
+      (fun i part ->
+        match part with
+        | Some payload when !missing = None -> Buffer.add_string buf payload
+        | Some _ -> ()
+        | None -> if !missing = None then missing := Some i)
+      parts;
+    match !missing with
+    | Some i -> Error (Printf.sprintf "chunk %d missing" i)
+    | None ->
+        let payload = Buffer.contents buf in
+        if String.length payload <> m.m_total_bytes then
+          Error "assembled size mismatch"
+        else Ok payload

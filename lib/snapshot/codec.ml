@@ -1,0 +1,86 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let fail msg = raise (Corrupt msg)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 4096
+
+let contents = Buffer.contents
+
+(* Every token is a netstring "<len>:<bytes>": unambiguous, canonical
+   (one spelling per string) and self-delimiting, so the decoder never
+   guesses where a field ends. *)
+let str w s =
+  Buffer.add_string w (string_of_int (String.length s));
+  Buffer.add_char w ':';
+  Buffer.add_string w s
+
+let int w i = str w (string_of_int i)
+
+let bool w b = str w (if b then "1" else "0")
+
+let value w v = str w (Brdb_storage.Value.encode v)
+
+let list w f xs =
+  int w (List.length xs);
+  List.iter (f w) xs
+
+type reader = { src : string; mutable pos : int }
+
+let reader src = { src; pos = 0 }
+
+let at_end r = r.pos >= String.length r.src
+
+let r_str r =
+  let n = String.length r.src in
+  let start = r.pos in
+  let rec scan i =
+    if i >= n then corrupt "truncated token length at byte %d" start
+    else if r.src.[i] = ':' then i
+    else if i - start > 10 then corrupt "unterminated token length at byte %d" start
+    else scan (i + 1)
+  in
+  let colon = scan start in
+  if colon = start then corrupt "empty token length at byte %d" start;
+  match int_of_string_opt (String.sub r.src start (colon - start)) with
+  | None -> corrupt "bad token length at byte %d" start
+  | Some len ->
+      if len < 0 || colon + 1 + len > n then
+        corrupt "token at byte %d overruns input" start
+      else begin
+        r.pos <- colon + 1 + len;
+        String.sub r.src (colon + 1) len
+      end
+
+let r_int r =
+  let s = r_str r in
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> corrupt "expected integer, got %S" s
+
+let r_bool r =
+  match r_str r with
+  | "1" -> true
+  | "0" -> false
+  | s -> corrupt "expected bool, got %S" s
+
+let r_value r =
+  let s = r_str r in
+  match Brdb_storage.Value.decode s with
+  | Some v -> v
+  | None -> corrupt "bad value encoding %S" s
+
+let r_list r f =
+  let n = r_int r in
+  if n < 0 then corrupt "negative list length %d" n
+  else List.init n (fun _ -> f r)
+
+let decode src f =
+  try
+    let r = reader src in
+    let x = f r in
+    if at_end r then Ok x else Error "trailing bytes after snapshot payload"
+  with Corrupt msg -> Error ("corrupt snapshot: " ^ msg)

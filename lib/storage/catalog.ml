@@ -85,3 +85,15 @@ let drop_table t name =
   end
 
 let restore_table t table = Hashtbl.replace t.tables (Table.name table) table
+
+let reset t =
+  Hashtbl.reset t.tables;
+  Hashtbl.replace t.tables ledger_table (Table.create (ledger_schema ()))
+
+let swap_tables t tables =
+  if not (List.exists (fun tbl -> String.equal (Table.name tbl) ledger_table) tables)
+  then invalid_arg "Catalog.swap_tables: table set lacks pgledger"
+  else begin
+    Hashtbl.reset t.tables;
+    List.iter (fun tbl -> Hashtbl.replace t.tables (Table.name tbl) tbl) tables
+  end

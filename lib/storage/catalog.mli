@@ -65,3 +65,15 @@ val virtual_schema : t -> string -> Schema.t option
 
 (** Re-attach a table object (recovery / DDL abort undo). *)
 val restore_table : t -> Table.t -> unit
+
+(** [reset t] drops every real table and recreates an empty [pgledger],
+    as on a fresh catalog; virtual-table registrations are untouched.
+    Used when recovery finds a half-installed snapshot (DESIGN.md §11)
+    and must return the node to a clean bootstrap slate. *)
+val reset : t -> unit
+
+(** [swap_tables t tables] replaces the whole set of real tables in one
+    step (snapshot install, DESIGN.md §11). Virtual-table registrations
+    are untouched — their providers read through the catalog at query
+    time. Raises [Invalid_argument] when [tables] lacks [pgledger]. *)
+val swap_tables : t -> Table.t list -> unit

@@ -182,6 +182,51 @@ let prune t ~keep =
 
 let pruned_total t = t.pruned_total
 
+(* --- snapshot support (DESIGN.md §11) ------------------------------------- *)
+
+let heap_slots t = Array.init (Vec.length t.heap) (Vec.get t.heap)
+
+let index_specs t =
+  List.map (fun idx -> (Index.column idx, List.mem (Index.column idx) t.uniques)) t.indexes
+
+let restore ~schema ~slots ~indexes ~pruned_total =
+  let t =
+    {
+      schema;
+      heap = Vec.of_list (Array.to_list slots);
+      indexes = [];
+      uniques = [];
+      live = Bitset.create ();
+      dead = IMap.empty;
+      pruned_total;
+    }
+  in
+  (* Rebuild the visibility index from the restored version fields — the
+     same classification {!check_visibility} validates against. *)
+  Array.iteri
+    (fun vid slot ->
+      match slot with
+      | None -> ()
+      | Some (v : Version.t) ->
+          if v.Version.vid <> vid then
+            invalid_arg
+              (Printf.sprintf "Table.restore: %s slot %d holds vid %d"
+                 schema.Schema.table_name vid v.Version.vid);
+          if not v.Version.xmin_aborted then
+            if v.Version.deleter_block = Version.unset_block then
+              Bitset.add t.live vid
+            else
+              t.dead <-
+                IMap.update v.Version.deleter_block
+                  (function
+                    | None -> Some (ISet.singleton vid)
+                    | Some s -> Some (ISet.add vid s))
+                  t.dead)
+    slots;
+  (* Secondary structures last: indexes over the populated heap. *)
+  List.iter (fun (column, unique) -> add_index t ~column ~unique) indexes;
+  t
+
 let check_visibility t =
   let expect_live = ref ISet.empty and expect_dead = ref IMap.empty in
   Vec.iteri

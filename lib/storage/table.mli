@@ -90,6 +90,29 @@ val prune : t -> keep:(Version.t -> bool) -> int
     lifetime (the sys.tables [pruned] column). *)
 val pruned_total : t -> int
 
+(** {2 Snapshot support (DESIGN.md §11)} *)
+
+(** The heap as a dense array indexed by vid; [None] marks pruned slots.
+    The returned versions are the live objects — callers must not mutate
+    them. *)
+val heap_slots : t -> Version.t option array
+
+(** Indexed columns in index order, paired with their uniqueness flag
+    (canonical input for {!restore}). *)
+val index_specs : t -> (int * bool) list
+
+(** [restore ~schema ~slots ~indexes ~pruned_total] rebuilds a table from
+    a snapshot: the heap is installed verbatim (vids = slot positions),
+    the visibility index is recomputed from the version fields, and the
+    given indexes are rebuilt over the heap. Raises [Invalid_argument]
+    when a slot's vid disagrees with its position. *)
+val restore :
+  schema:Schema.t ->
+  slots:Version.t option array ->
+  indexes:(int * bool) list ->
+  pruned_total:int ->
+  t
+
 (** Debug validator: recomputes the visibility index from the heap and
     compares. [Error] describes the first divergence found. *)
 val check_visibility : t -> (unit, string) result

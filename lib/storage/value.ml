@@ -84,4 +84,28 @@ let encode = function
   | Text s -> "T" ^ string_of_int (String.length s) ^ ":" ^ s
   | Bool b -> if b then "B1" else "B0"
 
+let decode s =
+  let n = String.length s in
+  if n = 0 then None
+  else
+    let rest () = String.sub s 1 (n - 1) in
+    match s.[0] with
+    | 'N' when n = 1 -> Some Null
+    | 'I' -> Option.map (fun i -> Int i) (int_of_string_opt (rest ()))
+    | 'F' ->
+        Option.map
+          (fun bits -> Float (Int64.float_of_bits bits))
+          (Int64.of_string_opt (rest ()))
+    | 'T' -> (
+        match String.index_opt s ':' with
+        | None -> None
+        | Some colon -> (
+            let body = String.sub s (colon + 1) (n - colon - 1) in
+            match int_of_string_opt (String.sub s 1 (colon - 1)) with
+            | Some len when len = String.length body -> Some (Text body)
+            | _ -> None))
+    | 'B' when s = "B1" -> Some (Bool true)
+    | 'B' when s = "B0" -> Some (Bool false)
+    | _ -> None
+
 let pp fmt v = Format.pp_print_string fmt (to_string v)

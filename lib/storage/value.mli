@@ -35,7 +35,11 @@ val of_lit : Brdb_sql.Ast.lit -> t
 
 val to_string : t -> string
 
-(** Unambiguous binary encoding used when hashing write sets. *)
+(** Unambiguous binary encoding used when hashing write sets and
+    serializing state snapshots (DESIGN.md §11). *)
 val encode : t -> string
+
+(** Inverse of {!encode}; [None] on malformed input. *)
+val decode : string -> t option
 
 val pp : Format.formatter -> t -> unit

@@ -30,6 +30,20 @@ let begin_txn t ~global_id ~client ?description ~snapshot_height () =
 
 let find t txid = Hashtbl.find_opt t.txns txid
 
+(* --- snapshot support (DESIGN.md §11) ------------------------------------- *)
+
+let next_txid t = t.next_txid
+
+let export_globals t =
+  Hashtbl.fold (fun gid txid acc -> (gid, txid) :: acc) t.by_global []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let restore_globals t ~next_txid globals =
+  Hashtbl.reset t.txns;
+  Hashtbl.reset t.by_global;
+  t.next_txid <- next_txid;
+  List.iter (fun (gid, txid) -> Hashtbl.replace t.by_global gid txid) globals
+
 let find_by_global t global_id =
   match Hashtbl.find_opt t.by_global global_id with
   | None -> None

@@ -78,3 +78,18 @@ val release : t -> Txn.t -> unit
 (** Drop bookkeeping for finished transactions of blocks at or below
     [below_height] (their effects stay in the heap). *)
 val forget_finished : t -> below_height:int -> unit
+
+(** {2 Snapshot support (DESIGN.md §11)} *)
+
+(** The next txid this manager would allocate. Carried in snapshots so a
+    bootstrapped node allocates the same txids (pgledger rows, write-set
+    digests) as a replaying node. *)
+val next_txid : t -> int
+
+(** Every global id ever begun, with its txid, sorted by global id —
+    duplicate-identifier rejection must survive a snapshot bootstrap. *)
+val export_globals : t -> (string * int) list
+
+(** [restore_globals t ~next_txid globals] resets the manager to a
+    quiescent state holding exactly [globals] (no live transactions). *)
+val restore_globals : t -> next_txid:int -> (string * int) list -> unit

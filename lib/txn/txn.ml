@@ -22,6 +22,38 @@ let abort_reason_to_string = function
   | Contract_error msg -> "contract error: " ^ msg
   | Update_conflict_on_deploy -> "smart contract updated during execution"
 
+(* Canonical codec for snapshot serialization (DESIGN.md §11): one tag
+   character plus the payload, if any. [abort_reason_to_string] is for
+   humans and not injective; this one round-trips. *)
+let abort_reason_encode = function
+  | Ssi_conflict rule -> "S" ^ rule
+  | Ww_conflict winner -> "W" ^ string_of_int winner
+  | Stale_read -> "s"
+  | Phantom_read -> "p"
+  | Duplicate_key k -> "K" ^ k
+  | Duplicate_txid -> "d"
+  | Missing_index what -> "M" ^ what
+  | Blind_update table -> "B" ^ table
+  | Contract_error msg -> "C" ^ msg
+  | Update_conflict_on_deploy -> "u"
+
+let abort_reason_decode s =
+  if String.length s = 0 then None
+  else
+    let rest = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'S' -> Some (Ssi_conflict rest)
+    | 'W' -> Option.map (fun i -> Ww_conflict i) (int_of_string_opt rest)
+    | 's' when rest = "" -> Some Stale_read
+    | 'p' when rest = "" -> Some Phantom_read
+    | 'K' -> Some (Duplicate_key rest)
+    | 'd' when rest = "" -> Some Duplicate_txid
+    | 'M' -> Some (Missing_index rest)
+    | 'B' -> Some (Blind_update rest)
+    | 'C' -> Some (Contract_error rest)
+    | 'u' when rest = "" -> Some Update_conflict_on_deploy
+    | _ -> None
+
 type status = Pending | Committed of int | Aborted of abort_reason
 
 type write =

@@ -22,6 +22,12 @@ type abort_reason =
 
 val abort_reason_to_string : abort_reason -> string
 
+(** Canonical round-tripping codec for snapshot serialization
+    (DESIGN.md §11); unlike {!abort_reason_to_string} it is injective. *)
+val abort_reason_encode : abort_reason -> string
+
+val abort_reason_decode : string -> abort_reason option
+
 type status = Pending | Committed of int  (** commit block *) | Aborted of abort_reason
 
 type write =

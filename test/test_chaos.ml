@@ -105,7 +105,7 @@ let crash_point_scenario point () =
         (fun b ->
           if a <> b then
             Msg.Net.set_fault netw ~src:a ~dst:b
-              { Network.drop = 0.05; duplicate = 0.02 })
+              { Network.drop = 0.05; duplicate = 0.02; corrupt = 0. })
         names)
     names;
   let user = B.register_user db "alice" in

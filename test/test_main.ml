@@ -24,4 +24,5 @@ let () =
          Test_obs.suites;
          Test_sysviews.suites;
          Test_properties.suites;
+         Test_snapshot.suites;
        ])

@@ -33,7 +33,9 @@ let setup_contract =
     (fun ctx -> ignore (Api.execute ctx "CREATE TABLE kv (k INT PRIMARY KEY, v INT)"))
 
 let make_fx ?(flow = Node_core.Execute_order) ?(checkpoint_interval = 1) ?(n = 3)
-    ?(inbox_window = 64) () =
+    ?(inbox_window = 64) ?(snapshot_threshold = 0)
+    ?(snapshot_chunk_size = Brdb_snapshot.Chunk.default_size)
+    ?(compaction = Brdb_snapshot.Snapshot.Archive) () =
   let clock = Clock.create () in
   let rng = Rng.create ~seed:5 in
   let net = Msg.Net.create ~clock ~rng ~default_link:Brdb_sim.Network.lan_link in
@@ -85,6 +87,9 @@ let make_fx ?(flow = Node_core.Execute_order) ?(checkpoint_interval = 1) ?(n = 3
                  perpetual anti-entropy probe must stay off *)
               sync_interval = 0.;
               inbox_window;
+              snapshot_threshold;
+              snapshot_chunk_size;
+              compaction;
             }
             ~registry
         in

@@ -95,7 +95,7 @@ let test_network_drop_fault () =
   let net = Net.create ~clock ~rng ~default_link:Network.lan_link in
   let got = ref 0 in
   Net.register net ~name:"b" (fun ~src:_ _ -> incr got);
-  Net.set_fault net ~src:"a" ~dst:"b" { Network.drop = 1.0; duplicate = 0. };
+  Net.set_fault net ~src:"a" ~dst:"b" { Network.drop = 1.0; duplicate = 0.; corrupt = 0. };
   ignore (Net.send net ~src:"a" ~dst:"b" ~size_bytes:10 "x");
   ignore (Clock.run clock);
   Alcotest.(check int) "all dropped" 0 !got;
@@ -106,7 +106,7 @@ let test_network_drop_fault () =
   ignore (Clock.run clock);
   Alcotest.(check int) "delivered after clear" 1 !got;
   (* a partial drop rate loses roughly that fraction, deterministically *)
-  Net.set_fault net ~src:"a" ~dst:"b" { Network.drop = 0.3; duplicate = 0. };
+  Net.set_fault net ~src:"a" ~dst:"b" { Network.drop = 0.3; duplicate = 0.; corrupt = 0. };
   for _ = 1 to 1000 do
     ignore (Net.send net ~src:"a" ~dst:"b" ~size_bytes:10 "z")
   done;
@@ -120,7 +120,7 @@ let test_network_duplicate_fault () =
   let net = Net.create ~clock ~rng ~default_link:Network.lan_link in
   let got = ref 0 in
   Net.register net ~name:"b" (fun ~src:_ _ -> incr got);
-  Net.set_fault net ~src:"a" ~dst:"b" { Network.drop = 0.; duplicate = 1.0 };
+  Net.set_fault net ~src:"a" ~dst:"b" { Network.drop = 0.; duplicate = 1.0; corrupt = 0. };
   ignore (Net.send net ~src:"a" ~dst:"b" ~size_bytes:10 "x");
   ignore (Clock.run clock);
   Alcotest.(check int) "delivered twice" 2 !got;
@@ -161,7 +161,7 @@ let test_network_fault_free_stream_unchanged () =
     let net = Net.create ~clock ~rng ~default_link:Network.wan_link in
     Net.register net ~name:"b" (fun ~src:_ _ -> ());
     if with_fault then
-      Net.set_fault net ~src:"x" ~dst:"y" { Network.drop = 0.5; duplicate = 0.5 };
+      Net.set_fault net ~src:"x" ~dst:"y" { Network.drop = 0.5; duplicate = 0.5; corrupt = 0. };
     List.init 20 (fun _ -> Net.send net ~src:"a" ~dst:"b" ~size_bytes:100 "m")
   in
   Alcotest.(check (list (float 1e-12)))

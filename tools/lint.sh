@@ -42,6 +42,22 @@ if [ -n "$hashtbl_matches" ]; then
   exit 1
 fi
 
+# Snapshot serialization (DESIGN.md §11) must be canonical: no Marshal
+# (representation-dependent bytes would fork chunk content addresses
+# across nodes) and no unordered Hashtbl iteration (capture drains tables
+# in sorted order; hash order would leak into the encoding). The Hashtbl
+# check reuses the executor/storage rule above.
+if [ -d "$dir/snapshot" ]; then
+  snap_matches=$(grep -rnE "Marshal\.|$hashtbl_pattern" "$dir/snapshot" \
+    --include='*.ml' --include='*.mli' || true)
+  if [ -n "$snap_matches" ]; then
+    echo "determinism lint failed — Marshal or unordered Hashtbl iteration in" >&2
+    echo "snapshot code (the codec must be canonical; DESIGN.md §11):" >&2
+    echo "$snap_matches" >&2
+    exit 1
+  fi
+fi
+
 # The sys.* introspection schema (DESIGN.md §10) has exactly one source of
 # truth: the virtual-table providers (Catalog.register_virtual callers in
 # lib/node and lib/core, schemas in lib/obs, the name guard in lib/storage).
@@ -59,4 +75,4 @@ if [ -n "$sys_matches" ]; then
   echo "$sys_matches" >&2
   exit 1
 fi
-echo "lint ok: no wall-clock, global Random, unordered Hashtbl iteration, or stray sys.* literals under $dir/"
+echo "lint ok: no wall-clock, global Random, unordered Hashtbl iteration, Marshal in snapshot code, or stray sys.* literals under $dir/"
