@@ -380,6 +380,111 @@ let chaos () =
     mismatches divergent_reasons
     (if class_list = [] then "none" else String.concat ", " class_list)
 
+(* ------------------- ordering-plane faults (ISSUE: byzantine ordering) *)
+
+let ordering_faults () =
+  header
+    "Ordering faults: crash the leader/primary mid-run; tamper delivered \
+     blocks";
+  let seeds = if !quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let fdur = if !quick then 4.0 else 8.0 in
+  let pct p xs =
+    let n = List.length xs in
+    List.nth xs (min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  line "%6s | %9s | %11s %11s | %9s %11s" "plane" "tput(tps)" "recover-p50"
+    "recover-p95" "elections" "view-chgs";
+  List.iter
+    (fun (kind, label, n_orderers) ->
+      let samples =
+        List.map
+          (fun seed ->
+            Runner.ordering_fault_recovery ~kind ~n_orderers ~rate:2000.
+              ~duration:fdur ~seed)
+          seeds
+      in
+      let recoveries =
+        List.sort compare
+          (List.filter
+             (fun r -> not (Float.is_nan r))
+             (List.map (fun s -> s.Runner.fr_recovery_s) samples))
+      in
+      let stalled = List.length seeds - List.length recoveries in
+      let tput =
+        List.fold_left (fun acc s -> acc +. s.Runner.fr_throughput_tps) 0. samples
+        /. float_of_int (List.length samples)
+      in
+      let elections =
+        List.fold_left (fun acc s -> acc + s.Runner.fr_elections) 0 samples
+      in
+      let view_changes =
+        List.fold_left (fun acc s -> acc + s.Runner.fr_view_changes) 0 samples
+      in
+      let p50 = pct 0.50 recoveries and p95 = pct 0.95 recoveries in
+      line "%6s | %9.0f | %10.3fs %10.3fs | %9d %11d" label tput p50 p95
+        elections view_changes;
+      if stalled > 0 then
+        line "%6s | WARNING: %d/%d runs never resumed cutting" label stalled
+          (List.length seeds);
+      Runner.record
+        [
+          ("kind", Runner.J_str label);
+          ("n_orderers", Runner.J_int n_orderers);
+          ("seeds", Runner.J_int (List.length seeds));
+          ("throughput_tps", Runner.J_float tput);
+          ("recovery_p50_s", Runner.J_float p50);
+          ("recovery_p95_s", Runner.J_float p95);
+          ("elections", Runner.J_int elections);
+          ("view_changes", Runner.J_int view_changes);
+          ("stalled_runs", Runner.J_int stalled);
+        ])
+    [ (Service.Raft, "raft", 3); (Service.Bft, "bft", 4) ];
+  (* 5% in-flight block tampering towards one victim peer: §4.4 admission
+     must reject every mangled delivery and catch-up must repair the gap,
+     with zero cross-node decision mismatches. *)
+  let tamper_reports =
+    List.map
+      (fun seed ->
+        Chaos.run
+          {
+            Chaos.default_spec with
+            Chaos.seed;
+            block_tamper = 0.05;
+            duration = (if !quick then 1.0 else 2.0);
+            crashes = 0;
+            partitions = 0;
+          })
+      seeds
+  in
+  let rejected =
+    List.fold_left (fun acc r -> acc + r.Chaos.blocks_rejected) 0 tamper_reports
+  in
+  let mismatches =
+    List.fold_left
+      (fun acc r -> acc + List.length r.Chaos.decision_mismatches)
+      0 tamper_reports
+  in
+  let diverged =
+    List.length (List.filter (fun r -> not r.Chaos.converged) tamper_reports)
+  in
+  let committed =
+    List.fold_left (fun acc r -> acc + r.Chaos.committed) 0 tamper_reports
+  in
+  line
+    "tamper | 5%% of deliveries to the victim mangled: %d blocks rejected, %d \
+     commits, %d decision mismatches, %d/%d seeds diverged"
+    rejected committed mismatches diverged (List.length seeds);
+  Runner.record
+    [
+      ("kind", Runner.J_str "tamper");
+      ("tamper_rate", Runner.J_float 0.05);
+      ("seeds", Runner.J_int (List.length seeds));
+      ("blocks_rejected", Runner.J_int rejected);
+      ("committed", Runner.J_int committed);
+      ("decision_mismatches", Runner.J_int mismatches);
+      ("diverged_runs", Runner.J_int diverged);
+    ]
+
 (* -------------------------------- executor fast paths (A/B vs seed exec) *)
 
 module Exec = Brdb_engine.Exec
@@ -717,4 +822,5 @@ let all : (string * (unit -> unit)) list =
     ("ablation", ablation);
     ("contention", contention);
     ("chaos", chaos);
+    ("ordering_faults", ordering_faults);
   ]

@@ -225,3 +225,113 @@ let ordering_throughput ~kind ~n_orderers ~rate ~duration ~seed =
            (Msg.Client_tx tx)));
   ignore (Clock.run ~until:(start +. duration) clock);
   float_of_int !delivered /. duration
+
+(* ------------- ordering-plane fault recovery (BFT view change / Raft
+   re-election): crash whoever holds the cutting role mid-run and measure
+   how long block production stalls. *)
+
+type fault_recovery = {
+  fr_throughput_tps : float;  (** ordered txs per second, crash included *)
+  fr_recovery_s : float;
+      (** longest production stall after the crash: the largest gap
+          between consecutive block deliveries from the crash onward (in
+          flight quorumed blocks still land right after the crash, so
+          "first delivery after" would under-report the election /
+          view-change pause); [nan] if production never resumed *)
+  fr_elections : int;
+  fr_view_changes : int;
+}
+
+let ordering_fault_recovery ~kind ~n_orderers ~rate ~duration ~seed =
+  let clock = Clock.create () in
+  let rng = Rng.create ~seed in
+  let module Msg = Brdb_consensus.Msg in
+  let net =
+    Msg.Net.create ~clock ~rng:(Rng.split rng) ~default_link:Network.lan_link
+  in
+  let orderer_names =
+    List.init n_orderers (fun i -> Printf.sprintf "orderer-%d" (i + 1))
+  in
+  let identities =
+    List.map
+      (fun n -> (n, Brdb_crypto.Identity.create ("orderer/" ^ n)))
+      orderer_names
+  in
+  (* Every orderer delivers to the sink (the crashed one goes silent);
+     dedup by height so replicated deliveries count once. *)
+  let delivered = ref 0 in
+  let deliveries = ref [] in
+  (* (time, height), newest first *)
+  let seen = Hashtbl.create 64 in
+  let sink = "sink" in
+  Msg.Net.register net ~name:sink (fun ~src:_ msg ->
+      match msg with
+      | Msg.Block_deliver b ->
+          let h = b.Brdb_ledger.Block.height in
+          if not (Hashtbl.mem seen h) then begin
+            Hashtbl.replace seen h ();
+            delivered := !delivered + List.length b.Brdb_ledger.Block.txs;
+            deliveries := (Clock.now clock, h) :: !deliveries
+          end
+      | _ -> ());
+  let service =
+    Service.create ~net ~kind ~orderer_names
+      ~identity_of:(fun n -> List.assoc n identities)
+      ~rng:(Rng.split rng) ~block_size:50 ~block_timeout:0.1
+      ~peers_of:(fun _ -> [ sink ])
+      ()
+  in
+  (match kind with
+  | Service.Raft -> ignore (Clock.run ~until:1.0 clock)
+  | _ -> ());
+  let start = Clock.now clock in
+  let t_crash = ref nan in
+  let h_crash = ref 0 in
+  Clock.schedule clock ~delay:(0.4 *. duration) (fun () ->
+      let victim =
+        match Service.leader service with
+        | Some n -> n
+        | None -> List.hd orderer_names
+      in
+      t_crash := Clock.now clock;
+      h_crash := List.fold_left (fun acc (_, h) -> max acc h) 0 !deliveries;
+      ignore (Service.crash_orderer service victim));
+  let client = Brdb_crypto.Identity.create "client/load" in
+  let wrng = Rng.create ~seed:(seed + 13) in
+  Workload.run ~clock ~rng:wrng ~rate ~duration ~submit:(fun i ->
+      let tx =
+        Brdb_ledger.Block.make_tx
+          ~id:(Printf.sprintf "load-%d" i)
+          ~identity:client ~contract:"noop"
+          ~args:[ Brdb_storage.Value.Int i ]
+      in
+      let dst = List.nth orderer_names (i mod n_orderers) in
+      ignore
+        (Msg.Net.send net ~src:"client/load" ~dst
+           ~size_bytes:(Msg.size (Msg.Client_tx tx))
+           (Msg.Client_tx tx)));
+  ignore (Clock.run ~until:(start +. duration) clock);
+  let recovery =
+    let after =
+      List.sort compare
+        (!t_crash
+        :: List.filter_map
+             (fun (t, h) ->
+               if h > !h_crash && t > !t_crash then Some t else None)
+             !deliveries)
+    in
+    match after with
+    | [ _ ] -> nan (* nothing ever delivered after the crash *)
+    | ts ->
+        let rec max_gap acc = function
+          | a :: (b :: _ as rest) -> max_gap (Float.max acc (b -. a)) rest
+          | _ -> acc
+        in
+        max_gap 0. ts
+  in
+  {
+    fr_throughput_tps = float_of_int !delivered /. duration;
+    fr_recovery_s = recovery;
+    fr_elections = Service.elections service;
+    fr_view_changes = Service.view_changes service;
+  }

@@ -265,8 +265,9 @@ let sys_smoke sql_args =
           "SELECT * FROM sys.aborts WHERE n > 0";
           "SELECT * FROM sys.tables";
           "SELECT * FROM sys.indexes";
-          "SELECT node, height, inbox FROM sys.nodes";
+          "SELECT node, height, inbox, blocks_rejected FROM sys.nodes";
           "SELECT name, node, n FROM sys.metrics WHERE name = 'block.processed'";
+          "SELECT name, node, n FROM sys.metrics WHERE node = 'ordering'";
           "EXPLAIN ANALYZE SELECT * FROM smoke_kv WHERE id > 1";
         ]
     | args -> args
@@ -450,7 +451,8 @@ let show_info () =
     \  ssi        serializable snapshot isolation + block-aware variant (Table 2)\n\
     \  txn        transaction manager, ww first-in-block-wins, stale/phantom checks\n\
     \  contracts  deterministic procedural contracts + governance system contracts\n\
-    \  consensus  solo / kafka / raft / pbft ordering services over a simulated network\n\
+    \  consensus  solo / kafka / raft / pbft (with view changes) ordering services\n\
+    \             over a simulated network; peers authenticate every delivered block\n\
     \  node       OE and EO transaction flows, recovery (§3.6), checkpointing\n\
     \  core       network façade: orgs, clients, signed submissions, queries\n\n\
      flows:\n\
@@ -477,6 +479,77 @@ let show_info () =
   print_endline
     "\nsee: dune exec bench/main.exe -- --list   for the evaluation experiments";
   `Ok ()
+
+(* --- chaos --------------------------------------------------------------------- *)
+
+(* Orderer-fault chaos smoke (the check.sh step): the ordering plane must
+   survive losing whoever is in charge — a BFT primary crash forces a view
+   change, a Raft leader crash forces a re-election — and in-flight block
+   tampering must be rejected block-for-block, all while the cluster
+   converges to identical chains. Exits nonzero on any violation. *)
+let chaos_smoke () =
+  let module Chaos = Brdb_core.Chaos in
+  let module Service = Brdb_consensus.Service in
+  let say fmt = Printf.printf (fmt ^^ "\n%!") in
+  let failed = ref false in
+  let check what cond =
+    if not cond then begin
+      failed := true;
+      say "FAIL: %s" what
+    end
+  in
+  let report label (r : Chaos.report) =
+    say "%-18s %s" label (Format.asprintf "%a" Chaos.pp_report r)
+  in
+  let bft =
+    Chaos.run
+      {
+        Chaos.default_spec with
+        Chaos.seed = 11;
+        ordering = Service.Bft;
+        n_orderers = 4;
+        orderer_crashes = 1;
+        rate = 60.;
+        duration = 1.5;
+        crashes = 0;
+        partitions = 0;
+      }
+  in
+  report "bft primary crash" bft;
+  check "bft chaos converged" bft.Chaos.converged;
+  check "bft view change entered" (bft.Chaos.view_changes >= 1);
+  let raft =
+    Chaos.run
+      {
+        Chaos.default_spec with
+        Chaos.seed = 3;
+        ordering = Service.Raft;
+        n_orderers = 3;
+        orderer_crashes = 1;
+        rate = 60.;
+        duration = 1.5;
+        crashes = 0;
+        partitions = 0;
+      }
+  in
+  report "raft leader crash" raft;
+  check "raft chaos converged" raft.Chaos.converged;
+  check "raft re-election observed" (raft.Chaos.elections >= 1);
+  let tamper =
+    Chaos.run
+      {
+        Chaos.default_spec with
+        Chaos.seed = 7;
+        block_tamper = 1.0;
+        crashes = 0;
+        partitions = 0;
+      }
+  in
+  report "block tampering" tamper;
+  check "tamper chaos converged" tamper.Chaos.converged;
+  check "tampered blocks rejected" (tamper.Chaos.blocks_rejected > 0);
+  check "no decision mismatches" (tamper.Chaos.decision_mismatches = []);
+  if !failed then `Error (false, "an orderer-fault invariant failed") else `Ok ()
 
 (* --- cmdliner ------------------------------------------------------------------ *)
 
@@ -575,10 +648,28 @@ let snapshot_cmd =
           (nonzero exit on any mismatch — the check.sh smoke step)")
     Term.(ret (const snapshot_cmd_impl $ compaction_arg $ chunk_arg))
 
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "orderer-fault chaos smoke: BFT primary crash (view change), Raft \
+          leader crash (re-election) and in-flight block tampering must all \
+          converge (nonzero exit otherwise — the check.sh smoke step)")
+    Term.(ret (const chaos_smoke $ const ()))
+
 let main =
   Cmd.group
     (Cmd.info "brdb" ~version:"1.0.0"
        ~doc:"decentralized replicated relational database with blockchain properties")
-    [ sandbox_cmd; demo_cmd; trace_cmd; explain_cmd; info_cmd; sys_cmd; snapshot_cmd ]
+    [
+      sandbox_cmd;
+      demo_cmd;
+      trace_cmd;
+      explain_cmd;
+      info_cmd;
+      sys_cmd;
+      snapshot_cmd;
+      chaos_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

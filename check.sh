@@ -12,3 +12,5 @@ echo "sys.* smoke ok"
 dune exec bin/brdb_cli.exe -- snapshot > /dev/null
 dune exec bin/brdb_cli.exe -- snapshot --compaction pruned > /dev/null
 echo "snapshot round-trip smoke ok (archive + pruned)"
+dune exec bin/brdb_cli.exe -- chaos > /dev/null
+echo "orderer-fault chaos smoke ok (bft view change + raft re-election + tamper rejection)"

@@ -16,6 +16,12 @@ let create ~identity ~metadata =
 
 let next_height t = t.next_height
 
+(* Re-anchor the chain — a BFT replica that just became primary resumes
+   assembly above the highest block the view change carried over. *)
+let reset t ~next_height ~prev_hash =
+  t.next_height <- next_height;
+  t.prev_hash <- prev_hash
+
 let make t txs =
   let b =
     Block.create ~height:t.next_height ~txs ~metadata:t.metadata

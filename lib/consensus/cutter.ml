@@ -34,6 +34,47 @@ let add t tx =
 
 let cut t = if t.pending_count = 0 then None else Some (take t)
 
+let stash t tx =
+  if Hashtbl.mem t.seen tx.Block.tx_id then `Duplicate
+  else begin
+    Hashtbl.replace t.seen tx.Block.tx_id ();
+    t.pending <- tx :: t.pending;
+    t.pending_count <- t.pending_count + 1;
+    `Stashed
+  end
+
+let drop t ~ids =
+  List.iter (fun id -> Hashtbl.replace t.seen id ()) ids;
+  let keep =
+    List.filter (fun tx -> not (List.mem tx.Block.tx_id ids)) t.pending
+  in
+  let removed = t.pending_count - List.length keep in
+  if removed > 0 then begin
+    t.pending <- keep;
+    t.pending_count <- List.length keep
+  end;
+  removed
+
+let take_batch t =
+  if t.pending_count = 0 then None
+  else begin
+    let oldest_first = List.rev t.pending in
+    let rec split n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | tx :: rest -> split (n - 1) (tx :: acc) rest
+    in
+    let batch, rest = split t.block_size [] oldest_first in
+    t.pending <- List.rev rest;
+    t.pending_count <- List.length rest;
+    t.epoch <- t.epoch + 1;
+    Some batch
+  end
+
 let pending t = t.pending_count
+
+let pending_txs t = List.rev t.pending
+
+let capacity t = t.block_size
 
 let epoch t = t.epoch

@@ -20,7 +20,29 @@ val add : t -> Brdb_ledger.Block.tx -> add_result
 (** Force a cut (time-to-cut); [None] when nothing is pending. *)
 val cut : t -> Brdb_ledger.Block.tx list option
 
+(** Buffer a transaction without ever triggering a size cut — how BFT
+    replicas that are not the current primary accumulate the backlog a
+    view change may later ask them to propose (§4.4). *)
+val stash : t -> Brdb_ledger.Block.tx -> [ `Stashed | `Duplicate ]
+
+(** [drop t ~ids] marks [ids] as seen and removes them from the pending
+    batch (they were ordered by someone else — e.g. delivered in a block
+    cut by another primary). Returns how many pending txs were removed. *)
+val drop : t -> ids:string list -> int
+
+(** Like {!cut} but takes at most [block_size] transactions (oldest
+    first), leaving the rest pending — used by a new primary draining a
+    backlog accumulated across a view change. *)
+val take_batch : t -> Brdb_ledger.Block.tx list option
+
 val pending : t -> int
+
+(** The pending batch, oldest first, without removing it — a BFT replica
+    re-relays this backlog to the new primary after a view change. *)
+val pending_txs : t -> Brdb_ledger.Block.tx list
+
+(** The configured block size (the cap {!add} cuts at). *)
+val capacity : t -> int
 
 (** Number of batches opened so far — used to detect whether a timer
     still refers to the current batch. *)

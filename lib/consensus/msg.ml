@@ -33,6 +33,17 @@ type bft_msg =
   | Pre_prepare of { view : int; seq : int; block : Block.t }
   | Prepare of { view : int; seq : int; digest : string }
   | Commit_vote of { view : int; seq : int; digest : string }
+  | View_change of {
+      view : int;  (** the view the sender wants to move to *)
+      last_delivered : int;
+      entries : (int * Block.t) list;
+          (** prepared-but-undelivered blocks plus a short delivered tail,
+              by sequence number — the new primary's re-proposal source *)
+    }
+  | New_view of { view : int; entries : (int * Block.t) list }
+      (** sent by the primary of [view] once it holds 2f+1 view-change
+          messages; [entries] are re-proposed in-flight blocks (implicit
+          pre-prepares in the new view) *)
 
 type t =
   | Client_tx of Block.tx  (** client → orderer/peer; peer → peer forward *)
@@ -85,6 +96,8 @@ let size = function
   | Raft (Append_entries { entries; _ }) -> 64 + (List.length entries * (tx_size + 24))
   | Raft _ -> 64
   | Bft (Pre_prepare { block; _ }) -> 128 + block_size block
+  | Bft (View_change { entries; _ }) | Bft (New_view { entries; _ }) ->
+      128 + List.fold_left (fun acc (_, b) -> acc + block_size b) 0 entries
   | Bft _ -> 96
 
 module Net = Brdb_sim.Network.Make (struct

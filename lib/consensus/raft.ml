@@ -40,6 +40,7 @@ type t = {
   peers : string list;
   mutable pending_forward : Msg.kafka_entry list;  (* buffered while leaderless *)
   mutable blocks : int;
+  mutable elections : int;  (* times this node won an election *)
 }
 
 let last_log_index t = Vec.length t.log
@@ -132,6 +133,7 @@ and start_election t =
 
 and become_leader t =
   t.role <- Leader;
+  t.elections <- t.elections + 1;
   t.leader_hint <- Some t.name;
   List.iter
     (fun o ->
@@ -327,6 +329,7 @@ let create ~net ~name ~names ~identity ~rng ~block_size ~block_timeout
       peers;
       pending_forward = [];
       blocks = 0;
+      elections = 0;
     }
   in
   Msg.Net.register net ~name (fun ~src msg -> handle t ~src msg);
@@ -340,6 +343,8 @@ let term t = t.term
 let leader_hint t = t.leader_hint
 
 let blocks_cut t = t.blocks
+
+let elections t = t.elections
 
 let commit_index t = t.commit_index
 

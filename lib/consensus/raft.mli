@@ -37,6 +37,9 @@ val leader_hint : t -> string option
 
 val blocks_cut : t -> int
 
+(** Times this node won an election (became leader). *)
+val elections : t -> int
+
 val commit_index : t -> int
 
 val log_length : t -> int

@@ -68,3 +68,68 @@ let blocks_cut t =
   | H_bft bs -> List.map2 (fun n b -> (n, Bft.blocks_delivered b)) t.names bs
 
 let raft_nodes t = match t.handle with H_raft rs -> rs | _ -> []
+
+let bft_nodes t = match t.handle with H_bft bs -> bs | _ -> []
+
+let node_of t name =
+  let idx =
+    let rec find i = function
+      | [] -> None
+      | n :: _ when String.equal n name -> Some i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 t.names
+  in
+  match idx with
+  | None -> None
+  | Some i -> (
+      match t.handle with
+      | H_raft rs -> Some (`Raft (List.nth rs i))
+      | H_bft bs -> Some (`Bft (List.nth bs i))
+      | H_solo _ | H_kafka _ -> None)
+
+let crash_orderer t name =
+  match node_of t name with
+  | Some (`Raft r) -> Raft.crash r; true
+  | Some (`Bft b) -> Bft.crash b; true
+  | None -> false
+
+let restart_orderer t name =
+  match node_of t name with
+  | Some (`Raft r) -> Raft.restart r; true
+  | Some (`Bft b) -> Bft.restart b; true
+  | None -> false
+
+let leader t =
+  match t.handle with
+  | H_solo _ -> Some (List.hd t.names)
+  | H_kafka _ -> None
+  | H_raft rs -> (
+      (* prefer an actual live leader; fall back to the freshest hint *)
+      match List.find_opt (fun r -> Raft.role r = Raft.Leader && not (Raft.is_crashed r)) rs with
+      | Some r ->
+          List.find_opt (fun n -> match node_of t n with Some (`Raft r') -> r' == r | _ -> false) t.names
+      | None -> None)
+  | H_bft bs -> (
+      match bs with
+      | [] -> None
+      | b :: rest ->
+          (* the primary of the highest view any live replica is in *)
+          let best =
+            List.fold_left
+              (fun acc b' -> if Bft.view b' > Bft.view acc then b' else acc)
+              b rest
+          in
+          Some (Bft.primary best))
+
+let elections t =
+  List.fold_left (fun acc r -> acc + Raft.elections r) 0 (raft_nodes t)
+
+let view_changes t =
+  List.fold_left (fun acc b -> max acc (Bft.view_changes b)) 0 (bft_nodes t)
+
+let term t =
+  List.fold_left (fun acc r -> max acc (Raft.term r)) 0 (raft_nodes t)
+
+let view t =
+  List.fold_left (fun acc b -> max acc (Bft.view b)) 0 (bft_nodes t)

@@ -44,3 +44,30 @@ val blocks_cut : t -> (string * int) list
 
 (** Raft only: current leader if any (testing). *)
 val raft_nodes : t -> Raft.t list
+
+(** Bft only: the replica handles (testing). *)
+val bft_nodes : t -> Bft.t list
+
+(** Crash/restart one orderer node by name (Raft and Bft only; mirrors
+    {!Raft.crash}/{!Bft.crash}). Returns [false] for unknown names and
+    for ordering kinds without a crash model (Solo, Kafka). *)
+val crash_orderer : t -> string -> bool
+
+val restart_orderer : t -> string -> bool
+
+(** The node currently in charge of cutting blocks, if the notion
+    applies: the Solo orderer, the Raft leader, or the BFT primary of
+    the highest view any replica has entered. *)
+val leader : t -> string option
+
+(** Raft: total elections won across nodes (0 for other kinds). *)
+val elections : t -> int
+
+(** Bft: max view changes entered by any replica (0 for other kinds). *)
+val view_changes : t -> int
+
+(** Raft: highest term across nodes (0 for other kinds). *)
+val term : t -> int
+
+(** Bft: highest view across replicas (0 for other kinds). *)
+val view : t -> int

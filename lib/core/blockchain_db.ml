@@ -269,6 +269,7 @@ let create config =
           ~inbox:(Peer.inbox_size p) ~crashed:(Peer.is_crashed p)
           ~fetch_requests:(Peer.fetch_requests p)
           ~fetched_blocks:(Peer.fetched_blocks p)
+          ~blocks_rejected:(Peer.blocks_rejected p)
           ~crashes:(Reg.counter reg ~node "node.crashes")
           ~restarts:(Reg.counter reg ~node "node.restarts"))
       peers
@@ -329,6 +330,8 @@ let create config =
 let clock t = t.clock
 
 let net t = t.net
+
+let service t = t.service
 
 let peers t = t.peers
 
@@ -437,7 +440,33 @@ let settle t =
   loop 0;
   ignore (Clock.run ~until:(Clock.now t.clock +. 1.5) t.clock)
 
-let query t ?(node = 0) ?params sql = Node_core.query (Peer.core (peer t node)) ?params sql
+(* Mirror the network plane's counters and the orderers' block counts
+   into the registry, absorbing them into the same queryable namespace as
+   the per-node metrics. *)
+let sync_registry t =
+  let reg = Obs.metrics t.obs in
+  Reg.set reg ~node:"net" "net.delivered" (float_of_int (Msg.Net.delivered t.net));
+  Reg.set reg ~node:"net" "net.dropped" (float_of_int (Msg.Net.dropped t.net));
+  Reg.set reg ~node:"net" "net.duplicated"
+    (float_of_int (Msg.Net.duplicated t.net));
+  Reg.set reg ~node:"net" "net.bytes_sent" (float_of_int (Msg.Net.bytes_sent t.net));
+  List.iter
+    (fun (orderer, n) ->
+      Reg.set reg ~node:orderer "orderer.blocks_cut" (float_of_int n))
+    (Service.blocks_cut t.service);
+  (* consensus-plane health: election/view-change counters (§4.3/§4.4) *)
+  Reg.set reg ~node:"ordering" "orderer.elections"
+    (float_of_int (Service.elections t.service));
+  Reg.set reg ~node:"ordering" "orderer.term" (float_of_int (Service.term t.service));
+  Reg.set reg ~node:"ordering" "orderer.view_changes"
+    (float_of_int (Service.view_changes t.service));
+  Reg.set reg ~node:"ordering" "orderer.view" (float_of_int (Service.view t.service))
+
+let query t ?(node = 0) ?params sql =
+  (* sys.metrics reads the shared registry; keep the network/ordering
+     gauges fresh so clients see live election/view-change counts *)
+  sync_registry t;
+  Node_core.query (Peer.core (peer t node)) ?params sql
 
 let explain_analyze t ?(node = 0) ?params sql =
   (* Per-row operator time is modelled from the calibrated cost model:
@@ -484,21 +513,6 @@ let verified_query t ?params sql =
   | Some (_, Ok rs) -> Ok (rs, divergent)
   | Some (_, Error e) -> Error e
   | None -> Error "internal: no majority answer"
-
-(* Mirror the network plane's counters and the orderers' block counts
-   into the registry, absorbing them into the same queryable namespace as
-   the per-node metrics. *)
-let sync_registry t =
-  let reg = Obs.metrics t.obs in
-  Reg.set reg ~node:"net" "net.delivered" (float_of_int (Msg.Net.delivered t.net));
-  Reg.set reg ~node:"net" "net.dropped" (float_of_int (Msg.Net.dropped t.net));
-  Reg.set reg ~node:"net" "net.duplicated"
-    (float_of_int (Msg.Net.duplicated t.net));
-  Reg.set reg ~node:"net" "net.bytes_sent" (float_of_int (Msg.Net.bytes_sent t.net));
-  List.iter
-    (fun (orderer, n) ->
-      Reg.set reg ~node:orderer "orderer.blocks_cut" (float_of_int n))
-    (Service.blocks_cut t.service)
 
 let summary t ~duration_s =
   sync_registry t;

@@ -64,6 +64,10 @@ val clock : t -> Brdb_sim.Clock.t
     stats hang off this handle. *)
 val net : t -> Brdb_consensus.Msg.Net.net
 
+(** The ordering service handle — for crashing/restarting orderer nodes
+    and reading consensus-plane counters (chaos, CLI). *)
+val service : t -> Brdb_consensus.Service.t
+
 val peers : t -> Brdb_node.Peer.t list
 
 val peer : t -> int -> Brdb_node.Peer.t

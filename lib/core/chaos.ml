@@ -10,6 +10,7 @@ module Clock = Brdb_sim.Clock
 module Rng = Brdb_sim.Rng
 module Value = Brdb_storage.Value
 module Sha256 = Brdb_crypto.Sha256
+module Service = Brdb_consensus.Service
 
 type spec = {
   seed : int;
@@ -31,6 +32,16 @@ type spec = {
   partitions : int;
   crash_points : bool;
   tracing : bool;
+  ordering : Service.kind;
+  n_orderers : int;
+  orderer_crashes : int;
+      (** crash/restart cycles against the ordering plane: each fires at
+          the node currently in charge (Raft leader / BFT primary), so
+          elections and view changes are actually exercised *)
+  block_tamper : float;
+      (** probability a delivered block is tampered in flight on
+          orderer->peer links — §4.4 authenticated delivery must reject
+          it and the peer must re-fetch from an honest source *)
 }
 
 let default_spec =
@@ -51,6 +62,10 @@ let default_spec =
     partitions = 1;
     crash_points = false;
     tracing = false;
+    ordering = Service.Solo;
+    n_orderers = 1;
+    orderer_crashes = 0;
+    block_tamper = 0.;
   }
 
 type report = {
@@ -73,6 +88,11 @@ type report = {
   fetched_blocks : int;
   crash_cycles : int;
   partition_cycles : int;
+  orderer_crash_cycles : int;
+  elections : int;  (** Raft elections won across orderer nodes *)
+  view_changes : int;  (** max BFT view changes entered by any replica *)
+  blocks_rejected : int;
+      (** blocks refused by §4.4 authenticated delivery across all peers *)
   decision_mismatches : string list;
   reason_divergences : string list;
   abort_classes : (string * int) list;
@@ -152,6 +172,8 @@ let run spec =
       tracing = spec.tracing;
       snapshot_threshold = spec.snapshot_threshold;
       compaction = spec.compaction;
+      ordering = spec.ordering;
+      n_orderers = spec.n_orderers;
     }
   in
   let db = B.create config in
@@ -214,22 +236,38 @@ let run spec =
   let user = B.register_user db "chaos/client" in
   (* --- fault schedule (pure function of the spec seed) ------------------ *)
   let rng = Rng.create ~seed:(spec.seed lxor 0x5bd1e995) in
-  (* The corruption fault targets snapshot chunk payloads only: one bit of
-     the first byte is flipped in flight, exactly what the per-chunk
-     content addresses (§11) must detect. Other message kinds pass
-     through untouched (the block plane has its own signature checks). *)
-  if spec.snap_corrupt > 0. then
+  (* The corruption fault dispatches on message kind: snapshot chunk
+     payloads get one bit of the first byte flipped (exactly what the
+     per-chunk content addresses (§11) must detect), and — when block
+     tampering is on — delivered/fetched blocks get a bit of their hash
+     flipped (exactly what §4.4 authenticated delivery must reject).
+     Other message kinds pass through untouched. *)
+  let flip_first s =
+    if String.length s = 0 then s
+    else begin
+      let p = Bytes.of_string s in
+      Bytes.set p 0 (Char.chr (Char.code (Bytes.get p 0) lxor 1));
+      Bytes.to_string p
+    end
+  in
+  let tamper_block (b : Block.t) = { b with Block.hash = flip_first b.Block.hash } in
+  if spec.snap_corrupt > 0. || spec.block_tamper > 0. then
     Msg.Net.set_corrupter netw (function
-      | Msg.Snapshot_chunk { height; chunk }
-        when String.length chunk.Brdb_snapshot.Chunk.c_payload > 0 ->
-          let p = Bytes.of_string chunk.Brdb_snapshot.Chunk.c_payload in
-          Bytes.set p 0 (Char.chr (Char.code (Bytes.get p 0) lxor 1));
+      | Msg.Snapshot_chunk { height; chunk } when spec.snap_corrupt > 0. ->
           Msg.Snapshot_chunk
             {
               height;
               chunk =
-                { chunk with Brdb_snapshot.Chunk.c_payload = Bytes.to_string p };
+                {
+                  chunk with
+                  Brdb_snapshot.Chunk.c_payload =
+                    flip_first chunk.Brdb_snapshot.Chunk.c_payload;
+                };
             }
+      | Msg.Block_deliver b when spec.block_tamper > 0. ->
+          Msg.Block_deliver (tamper_block b)
+      | Msg.Blocks_reply { blocks = b :: rest } when spec.block_tamper > 0. ->
+          Msg.Blocks_reply { blocks = tamper_block b :: rest }
       | m -> m);
   if spec.drop > 0. || spec.duplicate > 0. || spec.snap_corrupt > 0. then
     List.iter
@@ -245,13 +283,36 @@ let run spec =
                 })
           peer_names)
       peer_names;
-  (* Block delivery is additionally lossy towards ONE victim peer; every
-     other orderer->peer link stays clean, so each block always lands in a
-     majority of block stores and stays fetchable (§3.6). *)
+  let svc = B.service db in
+  let orderer_names = Service.orderer_names svc in
+  (* Block delivery is additionally lossy towards ONE victim peer — on
+     EVERY orderer->victim link, whichever orderer happens to cut; every
+     other orderer->peer link stays clean, so each block always lands in
+     a majority of block stores and stays fetchable (§3.6). *)
   let delivery_victim = List.nth peer_names (Rng.int rng spec.orgs) in
   if spec.drop > 0. then
-    Msg.Net.set_fault netw ~src:"orderer-1" ~dst:delivery_victim
-      { Network.drop = spec.drop; duplicate = 0.; corrupt = 0. };
+    List.iter
+      (fun orderer ->
+        Msg.Net.set_fault netw ~src:orderer ~dst:delivery_victim
+          { Network.drop = spec.drop; duplicate = 0.; corrupt = 0. })
+      orderer_names;
+  (* In-flight block tampering on the orderer->victim links: §4.4
+     admission must refuse the mangled block and catch-up must recover
+     the height from an honest peer. Like the lossy fault above it
+     targets the single victim — orderers do not retain cut blocks, so a
+     block mangled towards EVERY peer at once would be gone for good and
+     stall the chain; keeping the other links clean keeps every height
+     fetchable. *)
+  if spec.block_tamper > 0. then
+    List.iter
+      (fun orderer ->
+        Msg.Net.set_fault netw ~src:orderer ~dst:delivery_victim
+          {
+            Network.drop = spec.drop (* keep the lossy fault installed above *);
+            duplicate = 0.;
+            corrupt = spec.block_tamper;
+          })
+      orderer_names;
   let n_events = spec.crashes + spec.partitions in
   let window = spec.duration /. float_of_int (max 1 n_events) in
   let kinds =
@@ -287,6 +348,33 @@ let run spec =
           Clock.schedule clock ~delay:stop (fun () ->
               Msg.Net.heal netw ~name:pname))
     kinds;
+  (* --- orderer-fault schedule: depose whoever is in charge --------------- *)
+  let orderer_crash_cycles = ref 0 in
+  if spec.orderer_crashes > 0 then begin
+    let owindow = spec.duration /. float_of_int spec.orderer_crashes in
+    for j = 0 to spec.orderer_crashes - 1 do
+      let start =
+        (float_of_int j +. 0.15 +. (0.2 *. Rng.float rng)) *. owindow
+      in
+      let stop = (float_of_int j +. 0.8) *. owindow in
+      let fallback =
+        List.nth orderer_names (j mod List.length orderer_names)
+      in
+      let victim = ref fallback in
+      incr orderer_crash_cycles;
+      Clock.schedule clock ~delay:start (fun () ->
+          (* resolve the victim at fire time: whoever holds the cutting
+             role right now (Raft leader / BFT primary), so the fault
+             actually forces an election or a view change *)
+          let name =
+            match Service.leader svc with Some n -> n | None -> fallback
+          in
+          victim := name;
+          ignore (Service.crash_orderer svc name));
+      Clock.schedule clock ~delay:stop (fun () ->
+          ignore (Service.restart_orderer svc !victim))
+    done
+  end;
   (* --- open-loop workload, slot-tracked so lost submissions retry ------- *)
   let n_slots = int_of_float (spec.rate *. spec.duration) in
   let slots = Array.make (max 1 n_slots) [] in
@@ -484,6 +572,10 @@ let run spec =
     fetched_blocks = sum Peer.fetched_blocks;
     crash_cycles = !crash_cycles;
     partition_cycles = !partition_cycles;
+    orderer_crash_cycles = !orderer_crash_cycles;
+    elections = Service.elections svc;
+    view_changes = Service.view_changes svc;
+    blocks_rejected = sum Peer.blocks_rejected;
     decision_mismatches;
     reason_divergences;
     abort_classes;
@@ -513,6 +605,13 @@ let pp_report fmt r =
   if r.reason_divergences <> [] then
     Format.fprintf fmt "; %d txns aborted for node-divergent reasons"
       (List.length r.reason_divergences);
+  if r.orderer_crash_cycles > 0 || r.elections > 0 || r.view_changes > 0
+     || r.blocks_rejected > 0
+  then
+    Format.fprintf fmt
+      "; ordering plane: %d orderer crash cycles, %d elections, %d view \
+       changes, %d blocks rejected at delivery"
+      r.orderer_crash_cycles r.elections r.view_changes r.blocks_rejected;
   if r.snapshots_installed > 0 || r.chunks_corrupted > 0 then
     Format.fprintf fmt
       "; %d snapshot bootstraps (%d chunks rejected corrupt, %d payloads \

@@ -46,10 +46,25 @@ type spec = {
   tracing : bool;
       (** record a deterministic trace; the report then carries its JSONL
           rendering, byte-identical across two runs of the same spec *)
+  ordering : Brdb_consensus.Service.kind;
+      (** ordering service under test (§4.4); Solo by default *)
+  n_orderers : int;  (** orderer cluster size for Raft/Bft *)
+  orderer_crashes : int;
+      (** crash/restart cycles against the ordering plane: each picks its
+          victim at fire time — whoever currently holds the cutting role
+          (Raft leader / BFT primary) — so elections and view changes are
+          actually exercised, not dodged *)
+  block_tamper : float;
+      (** probability a cut block is bit-flipped in flight on the
+          orderer->victim delivery links (single victim, like the lossy
+          fault — orderers keep no block history, so every height must
+          stay fetchable from an honest peer): §4.4 authenticated
+          delivery must reject the mangled block ([blocks_rejected]) and
+          the victim must recover it via §3.6 catch-up *)
 }
 
 (** 3 orgs, OE flow, 150 req/s for 1.5 s, 5% loss, 2% duplication,
-    2 crash cycles + 1 partition cycle. *)
+    2 crash cycles + 1 partition cycle; Solo ordering, no orderer faults. *)
 val default_spec : spec
 
 type report = {
@@ -80,6 +95,16 @@ type report = {
   fetched_blocks : int;  (** blocks recovered via §3.6 catch-up *)
   crash_cycles : int;
   partition_cycles : int;
+  orderer_crash_cycles : int;
+      (** crash/restart cycles fired against the ordering plane *)
+  elections : int;
+      (** Raft elections won across orderer nodes (0 under Solo/Bft) *)
+  view_changes : int;
+      (** BFT view changes: max views entered by any replica (0 under
+          Solo/Raft) *)
+  blocks_rejected : int;
+      (** blocks refused by §4.4 authenticated delivery (bad signature or
+          hash, equivocation, broken chain linkage), summed across peers *)
   decision_mismatches : string list;
       (** transactions where one node committed and another finalized
           differently — must be empty (also folded into [converged]) *)

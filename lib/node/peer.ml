@@ -72,6 +72,9 @@ type t = {
   mutable fetch_rotation : int;
   mutable fetch_requests : int;
   mutable fetched_blocks : int;
+  (* §4.4 authenticated delivery: blocks refused at the door (bad hash,
+     missing/forged orderer signature, or an equivocating sibling) *)
+  mutable blocks_rejected : int;
   (* a crash point to inject into the next block (§3.6 testing) *)
   mutable pending_crash : Node_core.crash_point option;
   (* executor counter values already pushed to the registry, so each
@@ -124,6 +127,8 @@ let blocks_processed t = t.blocks_done
 let fetch_requests t = t.fetch_requests
 
 let fetched_blocks t = t.fetched_blocks
+
+let blocks_rejected t = t.blocks_rejected
 
 let inbox_size t = Hashtbl.length t.inbox
 
@@ -262,6 +267,47 @@ let arm_fetch ?(blind = false) ?(delay = 0.) t =
     let seq = t.fetch_seq in
     if delay <= 0. then fetch_tick t seq ~blind
     else Clock.schedule t.clock ~delay (fun () -> fetch_tick t seq ~blind)
+  end
+
+(* --- §4.4 authenticated block delivery ------------------------------------ *)
+
+(* A block is admitted into the inbox only if its hash recomputes and it
+   carries at least one valid orderer signature ({!Block.verify}), and if
+   no differently-hashed valid block already occupies the height — in the
+   store or in the inbox (equivocation: keep the first admitted block).
+   A rejection is evidence the delivering link is tampering or the source
+   equivocating, so catch-up is armed to pull the height from a rotating
+   honest source (§3.6 machinery); hash-chain linkage itself is enforced
+   once more at append time (`Broken_chain`). *)
+let reject_block t ~why =
+  t.blocks_rejected <- t.blocks_rejected + 1;
+  mincr t "block.rejected";
+  mincr t ("block.rejected." ^ why);
+  Trace.instant (tracer t) ~node:(name t) ~track:"block" ~cat:"chaos"
+    ~name:"block.rejected"
+    ~args:[ ("why", Trace.S why) ]
+    ();
+  arm_fetch t ~blind:true ~delay:t.config.fetch_timeout
+
+let admit_block t (block : Block.t) =
+  if not (Block.verify (Node_core.identity_registry t.core) block) then begin
+    reject_block t ~why:"auth";
+    false
+  end
+  else begin
+    let sibling =
+      match Hashtbl.find_opt t.inbox block.Block.height with
+      | Some held -> Some held.Block.hash
+      | None -> (
+          match Block_store.get (Node_core.block_store t.core) block.Block.height with
+          | Some held -> Some held.Block.hash
+          | None -> None)
+    in
+    match sibling with
+    | Some h when not (String.equal h block.Block.hash) ->
+        reject_block t ~why:"equivocation";
+        false
+    | _ -> true
   end
 
 (* --- §11 snapshot bootstrap: session management --------------------------- *)
@@ -556,9 +602,17 @@ let rec process_ready t =
                after the modelled processing time has elapsed. *)
             match Node_core.process_block t.core block with
             | Error _ ->
-                (* Invalid block from a byzantine orderer: ignore it. *)
+                (* A block that passed admission but fails append
+                   (broken hash chain against the stored predecessor):
+                   drop it, count it, and re-fetch the height from an
+                   honest source. *)
                 t.processing <- false;
-                process_ready t
+                t.blocks_rejected <- t.blocks_rejected + 1;
+                mincr t "block.rejected";
+                mincr t "block.rejected.chain";
+                process_ready t;
+                if not t.crashed then
+                  arm_fetch t ~blind:true ~delay:t.config.fetch_timeout
             | Ok result ->
                 let bet, bct =
                   block_times t block ~missing:result.Node_core.br_missing
@@ -637,12 +691,14 @@ let handle_blocks_reply t blocks =
   let progress = ref false in
   List.iter
     (fun (b : Block.t) ->
-      note_height t b.Block.height;
-      if block_is_new t b then begin
-        t.fetched_blocks <- t.fetched_blocks + 1;
-        mincr t "fetch.blocks";
-        Hashtbl.replace t.inbox b.Block.height b;
-        progress := true
+      if admit_block t b then begin
+        note_height t b.Block.height;
+        if block_is_new t b then begin
+          t.fetched_blocks <- t.fetched_blocks + 1;
+          mincr t "fetch.blocks";
+          Hashtbl.replace t.inbox b.Block.height b;
+          progress := true
+        end
       end)
     blocks;
   if !progress then begin
@@ -895,14 +951,16 @@ let handle t ~src msg =
     match msg with
     | Msg.Client_tx tx -> handle_client_tx t ~src tx
     | Msg.Block_deliver block ->
-        note_height t block.Block.height;
-        if block_is_new t block then begin
-          Metrics.record_block_received t.metrics;
-          mincr t "block.received";
-          Hashtbl.replace t.inbox block.Block.height block;
-          process_ready t
-        end;
-        maybe_arm_fetch t
+        if admit_block t block then begin
+          note_height t block.Block.height;
+          if block_is_new t block then begin
+            Metrics.record_block_received t.metrics;
+            mincr t "block.received";
+            Hashtbl.replace t.inbox block.Block.height block;
+            process_ready t
+          end;
+          maybe_arm_fetch t
+        end
     | Msg.Checkpoint_hash { height; hash } ->
         note_height t height;
         Checkpoint.receive t.checkpoints ~from:src ~height ~hash;
@@ -968,6 +1026,7 @@ let create ~net ?obs (config : config) ~registry =
       fetch_rotation = 0;
       fetch_requests = 0;
       fetched_blocks = 0;
+      blocks_rejected = 0;
       pending_crash = None;
       exec_published = [];
       snap_armed = false;

@@ -97,6 +97,12 @@ val fetch_requests : t -> int
 (** Blocks obtained through catch-up (rather than direct delivery). *)
 val fetched_blocks : t -> int
 
+(** Blocks refused at admission (§4.4 authenticated delivery): failed
+    hash/signature verification, an equivocating sibling for an occupied
+    height, or a broken chain link at append. Each rejection arms §3.6
+    catch-up so the height is re-fetched from an honest source. *)
+val blocks_rejected : t -> int
+
 (** Out-of-order blocks currently buffered (bounded by [inbox_window]). *)
 val inbox_size : t -> int
 

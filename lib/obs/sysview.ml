@@ -42,12 +42,13 @@ let nodes_columns =
     col "crashed" T_bool;
     col "fetch_requests" T_int;
     col "fetched_blocks" T_int;
+    col "blocks_rejected" T_int;
     col "crashes" T_int;
     col "restarts" T_int;
   ]
 
 let node_row ~node ~height ~inbox ~crashed ~fetch_requests ~fetched_blocks
-    ~crashes ~restarts =
+    ~blocks_rejected ~crashes ~restarts =
   [|
     Value.Text node;
     Value.Int height;
@@ -55,6 +56,7 @@ let node_row ~node ~height ~inbox ~crashed ~fetch_requests ~fetched_blocks
     Value.Bool crashed;
     Value.Int fetch_requests;
     Value.Int fetched_blocks;
+    Value.Int blocks_rejected;
     Value.Int crashes;
     Value.Int restarts;
   |]

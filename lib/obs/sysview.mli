@@ -18,7 +18,7 @@ val metric_row : Registry.entry -> Brdb_storage.Value.t array
 val metric_rows : Registry.entry list -> Brdb_storage.Value.t array list
 
 (** Columns of [sys.nodes]: node (PK), height, inbox, crashed,
-    fetch_requests, fetched_blocks, crashes, restarts. *)
+    fetch_requests, fetched_blocks, blocks_rejected, crashes, restarts. *)
 val nodes_columns : Brdb_storage.Schema.column list
 
 val node_row :
@@ -28,6 +28,7 @@ val node_row :
   crashed:bool ->
   fetch_requests:int ->
   fetched_blocks:int ->
+  blocks_rejected:int ->
   crashes:int ->
   restarts:int ->
   Brdb_storage.Value.t array

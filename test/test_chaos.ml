@@ -15,6 +15,10 @@ module Msg = Brdb_consensus.Msg
 module Network = Brdb_sim.Network
 module Checkpoint = Brdb_ledger.Checkpoint
 module Value = Brdb_storage.Value
+module Service = Brdb_consensus.Service
+module Block = Brdb_ledger.Block
+module Block_store = Brdb_ledger.Block_store
+module Identity = Brdb_crypto.Identity
 
 (* Small enough to keep the whole suite inside the 2 s runtest budget,
    large enough that every run cuts tens of blocks under faults. *)
@@ -169,6 +173,133 @@ let test_partition_heals () =
   Alcotest.(check bool) "partition dropped messages" true (r.Chaos.dropped > 0);
   Alcotest.(check bool) "blocks recovered by fetch" true (r.Chaos.fetched_blocks > 0)
 
+(* --- orderer-fault chaos (ISSUE: byzantine-resilient ordering plane) ------ *)
+
+let test_bft_primary_crash_converges () =
+  (* 4 BFT orderers (f = 1) with the primary crashed mid-run: the
+     survivors must vote it out, resume cutting, and leave the cluster on
+     a byte-identical replicated state across two runs of the spec. *)
+  let spec =
+    {
+      Chaos.default_spec with
+      Chaos.seed = 11;
+      ordering = Service.Bft;
+      n_orderers = 4;
+      orderer_crashes = 1;
+      rate = 60.;
+      duration = 1.5;
+      crashes = 0;
+      partitions = 0;
+    }
+  in
+  let a = Chaos.run spec in
+  check_report 11 a;
+  Alcotest.(check int) "orderer crash cycle fired" 1 a.Chaos.orderer_crash_cycles;
+  Alcotest.(check bool) "primary was voted out" true (a.Chaos.view_changes >= 1);
+  Alcotest.(check (list string)) "no decision mismatches" []
+    a.Chaos.decision_mismatches;
+  let b = Chaos.run spec in
+  Alcotest.(check string) "byte-identical across runs" a.Chaos.fingerprint
+    b.Chaos.fingerprint
+
+let test_raft_leader_crash_converges () =
+  (* Raft ordering with the leader crashed mid-run: a re-election must be
+     observed and cutting must resume. *)
+  let spec =
+    {
+      Chaos.default_spec with
+      Chaos.seed = 3;
+      ordering = Service.Raft;
+      n_orderers = 3;
+      orderer_crashes = 1;
+      rate = 60.;
+      duration = 1.5;
+      crashes = 0;
+      partitions = 0;
+    }
+  in
+  let r = Chaos.run spec in
+  check_report 3 r;
+  Alcotest.(check int) "orderer crash cycle fired" 1 r.Chaos.orderer_crash_cycles;
+  Alcotest.(check bool) "leader crash forced a re-election" true
+    (r.Chaos.elections >= 1)
+
+let test_block_tamper_rejected () =
+  (* Every block towards the victim peer is bit-flipped in flight: §4.4
+     admission must reject all of them, catch-up must recover every
+     height from an honest peer, and no tampered block may commit. *)
+  let spec =
+    {
+      Chaos.default_spec with
+      Chaos.seed = 7;
+      block_tamper = 1.0;
+      crashes = 0;
+      partitions = 0;
+    }
+  in
+  let r = Chaos.run spec in
+  check_report 7 r;
+  Alcotest.(check bool) "tampered deliveries rejected" true
+    (r.Chaos.blocks_rejected > 0);
+  Alcotest.(check int) "tampering actually fired" r.Chaos.blocks_rejected
+    r.Chaos.corrupted;
+  Alcotest.(check (list string)) "no decision mismatches" []
+    r.Chaos.decision_mismatches
+
+let test_equivocating_block_rejected () =
+  (* A validly-signed sibling block at an already-known height (orderer
+     identities are deterministic, so a byzantine orderer is easy to
+     fake) must be refused without disturbing the committed chain. *)
+  let db = B.create { (B.default_config ()) with B.block_size = 2; seed = 23 } in
+  B.install_contract db ~name:"setup"
+    (Brdb_contracts.Registry.Native
+       (fun ctx ->
+         ignore
+           (Brdb_contracts.Api.execute ctx
+              "CREATE TABLE kv (k INT PRIMARY KEY, v INT)")));
+  let admin = B.admin db "org1" in
+  ignore (B.submit db ~user:admin ~contract:"setup" ~args:[]);
+  B.settle db;
+  let victim = B.peer db 0 in
+  let store = Node_core.block_store (Peer.core victim) in
+  let honest_hash =
+    match Block_store.get store 1 with
+    | Some b -> b.Block.hash
+    | None -> Alcotest.fail "no block at height 1"
+  in
+  let evil =
+    Block.sign
+      (Block.create ~height:1 ~txs:[] ~metadata:"equivocation"
+         ~prev_hash:Block.genesis_hash)
+      (Identity.create "orderer/orderer-1")
+  in
+  Alcotest.(check bool) "sibling passes signature checks" true
+    (Block.verify (Node_core.identity_registry (Peer.core victim)) evil);
+  let netw = B.net db in
+  ignore
+    (Msg.Net.send netw ~src:"orderer-1" ~dst:(Peer.name victim)
+       ~size_bytes:(Msg.size (Msg.Block_deliver evil))
+       (Msg.Block_deliver evil));
+  B.run db ~seconds:1.0;
+  Alcotest.(check bool) "equivocation counted" true (Peer.blocks_rejected victim >= 1);
+  (match Block_store.get store 1 with
+  | Some b ->
+      Alcotest.(check string) "committed chain untouched" honest_hash b.Block.hash
+  | None -> Alcotest.fail "height 1 vanished");
+  (* a tampered payload (hash mismatch) is likewise refused *)
+  let tampered =
+    match Block_store.get store 1 with
+    | Some b -> { b with Block.hash = "0" ^ b.Block.hash }
+    | None -> assert false
+  in
+  let before = Peer.blocks_rejected victim in
+  ignore
+    (Msg.Net.send netw ~src:"orderer-1" ~dst:(Peer.name victim)
+       ~size_bytes:(Msg.size (Msg.Block_deliver tampered))
+       (Msg.Block_deliver tampered));
+  B.run db ~seconds:1.0;
+  Alcotest.(check bool) "bad hash counted" true (Peer.blocks_rejected victim > before)
+
 let suites =
   [
     ( "chaos",
@@ -177,6 +308,17 @@ let suites =
         Alcotest.test_case "same seed, same bytes" `Quick
           test_same_seed_is_deterministic;
         Alcotest.test_case "partition heals via fetch" `Quick test_partition_heals;
+      ] );
+    ( "chaos.ordering",
+      [
+        Alcotest.test_case "bft primary crash converges" `Quick
+          test_bft_primary_crash_converges;
+        Alcotest.test_case "raft leader crash converges" `Quick
+          test_raft_leader_crash_converges;
+        Alcotest.test_case "tampered blocks rejected" `Quick
+          test_block_tamper_rejected;
+        Alcotest.test_case "equivocating block rejected" `Quick
+          test_equivocating_block_rejected;
       ] );
     ( "chaos.crash-points",
       [

@@ -239,6 +239,7 @@ let test_raft_leader_failover () =
   in
   Alcotest.(check bool) "new leader differs" true (leader2 != leader1);
   Alcotest.(check bool) "term advanced" true (Raft.term leader2 > term1);
+  Alcotest.(check bool) "re-election counted" true (Raft.elections leader2 >= 1);
   (* Transactions still get ordered. *)
   let survivor_name = (match Raft.leader_hint leader2 with Some n -> n | None -> "raft-1") in
   for i = 100 to 105 do
@@ -253,15 +254,34 @@ let test_raft_leader_failover () =
 
 (* --- bft --------------------------------------------------------------------- *)
 
-let setup_bft h ~n =
+let setup_bft ?view_timeout ?(all_peered = false) h ~n =
   let names = List.init n (fun i -> Printf.sprintf "bft-%d" (i + 1)) in
   List.map
     (fun name ->
       Bft.create ~net:h.net ~name ~names ~identity:(Identity.create ("ord/" ^ name))
-        ~block_size:4 ~block_timeout:0.5
-        ~peers:(if name = List.hd names then [ "peer-1" ] else [])
+        ~block_size:4 ~block_timeout:0.5 ?view_timeout
+        ~peers:(if all_peered || name = List.hd names then [ "peer-1" ] else [])
         ())
     names
+
+(* With every replica delivering to peer-1, group the copies by height:
+   each height must carry exactly one distinct block. *)
+let unique_blocks_for h peer =
+  let by_height = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      let cur = try Hashtbl.find by_height b.Block.height with Not_found -> [] in
+      Hashtbl.replace by_height b.Block.height (b :: cur))
+    (blocks_for h peer);
+  Hashtbl.fold
+    (fun height bs acc ->
+      let hashes = List.sort_uniq compare (List.map (fun b -> b.Block.hash) bs) in
+      Alcotest.(check int)
+        (Printf.sprintf "height %d: one block" height)
+        1 (List.length hashes);
+      (height, List.hd bs) :: acc)
+    by_height []
+  |> List.sort compare |> List.map snd
 
 let test_bft_delivers_blocks () =
   let h = make_harness () in
@@ -282,6 +302,76 @@ let test_bft_delivers_blocks () =
     (fun node ->
       Alcotest.(check int) "replica delivered" (List.length bs) (Bft.blocks_delivered node))
     nodes
+
+let test_bft_view_change_timeout_boundary () =
+  (* The watchdog is exact: with [view_timeout = 1.0] and the primary dead
+     from the start, no replica votes before the deadline and all of them
+     vote right after it. *)
+  let h = make_harness () in
+  let nodes = setup_bft ~view_timeout:1.0 ~all_peered:true h ~n:4 in
+  let survivors = List.tl nodes in
+  Bft.crash (List.hd nodes);
+  for i = 1 to 4 do
+    submit h ~dst:(Printf.sprintf "bft-%d" ((i mod 3) + 2)) (mk_tx i)
+  done;
+  ignore (Clock.run ~until:0.95 h.clock);
+  List.iter
+    (fun node ->
+      Alcotest.(check int) "still view 0 before the deadline" 0 (Bft.view node);
+      Alcotest.(check int) "no view change yet" 0 (Bft.view_changes node))
+    survivors;
+  Alcotest.(check int) "nothing delivered without a primary" 0
+    (List.length (blocks_for h "peer-1"));
+  ignore (Clock.run ~until:4.0 h.clock);
+  List.iter
+    (fun node ->
+      Alcotest.(check bool) "entered a view change" true (Bft.view_changes node >= 1);
+      Alcotest.(check bool) "view advanced" true (Bft.view node >= 1);
+      Alcotest.(check string) "agree on the new primary" "bft-2" (Bft.primary node))
+    survivors;
+  let bs = unique_blocks_for h "peer-1" in
+  Alcotest.(check int) "stashed backlog re-proposed and delivered" 4
+    (List.fold_left (fun acc b -> acc + List.length b.Block.txs) 0 bs)
+
+let test_bft_primary_crash_failover () =
+  (* Crash the primary mid-stream: the default watchdog (4x block timeout)
+     deposes it, bft-2 takes over, and cutting resumes where it left off;
+     the restarted old primary re-adopts the new view from live traffic. *)
+  let h = make_harness () in
+  let nodes = setup_bft ~all_peered:true h ~n:4 in
+  let old_primary = List.hd nodes in
+  let survivors = List.tl nodes in
+  for i = 1 to 4 do
+    submit h ~dst:"bft-1" (mk_tx i)
+  done;
+  ignore (Clock.run ~until:1.0 h.clock);
+  Alcotest.(check int) "block 1 delivered under the initial primary" 1
+    (List.length (unique_blocks_for h "peer-1"));
+  Bft.crash old_primary;
+  for i = 5 to 8 do
+    submit h ~dst:(Printf.sprintf "bft-%d" ((i mod 3) + 2)) (mk_tx i)
+  done;
+  ignore (Clock.run ~until:10.0 h.clock);
+  List.iter
+    (fun node ->
+      Alcotest.(check bool) "view change entered" true (Bft.view_changes node >= 1);
+      Alcotest.(check string) "bft-2 is the new primary" "bft-2" (Bft.primary node))
+    survivors;
+  let bs = unique_blocks_for h "peer-1" in
+  Alcotest.(check (list int)) "heights resume sequentially" [ 1; 2 ]
+    (List.map (fun b -> b.Block.height) bs);
+  Alcotest.(check int) "all eight txs ordered exactly once" 8
+    (List.fold_left (fun acc b -> acc + List.length b.Block.txs) 0 bs);
+  (* the deposed primary rejoins and adopts the new view from traffic *)
+  Bft.restart old_primary;
+  for i = 9 to 12 do
+    submit h ~dst:"bft-3" (mk_tx i)
+  done;
+  ignore (Clock.run ~until:20.0 h.clock);
+  Alcotest.(check bool) "restarted replica adopted the new view" true
+    (Bft.view old_primary >= 1);
+  Alcotest.(check int) "cutting continues in the new view" 3
+    (List.length (unique_blocks_for h "peer-1"))
 
 let test_bft_throughput_degrades_with_scale () =
   (* The Fig 8(b) mechanism: more orderers => more leader work per block. *)
@@ -329,6 +419,10 @@ let suites =
     ( "consensus.bft",
       [
         Alcotest.test_case "delivers blocks" `Quick test_bft_delivers_blocks;
+        Alcotest.test_case "view change timeout boundary" `Quick
+          test_bft_view_change_timeout_boundary;
+        Alcotest.test_case "primary crash failover" `Quick
+          test_bft_primary_crash_failover;
         Alcotest.test_case "safety at scale" `Quick test_bft_throughput_degrades_with_scale;
       ] );
   ]

@@ -429,6 +429,39 @@ let prop_chaos_decisions_agree_even_when_reasons_diverge =
          legal and expected under contention. *)
       true)
 
+let prop_bft_converges_with_f_crashed =
+  (* The §4.4 byzantine bound as a property: with n = 3f+1 = 4 BFT
+     orderers and f = 1 of them (the current primary) crashed mid-run
+     under random seeds, the cluster must still converge — the survivors
+     vote the primary out and resume cutting. *)
+  QCheck.Test.make ~name:"chaos: n=3f+1 BFT orderers converge with f crashed"
+    ~count:3
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 9999))
+    (fun seed ->
+      let spec =
+        {
+          Brdb_core.Chaos.default_spec with
+          Brdb_core.Chaos.seed;
+          ordering = Brdb_consensus.Service.Bft;
+          n_orderers = 4;
+          orderer_crashes = 1;
+          rate = 60.;
+          duration = 1.5;
+          drop = float_of_int (seed mod 3) /. 100.;
+          duplicate = 0.;
+          crashes = 0;
+          partitions = 0;
+        }
+      in
+      let r = Brdb_core.Chaos.run spec in
+      if not r.Brdb_core.Chaos.converged then
+        QCheck.Test.fail_reportf "seed %d diverged: %a" seed
+          Brdb_core.Chaos.pp_report r;
+      if r.Brdb_core.Chaos.view_changes < 1 then
+        QCheck.Test.fail_reportf
+          "seed %d: primary crashed but no view change was entered" seed;
+      true)
+
 (* --------------------------------------------- executor fast-path oracle *)
 
 (* The hash join / hash aggregation / top-k fast paths claim to be
@@ -611,6 +644,7 @@ let suites =
         QCheck_alcotest.to_alcotest prop_eo_serializable_with_pre_execution;
         QCheck_alcotest.to_alcotest prop_prune_preserves_live_state;
         QCheck_alcotest.to_alcotest prop_chaos_schedules_preserve_determinism;
+        QCheck_alcotest.to_alcotest prop_bft_converges_with_f_crashed;
         QCheck_alcotest.to_alcotest
           prop_chaos_decisions_agree_even_when_reasons_diverge;
         QCheck_alcotest.to_alcotest prop_hash_join_matches_nested_loop;
