@@ -110,6 +110,42 @@ let phase_breakdown dbs =
         (if aborts = [] then "none" else String.concat " " aborts))
     dbs
 
+(* Per-block critical-path profile (ISSUE 7): dependency-DAG analysis of
+   every processed block from node 0's cp log. Headroom = serial / critical
+   is the speed-up ceiling for ROADMAP item 1 (parallel validation). *)
+let critical_path_breakdown dbs =
+  line "";
+  line "critical path (dependency DAG, node 0 — identical on all replicas):";
+  line "%4s | %7s %11s %11s %11s %9s %6s" "bs" "blocks" "serial(ms)"
+    "crit(ms)" "crit-max" "headroom" "waves";
+  List.iter
+    (fun (block_size, db) ->
+      let cps = Runner.critical_paths db in
+      let blocks, serial, critical, headroom, waves =
+        Runner.headroom_summary db
+      in
+      let crit_max =
+        List.fold_left
+          (fun acc (_, (e : Node_core.cp_entry)) ->
+            Float.max acc e.Node_core.cp_result.Brdb_obs.Critical_path.critical_s)
+          0. cps
+      in
+      line "%4d | %7d %11.2f %11.2f %11.2f %9.2f %6d" block_size blocks
+        (serial *. 1000.) (critical *. 1000.) (crit_max *. 1000.) headroom
+        waves;
+      Runner.record
+        [
+          ("kind", Runner.J_str "critical_path");
+          ("block_size", Runner.J_int block_size);
+          ("cp_blocks", Runner.J_int blocks);
+          ("cp_serial_ms", Runner.J_float (serial *. 1000.));
+          ("cp_critical_ms", Runner.J_float (critical *. 1000.));
+          ("cp_critical_max_ms", Runner.J_float (crit_max *. 1000.));
+          ("cp_headroom", Runner.J_float headroom);
+          ("cp_waves_max", Runner.J_int waves);
+        ])
+    dbs
+
 let micro_table ~flow ~rate ~title =
   header title;
   line "%4s | %8s %8s %9s %9s %9s %9s %7s %6s" "bs" "brr" "bpr" "bpt(ms)"
@@ -128,7 +164,8 @@ let micro_table ~flow ~rate ~title =
         (block_size, db))
       [ 10; 100; 500 ]
   in
-  phase_breakdown dbs
+  phase_breakdown dbs;
+  critical_path_breakdown dbs
 
 let table4 () =
   micro_table ~flow:Node_core.Order_execute ~rate:2100.

@@ -91,6 +91,33 @@ let phase_percentiles net =
       ("tet", "phase.tet_ms");
     ]
 
+(* Per-block critical-path entries from node 0 (identical on every
+   replica — pure function of block stream + cost model). *)
+let critical_paths net =
+  match B.peers net with
+  | [] -> []
+  | p :: _ ->
+      let core = Brdb_node.Peer.core p in
+      List.filter_map
+        (fun h ->
+          Option.map (fun e -> (h, e)) (Node_core.critical_path core ~height:h))
+        (List.init (Node_core.height core) (fun i -> i + 1))
+
+(* Aggregate parallel headroom of a run: total serial time over total
+   critical-path time across all processed blocks (1.0 when idle). *)
+let headroom_summary net =
+  let cps = critical_paths net in
+  let serial, critical, waves =
+    List.fold_left
+      (fun (s, c, w) (_, (e : Node_core.cp_entry)) ->
+        ( s +. e.Node_core.cp_result.Brdb_obs.Critical_path.serial_s,
+          c +. e.Node_core.cp_result.Brdb_obs.Critical_path.critical_s,
+          max w e.Node_core.cp_result.Brdb_obs.Critical_path.waves ))
+      (0., 0., 0) cps
+  in
+  let headroom = if critical <= 0. then 1. else serial /. critical in
+  (List.length cps, serial, critical, headroom, waves)
+
 (** Run the workload and summarize, returning the deployment too (its
     registry feeds the per-phase breakdown printed next to Tables 4/5).
     Throughput counts transactions that reached majority commit within
@@ -159,6 +186,14 @@ let run_db (spec : spec) : B.t * Metrics.summary =
        ("committed", J_int summary.Metrics.committed);
        ("aborted", J_int summary.Metrics.aborted);
      ]
+    @ (let blocks, serial, critical, headroom, waves = headroom_summary net in
+       [
+         ("cp_blocks", J_int blocks);
+         ("cp_serial_ms", J_float (serial *. 1000.));
+         ("cp_critical_ms", J_float (critical *. 1000.));
+         ("cp_headroom", J_float headroom);
+         ("cp_waves_max", J_int waves);
+       ])
     @ phase_percentiles net @ exec_counters net);
   (net, summary)
 

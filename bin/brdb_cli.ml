@@ -176,7 +176,7 @@ let demo () =
 
 (* --- trace -------------------------------------------------------------------- *)
 
-let trace flow_str out format =
+let trace flow_str out format tracing =
   let flow =
     match flow_str with
     | "oe" -> Node_core.Order_execute
@@ -184,7 +184,16 @@ let trace flow_str out format =
     | "serial" -> Node_core.Serial_baseline
     | other -> failwith ("unknown flow: " ^ other)
   in
-  let net = make_net ~tracing:true ~flow ~block_size:4 ~block_timeout:0.2 () in
+  let net = make_net ~tracing ~flow ~block_size:4 ~block_timeout:0.2 () in
+  (* Refuse up front rather than writing an empty trace file: a config
+     with tracing off records no events, so there is nothing to export. *)
+  if not (Brdb_obs.Obs.tracing (B.obs net)) then
+    `Error
+      ( false,
+        "tracing is disabled in this deployment's configuration; nothing \
+         would be recorded and no trace file was written. Re-run with \
+         --tracing true (the default) to export a trace." )
+  else begin
   let user = B.admin net "org1" in
   let exec sql = B.submit net ~user ~contract:"__sql__" ~args:[ Value.Text sql ] in
   let say fmt = Printf.printf (fmt ^^ "\n%!") in
@@ -237,7 +246,16 @@ let trace flow_str out format =
   (match B.query net "SELECT * FROM sys.aborts WHERE n > 0" with
   | Ok rs -> print_result rs
   | Error e -> say "error: %s" e);
+  say "";
+  say "span attribution via SELECT * FROM sys.spans (node 0, flame order):";
+  (match
+     B.query net
+       "SELECT path, events, total_ms, self_ms FROM sys.spans ORDER BY path"
+   with
+  | Ok rs -> print_result rs
+  | Error e -> say "error: %s" e);
   `Ok ()
+  end
 
 (* --- sys ----------------------------------------------------------------------- *)
 
@@ -584,13 +602,22 @@ let format_arg =
     & opt string "chrome"
     & info [ "format" ] ~docv:"FMT" ~doc:"chrome (trace_event JSON) or jsonl")
 
+let tracing_arg =
+  Arg.(
+    value
+    & opt bool true
+    & info [ "tracing" ] ~docv:"BOOL"
+        ~doc:
+          "enable tracing in the deployment config; with $(docv) false the \
+           command refuses instead of writing an empty trace file")
+
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "run a scripted workload with tracing on and export the \
           per-transaction lifecycle as a Chrome trace or JSONL")
-    Term.(ret (const trace $ flow_arg $ out_arg $ format_arg))
+    Term.(ret (const trace $ flow_arg $ out_arg $ format_arg $ tracing_arg))
 
 let sql_args =
   Arg.(

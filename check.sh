@@ -14,3 +14,13 @@ dune exec bin/brdb_cli.exe -- snapshot --compaction pruned > /dev/null
 echo "snapshot round-trip smoke ok (archive + pruned)"
 dune exec bin/brdb_cli.exe -- chaos > /dev/null
 echo "orderer-fault chaos smoke ok (bft view change + raft re-election + tamper rejection)"
+# Perf-regression gate (ISSUE 7): re-run the profiled table4 workload
+# (seeded, so an unchanged tree reproduces BENCH_profile.json exactly)
+# and diff against the committed baseline with per-metric tolerances.
+fresh_json=$(mktemp /tmp/brdb_bench_fresh.XXXXXX.json)
+trap 'rm -f "$fresh_json"' EXIT
+dune exec bench/main.exe -- --quick --only table4 --json "$fresh_json" > /dev/null
+dune exec tools/bench_diff.exe -- \
+  --baseline BENCH_profile.json --fresh "$fresh_json" \
+  --tolerances tools/bench_tolerances.txt
+echo "perf-regression gate ok (table4 vs BENCH_profile.json)"

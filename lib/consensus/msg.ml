@@ -100,6 +100,61 @@ let size = function
       128 + List.fold_left (fun acc (_, b) -> acc + block_size b) 0 entries
   | Bft _ -> 96
 
+(* Span context carried by every message: a (label, context id) pair tying
+   the delivery to the causal trace (DESIGN.md §13). Ids are derived from
+   replicated identifiers — transaction ids, block heights, consensus
+   (view, seq)/terms/offsets — never from emission order or node names, so
+   the same logical message carries the same context on every route. The
+   lint gate (tools/lint.sh) checks that every constructor of [t] is
+   matched here: adding a message without a span context fails @lint. *)
+let kafka_entry_ctx = function
+  | K_tx tx -> "tx/" ^ tx.Block.tx_id
+  | K_ttc epoch -> Printf.sprintf "ttc/%d" epoch
+
+let span_ctx = function
+  | Client_tx tx -> ("client_tx", "tx/" ^ tx.Block.tx_id)
+  | Block_deliver b -> ("block_deliver", Printf.sprintf "order/%d" b.Block.height)
+  | Checkpoint_hash { height; _ } ->
+      ("checkpoint_hash", Printf.sprintf "checkpoint/%d" height)
+  | Fetch_blocks { from_height } ->
+      ("fetch_blocks", Printf.sprintf "catchup/%d" from_height)
+  | Blocks_reply { blocks } ->
+      ( "blocks_reply",
+        match blocks with
+        | [] -> "catchup/empty"
+        | b :: _ -> Printf.sprintf "catchup/%d" b.Block.height )
+  | Snapshot_request { min_height } ->
+      ("snapshot_request", Printf.sprintf "snapshot/%d" min_height)
+  | Snapshot_manifest { manifest } ->
+      ( "snapshot_manifest",
+        Printf.sprintf "snapshot/%d" manifest.Brdb_snapshot.Chunk.m_height )
+  | Snapshot_chunk_request { height; index } ->
+      ("snapshot_chunk_request", Printf.sprintf "snapshot/%d/chunk/%d" height index)
+  | Snapshot_chunk { height; chunk } ->
+      ( "snapshot_chunk",
+        Printf.sprintf "snapshot/%d/chunk/%d" height
+          chunk.Brdb_snapshot.Chunk.c_index )
+  | Kafka_publish entry -> ("kafka_publish", kafka_entry_ctx entry)
+  | Kafka_record { offset; entry = _ } ->
+      ("kafka_record", Printf.sprintf "kafka/%d" offset)
+  | Raft (Request_vote { term; _ }) ->
+      ("raft_request_vote", Printf.sprintf "raft/term/%d" term)
+  | Raft (Vote { term; _ }) -> ("raft_vote", Printf.sprintf "raft/term/%d" term)
+  | Raft (Append_entries { term; prev_index; _ }) ->
+      ("raft_append", Printf.sprintf "raft/term/%d/log/%d" term prev_index)
+  | Raft (Append_reply { term; match_index; _ }) ->
+      ("raft_append_reply", Printf.sprintf "raft/term/%d/log/%d" term match_index)
+  | Bft (Pre_prepare { view; seq; _ }) ->
+      ("bft_pre_prepare", Printf.sprintf "bft/%d/%d" view seq)
+  | Bft (Prepare { view; seq; _ }) ->
+      ("bft_prepare", Printf.sprintf "bft/%d/%d" view seq)
+  | Bft (Commit_vote { view; seq; _ }) ->
+      ("bft_commit", Printf.sprintf "bft/%d/%d" view seq)
+  | Bft (View_change { view; _ }) ->
+      ("bft_view_change", Printf.sprintf "bft/view/%d" view)
+  | Bft (New_view { view; _ }) ->
+      ("bft_new_view", Printf.sprintf "bft/view/%d" view)
+
 module Net = Brdb_sim.Network.Make (struct
   type payload = t
 end)

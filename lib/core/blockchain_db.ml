@@ -122,7 +122,7 @@ let track_final t tx_id status now =
                 | Rejected r -> ("rejected", r)
               in
               Trace.async_end tr ~node:"client" ~cat:"txn" ~name:"lifecycle"
-                ~id:tx_id
+                ~id:tx_id ~follows:("tx/" ^ tx_id)
                 ~args:
                   (("outcome", Trace.S outcome)
                   :: (if detail = "" then [] else [ ("detail", Trace.S detail) ]))
@@ -285,7 +285,24 @@ let create config =
      implementations: watch the first Block_deliver broadcast of each
      height on the network tap. The tap fires after the send outcome is
      decided and draws no rng, so it cannot perturb the simulation. *)
-  Msg.Net.set_tap net (fun ~src ~dst:_ ~size_bytes:_ ~dropped:_ msg ->
+  Msg.Net.set_tap net (fun ~src ~dst ~size_bytes ~dropped msg ->
+      (* Every message variant carries its span context (Msg.span_ctx) onto
+         the receiver's "net" track, so consensus and catch-up traffic is
+         attributable in the trace. The net track is delivery-dependent
+         (drops, duplicates) and therefore excluded from the cross-node
+         causal projection (Export.causal_jsonl). *)
+      let tr = Obs.trace t.obs in
+      (if Trace.enabled tr then
+         let label, ctx = Msg.span_ctx msg in
+         Trace.instant tr ~node:dst ~track:"net" ~cat:"net" ~name:label
+           ~span:ctx
+           ~args:
+             [
+               ("src", Trace.S src);
+               ("bytes", Trace.I size_bytes);
+               ("dropped", Trace.B dropped);
+             ]
+           ());
       match msg with
       | Msg.Block_deliver b when not (Hashtbl.mem t.seen_heights b.Block.height)
         ->
@@ -301,11 +318,11 @@ let create config =
           in
           Reg.observe (Obs.metrics t.obs) ~node:src "phase.order_ms"
             ((now -. started) *. 1000.);
-          let tr = Obs.trace t.obs in
           if Trace.enabled tr then begin
+            let order_span = Printf.sprintf "order/%d" b.Block.height in
             Trace.complete tr ~node:src ~track:"order" ~cat:"order"
               ~name:(Printf.sprintf "order block %d" b.Block.height)
-              ~ts:started ~dur:(now -. started)
+              ~ts:started ~dur:(now -. started) ~span:order_span
               ~args:
                 [
                   ("height", Trace.I b.Block.height);
@@ -315,7 +332,8 @@ let create config =
             List.iter
               (fun (tx : Block.tx) ->
                 Trace.async_instant tr ~node:src ~cat:"txn" ~name:"lifecycle"
-                  ~id:tx.Block.tx_id
+                  ~id:tx.Block.tx_id ~parent:order_span
+                  ~follows:("tx/" ^ tx.Block.tx_id)
                   ~args:
                     [
                       ("phase", Trace.S "ordered");
@@ -388,6 +406,7 @@ let submit t ~user ~contract ~args =
   (let tr = Obs.trace t.obs in
    if Trace.enabled tr then
      Trace.async_begin tr ~node:"client" ~cat:"txn" ~name:"lifecycle" ~id:tx_id
+       ~span:("tx/" ^ tx_id)
        ~args:
          [
            ("user", Trace.S (Identity.name user));

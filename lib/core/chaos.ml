@@ -98,6 +98,7 @@ type report = {
   abort_classes : (string * int) list;
   first_divergent_height : int option;
   trace_jsonl : string;
+  trace_events : Brdb_obs.Trace.event list;
 }
 
 let crash_point_of_int = function
@@ -506,9 +507,9 @@ let run spec =
   let first_divergent_height =
     if divergent = [] then None else find_divergence db
   in
+  let trace_events = if spec.tracing then B.trace_events db else [] in
   let trace_jsonl =
-    if spec.tracing then Brdb_obs.Export.jsonl_string (B.trace_events db)
-    else ""
+    if spec.tracing then Brdb_obs.Export.jsonl_string trace_events else ""
   in
   (* Byte-level fingerprint of the replicated state: equal across two runs
      of the same spec iff the fault schedule is deterministic end-to-end. *)
@@ -581,6 +582,7 @@ let run spec =
     abort_classes;
     first_divergent_height;
     trace_jsonl;
+    trace_events;
   }
 
 let pp_report fmt r =

@@ -120,6 +120,10 @@ type report = {
           {!find_divergence}; [None] when converged *)
   trace_jsonl : string;
       (** JSONL trace when [spec.tracing]; [""] otherwise *)
+  trace_events : Brdb_obs.Trace.event list;
+      (** raw span events when [spec.tracing] — feeds
+          {!Brdb_obs.Export.causal_jsonl} for per-node causal projections
+          (tested byte-identical across replicas); [[]] otherwise *)
 }
 
 (** Run one seeded chaos schedule to completion (bounded: the

@@ -55,6 +55,16 @@ type tx_record = {
   r_status : tx_status;
 }
 
+(* Per-block critical-path analysis (ISSUE 7 tentpole b), backing
+   sys.critical_path and the bench profiler. Derived purely from the
+   block's dependency DAG + the calibrated cost model, so every node
+   computes identical entries. *)
+type cp_entry = {
+  cp_txs : int;
+  cp_edge_count : int;
+  cp_result : Brdb_obs.Critical_path.result;
+}
+
 type t = {
   config : config;
   registry : Identity.Registry.t;
@@ -80,6 +90,8 @@ type t = {
   (* modelled base execution time (seconds) per contract name, installed by
      the peer from the calibrated cost model; backs sys.transactions.tet_ms *)
   mutable tet_model : string -> float;
+  (* height -> dependency-DAG analysis; replaced wholesale on recovery *)
+  cp_log : (int, cp_entry) Hashtbl.t;
 }
 
 let create config ~registry =
@@ -100,7 +112,10 @@ let create config ~registry =
     tx_log = Hashtbl.create 64;
     digests = Hashtbl.create 64;
     tet_model = (fun _ -> 0.);
+    cp_log = Hashtbl.create 64;
   }
+
+let critical_path t ~height = Hashtbl.find_opt t.cp_log height
 
 let set_trace t trace = t.trace <- trace
 
@@ -263,6 +278,37 @@ let register_sys_views t =
           in
           [| Value.Text name; Value.Int n |])
         Brdb_obs.Abort_class.all);
+  Catalog.register_virtual t.catalog ~name:"sys.critical_path"
+    ~columns:
+      [
+        col ~pk:true "height" T_int;
+        col "txs" T_int;
+        col "edges" T_int;
+        col "serial_ms" T_float;
+        col "critical_ms" T_float;
+        col "headroom" T_float;
+        col "waves" T_int;
+      ]
+    ~rows:(fun ~height ->
+      let rows = ref [] in
+      for h = height downto 1 do
+        match Hashtbl.find_opt t.cp_log h with
+        | None -> ()
+        | Some e ->
+            rows :=
+              [|
+                Value.Int h;
+                Value.Int e.cp_txs;
+                Value.Int e.cp_edge_count;
+                Value.Float (e.cp_result.Brdb_obs.Critical_path.serial_s *. 1000.);
+                Value.Float
+                  (e.cp_result.Brdb_obs.Critical_path.critical_s *. 1000.);
+                Value.Float e.cp_result.Brdb_obs.Critical_path.headroom;
+                Value.Int e.cp_result.Brdb_obs.Critical_path.waves;
+              |]
+              :: !rows
+      done;
+      !rows);
   Catalog.register_virtual t.catalog ~name:"sys.tables"
     ~columns:
       [
@@ -627,23 +673,29 @@ let process_appended t (block : Block.t) =
   bootstrap t;
   let block_height = block.Block.height in
   let missing = ref 0 in
-  let slots =
+  let slots, dep_edges =
     match t.config.flow with
     | Serial_baseline ->
         (* Ethereum-style: execute + commit one at a time; later
            transactions see earlier ones. *)
-        List.map
-          (fun tx ->
-            let slot = acquire t ~block_height ~missing tx in
-            (match slot with
-            | Run (txn, _) ->
-                txn.Txn.block <- Some block_height;
-                txn.Txn.block_pos <- Some 0
-            | Rejected _ -> ());
-            let graph = Brdb_ssi.Graph.create () in
-            (slot, commit_one t ~block_height ~graph slot))
-          block.Block.txs
-        |> List.map snd
+        let results =
+          List.map
+            (fun tx ->
+              let slot = acquire t ~block_height ~missing tx in
+              (match slot with
+              | Run (txn, _) ->
+                  txn.Txn.block <- Some block_height;
+                  txn.Txn.block_pos <- Some 0
+              | Rejected _ -> ());
+              let graph = Brdb_ssi.Graph.create () in
+              (slot, commit_one t ~block_height ~graph slot))
+            block.Block.txs
+          |> List.map snd
+        in
+        (* Serial-by-design: every transaction depends on its predecessor,
+           so the critical path IS the serial path (headroom 1.0). *)
+        let n = List.length results in
+        (results, List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
     | Order_execute | Execute_order ->
         (* Execute everything (logically concurrent), then commit serially
            in block order. *)
@@ -688,8 +740,77 @@ let process_appended t (block : Block.t) =
             slots
         in
         Ledger_table.record_txs t.catalog ~height:block_height ~time:block_height entries;
-        List.map (commit_one t ~block_height ~graph) slots
+        (* Dependency edges for the critical-path analyzer, extracted
+           before commit_one mutates transaction state. Normalized to
+           (low pos, high pos): within a block, commit order resolves
+           every conflict direction. *)
+        let pos_of = Hashtbl.create 16 in
+        List.iteri
+          (fun pos -> function
+            | Run (txn, _) -> Hashtbl.replace pos_of txn.Txn.txid pos
+            | Rejected _ -> ())
+          slots;
+        let rw_edges =
+          List.concat
+            (List.mapi
+               (fun pos -> function
+                 | Rejected _ -> []
+                 | Run (txn, _) ->
+                     List.filter_map
+                       (fun writer ->
+                         match Hashtbl.find_opt pos_of writer with
+                         | Some w when w <> pos ->
+                             Some (Stdlib.min pos w, Stdlib.max pos w)
+                         | _ -> None)
+                       (Brdb_ssi.Graph.out_conflicts graph txn.Txn.txid))
+               slots)
+        in
+        (* ww edges: chain consecutive claimants of each (table, version)
+           in position order — O(total claims), not O(n^2). *)
+        let claims = Hashtbl.create 32 in
+        List.iteri
+          (fun pos -> function
+            | Rejected _ -> ()
+            | Run (txn, _) ->
+                List.iter
+                  (fun key ->
+                    let prev =
+                      Option.value (Hashtbl.find_opt claims key) ~default:[]
+                    in
+                    Hashtbl.replace claims key (pos :: prev))
+                  (Txn.claimed txn))
+          slots;
+        let ww_edges =
+          Hashtbl.fold
+            (fun _ positions acc ->
+              let rec chain acc = function
+                | a :: (b :: _ as tl) -> chain ((a, b) :: acc) tl
+                | _ -> acc
+              in
+              chain acc (List.sort_uniq compare positions))
+            claims []
+        in
+        ( List.map (commit_one t ~block_height ~graph) slots,
+          List.sort_uniq compare (rw_edges @ ww_edges) )
   in
+  (* Critical-path analysis (sys.critical_path / bench profiler): weights
+     come from the calibrated cost model; rejected transactions never
+     execute and weigh nothing. *)
+  (let n = List.length block.Block.txs in
+   let weights = Array.make (max n 1) 0. in
+   List.iteri
+     (fun pos ((tx : Block.tx), (_, status, _)) ->
+       weights.(pos) <-
+         (match status with
+         | S_rejected _ -> 0.
+         | S_committed | S_aborted _ -> t.tet_model tx.Block.tx_contract))
+     (List.combine block.Block.txs slots);
+   let cp_result =
+     Brdb_obs.Critical_path.analyze
+       { Brdb_obs.Critical_path.n; weights = Array.sub weights 0 n; edges = dep_edges }
+   in
+   Hashtbl.replace t.cp_log block_height
+     { cp_txs = n; cp_edge_count = List.length dep_edges; cp_result });
   (* Ledger step 2: statuses, written atomically after all commits. *)
   let statuses =
     List.filter_map

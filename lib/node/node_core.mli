@@ -128,6 +128,21 @@ val explain_analyze :
     wires this to {!Brdb_sim.Cost_model}; defaults to 0). *)
 val set_tet_model : t -> (string -> float) -> unit
 
+(** Per-block critical-path analysis (ISSUE 7): the rw/ww dependency DAG
+    of each processed block, weighted with the installed cost model and
+    folded by {!Brdb_obs.Critical_path.analyze}. Pure function of (block
+    stream, cost model), so entries are identical across replicas; backs
+    [sys.critical_path] and the bench profiler. Replaced wholesale when
+    §3.6 recovery re-executes a block. *)
+type cp_entry = {
+  cp_txs : int;  (** transactions in the block *)
+  cp_edge_count : int;  (** dependency edges (rw + ww, deduplicated) *)
+  cp_result : Brdb_obs.Critical_path.result;
+}
+
+(** [None] above the node's processed height. *)
+val critical_path : t -> height:int -> cp_entry option
+
 (** The chained state digest this node publishes in
     [sys.blocks.state_digest]: a running hash of every committed block's
     write-set hash up to [height]. Cumulative, so two diverged nodes

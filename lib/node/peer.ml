@@ -512,16 +512,26 @@ let finish_block t (result : Node_core.block_result) =
           mincr t "txn.rejected");
       if Trace.enabled tr then begin
         let height = result.Node_core.br_height in
+        (* Causal edges: validation happens inside the block's execute
+           phase, the decision inside its commit phase; both follow from
+           the transaction's submit span. The abort class/reason args are
+           node-local and stripped by Export.causal_jsonl. *)
+        let follows = "tx/" ^ tx_id in
         Trace.instant tr ~node ~track:"txn" ~cat:"validate" ~name:"validate"
+          ~parent:(Printf.sprintf "exec/%d" height)
+          ~follows
           ~args:[ ("tx", Trace.S tx_id); ("height", Trace.I height) ]
           ();
+        let parent = Printf.sprintf "commit/%d" height in
         match status with
         | Node_core.S_committed ->
             Trace.instant tr ~node ~track:"txn" ~cat:"commit" ~name:"commit"
+              ~parent ~follows
               ~args:[ ("tx", Trace.S tx_id); ("height", Trace.I height) ]
               ()
         | Node_core.S_aborted r ->
             Trace.instant tr ~node ~track:"txn" ~cat:"commit" ~name:"abort"
+              ~parent ~follows
               ~args:
                 [
                   ("tx", Trace.S tx_id);
@@ -533,6 +543,7 @@ let finish_block t (result : Node_core.block_result) =
               ()
         | Node_core.S_rejected why ->
             Trace.instant tr ~node ~track:"txn" ~cat:"commit" ~name:"reject"
+              ~parent ~follows
               ~args:
                 [
                   ("tx", Trace.S tx_id);
@@ -651,9 +662,11 @@ let rec process_ready t =
                          t.config.cost.Brdb_sim.Cost_model.block_const
                        in
                        let node = name t in
+                       let block_span = Printf.sprintf "block/%d" h in
                        Trace.complete tr ~node ~track:"block" ~cat:"block"
                          ~name:(Printf.sprintf "block %d" h)
-                         ~ts:ts0 ~dur:bpt
+                         ~ts:ts0 ~dur:bpt ~span:block_span
+                         ~parent:(Printf.sprintf "order/%d" h)
                          ~args:
                            [
                              ("height", Trace.I h);
@@ -663,12 +676,16 @@ let rec process_ready t =
                          ();
                        Trace.complete tr ~node ~track:"block" ~cat:"execute"
                          ~name:"execute" ~ts:(ts0 +. const) ~dur:bet
+                         ~span:(Printf.sprintf "exec/%d" h)
+                         ~parent:block_span
                          ~args:[ ("height", Trace.I h) ]
                          ();
                        Trace.complete tr ~node ~track:"block" ~cat:"commit"
                          ~name:"commit"
                          ~ts:(ts0 +. const +. bet)
                          ~dur:bct
+                         ~span:(Printf.sprintf "commit/%d" h)
+                         ~parent:block_span
                          ~args:[ ("height", Trace.I h) ]
                          ());
                     finish_block t result;
@@ -1084,7 +1101,32 @@ let create ~net ?obs (config : config) ~registry =
              Brdb_storage.Value.Text src;
              Brdb_storage.Value.Float dur;
            |])
-         t.snap_log));
+         t.snap_log);
+   (* sys.spans: this node's flame-style span aggregate (ISSUE 7) —
+      node-local like sys.metrics (empty when tracing is off). *)
+   Brdb_storage.Catalog.register_virtual (Node_core.catalog core)
+     ~name:"sys.spans"
+     ~columns:
+       [
+         col ~pk:true "path" T_text;
+         col "depth" T_int;
+         col "events" T_int;
+         col "total_ms" T_float;
+         col "self_ms" T_float;
+       ]
+     ~rows:(fun ~height:_ ->
+       List.map
+         (fun (r : Brdb_obs.Profile.row) ->
+           [|
+             Brdb_storage.Value.Text r.Brdb_obs.Profile.p_path;
+             Brdb_storage.Value.Int r.Brdb_obs.Profile.p_depth;
+             Brdb_storage.Value.Int r.Brdb_obs.Profile.p_events;
+             Brdb_storage.Value.Float
+               (r.Brdb_obs.Profile.p_total_s *. 1000.);
+             Brdb_storage.Value.Float (r.Brdb_obs.Profile.p_self_s *. 1000.);
+           |])
+         (Brdb_obs.Profile.fold ~node:(name t)
+            (Trace.events (tracer t)))));
   (* Periodic anti-entropy probe: even a peer that missed every delivery
      and every gossip message (total silence) eventually discovers and
      fetches missed blocks. Perpetual — only enable under drivers that

@@ -64,10 +64,80 @@ let jsonl_string events =
       if e.id <> "" then (
         Buffer.add_string buf ",\"id\":";
         escape buf e.id);
+      if e.span <> "" then (
+        Buffer.add_string buf ",\"span\":";
+        escape buf e.span);
+      if e.parent <> "" then (
+        Buffer.add_string buf ",\"parent\":";
+        escape buf e.parent);
+      if e.follows <> "" then (
+        Buffer.add_string buf ",\"follows\":";
+        escape buf e.follows);
       if e.args <> [] then (
         Buffer.add_string buf ",\"args\":";
         add_args buf e.args);
       Buffer.add_string buf "}\n")
+    events;
+  Buffer.contents buf
+
+(* ------------------------------------------------ causal projection *)
+
+(* The per-node causal skeleton: the block/txn events of one node with
+   everything node-local or timing-dependent stripped. Every replica
+   processes the same block stream, so this projection is byte-identical
+   across nodes (modulo the node name, which is normalized away):
+   - ts/dur/seq dropped — blocks complete at node-local times;
+   - abort "reason"/"class"/"detail" args dropped — reasons are
+     node-local (CLAUDE.md), only the decision (= the event name) must
+     match;
+   - "missing" dropped — EO missing-transaction counts are node-local;
+   - replayed events deduplicated — §3.6 recovery re-accounts a repaired
+     block, re-emitting the same causal content. *)
+let causal_keys = [ "tx"; "height"; "txs" ]
+
+let causal_line buf (e : Trace.event) =
+  Buffer.add_string buf "{\"node\":\"node\",\"track\":";
+  escape buf e.track;
+  Buffer.add_string buf ",\"cat\":";
+  escape buf e.cat;
+  Buffer.add_string buf ",\"ph\":";
+  escape buf (kind_tag e.kind);
+  Buffer.add_string buf ",\"name\":";
+  escape buf e.name;
+  if e.id <> "" then (
+    Buffer.add_string buf ",\"id\":";
+    escape buf e.id);
+  if e.span <> "" then (
+    Buffer.add_string buf ",\"span\":";
+    escape buf e.span);
+  if e.parent <> "" then (
+    Buffer.add_string buf ",\"parent\":";
+    escape buf e.parent);
+  if e.follows <> "" then (
+    Buffer.add_string buf ",\"follows\":";
+    escape buf e.follows);
+  (let args = List.filter (fun (k, _) -> List.mem k causal_keys) e.args in
+   if args <> [] then (
+     Buffer.add_string buf ",\"args\":";
+     add_args buf args));
+  Buffer.add_string buf "}\n"
+
+let causal_jsonl ~node events =
+  let buf = Buffer.create 4096 in
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.node = node && (e.track = "block" || e.track = "txn") then begin
+        let line =
+          let b = Buffer.create 128 in
+          causal_line b e;
+          Buffer.contents b
+        in
+        if not (Hashtbl.mem seen line) then begin
+          Hashtbl.replace seen line ();
+          Buffer.add_string buf line
+        end
+      end)
     events;
   Buffer.contents buf
 
@@ -145,9 +215,17 @@ let chrome_string events =
           Buffer.add_string buf ",\"id\":";
           escape buf e.id
       | Trace.Counter -> ());
-      if e.args <> [] then (
+      (* Chrome's args panel is the only place the viewer shows free-form
+         data, so causal edges ride along there. *)
+      let ctx =
+        List.filter_map
+          (fun (k, s) -> if s = "" then None else Some (k, Trace.S s))
+          [ ("span", e.span); ("parent", e.parent); ("follows", e.follows) ]
+      in
+      let args = e.args @ ctx in
+      if args <> [] then (
         Buffer.add_string buf ",\"args\":";
-        add_args buf e.args);
+        add_args buf args);
       Buffer.add_string buf "}")
     events;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";

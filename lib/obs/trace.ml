@@ -18,6 +18,9 @@ type event = {
   kind : kind;
   name : string;
   id : string;
+  span : string;
+  parent : string;
+  follows : string;
   args : (string * value) list;
 }
 
@@ -40,25 +43,47 @@ let enabled t = t.enabled
 
 let now t = t.now ()
 
-let push t ~ts ~dur ~node ~track ~cat ~kind ~name ~id ~args =
-  let ev = { seq = t.seq; ts; dur; node; track; cat; kind; name; id; args } in
+let push t ~ts ~dur ~node ~track ~cat ~kind ~name ~id ~span ~parent ~follows
+    ~args =
+  let ev =
+    {
+      seq = t.seq;
+      ts;
+      dur;
+      node;
+      track;
+      cat;
+      kind;
+      name;
+      id;
+      span;
+      parent;
+      follows;
+      args;
+    }
+  in
   t.seq <- t.seq + 1;
   t.events_rev <- ev :: t.events_rev
 
 let complete t ~node ?(track = "main") ?(cat = "span") ~name ~ts ~dur
-    ?(args = []) () =
-  if t.enabled then push t ~ts ~dur ~node ~track ~cat ~kind:Complete ~name ~id:"" ~args
+    ?(span = "") ?(parent = "") ?(follows = "") ?(args = []) () =
+  if t.enabled then
+    push t ~ts ~dur ~node ~track ~cat ~kind:Complete ~name ~id:"" ~span ~parent
+      ~follows ~args
 
-let instant t ~node ?(track = "main") ?(cat = "event") ~name ?ts ?(args = []) () =
+let instant t ~node ?(track = "main") ?(cat = "event") ~name ?ts ?(span = "")
+    ?(parent = "") ?(follows = "") ?(args = []) () =
   if t.enabled then
     let ts = match ts with Some ts -> ts | None -> t.now () in
-    push t ~ts ~dur:0. ~node ~track ~cat ~kind:Instant ~name ~id:"" ~args
+    push t ~ts ~dur:0. ~node ~track ~cat ~kind:Instant ~name ~id:"" ~span
+      ~parent ~follows ~args
 
 let async t kind ~node ?(track = "async") ?(cat = "txn") ~name ~id ?ts
-    ?(args = []) () =
+    ?(span = "") ?(parent = "") ?(follows = "") ?(args = []) () =
   if t.enabled then
     let ts = match ts with Some ts -> ts | None -> t.now () in
-    push t ~ts ~dur:0. ~node ~track ~cat ~kind ~name ~id ~args
+    push t ~ts ~dur:0. ~node ~track ~cat ~kind ~name ~id ~span ~parent ~follows
+      ~args
 
 let async_begin t = async t Async_begin
 
@@ -70,7 +95,7 @@ let counter t ~node ?(track = "counters") ~name ~value ?ts () =
   if t.enabled then
     let ts = match ts with Some ts -> ts | None -> t.now () in
     push t ~ts ~dur:0. ~node ~track ~cat:"counter" ~kind:Counter ~name ~id:""
-      ~args:[ (name, F value) ]
+      ~span:"" ~parent:"" ~follows:"" ~args:[ (name, F value) ]
 
 let events t = List.rev t.events_rev
 

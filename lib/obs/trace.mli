@@ -32,6 +32,17 @@ type event = {
   kind : kind;
   name : string;
   id : string;  (** async correlation id (txn id); [""] otherwise *)
+  span : string;
+      (** span-context id this event establishes (e.g. ["block/7"]);
+          deterministic — derived from transaction ids and block heights,
+          never from emission order — so equal runs produce equal ids.
+          [""] when the event opens no context. *)
+  parent : string;
+      (** parent span context (strong causal edge: this work happened
+          {e inside} the parent); [""] for roots *)
+  follows : string;
+      (** follows-from edge (weak causal link across lifecycles: e.g. a
+          validate event follows the submit span of its transaction) *)
   args : (string * value) list;
 }
 
@@ -51,7 +62,9 @@ val now : t -> float
 
 (** [complete t ~node ~name ~ts ~dur ()] records a span covering
     [ts .. ts + dur]; [ts] may lie in the past (block phases are emitted
-    on completion and back-dated by their modeled cost). *)
+    on completion and back-dated by their modeled cost). [?span] names
+    the context this span establishes; [?parent] / [?follows] link it
+    into the causal graph (see {!event}). *)
 val complete :
   t ->
   node:string ->
@@ -60,6 +73,9 @@ val complete :
   name:string ->
   ts:float ->
   dur:float ->
+  ?span:string ->
+  ?parent:string ->
+  ?follows:string ->
   ?args:(string * value) list ->
   unit ->
   unit
@@ -71,6 +87,9 @@ val instant :
   ?cat:string ->
   name:string ->
   ?ts:float ->
+  ?span:string ->
+  ?parent:string ->
+  ?follows:string ->
   ?args:(string * value) list ->
   unit ->
   unit
@@ -86,6 +105,9 @@ val async_begin :
   name:string ->
   id:string ->
   ?ts:float ->
+  ?span:string ->
+  ?parent:string ->
+  ?follows:string ->
   ?args:(string * value) list ->
   unit ->
   unit
@@ -98,6 +120,9 @@ val async_instant :
   name:string ->
   id:string ->
   ?ts:float ->
+  ?span:string ->
+  ?parent:string ->
+  ?follows:string ->
   ?args:(string * value) list ->
   unit ->
   unit
@@ -110,6 +135,9 @@ val async_end :
   name:string ->
   id:string ->
   ?ts:float ->
+  ?span:string ->
+  ?parent:string ->
+  ?follows:string ->
   ?args:(string * value) list ->
   unit ->
   unit

@@ -26,6 +26,10 @@ module Stat = struct
 
   let samples t = List.rev t.samples
 
+  (* Linear interpolation between closest ranks (the "C = 1" / numpy
+     default). Truncating nearest-rank degenerates at small n — p95 of
+     two samples would report the *minimum* — and small n is the common
+     case for per-phase histograms in short runs. *)
   let percentile t p =
     match t.samples with
     | [] -> 0.
@@ -33,8 +37,12 @@ module Stat = struct
         let arr = Array.of_list samples in
         Array.sort Float.compare arr;
         let n = Array.length arr in
-        let idx = int_of_float (Float.of_int (n - 1) *. p /. 100.) in
-        arr.(Stdlib.max 0 (Stdlib.min (n - 1) idx))
+        let p = Float.max 0. (Float.min 100. p) in
+        let rank = Float.of_int (n - 1) *. p /. 100. in
+        let lo = int_of_float (Float.floor rank) in
+        let hi = Stdlib.min (n - 1) (lo + 1) in
+        let frac = rank -. Float.of_int lo in
+        arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
 end
 
 type t = {

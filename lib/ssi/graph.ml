@@ -36,3 +36,10 @@ let has_edge t ~reader ~writer =
   | Some n -> ISet.mem reader n.inc
 
 let edge_count t = Hashtbl.fold (fun _ n acc -> acc + ISet.cardinal n.out) t.nodes 0
+
+let edges t =
+  List.sort compare
+    (Hashtbl.fold
+       (fun reader n acc ->
+         ISet.fold (fun writer acc -> (reader, writer) :: acc) n.out acc)
+       t.nodes [])

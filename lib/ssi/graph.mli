@@ -21,3 +21,8 @@ val out_conflicts : t -> int -> int list
 val has_edge : t -> reader:int -> writer:int -> bool
 
 val edge_count : t -> int
+
+(** All [(reader, writer)] rw-antidependency edges, sorted — the order is
+    independent of insertion/hashing, so downstream consumers (the
+    critical-path analyzer) stay deterministic. *)
+val edges : t -> (int * int) list

@@ -144,6 +144,15 @@ let check_valid_json label s =
   | () -> ()
   | exception Bad_json msg -> Alcotest.failf "%s: invalid JSON: %s" label msg
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
 (* --- tracing core ---------------------------------------------------------- *)
 
 let test_null_tracer () =
@@ -233,6 +242,79 @@ let test_chrome_export () =
       "\"ph\":\"e\"";
       "\"id\":\"tx-1\"";
     ]
+
+let test_causal_export () =
+  let t = Trace.create ~now:(fun () -> 0.5) () in
+  Trace.complete t ~node:"db-org1" ~track:"block" ~cat:"block" ~name:"block 1"
+    ~ts:0. ~dur:0.01 ~span:"block/1" ~parent:"order/1"
+    ~args:[ ("height", Trace.I 1); ("local_ms", Trace.F 9.) ]
+    ();
+  Trace.instant t ~node:"db-org1" ~track:"txn" ~cat:"txn" ~name:"validate"
+    ~parent:"exec/1" ~follows:"tx/a"
+    ~args:[ ("tx", Trace.S "a"); ("reason", Trace.S "node-local detail") ]
+    ();
+  (* net-track events are delivery-dependent: excluded from the causal
+     projection even on the projected node *)
+  Trace.instant t ~node:"db-org1" ~track:"net" ~cat:"net" ~name:"block_deliver"
+    ~span:"order/1" ();
+  Trace.instant t ~node:"db-org2" ~track:"txn" ~cat:"txn" ~name:"validate"
+    ~parent:"exec/1" ~follows:"tx/a"
+    ~args:[ ("tx", Trace.S "a") ]
+    ();
+  (* a replayed duplicate (crash recovery re-emission) must deduplicate *)
+  Trace.instant t ~node:"db-org1" ~track:"txn" ~cat:"txn" ~name:"validate"
+    ~parent:"exec/1" ~follows:"tx/a"
+    ~args:[ ("tx", Trace.S "a"); ("reason", Trace.S "node-local detail") ]
+    ();
+  let evs = Trace.events t in
+  (* the causal fields render in both full exporters *)
+  let jsonl = Export.jsonl_string evs in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("jsonl carries " ^ needle) true
+        (contains jsonl needle))
+    [ "\"span\":\"block/1\""; "\"parent\":\"order/1\""; "\"follows\":\"tx/a\"" ];
+  check_valid_json "chrome with span contexts" (Export.chrome_string evs);
+  let c1 = Export.causal_jsonl ~node:"db-org1" evs in
+  let lines s = String.split_on_char '\n' (String.trim s) in
+  List.iter (fun l -> check_valid_json "causal line" l) (lines c1);
+  Alcotest.(check int) "block + validate, net excluded, replay deduped" 2
+    (List.length (lines c1));
+  Alcotest.(check bool) "node name normalized" true
+    (contains c1 "\"node\":\"node\"" && not (contains c1 "db-org1"));
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " stripped from causal view") false
+        (contains c1 needle))
+    [ "\"ts\""; "\"dur\""; "\"seq\""; "local_ms"; "node-local detail" ];
+  Alcotest.(check bool) "replicated args survive" true
+    (contains c1 "\"height\"" && contains c1 "\"tx\"");
+  (* db-org2 saw only the validate — its projection is that single line *)
+  Alcotest.(check int) "other node projects its own events" 1
+    (List.length (lines (Export.causal_jsonl ~node:"db-org2" evs)))
+
+(* --- metrics percentiles ---------------------------------------------------- *)
+
+let test_percentile_interpolation () =
+  let p values q =
+    let s = Metrics.Stat.create () in
+    List.iter (Metrics.Stat.add s) values;
+    Metrics.Stat.percentile s q
+  in
+  Alcotest.(check (float 0.)) "empty -> 0" 0. (p [] 50.);
+  Alcotest.(check (float 0.)) "n=1 p50" 5. (p [ 5. ] 50.);
+  Alcotest.(check (float 0.)) "n=1 p95" 5. (p [ 5. ] 95.);
+  (* linear interpolation at small n: rank (n-1)*p/100 between neighbors *)
+  Alcotest.(check (float 1e-9)) "n=2 p50 is the midpoint" 2. (p [ 3.; 1. ] 50.);
+  Alcotest.(check (float 1e-9)) "n=2 p95 interpolates" 2.9 (p [ 1.; 3. ] 95.);
+  Alcotest.(check (float 0.)) "p0 = min" 1. (p [ 3.; 1. ] 0.);
+  Alcotest.(check (float 0.)) "p100 = max" 3. (p [ 1.; 3. ] 100.);
+  Alcotest.(check (float 0.)) "clamped below" 1. (p [ 1.; 3. ] (-20.));
+  Alcotest.(check (float 0.)) "clamped above" 3. (p [ 1.; 3. ] 250.);
+  Alcotest.(check (float 1e-9)) "odd n p50 is the median" 30.
+    (p [ 50.; 10.; 40.; 20.; 30. ] 50.);
+  Alcotest.(check (float 1e-9)) "even n p50 interpolates between middles" 25.
+    (p [ 40.; 10.; 30.; 20. ] 50.)
 
 (* --- registry -------------------------------------------------------------- *)
 
@@ -447,6 +529,127 @@ let test_chaos_trace_deterministic () =
   Alcotest.(check bool) "JSONL byte-identical across runs" true
     (String.equal r1.Chaos.trace_jsonl r2.Chaos.trace_jsonl)
 
+let causal_decision_names = [ "validate"; "commit"; "abort"; "reject" ]
+
+(* Shared connectivity check: every per-transaction decision instant must be
+   reachable from its transaction's submit span (the follows edge lands on an
+   Async_begin that opened [tx/<id>]) and hang off a span chain rooted at the
+   ordering service ([order/<h>]). *)
+let check_connected ~fail evs =
+  let spans = Hashtbl.create 256 in
+  List.iter
+    (fun e -> if e.Trace.span <> "" then Hashtbl.replace spans e.Trace.span e)
+    evs;
+  let submit_spans = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      if e.Trace.kind = Trace.Async_begin then
+        Hashtbl.replace submit_spans e.Trace.span ())
+    evs;
+  let rec root_of ctx depth =
+    if depth > 8 then ctx
+    else
+      match Hashtbl.find_opt spans ctx with
+      | Some e when e.Trace.parent <> "" -> root_of e.Trace.parent (depth + 1)
+      | _ -> ctx
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun e ->
+      if
+        e.Trace.track = "txn"
+        && e.Trace.kind = Trace.Instant
+        && List.mem e.Trace.name causal_decision_names
+      then begin
+        incr checked;
+        if not (starts_with ~prefix:"tx/" e.Trace.follows) then
+          fail
+            (Printf.sprintf "%s on %s has no tx/ follows edge (got %S)"
+               e.Trace.name e.Trace.node e.Trace.follows);
+        if not (Hashtbl.mem submit_spans e.Trace.follows) then
+          fail
+            (Printf.sprintf "%s on %s follows %S, but no submit span opened it"
+               e.Trace.name e.Trace.node e.Trace.follows);
+        if not (Hashtbl.mem spans e.Trace.parent) then
+          fail
+            (Printf.sprintf "%s on %s has unresolved parent %S" e.Trace.name
+               e.Trace.node e.Trace.parent);
+        let root = root_of e.Trace.parent 0 in
+        if not (starts_with ~prefix:"order/" root) then
+          fail
+            (Printf.sprintf "%s on %s roots at %S, not an order span"
+               e.Trace.name e.Trace.node root)
+      end)
+    evs;
+  !checked
+
+let test_causal_cross_node () =
+  let net = init_net ~tracing:true () in
+  ignore (run_workload net);
+  let evs = B.trace_events net in
+  let proj node = Export.causal_jsonl ~node evs in
+  let reference = proj "db-org1" in
+  Alcotest.(check bool) "causal projection non-empty" true (reference <> "");
+  List.iter
+    (fun node ->
+      Alcotest.(check string)
+        (node ^ " causal projection byte-identical")
+        reference (proj node))
+    [ "db-org2"; "db-org3" ];
+  let checked = check_connected ~fail:Alcotest.fail evs in
+  Alcotest.(check bool) "decision instants were checked" true (checked > 0)
+
+let prop_causal_traces_agree_under_chaos =
+  (* Satellite 3: under a seeded fault schedule (loss, duplication, a
+     healing partition, a crash/restart cycle), every node's causal
+     projection — spans with parent/follows edges, node-local data
+     stripped — is byte-identical, and the trace stays *connected*: each
+     validate/commit/abort instant reaches its submit span and an order
+     root. Replay after recovery re-emits spans; the projection dedupes. *)
+  QCheck.Test.make
+    ~name:"chaos: causal trace identical across nodes and connected" ~count:5
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 9999))
+    (fun seed ->
+      let spec =
+        {
+          Chaos.default_spec with
+          Chaos.seed;
+          rate = 90.;
+          duration = 0.7;
+          block_size = 6;
+          drop = 0.02 +. (0.005 *. float_of_int (seed mod 5));
+          duplicate = float_of_int (seed mod 3) /. 100.;
+          crashes = seed mod 2;
+          partitions = (seed + 1) mod 2;
+          tracing = true;
+        }
+      in
+      let r = Chaos.run spec in
+      if not r.Chaos.converged then
+        QCheck.Test.fail_reportf "seed %d diverged: %a" seed Chaos.pp_report r;
+      let evs = r.Chaos.trace_events in
+      if evs = [] then QCheck.Test.fail_reportf "seed %d: no trace events" seed;
+      let proj node = Export.causal_jsonl ~node evs in
+      let reference = proj "db-org1" in
+      if reference = "" then
+        QCheck.Test.fail_reportf "seed %d: empty causal projection" seed;
+      List.iter
+        (fun node ->
+          let got = proj node in
+          if got <> reference then
+            QCheck.Test.fail_reportf
+              "seed %d: causal projection differs between db-org1 and %s" seed
+              node)
+        [ "db-org2"; "db-org3" ];
+      let checked =
+        check_connected
+          ~fail:(fun msg -> QCheck.Test.fail_reportf "seed %d: %s" seed msg)
+          evs
+      in
+      if checked = 0 then
+        QCheck.Test.fail_reportf "seed %d: no decision instants traced" seed;
+      true)
+
 let suites =
   [
     ( "obs.trace",
@@ -458,6 +661,12 @@ let suites =
       [
         Alcotest.test_case "jsonl" `Quick test_jsonl_export;
         Alcotest.test_case "chrome trace_event" `Quick test_chrome_export;
+        Alcotest.test_case "causal projection" `Quick test_causal_export;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "percentile interpolation at small n" `Quick
+          test_percentile_interpolation;
       ] );
     ( "obs.registry",
       [
@@ -474,5 +683,8 @@ let suites =
           test_tracing_is_neutral;
         Alcotest.test_case "chaos trace byte-identical" `Quick
           test_chaos_trace_deterministic;
+        Alcotest.test_case "causal projection identical across nodes" `Quick
+          test_causal_cross_node;
+        QCheck_alcotest.to_alcotest prop_causal_traces_agree_under_chaos;
       ] );
   ]

@@ -131,6 +131,9 @@ let test_views_read_only () =
   expect_reject "INSERT INTO sys.blocks VALUES (99, 1, 'x', 'y', 99, 'z')";
   expect_reject "UPDATE sys.aborts SET n = 0 WHERE class = 'uniqueness'";
   expect_reject "DELETE FROM sys.transactions WHERE block = 1";
+  expect_reject "INSERT INTO sys.spans VALUES ('x', 0, 1, 0.0, 0.0)";
+  expect_reject "UPDATE sys.critical_path SET headroom = 99.0 WHERE height = 1";
+  expect_reject "DELETE FROM sys.critical_path WHERE height = 1";
   expect_reject "DROP TABLE sys.blocks";
   expect_reject "CREATE TABLE sys.mine (a INT PRIMARY KEY)";
   expect_reject "CREATE UNIQUE INDEX sys_idx ON sys.blocks (height)";
@@ -157,7 +160,12 @@ let test_views_read_only () =
   (* PROVENANCE over a virtual table is a plain read, not a crash:
      materialized rows carry a synthetic creator block. *)
   let rs = query_ok net "PROVENANCE SELECT height FROM sys.blocks WHERE height = 1" in
-  Alcotest.(check int) "provenance no-op on sys views" 1 (List.length rs.Exec.rows)
+  Alcotest.(check int) "provenance no-op on sys views" 1 (List.length rs.Exec.rows);
+  let rs =
+    query_ok net "PROVENANCE SELECT height FROM sys.critical_path WHERE height = 1"
+  in
+  Alcotest.(check int) "provenance no-op on sys.critical_path" 1
+    (List.length rs.Exec.rows)
 
 let test_contracts_cannot_read_sys () =
   let net = init_net () in
@@ -166,22 +174,36 @@ let test_contracts_cannot_read_sys () =
    with
   | Ok () -> ()
   | Error e -> Alcotest.fail e);
+  (* the profiling views obey the same visibility rule: a contract that
+     could read sys.critical_path would make commit decisions depend on
+     node-local instrumentation *)
+  (match
+     B.install_contract_source net ~name:"spy_profile"
+       "SELECT headroom FROM sys.critical_path"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
   let u = B.register_user net "sys/mallory" in
-  let id = B.submit net ~user:u ~contract:"spy" ~args:[] in
-  B.settle net;
-  match B.status net id with
-  | Some (B.Aborted reason) ->
-      Alcotest.(check bool)
-        (Printf.sprintf "abort mentions contract restriction (got: %s)" reason)
-        true
-        (contains reason "not readable from contracts")
-  | s ->
-      Alcotest.failf "contract reading sys.* should abort, got %s"
-        (match s with
-        | Some B.Committed -> "committed"
-        | Some (B.Rejected r) -> "rejected: " ^ r
-        | None -> "undecided"
-        | Some (B.Aborted _) -> assert false)
+  let check_spy contract =
+    let id = B.submit net ~user:u ~contract ~args:[] in
+    B.settle net;
+    match B.status net id with
+    | Some (B.Aborted reason) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s abort mentions contract restriction (got: %s)"
+             contract reason)
+          true
+          (contains reason "not readable from contracts")
+    | s ->
+        Alcotest.failf "contract %s reading sys.* should abort, got %s" contract
+          (match s with
+          | Some B.Committed -> "committed"
+          | Some (B.Rejected r) -> "rejected: " ^ r
+          | None -> "undecided"
+          | Some (B.Aborted _) -> assert false)
+  in
+  check_spy "spy";
+  check_spy "spy_profile"
 
 (* --- determinism: byte-identical across nodes ----------------------------- *)
 
@@ -204,7 +226,103 @@ let test_views_byte_identical_across_nodes () =
       "SELECT * FROM sys.aborts";
       "SELECT * FROM sys.tables";
       "SELECT * FROM sys.indexes";
+      (* the dependency graph is replicated SSI metadata, so the per-block
+         critical path is consensus-deterministic too *)
+      "SELECT * FROM sys.critical_path";
     ]
+
+(* --- profiling views (ISSUE 7) -------------------------------------------- *)
+
+let test_profiling_views () =
+  let net = init_net ~tracing:true () in
+  conflicting_workload net;
+  (* inserts neither read nor claim versions, so they carry no dependency
+     edges; colliding UPDATEs do (rw antidependencies + first-updater-wins
+     claims on the overwritten version) *)
+  (match
+     B.install_contract_source net ~name:"bump"
+       "UPDATE kv SET v = $2 WHERE k = $1"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let u = B.register_user net "sys/update" in
+  for i = 1 to 8 do
+    ignore
+      (B.submit net ~user:u ~contract:"bump"
+         ~args:[ Value.Int 1; Value.Int (100 + i) ])
+  done;
+  B.settle net;
+  (* sys.critical_path: one row per block, headroom = serial / critical,
+     critical never exceeds serial, wave count at least 1 *)
+  let cp =
+    query_ok net
+      "SELECT height, txs, edges, serial_ms, critical_ms, headroom, waves \
+       FROM sys.critical_path"
+  in
+  Alcotest.(check bool) "critical path rows" true (cp.Exec.rows <> []);
+  List.iter
+    (fun row ->
+      match row with
+      | [| Value.Int h; Value.Int txs; Value.Int edges; Value.Float serial;
+           Value.Float critical; Value.Float headroom; Value.Int waves |] ->
+          Alcotest.(check bool) "height >= 1" true (h >= 1);
+          Alcotest.(check bool) "txs >= 1" true (txs >= 1);
+          Alcotest.(check bool) "edges >= 0" true (edges >= 0);
+          Alcotest.(check bool) "critical <= serial" true
+            (critical <= serial +. 1e-9);
+          Alcotest.(check bool) "headroom >= 1" true (headroom >= 1.0 -. 1e-9);
+          Alcotest.(check bool) "waves in [1, txs]" true
+            (waves >= 1 && waves <= txs)
+      | _ -> Alcotest.fail "bad sys.critical_path row")
+    cp.Exec.rows;
+  (* the conflicting workload serializes colliding keys: at least one block
+     must carry dependency edges and more than one execution wave *)
+  Alcotest.(check bool) "some block has dependency edges" true
+    (List.exists
+       (fun row ->
+         match row with [| _; _; Value.Int e; _; _; _; _ |] -> e > 0 | _ -> false)
+       cp.Exec.rows);
+  (* sys.spans: flame-style aggregate of the node's span tree *)
+  let spans =
+    query_ok net "SELECT path, depth, events, total_ms, self_ms FROM sys.spans"
+  in
+  Alcotest.(check bool) "span rows" true (spans.Exec.rows <> []);
+  List.iter
+    (fun row ->
+      match row with
+      | [| Value.Text path; Value.Int depth; Value.Int events;
+           Value.Float total; Value.Float self |] ->
+          Alcotest.(check bool) "path non-empty" true (path <> "");
+          Alcotest.(check bool) "events >= 1" true (events >= 1);
+          Alcotest.(check bool) "self within total" true
+            (self >= 0. && self <= total +. 1e-9);
+          (* depth = number of ';'-separated path segments - 1 *)
+          let segs =
+            List.length (String.split_on_char ';' path)
+          in
+          Alcotest.(check int) (path ^ " depth matches path") (segs - 1) depth
+      | _ -> Alcotest.fail "bad sys.spans row")
+    spans.Exec.rows;
+  let paths =
+    List.filter_map
+      (fun row ->
+        match row with [| Value.Text p; _; _; _; _ |] -> Some p | _ -> None)
+      spans.Exec.rows
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("sys.spans has " ^ expected) true
+        (List.mem expected paths))
+    [ "order"; "order;block"; "order;block;exec"; "order;block;commit" ];
+  (* with tracing disabled the view stays queryable and empty — no stale
+     instrumentation leaks into a quiet deployment *)
+  let quiet = init_net ~tracing:false () in
+  conflicting_workload quiet;
+  Alcotest.(check int) "sys.spans empty when tracing off" 0
+    (List.length (query_ok quiet "SELECT * FROM sys.spans").Exec.rows);
+  Alcotest.(check bool) "sys.critical_path populated even when tracing off"
+    true
+    ((query_ok quiet "SELECT * FROM sys.critical_path").Exec.rows <> [])
 
 (* --- EXPLAIN ANALYZE ------------------------------------------------------ *)
 
@@ -360,6 +478,8 @@ let suites =
           test_contracts_cannot_read_sys;
         Alcotest.test_case "byte-identical across nodes" `Quick
           test_views_byte_identical_across_nodes;
+        Alcotest.test_case "profiling views (sys.spans, sys.critical_path)"
+          `Quick test_profiling_views;
         Alcotest.test_case "EXPLAIN ANALYZE annotates, leaves no residue"
           `Quick test_explain_analyze_annotates_and_is_neutral;
         Alcotest.test_case "SQL bisection finds tampered digest" `Quick

@@ -1,0 +1,319 @@
+(* Perf-regression gate (ISSUE 7, tentpole d).
+
+   Compares a fresh `bench --json --quick` run against a committed
+   baseline with per-metric tolerances and exits non-zero on regression;
+   check.sh runs it after the test suite. The simulation is deterministic
+   (fixed seeds), so on an unchanged tree fresh == baseline exactly —
+   tolerances exist to absorb intentional cost-model recalibrations and
+   small scheduling shifts from legitimate changes, not run-to-run noise.
+
+   Usage:
+     bench_diff --baseline BENCH_profile.json --fresh fresh.json \
+                --tolerances tools/bench_tolerances.txt
+
+   Tolerance file: one rule per line, `<metric> <rel-tolerance> <dir>`
+   with dir in {lower_is_worse, higher_is_worse, both}; '#' comments.
+   Only listed metrics are gated. Records are matched by their identity
+   fields (experiment/kind/flow/contract/block_size/rate); a baseline
+   record with no fresh counterpart is itself a failure. *)
+
+(* ------------------------------------------------- minimal JSON reader *)
+(* No JSON library in the image; this accepts exactly the subset
+   bench/main.ml emits (objects, arrays, strings, numbers, bools, null). *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if !pos >= n then fail "unterminated escape");
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            if !pos + 4 > n then fail "bad \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            let code = int_of_string ("0x" ^ hex) in
+            (* bench output is ASCII; encode BMP points as UTF-8 *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf
+                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+        | _ -> fail "bad escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------ records *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let records_of path =
+  match parse_json (read_file path) with
+  | Obj fields -> (
+      match List.assoc_opt "records" fields with
+      | Some (Arr rs) ->
+          List.filter_map (function Obj o -> Some o | _ -> None) rs
+      | _ -> failwith (path ^ ": no \"records\" array"))
+  | _ -> failwith (path ^ ": top level is not an object")
+
+(* Identity: which fields *name* a record (vs. measure it). *)
+let identity_fields =
+  [ "experiment"; "kind"; "flow"; "contract"; "block_size"; "rate" ]
+
+let identity r =
+  String.concat " "
+    (List.filter_map
+       (fun k ->
+         match List.assoc_opt k r with
+         | Some (Str s) -> Some (Printf.sprintf "%s=%s" k s)
+         | Some (Num f) -> Some (Printf.sprintf "%s=%g" k f)
+         | _ -> None)
+       identity_fields)
+
+let number r k =
+  match List.assoc_opt k r with Some (Num f) -> Some f | _ -> None
+
+(* ---------------------------------------------------------- tolerances *)
+
+type direction = Lower_is_worse | Higher_is_worse | Both
+
+type rule = { metric : string; rel_tol : float; dir : direction }
+
+let parse_tolerances path =
+  let ic = open_in path in
+  let rules = ref [] in
+  (try
+     while true do
+       let raw = input_line ic in
+       let line =
+         match String.index_opt raw '#' with
+         | Some i -> String.sub raw 0 i
+         | None -> raw
+       in
+       match
+         String.split_on_char ' ' (String.trim line)
+         |> List.filter (fun s -> s <> "")
+       with
+       | [] -> ()
+       | [ metric; tol; dir ] ->
+           let dir =
+             match dir with
+             | "lower_is_worse" -> Lower_is_worse
+             | "higher_is_worse" -> Higher_is_worse
+             | "both" -> Both
+             | d -> failwith (path ^ ": unknown direction " ^ d)
+           in
+           rules := { metric; rel_tol = float_of_string tol; dir } :: !rules
+       | _ -> failwith (path ^ ": malformed line: " ^ raw)
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rules
+
+(* --------------------------------------------------------------- diff *)
+
+let check ~baseline ~fresh ~rules =
+  let failures = ref [] in
+  let checked = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun b ->
+      let id = identity b in
+      match
+        List.find_opt (fun f -> identity f = id) fresh
+      with
+      | None -> fail "missing record in fresh run: [%s]" id
+      | Some f ->
+          List.iter
+            (fun r ->
+              match (number b r.metric, number f r.metric) with
+              | Some bv, Some fv ->
+                  incr checked;
+                  let denom = Float.max (Float.abs bv) 1e-9 in
+                  let delta = (fv -. bv) /. denom in
+                  let worse =
+                    match r.dir with
+                    | Lower_is_worse -> -.delta > r.rel_tol
+                    | Higher_is_worse -> delta > r.rel_tol
+                    | Both -> Float.abs delta > r.rel_tol
+                  in
+                  if worse then
+                    fail "%s regressed: %g -> %g (%+.1f%%, tolerance %.0f%%) [%s]"
+                      r.metric bv fv (delta *. 100.) (r.rel_tol *. 100.) id
+              | Some _, None ->
+                  incr checked;
+                  fail "metric %s disappeared from fresh run [%s]" r.metric id
+              | None, _ -> ())
+            rules)
+    baseline;
+  (!checked, List.rev !failures)
+
+let () =
+  let baseline = ref "" and fresh = ref "" and tolerances = ref "" in
+  let args =
+    [
+      ("--baseline", Arg.Set_string baseline, "committed baseline JSON");
+      ("--fresh", Arg.Set_string fresh, "fresh bench --json output");
+      ("--tolerances", Arg.Set_string tolerances, "tolerance rules file");
+    ]
+  in
+  Arg.parse args
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench_diff --baseline B.json --fresh F.json --tolerances T.txt";
+  if !baseline = "" || !fresh = "" || !tolerances = "" then begin
+    prerr_endline "bench_diff: --baseline, --fresh and --tolerances are required";
+    exit 2
+  end;
+  let rules = parse_tolerances !tolerances in
+  let b = records_of !baseline and f = records_of !fresh in
+  let checked, failures = check ~baseline:b ~fresh:f ~rules in
+  if failures = [] then
+    Printf.printf "bench_diff: OK — %d metric comparisons within tolerance (%d baseline records)\n"
+      checked (List.length b)
+  else begin
+    Printf.eprintf "bench_diff: %d regression(s):\n" (List.length failures);
+    List.iter (fun m -> Printf.eprintf "  %s\n" m) failures;
+    exit 1
+  end

@@ -75,4 +75,29 @@ if [ -n "$sys_matches" ]; then
   echo "$sys_matches" >&2
   exit 1
 fi
-echo "lint ok: no wall-clock, global Random, unordered Hashtbl iteration, Marshal in snapshot code, or stray sys.* literals under $dir/"
+# Every network message must carry a span context (ISSUE 7): each
+# constructor of Msg.t has to be matched in Msg.span_ctx, so a new message
+# variant cannot silently opt out of causal tracing. Containment check:
+# constructors are extracted from the `type t =` block of msg.ml and each
+# must appear inside the span_ctx function body (the region between
+# `let span_ctx` and the following `module Net`).
+msg_file="$dir/consensus/msg.ml"
+if [ -f "$msg_file" ]; then
+  constructors=$(awk '/^type t =/{in_t=1; next} in_t && /^[a-z]/{in_t=0} in_t' \
+    "$msg_file" | grep -oE '^  \| [A-Z][A-Za-z_]*' | sed 's/^  | //' || true)
+  span_region=$(awk '/^let span_ctx/{flag=1} /^module Net/{flag=0} flag' "$msg_file")
+  missing=''
+  for c in $constructors; do
+    if ! printf '%s' "$span_region" | grep -qE "(\| *|, *)$c([^A-Za-z_]|\$)"; then
+      missing="$missing $c"
+    fi
+  done
+  if [ -n "$missing" ]; then
+    echo "lint failed — Msg.t constructor(s) without a span context in" >&2
+    echo "Msg.span_ctx (every network message must be traceable; ISSUE 7):" >&2
+    echo "  $missing" >&2
+    exit 1
+  fi
+fi
+
+echo "lint ok: no wall-clock, global Random, unordered Hashtbl iteration, Marshal in snapshot code, or stray sys.* literals under $dir/; every Msg.t constructor carries a span context"
