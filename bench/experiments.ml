@@ -146,11 +146,68 @@ let critical_path_breakdown dbs =
         ])
     dbs
 
+(* ISSUE 8: A/B of the wave-scheduled validator against the serial commit
+   path. Same spec, same seed — only the validator changes; block
+   execution time (bet) drops by the wave speedup, bounded by the
+   cp_headroom the critical-path profiler reported for the same blocks. *)
+let parallel_ab ~flow ~rate runs =
+  line "";
+  line "parallel validation (ISSUE 8, wave-scheduled on %d modeled cores):"
+    Brdb_sim.Cost_model.default.Brdb_sim.Cost_model.cores;
+  line "%4s | %12s %14s %8s | %6s %8s %9s" "bs" "ser bet(ms)" "par bet(ms)"
+    "speedup" "blocks" "waves" "occupancy";
+  List.iter
+    (fun (block_size, (serial : Metrics.summary)) ->
+      let db, s =
+        Runner.run_db
+          {
+            Runner.default_spec with
+            flow;
+            block_size;
+            rate;
+            duration = dur ();
+            parallel_validation = true;
+          }
+      in
+      (* committed counts are NOT compared here: at these saturating rates
+         the faster validator drains the backlog further inside the fixed
+         measurement window, so it legitimately commits more — per-block
+         decision equivalence is the qcheck property's job (and the
+         sub-saturation contention A/B checks it directly) *)
+      let reg = Obs.metrics (B.obs db) in
+      let node = "db-org1" in
+      let blocks = Reg.counter reg ~node "validation.blocks" in
+      let stat name f =
+        match Reg.histogram reg ~node name with
+        | None -> 0.
+        | Some st -> f st
+      in
+      let speedup =
+        if s.Metrics.bet_ms > 0. then serial.Metrics.bet_ms /. s.Metrics.bet_ms
+        else 1.
+      in
+      line "%4d | %12.2f %14.2f %7.1fx | %6d %8.1f %9.2f" block_size
+        serial.Metrics.bet_ms s.Metrics.bet_ms speedup blocks
+        (stat "validation.waves" Metrics.Stat.mean)
+        (stat "validation.occupancy" Metrics.Stat.mean);
+      Runner.record
+        [
+          ("kind", Runner.J_str "parallel_ab");
+          ("block_size", Runner.J_int block_size);
+          ("serial_bet_ms", Runner.J_float serial.Metrics.bet_ms);
+          ("parallel_bet_ms", Runner.J_float s.Metrics.bet_ms);
+          ("val_speedup", Runner.J_float speedup);
+          ("val_blocks", Runner.J_int blocks);
+          ("val_waves_mean", Runner.J_float (stat "validation.waves" Metrics.Stat.mean));
+          ("val_occupancy_mean", Runner.J_float (stat "validation.occupancy" Metrics.Stat.mean));
+        ])
+    runs
+
 let micro_table ~flow ~rate ~title =
   header title;
   line "%4s | %8s %8s %9s %9s %9s %9s %7s %6s" "bs" "brr" "bpr" "bpt(ms)"
     "bet(ms)" "bct(ms)" "tet(ms)" "mt/s" "su%%";
-  let dbs =
+  let runs =
     List.map
       (fun block_size ->
         let db, s =
@@ -161,11 +218,13 @@ let micro_table ~flow ~rate ~title =
           s.Metrics.brr s.Metrics.bpr s.Metrics.bpt_ms s.Metrics.bet_ms
           s.Metrics.bct_ms s.Metrics.tet_ms s.Metrics.mt_per_s
           s.Metrics.su_percent;
-        (block_size, db))
+        (block_size, db, s))
       [ 10; 100; 500 ]
   in
+  let dbs = List.map (fun (bs, db, _) -> (bs, db)) runs in
   phase_breakdown dbs;
-  critical_path_breakdown dbs
+  critical_path_breakdown dbs;
+  parallel_ab ~flow ~rate (List.map (fun (bs, _, s) -> (bs, s)) runs)
 
 let table4 () =
   micro_table ~flow:Node_core.Order_execute ~rate:2100.
@@ -315,37 +374,91 @@ let ablation () =
 let contention () =
   header "Ablation: abort behaviour under hot-key contention (10 rows, rmw)";
   line "%28s | %9s %9s %9s" "flow" "committed" "aborted" "abort%%";
+  let spec_of flow =
+    {
+      Runner.default_spec with
+      flow;
+      contract = Workloads.Contended;
+      block_size = 50;
+      rate = 500.;
+      duration = dur ();
+    }
+  in
+  let serial_runs =
+    List.map
+      (fun flow ->
+        let net, s = Runner.run_db (spec_of flow) in
+        let total = s.Metrics.committed + s.Metrics.aborted in
+        line "%28s | %9d %9d %8.1f%%" (flow_name flow) s.Metrics.committed
+          s.Metrics.aborted
+          (if total = 0 then 0.
+           else 100. *. float_of_int s.Metrics.aborted /. float_of_int total);
+        (* Table 2 breakdown straight from the introspection schema
+           (DESIGN.md §10) — the same query a live deployment would run. *)
+        (match B.query net "SELECT class, n FROM sys.aborts WHERE n > 0" with
+        | Error e -> line "  sys.aborts query failed: %s" e
+        | Ok rs ->
+            List.iter
+              (fun row ->
+                match row with
+                | [| Brdb_storage.Value.Text cls; Brdb_storage.Value.Int n |] ->
+                    line "%28s |   %-18s %6d" "" cls n
+                | _ -> ())
+              rs.Brdb_engine.Exec.rows);
+        (flow, s))
+      [ Node_core.Order_execute; Node_core.Execute_order; Node_core.Serial_baseline ]
+  in
+  (* ISSUE 8: hot-key ww chains are exactly what forces multi-wave
+     schedules, so this workload is the wave scheduler's stress A/B —
+     decisions must not move, mean waves must exceed 1. The committed
+     BENCH_parallel.json is this table's --json output. *)
+  line "";
+  line "wave-scheduled validation A/B (ISSUE 8; decisions must not move):";
+  line "%28s | %9s %9s | %6s %8s %9s %8s" "flow" "committed" "aborted" "blocks"
+    "waves" "occupancy" "speedup";
   List.iter
     (fun flow ->
-      let net, s =
-        Runner.run_db
-          {
-            Runner.default_spec with
-            flow;
-            contract = Workloads.Contended;
-            block_size = 50;
-            rate = 500.;
-            duration = dur ();
-          }
+      let serial = List.assoc flow serial_runs in
+      let db, s =
+        Runner.run_db { (spec_of flow) with Runner.parallel_validation = true }
       in
-      let total = s.Metrics.committed + s.Metrics.aborted in
-      line "%28s | %9d %9d %8.1f%%" (flow_name flow) s.Metrics.committed
-        s.Metrics.aborted
-        (if total = 0 then 0.
-         else 100. *. float_of_int s.Metrics.aborted /. float_of_int total);
-      (* Table 2 breakdown straight from the introspection schema
-         (DESIGN.md §10) — the same query a live deployment would run. *)
-      match B.query net "SELECT class, n FROM sys.aborts WHERE n > 0" with
-      | Error e -> line "  sys.aborts query failed: %s" e
-      | Ok rs ->
-          List.iter
-            (fun row ->
-              match row with
-              | [| Brdb_storage.Value.Text cls; Brdb_storage.Value.Int n |] ->
-                  line "%28s |   %-18s %6d" "" cls n
-              | _ -> ())
-            rs.Brdb_engine.Exec.rows)
-    [ Node_core.Order_execute; Node_core.Execute_order; Node_core.Serial_baseline ]
+      let reg = Obs.metrics (B.obs db) in
+      let node = "db-org1" in
+      let blocks = Reg.counter reg ~node "validation.blocks" in
+      let stat name f =
+        match Reg.histogram reg ~node name with
+        | None -> 0.
+        | Some st -> f st
+      in
+      line "%28s | %9d %9d | %6d %8.1f %9.2f %7.1fx" (flow_name flow)
+        s.Metrics.committed s.Metrics.aborted blocks
+        (stat "validation.waves" Metrics.Stat.mean)
+        (stat "validation.occupancy" Metrics.Stat.mean)
+        (stat "validation.speedup" Metrics.Stat.mean);
+      if
+        s.Metrics.committed <> serial.Metrics.committed
+        || s.Metrics.aborted <> serial.Metrics.aborted
+      then
+        line "  WARNING: %s decisions moved under parallel validation"
+          (flow_name flow);
+      Runner.record
+        [
+          ("kind", Runner.J_str "parallel_ab");
+          ( "flow",
+            Runner.J_str
+              (match flow with
+              | Node_core.Order_execute -> "order-execute"
+              | Node_core.Execute_order -> "execute-order"
+              | Node_core.Serial_baseline -> "serial") );
+          ("committed", Runner.J_int s.Metrics.committed);
+          ("aborted", Runner.J_int s.Metrics.aborted);
+          ("val_blocks", Runner.J_int blocks);
+          ("val_waves_mean", Runner.J_float (stat "validation.waves" Metrics.Stat.mean));
+          ("val_waves_max", Runner.J_float (stat "validation.waves" Metrics.Stat.max));
+          ("val_occupancy_mean", Runner.J_float (stat "validation.occupancy" Metrics.Stat.mean));
+          ("val_speedup", Runner.J_float (stat "validation.speedup" Metrics.Stat.mean));
+        ])
+    [ Node_core.Order_execute; Node_core.Execute_order ]
 
 (* ------------------------------------------- chaos: §3.5/§3.6 resilience *)
 

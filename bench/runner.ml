@@ -19,6 +19,10 @@ type spec = {
   n_orderers : int;
   link : Network.link;
   seed : int;
+  parallel_validation : bool;
+      (** wave-scheduled intra-block validation (ISSUE 8); recorded runs
+          carry kind "run_parallel" so A/B pairs of one experiment keep
+          distinct identities in the bench_diff gate *)
 }
 
 let default_spec =
@@ -32,6 +36,7 @@ let default_spec =
     n_orderers = 3;
     link = Network.lan_link;
     seed = 7;
+    parallel_validation = false;
   }
 
 (* --trace support: when set (by bench/main.ml), every run records a trace
@@ -91,6 +96,29 @@ let phase_percentiles net =
       ("tet", "phase.tet_ms");
     ]
 
+(* Wave-scheduler summary from node 0's registry (ISSUE 8): blocks that
+   went through the parallel path, wave counts, core occupancy and the
+   modeled serial/parallel speedup. Empty unless parallel validation ran. *)
+let validation_metrics net =
+  let reg = Brdb_obs.Obs.metrics (B.obs net) in
+  let node = "db-org1" in
+  let blocks = Brdb_obs.Registry.counter reg ~node "validation.blocks" in
+  if blocks = 0 then []
+  else
+    let module Stat = Brdb_sim.Metrics.Stat in
+    let stat name f =
+      match Brdb_obs.Registry.histogram reg ~node name with
+      | None -> 0.
+      | Some s -> f s
+    in
+    [
+      ("val_blocks", J_int blocks);
+      ("val_waves_mean", J_float (stat "validation.waves" Stat.mean));
+      ("val_waves_max", J_float (stat "validation.waves" Stat.max));
+      ("val_occupancy_mean", J_float (stat "validation.occupancy" Stat.mean));
+      ("val_speedup", J_float (stat "validation.speedup" Stat.mean));
+    ]
+
 (* Per-block critical-path entries from node 0 (identical on every
    replica — pure function of block stream + cost model). *)
 let critical_paths net =
@@ -137,6 +165,7 @@ let run_db (spec : spec) : B.t * Metrics.summary =
         (if spec.flow = Node_core.Execute_order then 0.012 else 0.);
       seed = spec.seed;
       tracing = !trace_file <> None;
+      parallel_validation = spec.parallel_validation;
     }
   in
   let net = B.create config in
@@ -170,7 +199,8 @@ let run_db (spec : spec) : B.t * Metrics.summary =
   end;
   record
     ([
-       ("kind", J_str "run");
+       ( "kind",
+         J_str (if spec.parallel_validation then "run_parallel" else "run") );
        ( "flow",
          J_str
            (match spec.flow with
@@ -194,7 +224,7 @@ let run_db (spec : spec) : B.t * Metrics.summary =
          ("cp_headroom", J_float headroom);
          ("cp_waves_max", J_int waves);
        ])
-    @ phase_percentiles net @ exec_counters net);
+    @ validation_metrics net @ phase_percentiles net @ exec_counters net);
   (net, summary)
 
 let run spec = snd (run_db spec)

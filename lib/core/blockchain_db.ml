@@ -39,6 +39,11 @@ type config = {
   compaction : Brdb_snapshot.Snapshot.compaction;
       (** per-node version-chain retention: [Archive] (default) keeps dead
           chains, [Pruned] drops them at checkpoints (§11). *)
+  parallel_validation : bool;
+      (** wave-scheduled intra-block validation (ISSUE 8, DESIGN.md §14);
+          off by default. Decisions, write-set hashes and state digests
+          are identical either way — only modelled block-validation time
+          and the sys.validation / validation.* metrics change. *)
 }
 
 let default_config () =
@@ -57,6 +62,7 @@ let default_config () =
     tracing = false;
     snapshot_threshold = 0;
     compaction = Brdb_snapshot.Snapshot.Archive;
+    parallel_validation = false;
   }
 
 type final_status = Committed | Aborted of string | Rejected of string
@@ -207,6 +213,7 @@ let create config =
             require_index = false;
             orgs = config.orgs;
             atomic_commit = false;
+            parallel_validation = config.parallel_validation;
           }
         in
         Peer.create ~net ~obs

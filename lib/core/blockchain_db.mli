@@ -47,6 +47,14 @@ type config = {
           keeps dead version chains — full PROVENANCE history; [Pruned]
           drops chains dead below checkpoint - margin at every
           checkpoint, bounding resident row-versions. *)
+  parallel_validation : bool;
+      (** wave-scheduled intra-block validation (ISSUE 8, DESIGN.md §14):
+          each block's commit phase runs over the topological waves of its
+          dependency DAG on the cost model's [cores] slots instead of
+          strictly serially. Off by default. Commit/abort decisions,
+          write-set hashes and per-block state digests are byte-identical
+          either way; only the modelled block-validation time and the
+          sys.validation / validation.* metrics change. *)
 }
 
 (** 3 orgs, order-then-execute, solo orderer, block size 100, 1 s timeout,

@@ -42,6 +42,11 @@ type spec = {
       (** probability a delivered block is tampered in flight on
           orderer->peer links — §4.4 authenticated delivery must reject
           it and the peer must re-fetch from an honest source *)
+  parallel_validation : bool;
+      (** {!Blockchain_db.config.parallel_validation}: run the chaos
+          workload with wave-scheduled validation — every convergence /
+          decision-agreement / fingerprint invariant must hold
+          unchanged *)
 }
 
 let default_spec =
@@ -66,6 +71,7 @@ let default_spec =
     n_orderers = 1;
     orderer_crashes = 0;
     block_tamper = 0.;
+    parallel_validation = false;
   }
 
 type report = {
@@ -175,6 +181,7 @@ let run spec =
       compaction = spec.compaction;
       ordering = spec.ordering;
       n_orderers = spec.n_orderers;
+      parallel_validation = spec.parallel_validation;
     }
   in
   let db = B.create config in

@@ -61,6 +61,11 @@ type spec = {
           stay fetchable from an honest peer): §4.4 authenticated
           delivery must reject the mangled block ([blocks_rejected]) and
           the victim must recover it via §3.6 catch-up *)
+  parallel_validation : bool;
+      (** {!Blockchain_db.config.parallel_validation}: wave-scheduled
+          intra-block validation (DESIGN.md §14). Every invariant the
+          harness checks — convergence, per-tx decision agreement, state
+          fingerprints — must hold exactly as in serial mode. *)
 }
 
 (** 3 orgs, OE flow, 150 req/s for 1.5 s, 5% loss, 2% duplication,

@@ -24,11 +24,12 @@ type config = {
   require_index : bool;
   orgs : string list;
   atomic_commit : bool;
+  parallel_validation : bool;
 }
 
 let make_config ~name ~org ~flow ?(require_index = false) ?(atomic_commit = false)
-    ~orgs () =
-  { name; org; flow; require_index; orgs; atomic_commit }
+    ?(parallel_validation = false) ~orgs () =
+  { name; org; flow; require_index; orgs; atomic_commit; parallel_validation }
 
 type tx_status = S_committed | S_aborted of Txn.abort_reason | S_rejected of string
 
@@ -42,6 +43,8 @@ type block_result = {
   br_statuses : (string * tx_status) list;
   br_write_set_hash : string;
   br_missing : int;
+  br_waves : int array;
+  br_fresh : bool array;
 }
 
 (* One sys.transactions row (DESIGN.md §10): everything the view shows
@@ -643,11 +646,15 @@ let decide t ~block_height ~graph txn =
                         (fun rule -> Txn.Ssi_conflict rule)
                         decision.Rules.abort_self))))
 
-let commit_one t ~block_height ~graph slot =
+(* Apply half of the commit step: takes a decision computed by [decide]
+   and mutates state accordingly. Split from the decide half so the wave
+   scheduler can decide a whole wave against pre-wave state before any
+   member's effects become visible (DESIGN.md §14). *)
+let apply_one t ~block_height slot decision =
   match slot with
   | Rejected (tx, reason) -> (tx.Block.tx_id, S_rejected reason, None)
   | Run (txn, tx) -> (
-      match decide t ~block_height ~graph txn with
+      match decision with
       | Some reason ->
           Manager.abort t.manager txn reason;
           Wal.append t.wal ~txid:txn.Txn.txid ~height:block_height
@@ -662,6 +669,47 @@ let commit_one t ~block_height ~graph slot =
           Wal.append t.wal ~txid:txn.Txn.txid ~height:block_height Wal.Committed;
           (tx.Block.tx_id, S_committed, Some txn))
 
+let commit_one t ~block_height ~graph slot =
+  let decision =
+    match slot with
+    | Rejected _ -> None
+    | Run (txn, _) -> decide t ~block_height ~graph txn
+  in
+  apply_one t ~block_height slot decision
+
+(* Wave-scheduled commit (ISSUE 8): waves execute in ascending index
+   order. Within a wave every decision is computed against pre-wave state
+   only — the schedule separates any two positions one of whose decisions
+   could read the other's status (direct dependency or two rw hops, per
+   Rules.decide_*'s far/near structure) — then the merge barrier applies
+   the wave's commits/aborts in block order before the next wave decides.
+   Decisions are evaluated in position order, so in-wave abort marks
+   propagate exactly as they do serially; the result is byte-identical to
+   the serial path (the qcheck equivalence property in
+   test/test_properties.ml). *)
+let commit_waves t ~block_height ~graph ~waves slots =
+  let arr = Array.of_list slots in
+  let n = Array.length arr in
+  if Array.length waves <> n then
+    invalid_arg "Node_core.commit_waves: waves length mismatch";
+  let decisions = Array.make (max n 1) None in
+  let results = Array.make (max n 1) None in
+  let wave_count = Array.fold_left (fun acc w -> max acc (w + 1)) 0 waves in
+  for w = 0 to wave_count - 1 do
+    for i = 0 to n - 1 do
+      if waves.(i) = w then
+        decisions.(i) <-
+          (match arr.(i) with
+          | Rejected _ -> None
+          | Run (txn, _) -> decide t ~block_height ~graph txn)
+    done;
+    for i = 0 to n - 1 do
+      if waves.(i) = w then
+        results.(i) <- Some (apply_one t ~block_height arr.(i) decisions.(i))
+    done
+  done;
+  List.init n (fun i -> Option.get results.(i))
+
 (* --- block processing ------------------------------------------------------------- *)
 
 let ledger_status = function
@@ -673,11 +721,12 @@ let process_appended t (block : Block.t) =
   bootstrap t;
   let block_height = block.Block.height in
   let missing = ref 0 in
-  let slots, dep_edges =
+  let slots, dep_edges, br_waves, br_fresh =
     match t.config.flow with
     | Serial_baseline ->
         (* Ethereum-style: execute + commit one at a time; later
-           transactions see earlier ones. *)
+           transactions see earlier ones. The parallel_validation switch
+           is ignored: this flow is serial by definition. *)
         let results =
           List.map
             (fun tx ->
@@ -695,11 +744,35 @@ let process_appended t (block : Block.t) =
         (* Serial-by-design: every transaction depends on its predecessor,
            so the critical path IS the serial path (headroom 1.0). *)
         let n = List.length results in
-        (results, List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+        ( results,
+          List.init (max 0 (n - 1)) (fun i -> (i, i + 1)),
+          Array.init n (fun i -> i),
+          Array.of_list
+            (List.map
+               (fun (_, status, _) ->
+                 match status with S_rejected _ -> false | _ -> true)
+               results) )
     | Order_execute | Execute_order ->
         (* Execute everything (logically concurrent), then commit serially
-           in block order. *)
-        let slots = List.map (acquire t ~block_height ~missing) block.Block.txs in
+           in block order. [fresh] marks positions whose contract body ran
+           during block processing (OE: every accepted transaction; EO:
+           only the missing/re-executed ones) — the peer charges tet for
+           exactly those when modelling wave execution time. *)
+        let slots_fresh =
+          List.map
+            (fun tx ->
+              let before = !missing in
+              let slot = acquire t ~block_height ~missing tx in
+              let fresh =
+                match slot with
+                | Rejected _ -> false
+                | Run _ ->
+                    t.config.flow = Order_execute || !missing > before
+              in
+              (slot, fresh))
+            block.Block.txs
+        in
+        let slots = List.map fst slots_fresh in
         List.iteri
           (fun pos slot ->
             match slot with
@@ -765,6 +838,15 @@ let process_appended t (block : Block.t) =
                        (Brdb_ssi.Graph.out_conflicts graph txn.Txn.txid))
                slots)
         in
+        (* Chain consecutive members of a position list: commit order
+           resolves each conflict, so only adjacent pairs need edges. *)
+        let chain acc positions =
+          let rec go acc = function
+            | a :: (b :: _ as tl) -> go ((a, b) :: acc) tl
+            | _ -> acc
+          in
+          go acc (List.sort_uniq compare positions)
+        in
         (* ww edges: chain consecutive claimants of each (table, version)
            in position order — O(total claims), not O(n^2). *)
         let claims = Hashtbl.create 32 in
@@ -780,18 +862,120 @@ let process_appended t (block : Block.t) =
                     Hashtbl.replace claims key (pos :: prev))
                   (Txn.claimed txn))
           slots;
-        let ww_edges =
-          Hashtbl.fold
-            (fun _ positions acc ->
-              let rec chain acc = function
-                | a :: (b :: _ as tl) -> chain ((a, b) :: acc) tl
-                | _ -> acc
-              in
-              chain acc (List.sort_uniq compare positions))
-            claims []
+        let ww_edges = Hashtbl.fold (fun _ ps acc -> chain acc ps) claims [] in
+        (* Unique-key edges: Manager.check_unique tests visibility at this
+           block's height, so its outcome for a position depends on which
+           earlier positions have already committed a create (duplicate
+           insert must abort) or a delete/update that frees the key (a
+           re-insert must succeed). Those pairs carry no rw/ww edge — an
+           INSERT neither reads nor claims the conflicting row — so chain
+           every position that creates or releases a given
+           (table, unique column, key value) in position order. *)
+        let unique_touch = Hashtbl.create 16 in
+        let touch pos table_name vid =
+          match Catalog.find t.catalog table_name with
+          | None -> ()
+          | Some table ->
+              List.iter
+                (fun col ->
+                  let key = (Table.get_version table vid).Version.values.(col) in
+                  if not (Value.is_null key) then begin
+                    let k = (table_name, col, Value.encode key) in
+                    let prev =
+                      Option.value (Hashtbl.find_opt unique_touch k) ~default:[]
+                    in
+                    Hashtbl.replace unique_touch k (pos :: prev)
+                  end)
+                (Table.unique_columns table)
         in
-        ( List.map (commit_one t ~block_height ~graph) slots,
-          List.sort_uniq compare (rw_edges @ ww_edges) )
+        List.iteri
+          (fun pos -> function
+            | Rejected _ -> ()
+            | Run (txn, _) ->
+                List.iter (fun (tbl, vid) -> touch pos tbl vid) (Txn.created txn);
+                List.iter (fun (tbl, vid) -> touch pos tbl vid) (Txn.claimed txn))
+          slots;
+        let unique_edges =
+          Hashtbl.fold (fun _ ps acc -> chain acc ps) unique_touch []
+        in
+        (* Barrier edges: a commit with on_commit hooks mutates node-plane
+           state outside MVCC (contract registry, identities) that
+           deploy_conflict reads at decide time, so serialize such
+           positions against every other accepted position. *)
+        let barriers =
+          List.concat
+            (List.mapi
+               (fun pos -> function
+                 | Run (txn, _) when txn.Txn.on_commit <> [] -> [ pos ]
+                 | _ -> [])
+               slots)
+        in
+        let barrier_edges =
+          match barriers with
+          | [] -> []
+          | bars ->
+              List.concat
+                (List.mapi
+                   (fun pos -> function
+                     | Rejected _ -> []
+                     | Run _ ->
+                         List.filter_map
+                           (fun b ->
+                             if b = pos then None
+                             else Some (Stdlib.min b pos, Stdlib.max b pos))
+                           bars)
+                   slots)
+        in
+        let dep_edges =
+          List.sort_uniq compare
+            (rw_edges @ ww_edges @ unique_edges @ barrier_edges)
+        in
+        (* Wave schedule: Rules.decide_plain/decide_block_aware read (and
+           can mark) transactions up to two rw hops away (far --rw--> near
+           --rw--> me), so two positions within rw distance 2 must not
+           share a wave even without a direct edge. These closure edges
+           are scheduling constraints only and stay out of the
+           critical-path log, which records data dependencies. *)
+        let closure_edges =
+          let nbrs = Hashtbl.create 16 in
+          let add a b =
+            let prev = Option.value (Hashtbl.find_opt nbrs a) ~default:[] in
+            Hashtbl.replace nbrs a (b :: prev)
+          in
+          List.iter
+            (fun (a, b) ->
+              add a b;
+              add b a)
+            (List.sort_uniq compare rw_edges);
+          Hashtbl.fold
+            (fun _mid ns acc ->
+              let ns = List.sort_uniq compare ns in
+              let rec pairs acc = function
+                | a :: tl ->
+                    pairs (List.fold_left (fun acc b -> (a, b) :: acc) acc tl) tl
+                | [] -> acc
+              in
+              pairs acc ns)
+            nbrs []
+        in
+        let n = List.length slots in
+        let waves =
+          Brdb_obs.Critical_path.schedule
+            {
+              Brdb_obs.Critical_path.n;
+              weights = Array.make n 0.;
+              edges = List.sort_uniq compare (closure_edges @ dep_edges);
+            }
+        in
+        let results =
+          if t.config.parallel_validation then
+            commit_waves t ~block_height ~graph ~waves slots
+          else List.map (commit_one t ~block_height ~graph) slots
+        in
+        ( results,
+          dep_edges,
+          waves,
+          Array.of_list (List.map snd slots_fresh) )
   in
   (* Critical-path analysis (sys.critical_path / bench profiler): weights
      come from the calibrated cost model; rejected transactions never
@@ -830,6 +1014,8 @@ let process_appended t (block : Block.t) =
       br_statuses = List.map (fun (gid, status, _) -> (gid, status)) slots;
       br_write_set_hash = Manager.write_set_digest t.manager committed_txns;
       br_missing = !missing;
+      br_waves;
+      br_fresh;
     }
   in
   (* sys.* bookkeeping: per-tx records (slot order = block order) and the
@@ -1089,6 +1275,11 @@ let recover t =
             br_statuses;
             br_write_set_hash = Manager.write_set_digest t.manager committed;
             br_missing = 0;
+            (* The schedule of the interrupted run is not recoverable from
+               the WAL; restart never models validation time, so empty
+               arrays are fine (the peer falls back to serial timing). *)
+            br_waves = [||];
+            br_fresh = [||];
           }
         in
         (* Rebuild the sys.* records the interrupted processing never

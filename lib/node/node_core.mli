@@ -22,15 +22,24 @@ type config = {
           decisions are unchanged; on a crash, either the entire block is
           durable or none of it is, so recovery never sees a partially
           committed block and always takes the simple re-execute path. *)
+  parallel_validation : bool;
+      (** ISSUE 8 (DESIGN.md §14): commit each block wave-by-wave over its
+          dependency DAG instead of strictly serially. Commit/abort
+          decisions, write-set hashes and state digests are byte-identical
+          to the serial path (the qcheck equivalence property); only the
+          modelled validation time changes. Ignored by
+          {!Serial_baseline}. *)
 }
 
-(** [config] with [atomic_commit = false]. *)
+(** [config] with [atomic_commit = false] and
+    [parallel_validation = false]. *)
 val make_config :
   name:string ->
   org:string ->
   flow:flow ->
   ?require_index:bool ->
   ?atomic_commit:bool ->
+  ?parallel_validation:bool ->
   orgs:string list ->
   unit ->
   config
@@ -48,6 +57,16 @@ type block_result = {
   br_statuses : (string * tx_status) list;  (** tx_id, status — block order *)
   br_write_set_hash : string;
   br_missing : int;  (** EO: transactions the block processor had to execute *)
+  br_waves : int array;
+      (** wave index per block position (0-based, ascending execution
+          order): the levelization of the dependency DAG plus the 2-rw-hop
+          scheduling closure. Computed for every flow/mode so the peer can
+          model and report wave occupancy; empty after recovery case (a),
+          where the interrupted schedule is unrecoverable. *)
+  br_fresh : bool array;
+      (** per position: the contract body executed during block processing
+          (OE: every accepted transaction; EO: only the missing ones) —
+          these cost [tet] in the wave-execution model *)
 }
 
 type t

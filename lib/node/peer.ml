@@ -98,6 +98,10 @@ type t = {
   (* installs performed, newest first: (height, chunks, bytes, root,
      source, duration) — the rows behind sys.snapshots *)
   mutable snap_log : (int * int * int * string * string * float) list;
+  (* wave-validation log, newest first: (height, txs, waves, serial bet s,
+     parallel bet s, occupancy) — the rows behind sys.validation (ISSUE 8).
+     Node-local, cost-model-derived timing; never enters digests. *)
+  mutable val_log : (int * int * int * float * float * float) list;
   (* snapshot served to joining peers, rebuilt when our height moves *)
   mutable serve_cache : (int * Chunk.manifest * Chunk.chunk array) option;
 }
@@ -461,6 +465,41 @@ let block_times t (block : Block.t) ~missing =
       let bpt = Cost_model.serial_bpt cost ~n ~tet:tet_avg +. auth in
       (bpt, 0.)
 
+(* Per-position wave-execution costs (ISSUE 8, DESIGN.md §14): under wave
+   scheduling the whole per-transaction validation pipeline — signature
+   check, backend dispatch / commit-entry check, contract execution — runs
+   on the assigned core, so the closed-form model's serial n*oe_start /
+   n*eo_check prefixes move into the per-position job. Positions that never
+   ran (rejects) cost nothing; EO positions validated but not re-executed
+   cost only the check. *)
+let wave_job_costs t (block : Block.t) (result : Node_core.block_result) =
+  let cost = t.config.cost in
+  let fresh = result.Node_core.br_fresh in
+  let statuses = Array.of_list result.Node_core.br_statuses in
+  let flow = t.config.core.Node_core.flow in
+  Array.of_list
+    (List.mapi
+       (fun i tx ->
+         let run =
+           i < Array.length statuses
+           &&
+           match snd statuses.(i) with
+           | Node_core.S_rejected _ -> false
+           | _ -> true
+         in
+         let freshly = i < Array.length fresh && fresh.(i) in
+         match flow with
+         | Node_core.Order_execute ->
+             if freshly then
+               cost.Cost_model.auth_cost +. cost.Cost_model.oe_start
+               +. tet_of t tx
+             else 0.
+         | Node_core.Execute_order ->
+             (if run then cost.Cost_model.eo_check else 0.)
+             +. (if freshly then tet_of t tx else 0.)
+         | Node_core.Serial_baseline -> 0.)
+       block.Block.txs)
+
 (* Republish the node's cumulative executor counters (rows produced and
    versions visited per operator kind) as registry counters. Counters are
    monotone, so only the delta since the last publication is added. *)
@@ -625,11 +664,11 @@ let rec process_ready t =
                 if not t.crashed then
                   arm_fetch t ~blind:true ~delay:t.config.fetch_timeout
             | Ok result ->
-                let bet, bct =
+                let serial_bet, bct =
                   block_times t block ~missing:result.Node_core.br_missing
                 in
-                let bpt =
-                  t.config.cost.Brdb_sim.Cost_model.block_const +. bet +. bct
+                let block_const =
+                  t.config.cost.Brdb_sim.Cost_model.block_const
                 in
                 if t.config.core.Node_core.flow = Node_core.Order_execute then
                   List.iter
@@ -638,7 +677,7 @@ let rec process_ready t =
                       Metrics.record_tet t.metrics tet;
                       mobserve t "phase.tet_ms" (tet *. 1000.))
                     block.Block.txs;
-                Cpu.run t.cpu ~cost:bpt (fun () ->
+                let complete ~bpt ~bet () =
                     t.processing <- false;
                     Metrics.record_block t.metrics
                       ~size:(List.length block.Block.txs)
@@ -694,7 +733,51 @@ let rec process_ready t =
                       (* still behind after draining the inbox: keep the
                          catch-up session going *)
                       if needs_fetch t then arm_fetch t
-                    end)))
+                    end
+                in
+                let n = List.length block.Block.txs in
+                let use_waves =
+                  t.config.core.Node_core.parallel_validation
+                  && t.config.core.Node_core.flow <> Node_core.Serial_baseline
+                  && Array.length result.Node_core.br_waves = n
+                in
+                if use_waves then
+                  (* Wave-scheduled timing (ISSUE 8): execution occupies
+                     the simulated cores wave by wave; only the block
+                     constant and the commit tail stay serial. *)
+                  Cpu.run_waves t.cpu ~head:block_const ~tail:bct
+                    ~waves:result.Node_core.br_waves
+                    ~costs:(wave_job_costs t block result)
+                    (fun stats ->
+                      let bet = stats.Cpu.exec_elapsed in
+                      let bpt = block_const +. bet +. bct in
+                      let cores = Cpu.cores t.cpu in
+                      let occupancy =
+                        if bet > 0. && cores > 0 then
+                          stats.Cpu.exec_busy /. (bet *. float_of_int cores)
+                        else 1.
+                      in
+                      let speedup =
+                        if bet > 0. then serial_bet /. bet else 1.
+                      in
+                      mincr t "validation.blocks";
+                      mobserve t "validation.waves"
+                        (float_of_int stats.Cpu.wave_count);
+                      mobserve t "validation.occupancy" occupancy;
+                      mobserve t "validation.speedup" speedup;
+                      t.val_log <-
+                        ( result.Node_core.br_height,
+                          n,
+                          stats.Cpu.wave_count,
+                          serial_bet,
+                          bet,
+                          occupancy )
+                        :: t.val_log;
+                      complete ~bpt ~bet ())
+                else
+                  let bet = serial_bet in
+                  let bpt = block_const +. bet +. bct in
+                  Cpu.run t.cpu ~cost:bpt (fun () -> complete ~bpt ~bet ())))
 
 let block_is_new t (block : Block.t) =
   let next = Node_core.height t.core + 1 in
@@ -1023,7 +1106,19 @@ let create ~net ?obs (config : config) ~registry =
       clock;
       obs;
       rng = Brdb_sim.Rng.create ~seed:(Hashtbl.hash config.core.Node_core.name);
-      cpu = Cpu.create clock;
+      (* Multi-core only under wave scheduling (and never for the serial
+         baseline, where Cpu.run on several cores would wrongly pipeline
+         whole blocks): with the flag off the single-core model keeps
+         every committed bench number byte-identical. *)
+      cpu =
+        Cpu.create
+          ~cores:
+            (if
+               config.core.Node_core.parallel_validation
+               && config.core.Node_core.flow <> Node_core.Serial_baseline
+             then config.cost.Cost_model.cores
+             else 1)
+          clock;
       core;
       metrics = Metrics.create ();
       checkpoints =
@@ -1058,6 +1153,7 @@ let create ~net ?obs (config : config) ~registry =
       snap_src = "";
       snap_started = 0.;
       snap_log = [];
+      val_log = [];
       serve_cache = None;
     }
   in
@@ -1126,7 +1222,36 @@ let create ~net ?obs (config : config) ~registry =
              Brdb_storage.Value.Float (r.Brdb_obs.Profile.p_self_s *. 1000.);
            |])
          (Brdb_obs.Profile.fold ~node:(name t)
-            (Trace.events (tracer t)))));
+            (Trace.events (tracer t))));
+   (* sys.validation: per-block wave-validation report (ISSUE 8, DESIGN.md
+      §14) — node-local cost-model timing like sys.metrics; empty unless
+      parallel_validation is on. speedup = serial bet / wave bet. *)
+   Brdb_storage.Catalog.register_virtual (Node_core.catalog core)
+     ~name:"sys.validation"
+     ~columns:
+       [
+         col ~pk:true "height" T_int;
+         col "txs" T_int;
+         col "waves" T_int;
+         col "serial_bet_ms" T_float;
+         col "parallel_bet_ms" T_float;
+         col "occupancy" T_float;
+         col "speedup" T_float;
+       ]
+     ~rows:(fun ~height:_ ->
+       List.rev_map
+         (fun (h, txs, waves, serial_bet, bet, occupancy) ->
+           [|
+             Brdb_storage.Value.Int h;
+             Brdb_storage.Value.Int txs;
+             Brdb_storage.Value.Int waves;
+             Brdb_storage.Value.Float (serial_bet *. 1000.);
+             Brdb_storage.Value.Float (bet *. 1000.);
+             Brdb_storage.Value.Float occupancy;
+             Brdb_storage.Value.Float
+               (if bet > 0. then serial_bet /. bet else 1.);
+           |])
+         t.val_log));
   (* Periodic anti-entropy probe: even a peer that missed every delivery
      and every gossip message (total silence) eventually discovers and
      fetches missed blocks. Perpetual — only enable under drivers that

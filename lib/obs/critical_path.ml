@@ -35,7 +35,12 @@ let analyze { n; weights; edges } =
         (0., -1) inc.(i)
     in
     finish.(i) <- weights.(i) +. best;
-    (if best_pred >= 0 then depth.(i) <- depth.(best_pred) + 1);
+    (* Levelization: depth is 1 + the max depth over ALL predecessors (not
+       just the latest-finishing one — a shallow pred can still finish
+       last, and wave membership follows edges, not finish times). *)
+    List.iter
+      (fun a -> if depth.(a) + 1 > depth.(i) then depth.(i) <- depth.(a) + 1)
+      inc.(i);
     pred.(i) <- best_pred
   done;
   let critical_s = Array.fold_left Float.max 0. (Array.sub finish 0 (max n 0)) in
@@ -50,3 +55,24 @@ let analyze { n; weights; edges } =
   let waves = if n = 0 then 0 else Array.fold_left Stdlib.max 0 (Array.sub depth 0 n) in
   let headroom = if critical_s <= 0. then 1. else serial_s /. critical_s in
   { serial_s; critical_s; headroom; waves; path }
+
+let schedule { n; weights; edges } =
+  if Array.length weights <> n then
+    invalid_arg "Critical_path.schedule: weights length <> n";
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n || a >= b then
+        invalid_arg "Critical_path.schedule: edge not (low, high) in range")
+    edges;
+  (* Positions are a topological order (edges point low -> high), so one
+     forward pass levelizes: a position's wave is 1 + the max wave over
+     its in-block predecessors, 0 with none. *)
+  let inc = Array.make (max n 1) [] in
+  List.iter (fun (a, b) -> inc.(b) <- a :: inc.(b)) edges;
+  let wave = Array.make (max n 0) 0 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun a -> if wave.(a) + 1 > wave.(i) then wave.(i) <- wave.(a) + 1)
+      inc.(i)
+  done;
+  wave

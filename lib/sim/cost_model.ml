@@ -44,20 +44,41 @@ let tet t = function
   | Complex_group -> t.tet_complex_group
   | Custom x -> x
 
-let ceil_div a b = (a + b - 1) / b
+(* The one place `cores` arithmetic lives: a greedy earliest-free-core
+   makespan. For [n] uniform jobs of duration [d] this degenerates to the
+   closed form d * ceil(n/cores) the calibration used, so the closed-form
+   model and the wave scheduler (Cpu.run_waves) charge identical time for
+   conflict-free blocks. Deterministic: jobs are assigned in list order,
+   ties broken by lowest core index. *)
+let parallel_time ~cores durations =
+  if cores < 1 then invalid_arg "Cost_model.parallel_time: cores < 1";
+  match durations with
+  | [] -> 0.
+  | _ ->
+      let busy = Array.make cores 0. in
+      List.iter
+        (fun d ->
+          let best = ref 0 in
+          for i = 1 to cores - 1 do
+            if busy.(i) < busy.(!best) then best := i
+          done;
+          busy.(!best) <- busy.(!best) +. Float.max 0. d)
+        durations;
+      Array.fold_left Float.max 0. busy
+
+let uniform n d = List.init (max 0 n) (fun _ -> d)
 
 let oe_bet t ~n ~tet =
   if n = 0 then 0.
   else
     (float_of_int n *. t.oe_start)
-    +. (tet *. float_of_int (ceil_div n t.cores))
+    +. parallel_time ~cores:t.cores (uniform n tet)
 
 let oe_bct t ~n = float_of_int n *. t.oe_commit
 
 let eo_bet t ~n ~missing ~tet =
   (float_of_int n *. t.eo_check)
-  +. (if missing = 0 then 0.
-      else tet *. float_of_int (ceil_div missing t.cores))
+  +. parallel_time ~cores:t.cores (uniform missing tet)
 
 let eo_bct t ~n = float_of_int n *. t.eo_commit
 

@@ -25,7 +25,11 @@ let users = List.map (fun n -> (n, Identity.create n)) user_names
 
 let identity_of name = List.assoc name users
 
-let setup ?(flow = Node_core.Order_execute) ?(atomic_commit = false) ?(n_nodes = 2) () =
+(* [parallel i] decides whether node [i] validates with the ISSUE 8 wave
+   scheduler; mixing modes across nodes of one harness is the strongest
+   equivalence check — both process identical blocks. *)
+let setup ?(flow = Node_core.Order_execute) ?(atomic_commit = false)
+    ?(n_nodes = 2) ?(parallel = fun _ -> false) () =
   let registry = Identity.Registry.create () in
   let orderer = Identity.create "orderer/1" in
   (match Identity.Registry.register registry orderer with Ok () -> () | Error _ -> assert false);
@@ -41,7 +45,7 @@ let setup ?(flow = Node_core.Order_execute) ?(atomic_commit = false) ?(n_nodes =
           Node_core.make_config
             ~name:(Printf.sprintf "db-%d" (i + 1))
             ~org:(List.nth orgs (i mod 3))
-            ~flow ~atomic_commit ~orgs ()
+            ~flow ~atomic_commit ~parallel_validation:(parallel i) ~orgs ()
         in
         let node = Node_core.create config ~registry in
         Node_core.bootstrap node;
@@ -787,6 +791,90 @@ let test_checkpoint_divergence () =
   Brdb_ledger.Checkpoint.receive cp ~from:"db-3" ~height:1 ~hash:"aaa";
   Alcotest.(check int) "checkpointed" 1 (Brdb_ledger.Checkpoint.checkpointed_height cp)
 
+(* ------------------------------------------- parallel validation (ISSUE 8) *)
+
+(* One serial node and one wave-scheduled node process identical blocks;
+   decisions, write-set hashes and the resulting state must match exactly
+   (DESIGN.md §14). [br_waves] is read off the parallel node (index 1). *)
+let parallel_pair () =
+  let h = setup ~parallel:(fun i -> i = 1) () in
+  init_chain h;
+  h
+
+let test_parallel_ww_chain_one_block () =
+  let h = parallel_pair () in
+  ignore
+    (deliver h [ tx h ~user:"org1/alice" ~contract:"put" [ Value.Int 1; Value.Int 0 ] ]);
+  let results =
+    deliver h
+      [
+        tx h ~user:"org1/alice" ~contract:"bump" [ Value.Int 1 ];
+        tx h ~user:"org2/bob" ~contract:"bump" [ Value.Int 1 ];
+        tx h ~user:"org2/bob" ~contract:"put" [ Value.Int 5; Value.Int 5 ];
+      ]
+  in
+  check_identical h results;
+  (match statuses (List.hd results) with
+  | [ s0; s1; s2 ] ->
+      Alcotest.(check bool) "first bump commits" true (is_committed s0);
+      Alcotest.(check bool) "second bump aborts (ww)" true (is_aborted s1);
+      Alcotest.(check bool) "independent put commits" true (is_committed s2)
+  | _ -> Alcotest.fail "expected 3 statuses");
+  (* the ww claim chain forces the bumps into successive waves; the
+     independent put stays in wave 0 *)
+  let pr = List.nth results 1 in
+  Alcotest.(check (array int)) "waves" [| 0; 1; 0 |] pr.Node_core.br_waves;
+  List.iter
+    (fun n ->
+      Alcotest.(check int) "k=1 bumped exactly once" 1
+        (query_int n "SELECT v FROM kv WHERE k = 1"))
+    h.nodes
+
+let test_parallel_rw_edge_across_waves () =
+  let h = parallel_pair () in
+  let results =
+    deliver h
+      [
+        tx h ~user:"org1/alice" ~contract:"withdraw" [ Value.Int 1; Value.Int 2 ];
+        tx h ~user:"org2/bob" ~contract:"withdraw" [ Value.Int 2; Value.Int 1 ];
+      ]
+  in
+  check_identical h results;
+  (match statuses (List.hd results) with
+  | [ s0; s1 ] ->
+      Alcotest.(check bool) "first withdraw commits" true (is_committed s0);
+      Alcotest.(check bool) "second aborts (write skew)" true (is_aborted s1)
+  | _ -> Alcotest.fail "expected 2 statuses");
+  let pr = List.nth results 1 in
+  Alcotest.(check bool) "rw edge separates the waves" true
+    (pr.Node_core.br_waves.(0) < pr.Node_core.br_waves.(1))
+
+let test_parallel_duplicate_pk_waves () =
+  let h = parallel_pair () in
+  let results =
+    deliver h
+      [
+        tx h ~user:"org1/alice" ~contract:"put" [ Value.Int 7; Value.Int 1 ];
+        tx h ~user:"org2/bob" ~contract:"put" [ Value.Int 7; Value.Int 2 ];
+      ]
+  in
+  check_identical h results;
+  (match statuses (List.hd results) with
+  | [ s0; s1 ] ->
+      Alcotest.(check bool) "first insert commits" true (is_committed s0);
+      Alcotest.(check bool) "duplicate pk aborts" true (is_aborted s1)
+  | _ -> Alcotest.fail "expected 2 statuses");
+  (* without the unique-key chain both inserts would sit in wave 0 and the
+     parallel node would commit both where the serial node aborts one *)
+  let pr = List.nth results 1 in
+  Alcotest.(check (array int)) "unique-key chain separates waves" [| 0; 1 |]
+    pr.Node_core.br_waves;
+  List.iter
+    (fun n ->
+      Alcotest.(check int) "winner's value survives" 1
+        (query_int n "SELECT v FROM kv WHERE k = 7"))
+    h.nodes
+
 let suites =
   [
     ( "node.oe",
@@ -842,6 +930,15 @@ let suites =
         Alcotest.test_case "atomic block commit: before status" `Quick
           test_recover_atomic_commit_before_status;
         Alcotest.test_case "no-op when consistent" `Quick test_recover_noop_when_consistent;
+      ] );
+    ( "node.parallel",
+      [
+        Alcotest.test_case "ww chain splits waves, state identical" `Quick
+          test_parallel_ww_chain_one_block;
+        Alcotest.test_case "rw edge crosses a wave boundary" `Quick
+          test_parallel_rw_edge_across_waves;
+        Alcotest.test_case "duplicate pk forced into later wave" `Quick
+          test_parallel_duplicate_pk_waves;
       ] );
     ( "node.security",
       [

@@ -14,6 +14,7 @@ module Trace = Brdb_obs.Trace
 module Reg = Brdb_obs.Registry
 module Abort_class = Brdb_obs.Abort_class
 module Export = Brdb_obs.Export
+module Critical_path = Brdb_obs.Critical_path
 module Metrics = Brdb_sim.Metrics
 
 (* --- a tiny JSON validity parser (syntax only) ----------------------------- *)
@@ -650,6 +651,44 @@ let prop_causal_traces_agree_under_chaos =
         QCheck.Test.fail_reportf "seed %d: no decision instants traced" seed;
       true)
 
+(* --- critical path: levelization and wave schedule (ISSUE 8) -------------- *)
+
+let test_critical_path_diamond () =
+  (* 0 -> {1, 2} -> 3: two parallel middles between a source and a sink *)
+  let input =
+    {
+      Critical_path.n = 4;
+      weights = [| 1.; 1.; 1.; 1. |];
+      edges = [ (0, 1); (0, 2); (1, 3); (2, 3) ];
+    }
+  in
+  let r = Critical_path.analyze input in
+  Alcotest.(check (float 1e-9)) "serial" 4. r.Critical_path.serial_s;
+  Alcotest.(check (float 1e-9)) "critical" 3. r.Critical_path.critical_s;
+  Alcotest.(check int) "waves" 3 r.Critical_path.waves;
+  Alcotest.(check (array int)) "schedule" [| 0; 1; 1; 2 |]
+    (Critical_path.schedule input)
+
+let test_critical_path_levelization_all_preds () =
+  (* depth must be 1 + max over ALL predecessors, not just the heaviest:
+     0 has weight 0, so the weighted longest path to 1 and 2 ignores it,
+     but the wave schedule still must place them after 0 *)
+  let input =
+    {
+      Critical_path.n = 3;
+      weights = [| 0.; 1.; 1. |];
+      edges = [ (0, 1); (0, 2) ];
+    }
+  in
+  let r = Critical_path.analyze input in
+  Alcotest.(check int) "waves counts the edge" 2 r.Critical_path.waves;
+  Alcotest.(check (array int)) "fan-out schedule" [| 0; 1; 1 |]
+    (Critical_path.schedule input);
+  (* independent positions all land in wave 0 *)
+  Alcotest.(check (array int)) "no edges -> one wave" [| 0; 0; 0 |]
+    (Critical_path.schedule
+       { Critical_path.n = 3; weights = [| 1.; 1.; 1. |]; edges = [] })
+
 let suites =
   [
     ( "obs.trace",
@@ -675,6 +714,12 @@ let suites =
       ] );
     ( "obs.abort-class",
       [ Alcotest.test_case "taxonomy mapping" `Quick test_abort_classes ] );
+    ( "obs.critical-path",
+      [
+        Alcotest.test_case "diamond DAG" `Quick test_critical_path_diamond;
+        Alcotest.test_case "levelization over all predecessors" `Quick
+          test_critical_path_levelization_all_preds;
+      ] );
     ( "obs.e2e",
       [
         Alcotest.test_case "lifecycle spans on every node" `Quick

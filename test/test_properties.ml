@@ -72,10 +72,11 @@ let registry () =
     [ orderer; client; admin ];
   r
 
-let make_node ~flow ~registry name =
+let make_node ?(parallel = false) ~flow ~registry name =
   let node =
     Node_core.create
-      (Node_core.make_config ~name ~org:"org1" ~flow ~orgs:[ "org1" ] ())
+      (Node_core.make_config ~name ~org:"org1" ~flow
+         ~parallel_validation:parallel ~orgs:[ "org1" ] ())
       ~registry
   in
   Node_core.bootstrap node;
@@ -333,6 +334,171 @@ let prop_eo_serializable_with_pre_execution =
             order;
           if state_of node <> state_of node_b then
             QCheck.Test.fail_report "EO state differs from serial replay");
+      true)
+
+(* ---------------------------------- parallel validation oracle (ISSUE 8) *)
+
+(* The wave-scheduled validator must be observationally identical to the
+   serial path: same commit/abort decisions, same write-set hashes, same
+   chained state digests, same final state — and two parallel nodes must
+   agree on the wave partition itself (a pure function of the block). *)
+
+let decisions (r : Node_core.block_result) =
+  List.map
+    (fun (_, s) -> match s with Node_core.S_committed -> true | _ -> false)
+    r.Node_core.br_statuses
+
+(* Process blocks strictly in order (heights must be sequential). *)
+let run_all node blocks =
+  List.rev (List.fold_left (fun acc b -> process node b :: acc) [] blocks)
+
+let rec chunk size = function
+  | [] -> []
+  | l ->
+      let rec take i = function
+        | x :: rest when i < size ->
+            let a, b = take (i + 1) rest in
+            (x :: a, b)
+        | rest -> ([], rest)
+      in
+      let a, b = take 0 l in
+      a :: chunk size b
+
+let check_equivalent ~serial ~parallel rs rp =
+  List.iter2
+    (fun (a : Node_core.block_result) (b : Node_core.block_result) ->
+      let h = a.Node_core.br_height in
+      if decisions a <> decisions b then
+        QCheck.Test.fail_reportf "decisions diverge at height %d" h;
+      if a.Node_core.br_write_set_hash <> b.Node_core.br_write_set_hash then
+        QCheck.Test.fail_reportf "write-set hash diverges at height %d" h;
+      if
+        Node_core.state_digest serial ~height:h
+        <> Node_core.state_digest parallel ~height:h
+      then QCheck.Test.fail_reportf "state digest diverges at height %d" h)
+    rs rp;
+  if state_of serial <> state_of parallel then
+    QCheck.Test.fail_report "final state diverges"
+
+let prop_parallel_equals_serial_oe =
+  QCheck.Test.make
+    ~name:"parallel == serial: OE decisions, hashes, digests, waves" ~count:20
+    arbitrary_ops
+    (fun ops ->
+      let registry = registry () in
+      let s = make_node ~flow:Node_core.Order_execute ~registry "S" in
+      let p =
+        make_node ~parallel:true ~flow:Node_core.Order_execute ~registry "P"
+      in
+      let p2 =
+        make_node ~parallel:true ~flow:Node_core.Order_execute ~registry "P2"
+      in
+      let chain = { prev = None } in
+      let setup_block =
+        next_block chain
+          [ Block.make_tx ~id:"setup" ~identity:admin ~contract:"setup" ~args:[] ]
+      in
+      List.iter (fun n -> init_node n setup_block) [ s; p; p2 ];
+      (* contended ops land 4 to a block so multi-wave schedules appear *)
+      let blocks =
+        List.rev
+          (List.fold_left
+             (fun acc c -> next_block chain c :: acc)
+             []
+             (chunk 4 (txs_of_ops ops)))
+      in
+      let rs = run_all s blocks in
+      let rp = run_all p blocks in
+      let rp2 = run_all p2 blocks in
+      check_equivalent ~serial:s ~parallel:p rs rp;
+      List.iter2
+        (fun (a : Node_core.block_result) (b : Node_core.block_result) ->
+          if a.Node_core.br_waves <> b.Node_core.br_waves then
+            QCheck.Test.fail_reportf "wave partition diverges at height %d"
+              a.Node_core.br_height)
+        rp rp2;
+      state_of p = state_of p2)
+
+let prop_parallel_equals_serial_eo =
+  QCheck.Test.make ~name:"parallel == serial: EO pre-executed contention"
+    ~count:12 arbitrary_ops
+    (fun ops ->
+      let registry = registry () in
+      let s = make_node ~flow:Node_core.Execute_order ~registry "S" in
+      let p =
+        make_node ~parallel:true ~flow:Node_core.Execute_order ~registry "P"
+      in
+      let chain = { prev = None } in
+      let setup_block =
+        next_block chain
+          [ Block.make_tx ~id:"setup" ~identity:admin ~contract:"setup" ~args:[] ]
+      in
+      List.iter (fun n -> init_node n setup_block) [ s; p ];
+      (* all ops pre-execute at snapshot 1 (maximum contention) on both
+         nodes, then land 3 to a block *)
+      let txs =
+        List.map
+          (fun o ->
+            Block.make_eo_tx ~identity:client ~contract:"rw" ~args:(op_args o)
+              ~snapshot:1)
+          ops
+      in
+      let txs =
+        List.fold_left
+          (fun acc tx ->
+            if List.exists (fun t -> t.Block.tx_id = tx.Block.tx_id) acc then acc
+            else tx :: acc)
+          [] txs
+        |> List.rev
+      in
+      List.iter
+        (fun tx ->
+          ignore (Node_core.pre_execute s tx);
+          ignore (Node_core.pre_execute p tx))
+        txs;
+      let blocks =
+        List.rev
+          (List.fold_left
+             (fun acc c -> next_block chain c :: acc)
+             [] (chunk 3 txs))
+      in
+      let rs = run_all s blocks in
+      let rp = run_all p blocks in
+      check_equivalent ~serial:s ~parallel:p rs rp;
+      true)
+
+let prop_chaos_parallel_validation =
+  (* The wave scheduler under the full chaos harness — crashes (including
+     mid-block crash points, which recover on the serial path), healing
+     partitions, loss and duplication — must preserve every convergence
+     invariant of the serial-mode chaos properties above. *)
+  QCheck.Test.make ~name:"chaos: parallel validation preserves convergence"
+    ~count:3
+    (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 9999))
+    (fun seed ->
+      let spec =
+        {
+          Brdb_core.Chaos.default_spec with
+          Brdb_core.Chaos.seed = seed + 23;
+          parallel_validation = true;
+          rate = 120.;
+          duration = 0.7;
+          block_size = 8;
+          drop = 0.01 +. (0.008 *. float_of_int (seed mod 7));
+          duplicate = float_of_int (seed mod 3) /. 100.;
+          crashes = (seed mod 2) + 1;
+          partitions = seed mod 2;
+          crash_points = seed mod 2 = 1;
+        }
+      in
+      let r = Brdb_core.Chaos.run spec in
+      if r.Brdb_core.Chaos.decision_mismatches <> [] then
+        QCheck.Test.fail_reportf "seed %d: cross-node decision mismatch on %s"
+          seed
+          (String.concat ", " r.Brdb_core.Chaos.decision_mismatches);
+      if not r.Brdb_core.Chaos.converged then
+        QCheck.Test.fail_reportf "seed %d diverged: %a" seed
+          Brdb_core.Chaos.pp_report r;
       true)
 
 let prop_prune_preserves_live_state =
@@ -642,6 +808,9 @@ let suites =
         QCheck_alcotest.to_alcotest prop_oe_block_is_serializable;
         QCheck_alcotest.to_alcotest prop_oe_nodes_identical;
         QCheck_alcotest.to_alcotest prop_eo_serializable_with_pre_execution;
+        QCheck_alcotest.to_alcotest prop_parallel_equals_serial_oe;
+        QCheck_alcotest.to_alcotest prop_parallel_equals_serial_eo;
+        QCheck_alcotest.to_alcotest prop_chaos_parallel_validation;
         QCheck_alcotest.to_alcotest prop_prune_preserves_live_state;
         QCheck_alcotest.to_alcotest prop_chaos_schedules_preserve_determinism;
         QCheck_alcotest.to_alcotest prop_bft_converges_with_f_crashed;

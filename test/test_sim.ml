@@ -199,6 +199,25 @@ let test_cpu_serialization () =
       Alcotest.(check (float 1e-9)) "b queued behind a" 2.0 tb
   | _ -> Alcotest.fail "wrong completion order"
 
+let test_cpu_run_waves () =
+  let clock = Clock.create () in
+  let cpu = Cpu.create ~cores:2 clock in
+  Alcotest.(check int) "cores" 2 (Cpu.cores cpu);
+  let seen = ref None in
+  Cpu.run_waves cpu ~head:0.5 ~tail:0.25 ~waves:[| 0; 0; 0; 1 |]
+    ~costs:[| 1.0; 1.0; 1.0; 1.0 |] (fun stats ->
+      seen := Some (stats, Clock.now clock));
+  ignore (Clock.run clock);
+  match !seen with
+  | None -> Alcotest.fail "run_waves callback never fired"
+  | Some (stats, t) ->
+      Alcotest.(check int) "waves" 2 stats.Cpu.wave_count;
+      (* wave 0: three 1 s jobs on 2 cores -> 2 s; wave 1: one job -> 1 s;
+         head 0.5 shifts the start, tail 0.25 trails the last wave *)
+      Alcotest.(check (float 1e-9)) "exec elapsed" 3.0 stats.Cpu.exec_elapsed;
+      Alcotest.(check (float 1e-9)) "exec busy" 4.0 stats.Cpu.exec_busy;
+      Alcotest.(check (float 1e-9)) "completion" 3.75 t
+
 let test_workload_poisson_rate () =
   let clock = Clock.create () in
   let rng = Rng.create ~seed:5 in
@@ -301,6 +320,25 @@ let test_cost_model_shapes () =
   Alcotest.(check bool) "EO peak ~2700" true (eo_peak > 2400. && eo_peak < 3100.);
   Alcotest.(check bool) "EO > OE" true (eo_peak > oe_peak *. 1.3)
 
+let test_parallel_time_makespan () =
+  Alcotest.(check (float 0.)) "empty" 0. (Cost_model.parallel_time ~cores:4 []);
+  (* uniform jobs degrade to the old ceil-div arithmetic: ceil(9/4) rounds *)
+  Alcotest.(check (float 1e-9)) "uniform = ceil-div rounds" 0.6
+    (Cost_model.parallel_time ~cores:4 (List.init 9 (fun _ -> 0.2)));
+  (* greedy list-scheduling packs short jobs around the long one *)
+  Alcotest.(check (float 1e-9)) "greedy packing" 1.0
+    (Cost_model.parallel_time ~cores:2 [ 1.0; 0.25; 0.25; 0.25; 0.25 ]);
+  (* the closed-form oe_bet still equals the pre-refactor ceil-div form *)
+  let m = Cost_model.default in
+  let tet = Cost_model.tet m Cost_model.Simple in
+  let ceil_div a b = (a + b - 1) / b in
+  let old_form =
+    (100. *. m.Cost_model.oe_start)
+    +. (tet *. float_of_int (ceil_div 100 m.Cost_model.cores))
+  in
+  Alcotest.(check (float 1e-12)) "oe_bet = ceil-div form" old_form
+    (Cost_model.oe_bet m ~n:100 ~tet)
+
 let suites =
   [
     ( "sim.clock",
@@ -326,7 +364,11 @@ let suites =
         Alcotest.test_case "fault-free rng stream unchanged" `Quick
           test_network_fault_free_stream_unchanged;
       ] );
-    ("sim.cpu", [ Alcotest.test_case "serialization" `Quick test_cpu_serialization ]);
+    ( "sim.cpu",
+      [
+        Alcotest.test_case "serialization" `Quick test_cpu_serialization;
+        Alcotest.test_case "wave scheduling" `Quick test_cpu_run_waves;
+      ] );
     ( "sim.workload",
       [
         Alcotest.test_case "poisson rate" `Quick test_workload_poisson_rate;
@@ -338,5 +380,10 @@ let suites =
         Alcotest.test_case "percentile edge cases" `Quick
           test_stat_percentile_edges;
       ] );
-    ("sim.cost_model", [ Alcotest.test_case "calibration shapes" `Quick test_cost_model_shapes ]);
+    ( "sim.cost_model",
+      [
+        Alcotest.test_case "calibration shapes" `Quick test_cost_model_shapes;
+        Alcotest.test_case "parallel_time makespan" `Quick
+          test_parallel_time_makespan;
+      ] );
   ]

@@ -75,6 +75,23 @@ if [ -n "$sys_matches" ]; then
   echo "$sys_matches" >&2
   exit 1
 fi
+# Parallelism primitives are banned outside the one designated scheduler
+# module (ISSUE 8): the wave validator *models* multi-core execution on
+# the simulated clock (lib/sim/cpu.ml); real Domain/Mutex/Atomic anywhere
+# in the libraries would introduce actual nondeterminism. The exclusion
+# still lints cpu.ml for the wall-clock/Random rules above — only this
+# rule is scoped.
+par_pattern='(^|[^.[:alnum:]_])(Domain|Mutex|Atomic)\.'
+par_matches=$(grep -rnE "$par_pattern" "$dir" --include='*.ml' --include='*.mli' \
+  | grep -v "^$dir/sim/cpu\.ml:" || true)
+
+if [ -n "$par_matches" ]; then
+  echo "determinism lint failed — Domain/Mutex/Atomic outside the designated" >&2
+  echo "scheduler module ($dir/sim/cpu.ml); parallelism is modeled, not real (ISSUE 8):" >&2
+  echo "$par_matches" >&2
+  exit 1
+fi
+
 # Every network message must carry a span context (ISSUE 7): each
 # constructor of Msg.t has to be matched in Msg.span_ctx, so a new message
 # variant cannot silently opt out of causal tracing. Containment check:
@@ -100,4 +117,4 @@ if [ -f "$msg_file" ]; then
   fi
 fi
 
-echo "lint ok: no wall-clock, global Random, unordered Hashtbl iteration, Marshal in snapshot code, or stray sys.* literals under $dir/; every Msg.t constructor carries a span context"
+echo "lint ok: no wall-clock, global Random, unordered Hashtbl iteration, Marshal in snapshot code, stray sys.* literals, or Domain/Mutex/Atomic outside sim/cpu.ml under $dir/; every Msg.t constructor carries a span context"
