@@ -956,6 +956,183 @@ let bootstrap () =
      size (chunks), and Pruned drops dead version chains (res-prun < \
      res-arch)."
 
+(* ------------------- health plane: detection latency (ISSUE 9) *)
+
+(* The headline number for DESIGN.md §15: for every Chaos fault class,
+   inject it under a tuned spec across several seeds and measure the
+   sim-time and block-count lag from injection to the first matching
+   alert (Chaos.expected_alerts); plus a fault-free sweep counting false
+   positives, which must stay at zero. *)
+let alerts () =
+  header
+    "Health plane: fault->alert detection latency per fault class + \
+     clean-run false positives";
+  let scenarios =
+    [
+      ( "alerts_partition",
+        Chaos.Message_loss,
+        2,
+        fun seed ->
+          {
+            Chaos.default_spec with
+            Chaos.seed;
+            duration = 2.0;
+            drop = 0.;
+            duplicate = 0.;
+            crashes = 0;
+            partitions = 1;
+          } );
+      ( "alerts_crash",
+        Chaos.Node_crash,
+        3,
+        fun seed ->
+          {
+            Chaos.default_spec with
+            Chaos.seed;
+            duration = 2.0;
+            drop = 0.;
+            duplicate = 0.;
+            crashes = 1;
+            partitions = 0;
+          } );
+      ( "alerts_orderer_raft",
+        Chaos.Orderer_crash,
+        3,
+        fun seed ->
+          {
+            Chaos.default_spec with
+            Chaos.seed;
+            ordering = Service.Raft;
+            n_orderers = 3;
+            orderer_crashes = 1;
+            rate = 60.;
+            duration = 1.5;
+            drop = 0.;
+            duplicate = 0.;
+            crashes = 0;
+            partitions = 0;
+          } );
+      ( "alerts_orderer_bft",
+        Chaos.Orderer_crash,
+        11,
+        fun seed ->
+          {
+            Chaos.default_spec with
+            Chaos.seed;
+            ordering = Service.Bft;
+            n_orderers = 4;
+            orderer_crashes = 1;
+            rate = 60.;
+            duration = 1.5;
+            drop = 0.;
+            duplicate = 0.;
+            crashes = 0;
+            partitions = 0;
+          } );
+      ( "alerts_tamper",
+        Chaos.Block_tamper,
+        7,
+        fun seed ->
+          {
+            Chaos.default_spec with
+            Chaos.seed;
+            block_tamper = 1.0;
+            drop = 0.;
+            duplicate = 0.;
+            crashes = 0;
+            partitions = 0;
+          } );
+      ( "alerts_snapshot",
+        Chaos.Snapshot_corruption,
+        5,
+        fun seed ->
+          {
+            Chaos.default_spec with
+            Chaos.seed;
+            duration = 2.0;
+            drop = 0.05;
+            crashes = 2;
+            partitions = 0;
+            snap_corrupt = 0.6;
+            snapshot_threshold = 2;
+          } );
+    ]
+  in
+  let n_seeds = if !quick then 2 else 3 in
+  line "%20s | %4s %8s | %11s %11s %10s" "fault class" "runs" "detected"
+    "mean-lat(s)" "max-lat(s)" "mean-blk";
+  List.iter
+    (fun (kind, fault, base_seed, spec_of) ->
+      let seeds = List.init n_seeds (fun i -> base_seed + i) in
+      let reports = List.map (fun s -> Chaos.run (spec_of s)) seeds in
+      let latencies =
+        List.filter_map
+          (fun (r : Chaos.report) ->
+            List.find_map
+              (fun (d : Chaos.detection) ->
+                if d.Chaos.det_fault = fault then Chaos.detection_latency d
+                else None)
+              r.Chaos.fault_coverage)
+          reports
+      in
+      let detected = List.length latencies in
+      let mean xs =
+        if xs = [] then 0.
+        else List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+      in
+      let secs = List.map fst latencies in
+      let blocks = List.map (fun (_, b) -> float_of_int b) latencies in
+      let max_s = List.fold_left Float.max 0. secs in
+      line "%20s | %4d %8d | %10.3fs %10.3fs %10.1f"
+        (Chaos.fault_id fault ^ (if kind = "alerts_orderer_bft" then "(bft)"
+                                 else if kind = "alerts_orderer_raft" then "(raft)"
+                                 else ""))
+        (List.length seeds) detected (mean secs) max_s (mean blocks);
+      Runner.record
+        [
+          ("kind", Runner.J_str kind);
+          ("runs", Runner.J_int (List.length seeds));
+          ("alert_detected_runs", Runner.J_int detected);
+          ("alert_latency_mean_s", Runner.J_float (mean secs));
+          ("alert_latency_max_s", Runner.J_float max_s);
+          ("alert_latency_blocks", Runner.J_float (mean blocks));
+        ])
+    scenarios;
+  (* False-positive freedom: fault-free runs must raise nothing, whatever
+     the seed (mirrors the qcheck property in test_health.ml). *)
+  let clean_runs = if !quick then 20 else 40 in
+  let fp_runs = ref 0 in
+  let fp_alerts = ref 0 in
+  for seed = 1 to clean_runs do
+    let r =
+      Chaos.run
+        {
+          Chaos.default_spec with
+          Chaos.seed;
+          rate = 100.;
+          duration = 0.5;
+          drop = 0.;
+          duplicate = 0.;
+          snap_corrupt = 0.;
+          crashes = 0;
+          partitions = 0;
+        }
+    in
+    if r.Chaos.alerts <> [] then begin
+      incr fp_runs;
+      fp_alerts := !fp_alerts + List.length r.Chaos.alerts
+    end
+  done;
+  line "%20s | %4d runs, %d raised alerts (%d transitions) — must be 0"
+    "fault-free" clean_runs !fp_runs !fp_alerts;
+  Runner.record
+    [
+      ("kind", Runner.J_str "alerts_clean");
+      ("runs", Runner.J_int clean_runs);
+      ("false_positive_runs", Runner.J_int !fp_runs);
+      ("false_positive_alerts", Runner.J_int !fp_alerts);
+    ]
+
 let all : (string * (unit -> unit)) list =
   [
     ("fastpath", fastpath);
@@ -973,4 +1150,5 @@ let all : (string * (unit -> unit)) list =
     ("contention", contention);
     ("chaos", chaos);
     ("ordering_faults", ordering_faults);
+    ("alerts", alerts);
   ]

@@ -286,6 +286,8 @@ let sys_smoke sql_args =
           "SELECT node, height, inbox, blocks_rejected FROM sys.nodes";
           "SELECT name, node, n FROM sys.metrics WHERE name = 'block.processed'";
           "SELECT name, node, n FROM sys.metrics WHERE node = 'ordering'";
+          "SELECT detector, severity, firing, fires, clears FROM sys.detectors";
+          "SELECT seq, ts, transition, detector, subject FROM sys.alerts";
           "EXPLAIN ANALYZE SELECT * FROM smoke_kv WHERE id > 1";
         ]
     | args -> args
@@ -569,6 +571,140 @@ let chaos_smoke () =
   check "no decision mismatches" (tamper.Chaos.decision_mismatches = []);
   if !failed then `Error (false, "an orderer-fault invariant failed") else `Ok ()
 
+(* --- alerts -------------------------------------------------------------------- *)
+
+(* Health-plane smoke (the check.sh step): the ISSUE 9 fault→alert coverage
+   matrix, end to end. Each Chaos fault class is injected under a tuned spec
+   and must raise one of its expected alerts (Chaos.expected_alerts) within
+   the run; a fault-free run must stay completely silent. Prints every
+   run's coverage rows and full alert stream; exits nonzero on any gap. *)
+let alerts_smoke () =
+  let module Chaos = Brdb_core.Chaos in
+  let module Service = Brdb_consensus.Service in
+  let module Health = Brdb_obs.Health in
+  let say fmt = Printf.printf (fmt ^^ "\n%!") in
+  let failed = ref false in
+  let check what cond =
+    if not cond then begin
+      failed := true;
+      say "FAIL: %s" what
+    end
+  in
+  let scenario label spec =
+    let r = Chaos.run spec in
+    say "== %s" label;
+    check (label ^ " converged") r.Chaos.converged;
+    List.iter
+      (fun (d : Chaos.detection) ->
+        match Chaos.detection_latency d with
+        | Some (secs, blocks) ->
+            let alert =
+              match d.Chaos.det_alert with
+              | Some a -> Health.detector_id a.Health.al_detector
+              | None -> assert false
+            in
+            say "   %-19s -> %-20s in %.3fs / %d blocks"
+              (Chaos.fault_id d.Chaos.det_fault)
+              alert secs blocks
+        | None ->
+            check
+              (Printf.sprintf "%s: %s detected" label
+                 (Chaos.fault_id d.Chaos.det_fault))
+              false)
+      r.Chaos.fault_coverage;
+    List.iter (fun a -> say "   %s" (Health.render_alert a)) r.Chaos.alerts;
+    r
+  in
+  let clean =
+    scenario "fault-free baseline"
+      {
+        Chaos.default_spec with
+        Chaos.seed = 1;
+        drop = 0.;
+        duplicate = 0.;
+        snap_corrupt = 0.;
+        crashes = 0;
+        partitions = 0;
+      }
+  in
+  check "fault-free run stays silent" (clean.Chaos.alerts = []);
+  ignore
+    (scenario "partition"
+       {
+         Chaos.default_spec with
+         Chaos.seed = 2;
+         duration = 2.0;
+         drop = 0.;
+         duplicate = 0.;
+         crashes = 0;
+         partitions = 1;
+       });
+  ignore
+    (scenario "node crash"
+       {
+         Chaos.default_spec with
+         Chaos.seed = 3;
+         duration = 2.0;
+         drop = 0.;
+         duplicate = 0.;
+         crashes = 1;
+         partitions = 0;
+       });
+  ignore
+    (scenario "raft leader crash"
+       {
+         Chaos.default_spec with
+         Chaos.seed = 3;
+         ordering = Service.Raft;
+         n_orderers = 3;
+         orderer_crashes = 1;
+         rate = 60.;
+         duration = 1.5;
+         drop = 0.;
+         duplicate = 0.;
+         crashes = 0;
+         partitions = 0;
+       });
+  ignore
+    (scenario "bft primary crash"
+       {
+         Chaos.default_spec with
+         Chaos.seed = 11;
+         ordering = Service.Bft;
+         n_orderers = 4;
+         orderer_crashes = 1;
+         rate = 60.;
+         duration = 1.5;
+         drop = 0.;
+         duplicate = 0.;
+         crashes = 0;
+         partitions = 0;
+       });
+  ignore
+    (scenario "block tamper"
+       {
+         Chaos.default_spec with
+         Chaos.seed = 7;
+         block_tamper = 1.0;
+         drop = 0.;
+         duplicate = 0.;
+         crashes = 0;
+         partitions = 0;
+       });
+  ignore
+    (scenario "snapshot corruption"
+       {
+         Chaos.default_spec with
+         Chaos.seed = 5;
+         duration = 2.0;
+         drop = 0.05;
+         crashes = 2;
+         partitions = 0;
+         snap_corrupt = 0.6;
+         snapshot_threshold = 2;
+       });
+  if !failed then `Error (false, "a fault class went undetected") else `Ok ()
+
 (* --- cmdliner ------------------------------------------------------------------ *)
 
 open Cmdliner
@@ -684,6 +820,16 @@ let chaos_cmd =
           converge (nonzero exit otherwise — the check.sh smoke step)")
     Term.(ret (const chaos_smoke $ const ()))
 
+let alerts_cmd =
+  Cmd.v
+    (Cmd.info "alerts"
+       ~doc:
+         "health-plane smoke: inject every chaos fault class under a tuned \
+          spec and require a matching alert (the fault→alert coverage \
+          matrix), with a silent fault-free baseline (nonzero exit on any \
+          gap — the check.sh smoke step)")
+    Term.(ret (const alerts_smoke $ const ()))
+
 let main =
   Cmd.group
     (Cmd.info "brdb" ~version:"1.0.0"
@@ -697,6 +843,7 @@ let main =
       sys_cmd;
       snapshot_cmd;
       chaos_cmd;
+      alerts_cmd;
     ]
 
 let () = exit (Cmd.eval main)

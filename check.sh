@@ -14,6 +14,8 @@ dune exec bin/brdb_cli.exe -- snapshot --compaction pruned > /dev/null
 echo "snapshot round-trip smoke ok (archive + pruned)"
 dune exec bin/brdb_cli.exe -- chaos > /dev/null
 echo "orderer-fault chaos smoke ok (bft view change + raft re-election + tamper rejection)"
+dune exec bin/brdb_cli.exe -- alerts > /dev/null
+echo "health-plane smoke ok (every fault class raises a matching alert; clean run silent)"
 # Perf-regression gate (ISSUE 7): re-run the profiled table4 workload
 # (seeded, so an unchanged tree reproduces BENCH_profile.json exactly)
 # and diff against the committed baseline with per-metric tolerances.
@@ -24,3 +26,11 @@ dune exec tools/bench_diff.exe -- \
   --baseline BENCH_profile.json --fresh "$fresh_json" \
   --tolerances tools/bench_tolerances.txt
 echo "perf-regression gate ok (table4 vs BENCH_profile.json)"
+# Detection-latency gate (ISSUE 9): the health plane must keep noticing
+# every injected fault class about as fast as the committed baseline,
+# with zero false positives on fault-free runs.
+dune exec bench/main.exe -- --quick --only alerts --json "$fresh_json" > /dev/null
+dune exec tools/bench_diff.exe -- \
+  --baseline BENCH_alerts.json --fresh "$fresh_json" \
+  --tolerances tools/bench_tolerances.txt
+echo "detection-latency gate ok (alerts vs BENCH_alerts.json)"

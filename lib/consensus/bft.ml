@@ -560,6 +560,8 @@ let is_leader = is_primary
 
 let blocks_delivered t = t.delivered_count
 
+let queued t = if t.crashed then 0 else Cutter.pending t.cutter
+
 let view t = t.view
 
 let view_changes t = t.view_changes

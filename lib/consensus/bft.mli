@@ -61,6 +61,11 @@ val is_leader : t -> bool
 
 val blocks_delivered : t -> int
 
+(** Transactions buffered for the next block (health plane, ISSUE 9):
+    the cutter backlog this node holds right now (0 while a crashed
+    Raft/Bft node is down). *)
+val queued : t -> int
+
 (** The current view number (0 until the first view change). *)
 val view : t -> int
 

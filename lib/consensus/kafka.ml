@@ -146,3 +146,5 @@ let create_orderer ~net ~name ~identity ~cluster ~block_size ~block_timeout
   t
 
 let blocks_cut t = t.blocks
+
+let queued t = Cutter.pending t.cutter

@@ -41,3 +41,8 @@ val create_orderer :
   t
 
 val blocks_cut : t -> int
+
+(** Transactions buffered for the next block (health plane, ISSUE 9):
+    the cutter backlog this node holds right now (0 while a crashed
+    Raft/Bft node is down). *)
+val queued : t -> int

@@ -344,6 +344,10 @@ let leader_hint t = t.leader_hint
 
 let blocks_cut t = t.blocks
 
+let queued t =
+  if t.crashed then 0
+  else Cutter.pending t.cutter + List.length t.pending_forward
+
 let elections t = t.elections
 
 let commit_index t = t.commit_index

@@ -37,6 +37,11 @@ val leader_hint : t -> string option
 
 val blocks_cut : t -> int
 
+(** Transactions buffered for the next block (health plane, ISSUE 9):
+    the cutter backlog this node holds right now (0 while a crashed
+    Raft/Bft node is down). *)
+val queued : t -> int
+
 (** Times this node won an election (became leader). *)
 val elections : t -> int
 

@@ -67,6 +67,17 @@ let blocks_cut t =
   | H_raft rs -> List.map2 (fun n r -> (n, Raft.blocks_cut r)) t.names rs
   | H_bft bs -> List.map2 (fun n b -> (n, Bft.blocks_delivered b)) t.names bs
 
+let cut_total t =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (blocks_cut t)
+
+let queued t =
+  let maxl f l = List.fold_left (fun acc x -> max acc (f x)) 0 l in
+  match t.handle with
+  | H_solo s -> Solo.queued s
+  | H_kafka (_, os) -> maxl Kafka.queued os
+  | H_raft rs -> maxl Raft.queued rs
+  | H_bft bs -> maxl Bft.queued bs
+
 let raft_nodes t = match t.handle with H_raft rs -> rs | _ -> []
 
 let bft_nodes t = match t.handle with H_bft bs -> bs | _ -> []

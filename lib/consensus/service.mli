@@ -42,6 +42,18 @@ val submit_target : t -> int -> string
 (** Blocks cut/delivered per orderer (diagnostics). *)
 val blocks_cut : t -> (string * int) list
 
+(** Sum of {!blocks_cut} — the monotone progress counter the health
+    plane's ordering-stall detector watches (ISSUE 9): flat while the
+    service cuts nothing, whatever the consensus flavour. *)
+val cut_total : t -> int
+
+(** Largest cutter backlog held by any live orderer node — the "work the
+    service has but is not cutting" signal behind the ordering-stall
+    detector (ISSUE 9). Max, not sum: BFT replicas stash copies of the
+    same backlog, and a crashed node's stranded queue must not read as
+    pending work. *)
+val queued : t -> int
+
 (** Raft only: current leader if any (testing). *)
 val raft_nodes : t -> Raft.t list
 

@@ -67,3 +67,5 @@ let create ~net ~name ~identity ~block_size ~block_timeout ?(tx_cpu = 0.00002)
   t
 
 let blocks_cut t = t.blocks
+
+let queued t = Cutter.pending t.cutter

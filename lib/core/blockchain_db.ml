@@ -14,6 +14,7 @@ module Obs = Brdb_obs.Obs
 module Reg = Brdb_obs.Registry
 module Trace = Brdb_obs.Trace
 module Abort_class = Brdb_obs.Abort_class
+module Health = Brdb_obs.Health
 
 type config = {
   orgs : string list;
@@ -44,6 +45,14 @@ type config = {
           off by default. Decisions, write-set hashes and state digests
           are identical either way — only modelled block-validation time
           and the sys.validation / validation.* metrics change. *)
+  health_interval : float;
+      (** tick period of the streaming health plane (ISSUE 9, DESIGN.md
+          §15): every [health_interval] simulated seconds the shared
+          {!Brdb_obs.Health} engine samples cluster state and evaluates
+          its detectors. 0 disables the engine. Ticks only read state and
+          draw no rng, so enabling them never changes committed state,
+          hashes or decisions. *)
+  health_thresholds : Brdb_obs.Health.thresholds;  (** detector tuning *)
 }
 
 let default_config () =
@@ -63,6 +72,8 @@ let default_config () =
     snapshot_threshold = 0;
     compaction = Brdb_snapshot.Snapshot.Archive;
     parallel_validation = false;
+    health_interval = 0.1;
+    health_thresholds = Brdb_obs.Health.default_thresholds;
   }
 
 type final_status = Committed | Aborted of string | Rejected of string
@@ -84,6 +95,7 @@ type t = {
   admins : (string * Identity.t) list;
   metrics : Metrics.t;  (** network-level throughput/latency *)
   obs : Obs.t;
+  health : Brdb_obs.Health.t;  (** shared cluster-level detector engine *)
   (* tx_id -> submission time; feeds the ordering-phase span and is
      dropped once the transaction is decided *)
   submit_ts : (string, float) Hashtbl.t;
@@ -249,6 +261,7 @@ let create config =
       admins;
       metrics = Metrics.create ();
       obs;
+      health = Brdb_obs.Health.create ~thresholds:config.health_thresholds ();
       submit_ts = Hashtbl.create 1024;
       seen_heights = Hashtbl.create 256;
       tracks = Hashtbl.create 1024;
@@ -288,6 +301,119 @@ let create config =
         ~name:"sys.nodes" ~columns:Brdb_obs.Sysview.nodes_columns
         ~rows:nodes_rows)
     peers;
+  (* --- health plane (ISSUE 9, DESIGN.md §15) ---------------------------
+     One shared engine per deployment, ticked on the simulated clock. The
+     sample is assembled from state that is itself a pure function of
+     (block stream, seed) — peer heights and counters, consensus churn,
+     decision totals — and the sys.alerts/sys.detectors views are
+     registered on EVERY peer's catalog over the same engine (the
+     sys.nodes pattern), so the alert stream is byte-identical across
+     nodes by construction. Ticks read state and draw no rng: enabling
+     them perturbs nothing. *)
+  let health_sample () =
+    let reg = Obs.metrics obs in
+    let nodes =
+      List.map
+        (fun p ->
+          let node = Peer.name p in
+          {
+            Health.ns_node = node;
+            ns_height = Node_core.height (Peer.core p);
+            ns_crashed = Peer.is_crashed p;
+            ns_blocks_rejected = Peer.blocks_rejected p;
+            ns_chunks_corrupted =
+              Reg.counter reg ~node "snapshot.chunks_corrupted";
+            ns_install_failures =
+              Reg.counter reg ~node "snapshot.install_failed"
+              + Reg.counter reg ~node "snapshot.sessions_failed";
+            ns_divergence_flags = Reg.counter reg ~node "divergence.detected";
+          })
+        t.peers
+    in
+    let min_h =
+      List.fold_left
+        (fun acc p -> min acc (Node_core.height (Peer.core p)))
+        max_int t.peers
+    in
+    let digests_agree =
+      (* live early-warning at the highest common height; unavailable
+         digests (genesis, pruned history) count as agreement — the
+         per-node checkpoint monitor (divergence_flags) still covers
+         those *)
+      if min_h = max_int || min_h < 1 then true
+      else
+        match
+          List.map
+            (fun p -> Node_core.state_digest (Peer.core p) ~height:min_h)
+            t.peers
+        with
+        | [] -> true
+        | d :: rest ->
+            d = None || List.for_all (fun d' -> d' = None || d' = d) rest
+    in
+    {
+      Health.s_time = Clock.now clock;
+      s_nodes = nodes;
+      s_blocks_cut = Service.cut_total t.service;
+      (* service-side backlog, not client-side undecided count: a
+         submission swallowed by the network is not work the ordering
+         service is failing to cut *)
+      s_pending = Service.queued t.service;
+      s_decided = t.decided;
+      s_aborted =
+        Reg.counter reg ~node:"cluster" "decided.aborted"
+        + Reg.counter reg ~node:"cluster" "decided.rejected";
+      s_elections = Service.elections t.service;
+      s_view_changes = Service.view_changes t.service;
+      s_digests_agree = digests_agree;
+    }
+  in
+  let alert_rows ~height:_ =
+    List.map Brdb_obs.Sysview.alert_row (Health.alerts t.health)
+  in
+  let detector_rows ~height:_ =
+    List.map Brdb_obs.Sysview.detector_row (Health.summaries t.health)
+  in
+  List.iter
+    (fun p ->
+      let cat = Node_core.catalog (Peer.core p) in
+      Brdb_storage.Catalog.register_virtual cat ~name:"sys.alerts"
+        ~columns:Brdb_obs.Sysview.alerts_columns ~rows:alert_rows;
+      Brdb_storage.Catalog.register_virtual cat ~name:"sys.detectors"
+        ~columns:Brdb_obs.Sysview.detectors_columns ~rows:detector_rows)
+    peers;
+  if config.health_interval > 0. then begin
+    let rec health_tick () =
+      Clock.schedule clock ~delay:config.health_interval (fun () ->
+          let transitions = Health.observe t.health (health_sample ()) in
+          let reg = Obs.metrics t.obs in
+          List.iter
+            (fun (al : Health.alert) ->
+              let id = Health.detector_id al.Health.al_detector in
+              (match al.Health.al_transition with
+              | Health.Fire ->
+                  Reg.incr reg ~node:"health" "alerts.fired";
+                  Reg.incr reg ~node:"health" ("alerts.fired." ^ id)
+              | Health.Clear ->
+                  Reg.incr reg ~node:"health" "alerts.cleared");
+              let tr = Obs.trace t.obs in
+              if Trace.enabled tr then
+                Trace.instant tr ~node:"health" ~track:"alerts" ~cat:"alert"
+                  ~name:(id ^ "." ^ Health.transition_name al.al_transition)
+                  ~span:(Printf.sprintf "alert/%s/%d" id al.al_seq)
+                  ~args:
+                    [
+                      ("subject", Trace.S al.al_subject);
+                      ("severity", Trace.S (Health.severity_name al.al_severity));
+                      ("height", Trace.I al.al_height);
+                      ("evidence", Trace.S al.al_evidence);
+                    ]
+                  ())
+            transitions;
+          health_tick ())
+    in
+    health_tick ()
+  end;
   (* Ordering-phase visibility without touching the four consensus
      implementations: watch the first Block_deliver broadcast of each
      height on the network tap. The tap fires after the send outcome is
@@ -563,6 +689,10 @@ let submitted_count t = Hashtbl.length t.tracks
 let decided_count t = t.decided
 
 let obs t = t.obs
+
+let health t = t.health
+
+let alerts t = Health.alerts t.health
 
 let trace_events t =
   sync_registry t;

@@ -55,6 +55,20 @@ type config = {
           write-set hashes and per-block state digests are byte-identical
           either way; only the modelled block-validation time and the
           sys.validation / validation.* metrics change. *)
+  health_interval : float;
+      (** tick period of the streaming health plane (ISSUE 9, DESIGN.md
+          §15): every [health_interval] simulated seconds one shared
+          {!Brdb_obs.Health} engine samples deterministic cluster state
+          (peer heights, consensus churn, decision totals, digest
+          agreement) and evaluates its anomaly detectors, surfacing the
+          results as [sys.alerts]/[sys.detectors] on every node,
+          [alerts.*] metrics and (when tracing) alert trace spans.
+          Defaults to 0.1 s; 0 disables. Ticks only read state and draw
+          no rng, so they never change committed state, hashes or
+          decisions. *)
+  health_thresholds : Brdb_obs.Health.thresholds;
+      (** detector tuning; {!Brdb_obs.Health.default_thresholds} keeps
+          fault-free runs silent across seeds. *)
 }
 
 (** 3 orgs, order-then-execute, solo orderer, block size 100, 1 s timeout,
@@ -163,6 +177,15 @@ val decided_count : t -> int
     phase histograms) and the tracer ({!Brdb_obs.Trace.null} unless
     [config.tracing]). *)
 val obs : t -> Brdb_obs.Obs.t
+
+(** The deployment's shared health engine (ISSUE 9): one instance for
+    the whole cluster, ticked on the simulated clock, served by every
+    node's [sys.alerts]/[sys.detectors] views — so the alert stream is
+    byte-identical across nodes by construction. *)
+val health : t -> Brdb_obs.Health.t
+
+(** Alert log so far, oldest first ([Health.alerts (health t)]). *)
+val alerts : t -> Brdb_obs.Health.alert list
 
 (** Trace events recorded so far (empty unless [config.tracing]); also
     refreshes the registry's network/orderer gauges. *)

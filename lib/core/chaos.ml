@@ -11,6 +11,7 @@ module Rng = Brdb_sim.Rng
 module Value = Brdb_storage.Value
 module Sha256 = Brdb_crypto.Sha256
 module Service = Brdb_consensus.Service
+module Health = Brdb_obs.Health
 
 type spec = {
   seed : int;
@@ -74,6 +75,63 @@ let default_spec =
     parallel_validation = false;
   }
 
+(* --- fault taxonomy and the fault→alert coverage map (ISSUE 9) -----------
+   Every fault class the harness can inject must name the health-plane
+   detectors that are expected to notice it. The match below is
+   deliberately wildcard-free — adding a fault constructor without a
+   coverage entry is a compile error here and a lint error
+   (tools/lint.sh) — so new faults cannot ship undetectable. *)
+
+type fault =
+  | Message_loss  (** lossy links / healing partitions (drop, partitions) *)
+  | Node_crash  (** peer crash/restart cycles *)
+  | Orderer_crash  (** ordering-plane crash cycles (Raft/Bft) *)
+  | Block_tamper  (** in-flight block mangling on delivery links *)
+  | Snapshot_corruption  (** snapshot chunk payloads mangled in flight *)
+
+let all_faults =
+  [ Message_loss; Node_crash; Orderer_crash; Block_tamper; Snapshot_corruption ]
+
+let fault_id = function
+  | Message_loss -> "message_loss"
+  | Node_crash -> "node_crash"
+  | Orderer_crash -> "orderer_crash"
+  | Block_tamper -> "block_tamper"
+  | Snapshot_corruption -> "snapshot_corruption"
+
+let expected_alerts = function
+  | Message_loss -> [ Health.Replication_lag ]
+  | Node_crash -> [ Health.Replication_lag ]
+  | Orderer_crash -> [ Health.View_change_storm; Health.Ordering_stall ]
+  | Block_tamper -> [ Health.Auth_rejection_burst ]
+  | Snapshot_corruption -> [ Health.Snapshot_failure ]
+
+let faults_of_spec spec =
+  List.filter
+    (function
+      | Message_loss -> spec.drop > 0. || spec.partitions > 0
+      | Node_crash -> spec.crashes > 0
+      | Orderer_crash -> spec.orderer_crashes > 0
+      | Block_tamper -> spec.block_tamper > 0.
+      | Snapshot_corruption -> spec.snap_corrupt > 0.)
+    all_faults
+
+type detection = {
+  det_fault : fault;
+  det_injected_at : float;  (** sim-time of the first injection *)
+  det_injection_height : int;  (** cluster tip height at that moment *)
+  det_alert : Health.alert option;
+      (** first matching fire at/after the injection; [None] = undetected *)
+}
+
+let detection_latency d =
+  match d.det_alert with
+  | None -> None
+  | Some al ->
+      Some
+        ( al.Health.al_time -. d.det_injected_at,
+          al.Health.al_height - d.det_injection_height )
+
 type report = {
   submitted : int;  (** distinct client requests (slots) *)
   resubmitted : int;
@@ -105,6 +163,18 @@ type report = {
   first_divergent_height : int option;
   trace_jsonl : string;
   trace_events : Brdb_obs.Trace.event list;
+  alerts : Health.alert list;
+      (** the health plane's full alert log for the run (ISSUE 9) *)
+  alerts_fired : (string * int) list;
+      (** fire transitions per detector id, sorted *)
+  alert_stream : string;
+      (** canonical byte rendering of the alert log — identical across
+          nodes by construction, and across two runs of the same spec *)
+  fault_coverage : detection list;
+      (** one entry per injected fault class: first matching alert and
+          detection latency (the fault→alert coverage matrix) *)
+  uncovered_faults : fault list;
+      (** injected fault classes no matching alert fired for *)
 }
 
 let crash_point_of_int = function
@@ -189,6 +259,20 @@ let run spec =
   let netw = B.net db in
   let peers = B.peers db in
   let peer_names = List.map Peer.name peers in
+  (* Injection ledger for the fault→alert coverage matrix: the first
+     sim-time (and cluster tip height) each fault class becomes active.
+     Continuous faults record at installation; scheduled faults record
+     inside their fire closure. *)
+  let tip () =
+    List.fold_left
+      (fun acc p -> max acc (Node_core.height (Peer.core p)))
+      0 peers
+  in
+  let injections : (fault * float * int) list ref = ref [] in
+  let record_injection f =
+    if not (List.exists (fun (f', _, _) -> f' = f) !injections) then
+      injections := (f, Clock.now clock, tip ()) :: !injections
+  in
   (* Per-node decision record: tx_id -> (node, decision, abort class).
      The CLAUDE.md gotcha, now checked: abort *reasons* may legitimately
      differ across nodes, but the commit/abort decision never may. Keep
@@ -277,6 +361,9 @@ let run spec =
       | Msg.Blocks_reply { blocks = b :: rest } when spec.block_tamper > 0. ->
           Msg.Blocks_reply { blocks = tamper_block b :: rest }
       | m -> m);
+  if spec.snap_corrupt > 0. then record_injection Snapshot_corruption;
+  if spec.block_tamper > 0. then record_injection Block_tamper;
+  if spec.drop > 0. then record_injection Message_loss;
   if spec.drop > 0. || spec.duplicate > 0. || spec.snap_corrupt > 0. then
     List.iter
       (fun a ->
@@ -344,6 +431,7 @@ let run spec =
             else None
           in
           Clock.schedule clock ~delay:start (fun () ->
+              record_injection Node_crash;
               match point with
               | None -> Peer.crash victim
               | Some at -> Peer.crash ~at victim);
@@ -352,6 +440,7 @@ let run spec =
           incr partition_cycles;
           let pname = Printf.sprintf "chaos-%d" i in
           Clock.schedule clock ~delay:start (fun () ->
+              record_injection Message_loss;
               Msg.Net.partition netw ~name:pname ~members:[ Peer.name victim ]);
           Clock.schedule clock ~delay:stop (fun () ->
               Msg.Net.heal netw ~name:pname))
@@ -374,6 +463,7 @@ let run spec =
           (* resolve the victim at fire time: whoever holds the cutting
              role right now (Raft leader / BFT primary), so the fault
              actually forces an election or a view change *)
+          record_injection Orderer_crash;
           let name =
             match Service.leader svc with Some n -> n | None -> fallback
           in
@@ -549,6 +639,41 @@ let run spec =
     done;
     Sha256.hex (Sha256.digest (Buffer.contents buf))
   in
+  (* --- fault→alert coverage matrix (ISSUE 9) ---------------------------- *)
+  let alerts = B.alerts db in
+  let alerts_fired =
+    List.filter_map
+      (fun (sm : Health.summary) ->
+        if sm.Health.sm_fires > 0 then
+          Some (Health.detector_id sm.Health.sm_detector, sm.Health.sm_fires)
+        else None)
+      (Health.summaries (B.health db))
+  in
+  let fault_coverage =
+    List.map
+      (fun (f, at, h) ->
+        let expected = expected_alerts f in
+        let al =
+          List.find_opt
+            (fun (a : Health.alert) ->
+              a.Health.al_transition = Health.Fire
+              && List.mem a.Health.al_detector expected
+              && a.Health.al_time >= at)
+            alerts
+        in
+        {
+          det_fault = f;
+          det_injected_at = at;
+          det_injection_height = h;
+          det_alert = al;
+        })
+      (List.rev !injections)
+  in
+  let uncovered_faults =
+    List.filter_map
+      (fun d -> if d.det_alert = None then Some d.det_fault else None)
+      fault_coverage
+  in
   let sum f = List.fold_left (fun acc p -> acc + f p) 0 peers in
   {
     submitted = n_slots;
@@ -590,6 +715,11 @@ let run spec =
     first_divergent_height;
     trace_jsonl;
     trace_events;
+    alerts;
+    alerts_fired;
+    alert_stream = Health.stream (B.health db);
+    fault_coverage;
+    uncovered_faults;
   }
 
 let pp_report fmt r =
@@ -631,4 +761,20 @@ let pp_report fmt r =
       (String.concat ", "
          (List.map
             (fun (c, n) -> Printf.sprintf "%s=%d" c n)
-            r.abort_classes))
+            r.abort_classes));
+  if r.alerts_fired <> [] then
+    Format.fprintf fmt "; alerts fired: %s"
+      (String.concat ", "
+         (List.map (fun (d, n) -> Printf.sprintf "%s=%d" d n) r.alerts_fired));
+  if r.fault_coverage <> [] then
+    Format.fprintf fmt "; fault coverage: %s"
+      (String.concat ", "
+         (List.map
+            (fun d ->
+              match (d.det_alert, detection_latency d) with
+              | Some al, Some (lat_s, lat_b) ->
+                  Printf.sprintf "%s->%s in %.3fs/%d blocks" (fault_id d.det_fault)
+                    (Health.detector_id al.Health.al_detector)
+                    lat_s lat_b
+              | _ -> Printf.sprintf "%s UNDETECTED" (fault_id d.det_fault))
+            r.fault_coverage))

@@ -72,6 +72,45 @@ type spec = {
     2 crash cycles + 1 partition cycle; Solo ordering, no orderer faults. *)
 val default_spec : spec
 
+(** The fault classes the harness can inject, as the health plane's
+    coverage matrix names them (ISSUE 9). *)
+type fault =
+  | Message_loss
+      (** lossy links and healing partitions ([drop] / [partitions]) *)
+  | Node_crash  (** peer crash/restart cycles ([crashes]) *)
+  | Orderer_crash  (** ordering-plane crash cycles ([orderer_crashes]) *)
+  | Block_tamper  (** in-flight block mangling ([block_tamper]) *)
+  | Snapshot_corruption  (** chunk payload mangling ([snap_corrupt]) *)
+
+val all_faults : fault list
+
+(** Stable id: ["message_loss"], ["node_crash"], … *)
+val fault_id : fault -> string
+
+(** The fault→alert coverage map: the {!Brdb_obs.Health} detectors
+    expected to notice each injected fault class (any one of the listed
+    detectors firing counts as detection). Wildcard-free by construction
+    — adding a [fault] constructor without an entry fails to compile,
+    and tools/lint.sh additionally asserts every constructor appears
+    here — so a new fault class cannot ship undetectable. *)
+val expected_alerts : fault -> Brdb_obs.Health.detector list
+
+(** Fault classes a spec actually injects. *)
+val faults_of_spec : spec -> fault list
+
+(** One row of the coverage matrix: when the fault class first became
+    active and the first expected alert that fired at/after it. *)
+type detection = {
+  det_fault : fault;
+  det_injected_at : float;
+  det_injection_height : int;
+  det_alert : Brdb_obs.Health.alert option;
+}
+
+(** [(seconds, blocks)] from injection to first matching alert; [None]
+    when undetected. *)
+val detection_latency : detection -> (float * int) option
+
 type report = {
   submitted : int;  (** distinct client requests (slots) *)
   resubmitted : int;  (** §3.5 client retries for swallowed submissions *)
@@ -129,6 +168,20 @@ type report = {
       (** raw span events when [spec.tracing] — feeds
           {!Brdb_obs.Export.causal_jsonl} for per-node causal projections
           (tested byte-identical across replicas); [[]] otherwise *)
+  alerts : Brdb_obs.Health.alert list;
+      (** the health plane's full alert log (ISSUE 9), oldest first *)
+  alerts_fired : (string * int) list;
+      (** fire transitions per detector id (detectors that fired only) *)
+  alert_stream : string;
+      (** canonical byte rendering of the alert log — identical across
+          nodes by construction (all serve the one shared engine) and
+          across two runs of the same spec *)
+  fault_coverage : detection list;
+      (** the fault→alert coverage matrix, one row per injected class in
+          injection order *)
+  uncovered_faults : fault list;
+      (** injected classes with no matching alert — the chaos suite and
+          [brdb_cli alerts] assert this is empty for tuned scenarios *)
 }
 
 (** Run one seeded chaos schedule to completion (bounded: the

@@ -159,6 +159,62 @@ let cluster_view t =
       | [] -> assert false)
     (group items)
 
+(* --- streaming smoothers (ISSUE 9) ---------------------------------------
+   Shared by the Health detectors so windowed rules don't hand-roll
+   pruning/seeding logic. Both are driven entirely by caller-supplied
+   sample times (the simulated clock), so they stay deterministic. *)
+
+module Window = struct
+  (* newest sample first; pruned lazily on every access *)
+  type t = { span : float; mutable samples : (float * float) list }
+
+  let create ~span =
+    if span <= 0. then invalid_arg "Registry.Window.create: span must be > 0";
+    { span; samples = [] }
+
+  let prune t ~now =
+    t.samples <- List.filter (fun (ts, _) -> now -. ts <= t.span) t.samples
+
+  let add t ~now v =
+    t.samples <- (now, v) :: t.samples;
+    prune t ~now
+
+  let count t ~now =
+    prune t ~now;
+    List.length t.samples
+
+  let sum t ~now =
+    prune t ~now;
+    List.fold_left (fun acc (_, v) -> acc +. v) 0. t.samples
+
+  let mean t ~now =
+    prune t ~now;
+    match t.samples with
+    | [] -> 0.
+    | l ->
+        List.fold_left (fun acc (_, v) -> acc +. v) 0. l
+        /. float_of_int (List.length l)
+end
+
+module Ewma = struct
+  type t = { alpha : float; mutable value : float; mutable count : int }
+
+  let create ~alpha =
+    if not (alpha > 0. && alpha <= 1.) then
+      invalid_arg "Registry.Ewma.create: alpha must be in (0, 1]";
+    { alpha; value = 0.; count = 0 }
+
+  (* the first sample seeds the average exactly (no bias towards 0) *)
+  let add t v =
+    if t.count = 0 then t.value <- v
+    else t.value <- t.value +. (t.alpha *. (v -. t.value));
+    t.count <- t.count + 1
+
+  let value t = t.value
+
+  let count t = t.count
+end
+
 let pp_entry ppf e =
   match e.e_kind with
   | "counter" -> Format.fprintf ppf "%-34s %-12s %8d" e.e_name e.e_node e.e_count

@@ -57,6 +57,52 @@ val nodes : t -> string list
     gauges sum; histograms merge their samples); [e_node = "cluster"]. *)
 val cluster_view : t -> entry list
 
+(** Time-windowed accumulator over (sample time, value) pairs — the
+    smoothing primitive behind the {!Health} detectors (ISSUE 9).
+    Samples older than [span] seconds are pruned on every access; time is
+    always supplied by the caller (the simulated clock), never read here,
+    so a window's contents are a pure function of its [add] history.
+
+    Edge cases are total: an empty window (or one whose every sample has
+    aged out) sums to [0.] and means [0.]; a single sample is its own
+    mean; a window shorter than the sampling interval simply holds at
+    most one sample at a time. *)
+module Window : sig
+  type t
+
+  (** [create ~span] — [span] is the window length in seconds
+      ([Invalid_argument] unless positive). *)
+  val create : span:float -> t
+
+  val add : t -> now:float -> float -> unit
+
+  (** Samples newer than [now - span]. *)
+  val count : t -> now:float -> int
+
+  (** Sum of in-window values; [0.] when empty. *)
+  val sum : t -> now:float -> float
+
+  (** Mean of in-window values; [0.] when empty. *)
+  val mean : t -> now:float -> float
+end
+
+(** Exponentially-weighted moving average. The first sample seeds the
+    average exactly (so a single sample reads back unchanged); each later
+    sample moves it by [alpha * (v - value)]. [value] is [0.] before any
+    sample. *)
+module Ewma : sig
+  type t
+
+  (** [Invalid_argument] unless [0 < alpha <= 1]. *)
+  val create : alpha:float -> t
+
+  val add : t -> float -> unit
+
+  val value : t -> float
+
+  val count : t -> int
+end
+
 val pp_entry : Format.formatter -> entry -> unit
 
 val pp_entries : Format.formatter -> entry list -> unit

@@ -60,3 +60,53 @@ let node_row ~node ~height ~inbox ~crashed ~fetch_requests ~fetched_blocks
     Value.Int crashes;
     Value.Int restarts;
   |]
+
+let alerts_columns =
+  let open Brdb_sql.Ast in
+  [
+    col ~pk:true "seq" T_int;
+    col "ts" T_float;
+    col "height" T_int;
+    col "transition" T_text;
+    col "detector" T_text;
+    col "severity" T_text;
+    col "subject" T_text;
+    col "evidence" T_text;
+  ]
+
+let alert_row (a : Health.alert) =
+  [|
+    Value.Int a.Health.al_seq;
+    Value.Float a.Health.al_time;
+    Value.Int a.Health.al_height;
+    Value.Text (Health.transition_name a.Health.al_transition);
+    Value.Text (Health.detector_id a.Health.al_detector);
+    Value.Text (Health.severity_name a.Health.al_severity);
+    Value.Text a.Health.al_subject;
+    Value.Text a.Health.al_evidence;
+  |]
+
+let detectors_columns =
+  let open Brdb_sql.Ast in
+  [
+    col ~pk:true "detector" T_text;
+    col "severity" T_text;
+    col "rule" T_text;
+    col "firing" T_int;
+    col "fires" T_int;
+    col "clears" T_int;
+    col "last_ts" T_float;
+    col "last_height" T_int;
+  ]
+
+let detector_row (s : Health.summary) =
+  [|
+    Value.Text (Health.detector_id s.Health.sm_detector);
+    Value.Text (Health.severity_name (Health.severity_of s.Health.sm_detector));
+    Value.Text (Health.describe s.Health.sm_detector);
+    Value.Int s.Health.sm_firing;
+    Value.Int s.Health.sm_fires;
+    Value.Int s.Health.sm_clears;
+    Value.Float s.Health.sm_last_time;
+    Value.Int s.Health.sm_last_height;
+  |]

@@ -32,3 +32,16 @@ val node_row :
   crashes:int ->
   restarts:int ->
   Brdb_storage.Value.t array
+
+(** Columns of [sys.alerts] (ISSUE 9): seq (PK), ts, height, transition,
+    detector, severity, subject, evidence — one row per {!Health.alert}
+    transition, in log order. *)
+val alerts_columns : Brdb_storage.Schema.column list
+
+val alert_row : Health.alert -> Brdb_storage.Value.t array
+
+(** Columns of [sys.detectors]: detector (PK), severity, rule, firing,
+    fires, clears, last_ts, last_height — one row per {!Health.summary}. *)
+val detectors_columns : Brdb_storage.Schema.column list
+
+val detector_row : Health.summary -> Brdb_storage.Value.t array

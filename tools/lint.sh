@@ -117,4 +117,32 @@ if [ -f "$msg_file" ]; then
   fi
 fi
 
-echo "lint ok: no wall-clock, global Random, unordered Hashtbl iteration, Marshal in snapshot code, stray sys.* literals, or Domain/Mutex/Atomic outside sim/cpu.ml under $dir/; every Msg.t constructor carries a span context"
+# Every injectable fault class must be covered by the health plane
+# (ISSUE 9): each constructor of Chaos.fault has to be matched in
+# Chaos.expected_alerts, so a new fault class cannot ship undetectable.
+# Same containment shape as the Msg.span_ctx rule above: constructors are
+# extracted from the `type fault =` block of chaos.ml and each must appear
+# inside the expected_alerts body (the region between `let expected_alerts`
+# and the following `let faults_of_spec`).
+chaos_file="$dir/core/chaos.ml"
+if [ -f "$chaos_file" ]; then
+  fault_constructors=$(awk '/^type fault =/{in_t=1; next} in_t && /^[a-z]/{in_t=0} in_t' \
+    "$chaos_file" | grep -oE '^  \| [A-Z][A-Za-z_]*' | sed 's/^  | //' || true)
+  coverage_region=$(awk '/^let expected_alerts/{flag=1} /^let faults_of_spec/{flag=0} flag' \
+    "$chaos_file")
+  missing=''
+  for c in $fault_constructors; do
+    if ! printf '%s' "$coverage_region" | grep -qE "(\| *)$c([^A-Za-z_]|\$)"; then
+      missing="$missing $c"
+    fi
+  done
+  if [ -n "$missing" ]; then
+    echo "lint failed — Chaos.fault constructor(s) without an entry in" >&2
+    echo "Chaos.expected_alerts (every fault class must map to the health-plane" >&2
+    echo "detectors expected to notice it; ISSUE 9):" >&2
+    echo "  $missing" >&2
+    exit 1
+  fi
+fi
+
+echo "lint ok: no wall-clock, global Random, unordered Hashtbl iteration, Marshal in snapshot code, stray sys.* literals, or Domain/Mutex/Atomic outside sim/cpu.ml under $dir/; every Msg.t constructor carries a span context; every Chaos.fault class has a coverage-map entry"
