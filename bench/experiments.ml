@@ -1133,6 +1133,185 @@ let alerts () =
       ("false_positive_alerts", Runner.J_int !fp_alerts);
     ]
 
+(* ---------------------------- ISSUE 10: client admission-control A/B ---- *)
+
+(* Contended session workload over the real network: cohorts of sessions
+   pin, read a hot key, then submit two rounds later — by which time other
+   cohorts' bumps have superseded most pins. With admission on, those
+   doomed transactions fail at the client and never consume ordering
+   bandwidth or block-execution time; with admission off they ship and
+   abort server-side. Both runs are seeded and fully deterministic, so
+   the A/B delta is exact, not statistical. *)
+let admission () =
+  header
+    "Client admission control (ISSUE 10): early aborts vs shipping doomed \
+     txs (A/B)";
+  let rounds = if !quick then 16 else 32 in
+  let cohort = 6 in
+  let hot_keys = 3 in
+  let setup_contract =
+    Brdb_contracts.Registry.Native
+      (fun ctx ->
+        ignore
+          (Brdb_contracts.Api.execute ctx
+             "CREATE TABLE adm_kv (k INT PRIMARY KEY, v INT)");
+        for k = 0 to hot_keys - 1 do
+          Brdb_contracts.Api.set_local ctx "k" (Brdb_storage.Value.Int k);
+          ignore
+            (Brdb_contracts.Api.execute ctx "INSERT INTO adm_kv VALUES (:k, 100)")
+        done)
+  in
+  (* [$2] is a per-session uniqueness tag (EO tx ids are content hashes). *)
+  let bump_contract =
+    Brdb_contracts.Registry.Native
+      (fun ctx ->
+        ignore
+          (Brdb_contracts.Api.execute ctx
+             "UPDATE adm_kv SET v = v + 1 WHERE k = $1"))
+  in
+  let run_mode ~admission seed =
+    let config =
+      {
+        (B.default_config ()) with
+        B.orgs = [ "org1"; "org2"; "org3" ];
+        flow = Node_core.Execute_order;
+        block_size = 8;
+        block_timeout = 0.04;
+        seed;
+      }
+    in
+    let db = B.create config in
+    B.install_contract db ~name:"adm_setup" setup_contract;
+    B.install_contract db ~name:"adm_bump" bump_contract;
+    ignore (B.submit db ~user:(B.admin db "org1") ~contract:"adm_setup" ~args:[]);
+    B.settle db;
+    let hub = Brdb_client.Session.create_hub ~admission db in
+    let users =
+      Array.init cohort (fun i ->
+          B.register_user db (Printf.sprintf "bench/u%d" i))
+    in
+    let pending = Queue.create () in
+    let tag = ref 0 in
+    let submitted_ids = ref [] in
+    let elapsed = ref 0. in
+    let drive seconds =
+      B.run db ~seconds;
+      elapsed := !elapsed +. seconds
+    in
+    let submit_cohort sessions =
+      List.iter
+        (fun (s, k) ->
+          incr tag;
+          match
+            Brdb_client.Session.submit s ~contract:"adm_bump"
+              ~args:[ Brdb_storage.Value.Int k; Brdb_storage.Value.Int !tag ]
+          with
+          | Brdb_client.Session.Submitted id ->
+              submitted_ids := id :: !submitted_ids
+          | Brdb_client.Session.Early_abort _ -> ())
+        sessions
+    in
+    for r = 0 to rounds - 1 do
+      if Queue.length pending >= 2 then submit_cohort (Queue.pop pending);
+      let sessions =
+        List.init cohort (fun i ->
+            let s = Brdb_client.Session.begin_ hub ~user:users.(i) in
+            let k = (r + i) mod hot_keys in
+            ignore
+              (Brdb_client.Session.read s ~table:"adm_kv"
+                 ~key:(Brdb_storage.Value.Int k));
+            (s, k))
+      in
+      Queue.push sessions pending;
+      drive 0.12
+    done;
+    while not (Queue.is_empty pending) do
+      submit_cohort (Queue.pop pending);
+      drive 0.12
+    done;
+    B.settle db;
+    let opened, _, submitted, early, _ = Brdb_client.Session.totals hub in
+    let committed =
+      List.length
+        (List.filter (fun id -> B.status db id = Some B.Committed) !submitted_ids)
+    in
+    let server_aborts =
+      List.length
+        (List.filter
+           (fun id ->
+             match B.status db id with Some (B.Aborted _) -> true | _ -> false)
+           !submitted_ids)
+    in
+    let ordering_txs = Service.auth_verified (B.service db) in
+    let tx_bytes =
+      Brdb_consensus.Msg.size
+        (Brdb_consensus.Msg.Client_tx
+           (Brdb_ledger.Block.make_eo_tx ~identity:users.(0)
+              ~contract:"adm_bump" ~args:[] ~snapshot:1))
+    in
+    let s = B.summary db ~duration_s:!elapsed in
+    let blocks =
+      Node_core.height (Brdb_node.Peer.core (B.peer db 0))
+    in
+    let bet_total_ms = s.Metrics.bet_ms *. float_of_int blocks in
+    ( opened,
+      submitted,
+      early,
+      server_aborts,
+      committed,
+      ordering_txs,
+      ordering_txs * tx_bytes,
+      bet_total_ms )
+  in
+  let seed = 17 in
+  let on = run_mode ~admission:true seed in
+  let off = run_mode ~admission:false seed in
+  let record mode
+      (opened, submitted, early, server_aborts, committed, otxs, obytes, bet) =
+    line "%14s | %8d %9d %6d %7d %9d | %7d %9d %9.1f" mode opened submitted
+      early server_aborts committed otxs obytes bet;
+    Runner.record
+      [
+        ("kind", Runner.J_str ("admission_" ^ mode));
+        ("sessions", Runner.J_int opened);
+        ("submitted", Runner.J_int submitted);
+        ("early_aborts", Runner.J_int early);
+        ("server_aborts", Runner.J_int server_aborts);
+        ("committed", Runner.J_int committed);
+        ("ordering_txs", Runner.J_int otxs);
+        ("ordering_bytes", Runner.J_int obytes);
+        ("bet_total_ms", Runner.J_float bet);
+      ]
+  in
+  line "%14s | %8s %9s %6s %7s %9s | %7s %9s %9s" "mode" "sessions"
+    "submitted" "early" "aborted" "committed" "ord-tx" "ord-bytes" "bet(ms)";
+  record "on" on;
+  record "off" off;
+  let _, _, early_on, server_on, _, otx_on, obytes_on, bet_on = on in
+  let _, _, _, _, _, otx_off, obytes_off, bet_off = off in
+  let doomed = early_on + server_on in
+  let early_frac =
+    if doomed = 0 then 0. else float_of_int early_on /. float_of_int doomed
+  in
+  line "";
+  line
+    "doomed txs failed before ordering: %d/%d (%.0f%%); ordering work saved: \
+     %d txs / %d bytes; block-execution time saved: %.1f ms"
+    early_on doomed (100. *. early_frac) (otx_off - otx_on)
+    (obytes_off - obytes_on)
+    (bet_off -. bet_on);
+  if early_frac < 0.3 then
+    line "  WARNING: early-abort fraction below the 30%% floor";
+  Runner.record
+    [
+      ("kind", Runner.J_str "admission_saved");
+      ("doomed", Runner.J_int doomed);
+      ("early_frac", Runner.J_float early_frac);
+      ("saved_ordering_txs", Runner.J_int (otx_off - otx_on));
+      ("saved_ordering_bytes", Runner.J_int (obytes_off - obytes_on));
+      ("saved_bet_ms", Runner.J_float (bet_off -. bet_on));
+    ]
+
 let all : (string * (unit -> unit)) list =
   [
     ("fastpath", fastpath);
@@ -1151,4 +1330,5 @@ let all : (string * (unit -> unit)) list =
     ("chaos", chaos);
     ("ordering_faults", ordering_faults);
     ("alerts", alerts);
+    ("admission", admission);
   ]

@@ -34,3 +34,13 @@ dune exec tools/bench_diff.exe -- \
   --baseline BENCH_alerts.json --fresh "$fresh_json" \
   --tolerances tools/bench_tolerances.txt
 echo "detection-latency gate ok (alerts vs BENCH_alerts.json)"
+# Client-plane smoke + gate (ISSUE 10): receipts and provenance proofs
+# must verify from hashes alone (and tampered variants fail), and the
+# contended admission A/B must keep failing doomed txs before ordering.
+dune exec bin/brdb_cli.exe -- verify > /dev/null
+echo "verifiable-read smoke ok (receipt + provenance verified; tampering rejected)"
+dune exec bench/main.exe -- --quick --only admission --json "$fresh_json" > /dev/null
+dune exec tools/bench_diff.exe -- \
+  --baseline BENCH_client.json --fresh "$fresh_json" \
+  --tolerances tools/bench_tolerances.txt
+echo "admission gate ok (client plane vs BENCH_client.json)"

@@ -1,0 +1,192 @@
+module Merkle = Brdb_crypto.Merkle
+module Sha256 = Brdb_crypto.Sha256
+module Hex = Brdb_util.Hex
+module Value = Brdb_storage.Value
+module Block = Brdb_ledger.Block
+module Block_store = Brdb_ledger.Block_store
+module Node_core = Brdb_node.Node_core
+
+type header = { h_height : int; h_tx_root : string; h_metadata : string }
+
+type receipt = {
+  rc_height : int;
+  rc_payload : string;
+  rc_proof : Merkle.proof;
+  rc_metadata : string;
+  rc_prev_hash : string;
+  rc_chain : header list;
+}
+
+type provenance = {
+  pv_height : int;
+  pv_entry : string;
+  pv_proof : Merkle.proof;
+  pv_prefix : string;
+  pv_roots : string list;
+}
+
+(* Mirrors Block.compute_hash with the tx root precomputed: the verifier
+   never sees the transactions of successor blocks, only their roots. *)
+let header_hash ~height ~tx_root ~metadata ~prev_hash =
+  Sha256.digest_concat [ string_of_int height; tx_root; metadata; prev_hash ]
+
+let tx_root_of_block (b : Block.t) =
+  Merkle.root (List.map Block.tx_payload b.Block.txs)
+
+let successors store ~above ~upto =
+  let rec collect h acc =
+    if h > upto then List.rev acc
+    else
+      match Block_store.get store h with
+      | None -> List.rev acc
+      | Some b ->
+          collect (h + 1)
+            ({
+               h_height = h;
+               h_tx_root = tx_root_of_block b;
+               h_metadata = b.Block.metadata;
+             }
+            :: acc)
+  in
+  collect (above + 1) []
+
+let build_receipt core ~tx_id =
+  let store = Node_core.block_store core in
+  let tip = Block_store.height store in
+  let rec find h =
+    if h > tip then Error (Printf.sprintf "transaction %s is in no stored block" tx_id)
+    else
+      match Block_store.get store h with
+      | None -> Error (Printf.sprintf "transaction %s is in no stored block" tx_id)
+      | Some b -> (
+          let rec index i = function
+            | [] -> None
+            | (tx : Block.tx) :: rest ->
+                if String.equal tx.Block.tx_id tx_id then Some (i, tx)
+                else index (i + 1) rest
+          in
+          match index 0 b.Block.txs with
+          | None -> find (h + 1)
+          | Some (i, tx) ->
+              let leaves = List.map Block.tx_payload b.Block.txs in
+              Ok
+                {
+                  rc_height = h;
+                  rc_payload = Block.tx_payload tx;
+                  rc_proof = Merkle.prove leaves i;
+                  rc_metadata = b.Block.metadata;
+                  rc_prev_hash = b.Block.prev_hash;
+                  rc_chain = successors store ~above:h ~upto:tip;
+                })
+  in
+  find 1
+
+let verify_receipt ~tip_hash rc =
+  let tx_root = Merkle.apply ~leaf:rc.rc_payload rc.rc_proof in
+  let h0 =
+    header_hash ~height:rc.rc_height ~tx_root ~metadata:rc.rc_metadata
+      ~prev_hash:rc.rc_prev_hash
+  in
+  let rec chain prev height = function
+    | [] -> String.equal prev tip_hash
+    | hd :: rest ->
+        hd.h_height = height + 1
+        && chain
+             (header_hash ~height:hd.h_height ~tx_root:hd.h_tx_root
+                ~metadata:hd.h_metadata ~prev_hash:prev)
+             hd.h_height rest
+  in
+  chain h0 rc.rc_height rc.rc_chain
+
+let build_provenance core ~height ~matches =
+  let tip = Node_core.height core in
+  if height < 1 || height > tip then
+    Error (Printf.sprintf "height %d out of range (tip %d)" height tip)
+  else
+    match Node_core.write_set_entries_at core ~height with
+    | None ->
+        Error
+          (Printf.sprintf
+             "height %d is below this node's provenance floor (installed from \
+              a snapshot)"
+             height)
+    | Some entries -> (
+        let rec index i = function
+          | [] -> None
+          | e :: rest -> if matches e then Some (i, e) else index (i + 1) rest
+        in
+        match index 0 entries with
+        | None -> Error (Printf.sprintf "no matching write entry at height %d" height)
+        | Some (i, entry) ->
+            let prefix =
+              if height = 1 then Block.genesis_hash
+              else
+                match Node_core.state_digest core ~height:(height - 1) with
+                | Some d -> d
+                | None -> Block.genesis_hash
+            in
+            let roots = ref [] in
+            let complete = ref true in
+            for h = height to tip do
+              match Node_core.write_set_hash core ~height:h with
+              | Some ws -> roots := ws :: !roots
+              | None -> complete := false
+            done;
+            if not !complete then
+              Error "write-set roots missing between height and tip"
+            else
+              Ok
+                {
+                  pv_height = height;
+                  pv_entry = entry;
+                  pv_proof = Merkle.prove entries i;
+                  pv_prefix = prefix;
+                  pv_roots = List.rev !roots;
+                })
+
+let verify_provenance ~tip_digest pv =
+  match pv.pv_roots with
+  | [] -> false
+  | r0 :: _ ->
+      String.equal (Merkle.apply ~leaf:pv.pv_entry pv.pv_proof) r0
+      && String.equal
+           (List.fold_left
+              (fun acc ws -> Hex.encode (Sha256.digest_concat [ acc; ws ]))
+              pv.pv_prefix pv.pv_roots)
+           tip_digest
+
+let row_write_matches ~table ~values entry =
+  let vals =
+    String.concat "," (List.map Value.encode (Array.to_list values))
+  in
+  (* Insert leaves read "<gid>|I|<table>|<vals>"; update leaves end with
+     ";U+|<table>|<new vals>" (Manager.write_set_entries). *)
+  String.ends_with ~suffix:(Printf.sprintf "|I|%s|%s" table vals) entry
+  || String.ends_with ~suffix:(Printf.sprintf ";U+|%s|%s" table vals) entry
+
+let tip_hash core =
+  let store = Node_core.block_store core in
+  match Block_store.last store with
+  | Some b -> b.Block.hash
+  | None -> Block.genesis_hash
+
+let tip_digest core =
+  let h = Node_core.height core in
+  if h < 1 then Block.genesis_hash
+  else
+    match Node_core.state_digest core ~height:h with
+    | Some d -> d
+    | None -> Block.genesis_hash
+
+let describe_receipt rc =
+  Printf.sprintf "receipt: block %d, payload %s, %d-step proof, %d successors"
+    rc.rc_height
+    (Hex.short (Sha256.digest rc.rc_payload))
+    (String.length (Merkle.proof_to_string rc.rc_proof) / 65)
+    (List.length rc.rc_chain)
+
+let describe_provenance pv =
+  Printf.sprintf "provenance: block %d, entry %S, %d-step proof, %d roots"
+    pv.pv_height pv.pv_entry
+    (String.length (Merkle.proof_to_string pv.pv_proof) / 65)
+    (List.length pv.pv_roots)

@@ -1,0 +1,89 @@
+(** Read receipts and provenance proofs (ISSUE 10, after bcdb-server's
+    tamper-evidence design).
+
+    Both proof kinds are verifiable by an untrusting client against
+    {e hashes alone} — no trust in the serving peer is needed beyond the
+    anchor, which the client obtains by majority (the tip block hash for
+    receipts, the tip chained state digest for provenance proofs):
+
+    - a {b receipt} shows a transaction is included in block [h]: the
+      signed payload bytes, a Merkle proof to the block's transaction
+      root, and the successor headers up to the tip — the verifier
+      recomputes every block hash from [h] to the tip and compares the
+      last one against the trusted tip hash.
+    - a {b provenance proof} shows a write entry (["<gid>|<op>|<table>|
+      <values>"]) was committed at block [h]: a Merkle proof to the
+      block's write-set root, the chained digest prefix [a_{h-1}], and
+      the write-set roots of blocks [h..tip] — the verifier refolds the
+      chained state digest and compares against the trusted tip digest.
+
+    Proofs for heights a node installed from a snapshot cannot be built
+    there (the write entries were never replayed — the provenance floor);
+    any node that processed the block serves them. *)
+
+module Merkle = Brdb_crypto.Merkle
+
+(** Successor block header: enough to recompute its hash given the
+    previous one. *)
+type header = { h_height : int; h_tx_root : string; h_metadata : string }
+
+type receipt = {
+  rc_height : int;  (** block containing the transaction *)
+  rc_payload : string;  (** canonical signed tx bytes — the Merkle leaf *)
+  rc_proof : Merkle.proof;  (** to the block's transaction root *)
+  rc_metadata : string;
+  rc_prev_hash : string;
+  rc_chain : header list;  (** heights [rc_height+1 .. tip], ascending *)
+}
+
+type provenance = {
+  pv_height : int;  (** block whose write set contains the entry *)
+  pv_entry : string;  (** the write entry — the Merkle leaf *)
+  pv_proof : Merkle.proof;  (** to the block's write-set root *)
+  pv_prefix : string;  (** chained state digest before [pv_height] *)
+  pv_roots : string list;  (** write-set roots [pv_height .. tip] *)
+}
+
+(** [build_receipt core ~tx_id] — serve a receipt from the node's block
+    store; [Error] when the transaction is in no stored block. *)
+val build_receipt :
+  Brdb_node.Node_core.t -> tx_id:string -> (receipt, string) result
+
+(** [verify_receipt ~tip_hash r] — recompute the tx root from leaf +
+    proof, then the block hash chain up to the tip; true iff the final
+    hash equals the trusted [tip_hash]. Pure. *)
+val verify_receipt : tip_hash:string -> receipt -> bool
+
+(** [build_provenance core ~height ~matches] — proof for the first write
+    entry of block [height] satisfying [matches] (first in canonical
+    write order, so every node picks the same entry). [Error] when none
+    matches or the height is below the node's provenance floor. *)
+val build_provenance :
+  Brdb_node.Node_core.t ->
+  height:int ->
+  matches:(string -> bool) ->
+  (provenance, string) result
+
+(** [verify_provenance ~tip_digest p] — recompute the write-set root from
+    leaf + proof, refold the chained state digest over [pv_roots], and
+    compare against the trusted [tip_digest]. Pure. *)
+val verify_provenance : tip_digest:string -> provenance -> bool
+
+(** Entry predicate for "this row was written": matches an insert of, or
+    an update to, exactly [values] in [table] (the canonical entry
+    encodings of {!Brdb_txn.Manager.write_set_entries}). *)
+val row_write_matches :
+  table:string -> values:Brdb_storage.Value.t array -> string -> bool
+
+(** The node's current tip block hash (genesis hash at height 0) — what a
+    client cross-checks across peers to obtain the trusted anchor. *)
+val tip_hash : Brdb_node.Node_core.t -> string
+
+(** The node's current tip chained state digest (the provenance anchor;
+    genesis hash at height 0). *)
+val tip_digest : Brdb_node.Node_core.t -> string
+
+(** Human-readable one-line renderings (CLI). *)
+val describe_receipt : receipt -> string
+
+val describe_provenance : provenance -> string

@@ -511,7 +511,7 @@ let handle t ~src msg =
           end)
   | _ -> ()
 
-let create ~net ~name ~names ~identity ~block_size ~block_timeout
+let create ~net ~name ~names ~identity ?auth ~block_size ~block_timeout
     ?view_timeout ?(tx_cpu = 0.00002) ?(recv_cpu = 0.0012) ?(send_cpu = 0.0006)
     ?(block_cpu = 0.018) ~peers () =
   if names = [] then invalid_arg "Bft.create: no names";
@@ -528,7 +528,7 @@ let create ~net ~name ~names ~identity ~block_size ~block_timeout
       identity;
       clock = Msg.Net.clock net;
       cpu = Cpu.create (Msg.Net.clock net);
-      cutter = Cutter.create ~block_size;
+      cutter = Cutter.create ?auth ~block_size ();
       assembler = Assembler.create ~identity ~metadata:"bft";
       block_timeout;
       view_timeout;
@@ -561,6 +561,12 @@ let is_leader = is_primary
 let blocks_delivered t = t.delivered_count
 
 let queued t = if t.crashed then 0 else Cutter.pending t.cutter
+
+let auth_verified t = Cutter.auth_verified t.cutter
+
+let auth_rejected t = Cutter.auth_rejected t.cutter
+
+let replays t = Cutter.replays t.cutter
 
 let view t = t.view
 

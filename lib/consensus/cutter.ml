@@ -2,40 +2,85 @@ module Block = Brdb_ledger.Block
 
 type t = {
   block_size : int;
+  auth : (Block.tx -> bool) option;
   mutable pending : Block.tx list; (* newest first *)
   mutable pending_count : int;
   mutable epoch : int;
+  mutable auth_verified : int;
+  mutable auth_rejected : int;
+  mutable replays : int;
   seen : (string, unit) Hashtbl.t;
 }
 
-let create ~block_size =
+let create ?auth ~block_size () =
   if block_size < 1 then invalid_arg "Cutter.create: block_size must be >= 1";
-  { block_size; pending = []; pending_count = 0; epoch = 0; seen = Hashtbl.create 256 }
+  {
+    block_size;
+    auth;
+    pending = [];
+    pending_count = 0;
+    epoch = 0;
+    auth_verified = 0;
+    auth_rejected = 0;
+    replays = 0;
+    seen = Hashtbl.create 256;
+  }
 
 type add_result = Cut of Block.tx list | First | Buffered | Duplicate
+
+(* Batch authentication (ISSUE 10): signatures are checked when a batch
+   is taken for cutting, in batch order — one deterministic verification
+   pass per block rather than one per submission. Forged transactions are
+   dropped here, so they never reach the assembler. *)
+let authenticate t txs =
+  match t.auth with
+  | None -> txs
+  | Some verify ->
+      List.filter
+        (fun tx ->
+          if verify tx then begin
+            t.auth_verified <- t.auth_verified + 1;
+            true
+          end
+          else begin
+            t.auth_rejected <- t.auth_rejected + 1;
+            false
+          end)
+        txs
 
 let take t =
   let txs = List.rev t.pending in
   t.pending <- [];
   t.pending_count <- 0;
   t.epoch <- t.epoch + 1;
-  txs
+  authenticate t txs
 
 let add t tx =
-  if Hashtbl.mem t.seen tx.Block.tx_id then Duplicate
+  if Hashtbl.mem t.seen tx.Block.tx_id then begin
+    t.replays <- t.replays + 1;
+    Duplicate
+  end
   else begin
     Hashtbl.replace t.seen tx.Block.tx_id ();
     t.pending <- tx :: t.pending;
     t.pending_count <- t.pending_count + 1;
-    if t.pending_count >= t.block_size then Cut (take t)
+    if t.pending_count >= t.block_size then
+      (* An all-forged batch cuts to nothing; report it as buffered so the
+         caller does not propose an empty block. *)
+      match take t with [] -> Buffered | txs -> Cut txs
     else if t.pending_count = 1 then First
     else Buffered
   end
 
-let cut t = if t.pending_count = 0 then None else Some (take t)
+let cut t =
+  if t.pending_count = 0 then None
+  else match take t with [] -> None | txs -> Some txs
 
 let stash t tx =
-  if Hashtbl.mem t.seen tx.Block.tx_id then `Duplicate
+  if Hashtbl.mem t.seen tx.Block.tx_id then begin
+    t.replays <- t.replays + 1;
+    `Duplicate
+  end
   else begin
     Hashtbl.replace t.seen tx.Block.tx_id ();
     t.pending <- tx :: t.pending;
@@ -68,7 +113,7 @@ let take_batch t =
     t.pending <- List.rev rest;
     t.pending_count <- List.length rest;
     t.epoch <- t.epoch + 1;
-    Some batch
+    match authenticate t batch with [] -> None | txs -> Some txs
   end
 
 let pending t = t.pending_count
@@ -78,3 +123,9 @@ let pending_txs t = List.rev t.pending
 let capacity t = t.block_size
 
 let epoch t = t.epoch
+
+let auth_verified t = t.auth_verified
+
+let auth_rejected t = t.auth_rejected
+
+let replays t = t.replays

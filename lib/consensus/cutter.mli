@@ -3,11 +3,19 @@
 
     The cutter also deduplicates transaction ids across the whole stream:
     resubmissions of an already ordered or pending transaction are
-    dropped, matching the §3.5 obscuration-recovery story. *)
+    dropped, matching the §3.5 obscuration-recovery story — which doubles
+    as replay protection for the ISSUE 10 authentication plane.
+
+    When an [auth] verifier is supplied, signatures are checked in
+    deterministic batches at cut time: the batch order is canonical, so
+    every orderer that cuts the same batch drops the same forged
+    transactions and the cut stays byte-identical across nodes. *)
 
 type t
 
-val create : block_size:int -> t
+(** [auth] is the per-transaction signature verifier (ISSUE 10); when
+    absent, batches are cut unverified (the pre-client-plane behavior). *)
+val create : ?auth:(Brdb_ledger.Block.tx -> bool) -> block_size:int -> unit -> t
 
 type add_result =
   | Cut of Brdb_ledger.Block.tx list  (** size cap reached *)
@@ -47,3 +55,14 @@ val capacity : t -> int
 (** Number of batches opened so far — used to detect whether a timer
     still refers to the current batch. *)
 val epoch : t -> int
+
+(** Transactions whose signature passed batch verification at cut time;
+    0 when no [auth] verifier is installed. *)
+val auth_verified : t -> int
+
+(** Forged transactions dropped at cut time. *)
+val auth_rejected : t -> int
+
+(** Submissions dropped by the duplicate-id check — replayed (or benignly
+    resubmitted) transaction ids observed at this orderer. *)
+val replays : t -> int

@@ -122,7 +122,7 @@ let handle t ~src:_ msg =
       drain t
   | _ -> ()
 
-let create_orderer ~net ~name ~identity ~cluster ~block_size ~block_timeout
+let create_orderer ~net ~name ~identity ~cluster ?auth ~block_size ~block_timeout
     ?(tx_cpu = 0.00002) ?(block_cpu = 0.001) ~peers () =
   let t =
     {
@@ -131,7 +131,7 @@ let create_orderer ~net ~name ~identity ~cluster ~block_size ~block_timeout
       cluster;
       clock = Msg.Net.clock net;
       cpu = Cpu.create (Msg.Net.clock net);
-      cutter = Cutter.create ~block_size;
+      cutter = Cutter.create ?auth ~block_size ();
       assembler = Assembler.create ~identity ~metadata:"kafka";
       block_timeout;
       tx_cpu;
@@ -148,3 +148,9 @@ let create_orderer ~net ~name ~identity ~cluster ~block_size ~block_timeout
 let blocks_cut t = t.blocks
 
 let queued t = Cutter.pending t.cutter
+
+let auth_verified t = Cutter.auth_verified t.cutter
+
+let auth_rejected t = Cutter.auth_rejected t.cutter
+
+let replays t = Cutter.replays t.cutter

@@ -32,6 +32,7 @@ val create_orderer :
   name:string ->
   identity:Brdb_crypto.Identity.t ->
   cluster:string ->
+  ?auth:(Brdb_ledger.Block.tx -> bool) ->
   block_size:int ->
   block_timeout:float ->
   ?tx_cpu:float ->
@@ -46,3 +47,12 @@ val blocks_cut : t -> int
     the cutter backlog this node holds right now (0 while a crashed
     Raft/Bft node is down). *)
 val queued : t -> int
+
+(** Batch-authentication counters (ISSUE 10): transactions verified /
+    dropped at cut time, and duplicate ids observed (replay protection).
+    All 0 when no [auth] verifier was installed. *)
+val auth_verified : t -> int
+
+val auth_rejected : t -> int
+
+val replays : t -> int

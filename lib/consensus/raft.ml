@@ -294,7 +294,7 @@ let handle t ~src msg =
           | Msg.Raft rmsg -> handle_raft t ~src rmsg
           | _ -> ())
 
-let create ~net ~name ~names ~identity ~rng ~block_size ~block_timeout
+let create ~net ~name ~names ~identity ~rng ?auth ~block_size ~block_timeout
     ?(election_timeout = (0.15, 0.3)) ?(heartbeat = 0.05) ?(msg_cpu = 0.00002)
     ~peers () =
   let lo, hi = election_timeout in
@@ -323,7 +323,7 @@ let create ~net ~name ~names ~identity ~rng ~block_size ~block_timeout
       match_index = Hashtbl.create 8;
       timer_epoch = 0;
       crashed = false;
-      cutter = Cutter.create ~block_size;
+      cutter = Cutter.create ?auth ~block_size ();
       assembler = Assembler.create ~identity ~metadata:"raft";
       block_timeout;
       peers;
@@ -349,6 +349,12 @@ let queued t =
   else Cutter.pending t.cutter + List.length t.pending_forward
 
 let elections t = t.elections
+
+let auth_verified t = Cutter.auth_verified t.cutter
+
+let auth_rejected t = Cutter.auth_rejected t.cutter
+
+let replays t = Cutter.replays t.cutter
 
 let commit_index t = t.commit_index
 

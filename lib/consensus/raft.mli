@@ -18,6 +18,7 @@ val create :
   names:string list ->
   identity:Brdb_crypto.Identity.t ->
   rng:Brdb_sim.Rng.t ->
+  ?auth:(Brdb_ledger.Block.tx -> bool) ->
   block_size:int ->
   block_timeout:float ->
   ?election_timeout:float * float ->
@@ -56,3 +57,12 @@ val crash : t -> unit
 val restart : t -> unit
 
 val is_crashed : t -> bool
+
+(** Batch-authentication counters (ISSUE 10): transactions verified /
+    dropped at cut time, and duplicate ids observed (replay protection).
+    All 0 when no [auth] verifier was installed. *)
+val auth_verified : t -> int
+
+val auth_rejected : t -> int
+
+val replays : t -> int

@@ -8,16 +8,16 @@ type handle =
 
 type t = { kind : kind; names : string list; handle : handle }
 
-let create ~net ~kind ~orderer_names ~identity_of ~rng ~block_size ~block_timeout
-    ~peers_of () =
+let create ~net ~kind ~orderer_names ~identity_of ~rng ?authenticator ~block_size
+    ~block_timeout ~peers_of () =
   if orderer_names = [] then invalid_arg "Service.create: need at least one orderer";
   let handle =
     match kind with
     | Solo ->
         let name = List.hd orderer_names in
         H_solo
-          (Solo.create ~net ~name ~identity:(identity_of name) ~block_size
-             ~block_timeout ~peers:(peers_of name) ())
+          (Solo.create ~net ~name ~identity:(identity_of name) ?auth:authenticator
+             ~block_size ~block_timeout ~peers:(peers_of name) ())
     | Kafka ->
         let cluster_name = "kafka-cluster" in
         let cluster =
@@ -27,8 +27,8 @@ let create ~net ~kind ~orderer_names ~identity_of ~rng ~block_size ~block_timeou
           List.map
             (fun name ->
               Kafka.create_orderer ~net ~name ~identity:(identity_of name)
-                ~cluster:cluster_name ~block_size ~block_timeout
-                ~peers:(peers_of name) ())
+                ~cluster:cluster_name ?auth:authenticator ~block_size
+                ~block_timeout ~peers:(peers_of name) ())
             orderer_names
         in
         H_kafka (cluster, orderers)
@@ -38,15 +38,16 @@ let create ~net ~kind ~orderer_names ~identity_of ~rng ~block_size ~block_timeou
              (fun name ->
                Raft.create ~net ~name ~names:orderer_names
                  ~identity:(identity_of name) ~rng:(Brdb_sim.Rng.split rng)
-                 ~block_size ~block_timeout ~peers:(peers_of name) ())
+                 ?auth:authenticator ~block_size ~block_timeout
+                 ~peers:(peers_of name) ())
              orderer_names)
     | Bft ->
         H_bft
           (List.map
              (fun name ->
                Bft.create ~net ~name ~names:orderer_names
-                 ~identity:(identity_of name) ~block_size ~block_timeout
-                 ~peers:(peers_of name) ())
+                 ~identity:(identity_of name) ?auth:authenticator ~block_size
+                 ~block_timeout ~peers:(peers_of name) ())
              orderer_names)
   in
   { kind; names = orderer_names; handle }
@@ -77,6 +78,31 @@ let queued t =
   | H_kafka (_, os) -> maxl Kafka.queued os
   | H_raft rs -> maxl Raft.queued rs
   | H_bft bs -> maxl Bft.queued bs
+
+(* Service-level auth counters: Kafka orderers each consume the full
+   cluster stream and cut identical blocks, so their per-cutter counters
+   are copies — take the max, not the sum. Raft/Bft leadership moves, so
+   counts accumulate across whichever node was cutting — sum them. *)
+let auth_stat t ~solo ~kafka ~raft ~bft =
+  let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l in
+  let maxl f l = List.fold_left (fun acc x -> max acc (f x)) 0 l in
+  match t.handle with
+  | H_solo s -> solo s
+  | H_kafka (_, os) -> maxl kafka os
+  | H_raft rs -> sum raft rs
+  | H_bft bs -> sum bft bs
+
+let auth_verified t =
+  auth_stat t ~solo:Solo.auth_verified ~kafka:Kafka.auth_verified
+    ~raft:Raft.auth_verified ~bft:Bft.auth_verified
+
+let auth_rejected t =
+  auth_stat t ~solo:Solo.auth_rejected ~kafka:Kafka.auth_rejected
+    ~raft:Raft.auth_rejected ~bft:Bft.auth_rejected
+
+let auth_replayed t =
+  auth_stat t ~solo:Solo.replays ~kafka:Kafka.replays ~raft:Raft.replays
+    ~bft:Bft.replays
 
 let raft_nodes t = match t.handle with H_raft rs -> rs | _ -> []
 

@@ -18,13 +18,18 @@ type t
      ~block_timeout ~peers_of ()] starts all orderer nodes. [peers_of o]
     lists the database nodes connected to orderer [o] (each peer should
     be connected to exactly one orderer, or to [2f+1] for byzantine
-    settings — the delivery fan-out is up to the caller). *)
+    settings — the delivery fan-out is up to the caller).
+
+    [authenticator] is the per-transaction signature verifier every
+    orderer's cutter applies in deterministic batches before cutting a
+    block (ISSUE 10); omitted, submissions are ordered unverified. *)
 val create :
   net:Msg.Net.net ->
   kind:kind ->
   orderer_names:string list ->
   identity_of:(string -> Brdb_crypto.Identity.t) ->
   rng:Brdb_sim.Rng.t ->
+  ?authenticator:(Brdb_ledger.Block.tx -> bool) ->
   block_size:int ->
   block_timeout:float ->
   peers_of:(string -> string list) ->
@@ -53,6 +58,16 @@ val cut_total : t -> int
     same backlog, and a crashed node's stranded queue must not read as
     pending work. *)
 val queued : t -> int
+
+(** Batch-authentication totals across the service (ISSUE 10):
+    transactions verified / forged-and-dropped at cut time, and duplicate
+    ids observed (replay protection). Kafka orderers cut identical blocks,
+    so their counters are maxed rather than summed. *)
+val auth_verified : t -> int
+
+val auth_rejected : t -> int
+
+val auth_replayed : t -> int
 
 (** Raft only: current leader if any (testing). *)
 val raft_nodes : t -> Raft.t list

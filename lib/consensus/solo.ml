@@ -46,13 +46,13 @@ let handle t ~src:_ msg =
           | Cutter.Buffered | Cutter.Duplicate -> ())
   | _ -> ()
 
-let create ~net ~name ~identity ~block_size ~block_timeout ?(tx_cpu = 0.00002)
+let create ~net ~name ~identity ?auth ~block_size ~block_timeout ?(tx_cpu = 0.00002)
     ?(block_cpu = 0.001) ~peers () =
   let t =
     {
       net;
       name;
-      cutter = Cutter.create ~block_size;
+      cutter = Cutter.create ?auth ~block_size ();
       assembler = Assembler.create ~identity ~metadata:"solo";
       clock = Msg.Net.clock net;
       cpu = Cpu.create (Msg.Net.clock net);
@@ -69,3 +69,9 @@ let create ~net ~name ~identity ~block_size ~block_timeout ?(tx_cpu = 0.00002)
 let blocks_cut t = t.blocks
 
 let queued t = Cutter.pending t.cutter
+
+let auth_verified t = Cutter.auth_verified t.cutter
+
+let auth_rejected t = Cutter.auth_rejected t.cutter
+
+let replays t = Cutter.replays t.cutter

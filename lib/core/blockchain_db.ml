@@ -53,6 +53,12 @@ type config = {
           draw no rng, so enabling them never changes committed state,
           hashes or decisions. *)
   health_thresholds : Brdb_obs.Health.thresholds;  (** detector tuning *)
+  authenticate : bool;
+      (** cut-time batch signature verification at the ordering service
+          (ISSUE 10): orderers verify every submission's Schnorr
+          signature against the shared certificate registry before it can
+          enter a block, dropping forgeries. On by default — clients sign
+          every submission, so clean runs are unaffected. *)
 }
 
 let default_config () =
@@ -74,6 +80,7 @@ let default_config () =
     parallel_validation = false;
     health_interval = 0.1;
     health_thresholds = Brdb_obs.Health.default_thresholds;
+    authenticate = true;
   }
 
 type final_status = Committed | Aborted of string | Rejected of string
@@ -107,6 +114,10 @@ type t = {
   mutable seq : int;
   mutable decided : int;
   mutable decision_listeners : (tx_id:string -> final_status -> unit) list;
+  (* sys.clients rows, installed by the client-plane hub (Brdb_client);
+     the registration lives here so the sys.* name stays inside the
+     provider layers the lint rule allows *)
+  mutable client_rows : unit -> Value.t array list;
 }
 
 let peer_name org = "db-" ^ org
@@ -208,10 +219,16 @@ let create config =
   let peers_of o =
     List.filter (fun p -> String.equal (orderer_of_peer p) o) peer_names
   in
+  let authenticator =
+    (* Deterministic: Block.verify_tx is a pure function of (tx bytes,
+       registry), and the registry is identical on every orderer. *)
+    if config.authenticate then Some (fun tx -> Block.verify_tx registry tx)
+    else None
+  in
   let service =
     Service.create ~net ~kind:config.ordering ~orderer_names
       ~identity_of:(fun name -> List.assoc name orderer_identities)
-      ~rng:(Rng.split rng) ~block_size:config.block_size
+      ~rng:(Rng.split rng) ?authenticator ~block_size:config.block_size
       ~block_timeout:config.block_timeout ~peers_of ()
   in
   let peers =
@@ -270,6 +287,7 @@ let create config =
       seq = 0;
       decided = 0;
       decision_listeners = [];
+      client_rows = (fun () -> []);
     }
   in
   List.iter
@@ -300,6 +318,17 @@ let create config =
         (Node_core.catalog (Peer.core p))
         ~name:"sys.nodes" ~columns:Brdb_obs.Sysview.nodes_columns
         ~rows:nodes_rows)
+    peers;
+  (* sys.clients (ISSUE 10): one row per client-plane session. The rows
+     provider is installed by the Brdb_client hub (empty until then);
+     registering here keeps the sys.* literal inside the provider layer
+     and makes the view readable from every node like sys.nodes. *)
+  List.iter
+    (fun p ->
+      Brdb_storage.Catalog.register_virtual
+        (Node_core.catalog (Peer.core p))
+        ~name:"sys.clients" ~columns:Brdb_obs.Sysview.clients_columns
+        ~rows:(fun ~height:_ -> t.client_rows ()))
     peers;
   (* --- health plane (ISSUE 9, DESIGN.md §15) ---------------------------
      One shared engine per deployment, ticked on the simulated clock. The
@@ -366,6 +395,7 @@ let create config =
       s_elections = Service.elections t.service;
       s_view_changes = Service.view_changes t.service;
       s_digests_agree = digests_agree;
+      s_auth_rejected = Service.auth_rejected t.service;
     }
   in
   let alert_rows ~height:_ =
@@ -555,6 +585,43 @@ let submit t ~user ~contract ~args =
        (Msg.Client_tx tx));
   tx_id
 
+(* Client-plane submission (ISSUE 10): like the EO branch of [submit]
+   but with the session's choices pinned — the tx executes at the
+   session's begin height on the session's peer, not at whatever height
+   the round-robin peer happens to be at. *)
+let submit_at t ~user ~contract ~args ~peer:peer_index ~snapshot =
+  if t.config.flow <> Node_core.Execute_order then
+    invalid_arg "Blockchain_db.submit_at: pinned submission requires the EO flow";
+  let p = List.nth t.peers (peer_index mod List.length t.peers) in
+  let tx = Block.make_eo_tx ~identity:user ~contract ~args ~snapshot in
+  let target = Peer.name p in
+  let tx_id = tx.Block.tx_id in
+  Hashtbl.replace t.tracks tx_id
+    { submitted_at = Clock.now t.clock; commits = 0; aborts = 0; final = None };
+  Metrics.record_submit t.metrics ~time:(Clock.now t.clock);
+  Reg.incr (Obs.metrics t.obs) ~node:"cluster" "client.submitted";
+  Hashtbl.replace t.submit_ts tx_id (Clock.now t.clock);
+  (let tr = Obs.trace t.obs in
+   if Trace.enabled tr then
+     Trace.async_begin tr ~node:"client" ~cat:"txn" ~name:"lifecycle" ~id:tx_id
+       ~span:("tx/" ^ tx_id)
+       ~args:
+         [
+           ("user", Trace.S (Identity.name user));
+           ("contract", Trace.S contract);
+           ("target", Trace.S target);
+         ]
+       ());
+  ignore
+    (Msg.Net.send t.net
+       ~src:("client/" ^ Identity.name user)
+       ~dst:target
+       ~size_bytes:(Msg.size (Msg.Client_tx tx))
+       (Msg.Client_tx tx));
+  tx_id
+
+let set_client_rows_provider t f = t.client_rows <- f
+
 let on_decided t f = t.decision_listeners <- f :: t.decision_listeners
 
 let status t tx_id =
@@ -612,7 +679,14 @@ let sync_registry t =
   Reg.set reg ~node:"ordering" "orderer.term" (float_of_int (Service.term t.service));
   Reg.set reg ~node:"ordering" "orderer.view_changes"
     (float_of_int (Service.view_changes t.service));
-  Reg.set reg ~node:"ordering" "orderer.view" (float_of_int (Service.view t.service))
+  Reg.set reg ~node:"ordering" "orderer.view" (float_of_int (Service.view t.service));
+  (* client-authentication plane (ISSUE 10): cut-time batch verification *)
+  Reg.set reg ~node:"ordering" "auth.verified"
+    (float_of_int (Service.auth_verified t.service));
+  Reg.set reg ~node:"ordering" "auth.rejected"
+    (float_of_int (Service.auth_rejected t.service));
+  Reg.set reg ~node:"ordering" "auth.replayed"
+    (float_of_int (Service.auth_replayed t.service))
 
 let query t ?(node = 0) ?params sql =
   (* sys.metrics reads the shared registry; keep the network/ordering

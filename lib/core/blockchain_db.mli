@@ -69,6 +69,14 @@ type config = {
   health_thresholds : Brdb_obs.Health.thresholds;
       (** detector tuning; {!Brdb_obs.Health.default_thresholds} keeps
           fault-free runs silent across seeds. *)
+  authenticate : bool;
+      (** cut-time batch signature verification at the ordering service
+          (ISSUE 10): every orderer's cutter verifies submission
+          signatures against the shared certificate registry in
+          deterministic batches before cutting a block, dropping
+          forgeries ([auth.*] metrics, [Auth_rejection_burst] detector).
+          On by default; clients sign every submission, so clean runs
+          cut byte-identical blocks either way. *)
 }
 
 (** 3 orgs, order-then-execute, solo orderer, block size 100, 1 s timeout,
@@ -124,6 +132,24 @@ val submit :
   contract:string ->
   args:Value.t list ->
   string
+
+(** Pinned submission for the client plane (ISSUE 10): sign and submit
+    to the [peer]-th database peer with the execution snapshot forced to
+    [snapshot] (the session's begin height) instead of the peer's current
+    height. EO flow only — raises [Invalid_argument] otherwise. *)
+val submit_at :
+  t ->
+  user:Brdb_crypto.Identity.t ->
+  contract:string ->
+  args:Value.t list ->
+  peer:int ->
+  snapshot:int ->
+  string
+
+(** Install the [sys.clients] rows provider (called by the
+    {!Brdb_client} hub; the view reads empty until then). Registration
+    happens here so the sys.* schema stays within the provider layers. *)
+val set_client_rows_provider : t -> (unit -> Value.t array list) -> unit
 
 (** Majority status of a transaction ([None] while undecided). *)
 val status : t -> string -> final_status option

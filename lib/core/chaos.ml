@@ -43,6 +43,12 @@ type spec = {
       (** probability a delivered block is tampered in flight on
           orderer->peer links — §4.4 authenticated delivery must reject
           it and the peer must re-fetch from an honest source *)
+  client_forge : float;
+      (** probability a client submission's Schnorr signature is
+          bit-flipped in flight on the client's outgoing links (ISSUE 10
+          — forgery): ordering-side batch authentication must drop the
+          forged transaction before it reaches a block, and client
+          resubmission must eventually land a clean copy *)
   parallel_validation : bool;
       (** {!Blockchain_db.config.parallel_validation}: run the chaos
           workload with wave-scheduled validation — every convergence /
@@ -72,6 +78,7 @@ let default_spec =
     n_orderers = 1;
     orderer_crashes = 0;
     block_tamper = 0.;
+    client_forge = 0.;
     parallel_validation = false;
   }
 
@@ -87,16 +94,25 @@ type fault =
   | Node_crash  (** peer crash/restart cycles *)
   | Orderer_crash  (** ordering-plane crash cycles (Raft/Bft) *)
   | Block_tamper  (** in-flight block mangling on delivery links *)
+  | Client_forge  (** client submission signatures mangled in flight *)
   | Snapshot_corruption  (** snapshot chunk payloads mangled in flight *)
 
 let all_faults =
-  [ Message_loss; Node_crash; Orderer_crash; Block_tamper; Snapshot_corruption ]
+  [
+    Message_loss;
+    Node_crash;
+    Orderer_crash;
+    Block_tamper;
+    Client_forge;
+    Snapshot_corruption;
+  ]
 
 let fault_id = function
   | Message_loss -> "message_loss"
   | Node_crash -> "node_crash"
   | Orderer_crash -> "orderer_crash"
   | Block_tamper -> "block_tamper"
+  | Client_forge -> "client_forge"
   | Snapshot_corruption -> "snapshot_corruption"
 
 let expected_alerts = function
@@ -104,6 +120,7 @@ let expected_alerts = function
   | Node_crash -> [ Health.Replication_lag ]
   | Orderer_crash -> [ Health.View_change_storm; Health.Ordering_stall ]
   | Block_tamper -> [ Health.Auth_rejection_burst ]
+  | Client_forge -> [ Health.Auth_rejection_burst ]
   | Snapshot_corruption -> [ Health.Snapshot_failure ]
 
 let faults_of_spec spec =
@@ -113,6 +130,7 @@ let faults_of_spec spec =
       | Node_crash -> spec.crashes > 0
       | Orderer_crash -> spec.orderer_crashes > 0
       | Block_tamper -> spec.block_tamper > 0.
+      | Client_forge -> spec.client_forge > 0.
       | Snapshot_corruption -> spec.snap_corrupt > 0.)
     all_faults
 
@@ -157,6 +175,9 @@ type report = {
   view_changes : int;  (** max BFT view changes entered by any replica *)
   blocks_rejected : int;
       (** blocks refused by §4.4 authenticated delivery across all peers *)
+  forged_rejected : int;
+      (** forged client submissions dropped by ordering-side batch
+          authentication (ISSUE 10) *)
   decision_mismatches : string list;
   reason_divergences : string list;
   abort_classes : (string * int) list;
@@ -343,7 +364,11 @@ let run spec =
     end
   in
   let tamper_block (b : Block.t) = { b with Block.hash = flip_first b.Block.hash } in
-  if spec.snap_corrupt > 0. || spec.block_tamper > 0. then
+  let forge_sig (g : Brdb_crypto.Schnorr.signature) =
+    { g with Brdb_crypto.Schnorr.e = Int64.logxor g.Brdb_crypto.Schnorr.e 1L }
+  in
+  if spec.snap_corrupt > 0. || spec.block_tamper > 0. || spec.client_forge > 0.
+  then
     Msg.Net.set_corrupter netw (function
       | Msg.Snapshot_chunk { height; chunk } when spec.snap_corrupt > 0. ->
           Msg.Snapshot_chunk
@@ -360,6 +385,9 @@ let run spec =
           Msg.Block_deliver (tamper_block b)
       | Msg.Blocks_reply { blocks = b :: rest } when spec.block_tamper > 0. ->
           Msg.Blocks_reply { blocks = tamper_block b :: rest }
+      | Msg.Client_tx tx when spec.client_forge > 0. ->
+          Msg.Client_tx
+            { tx with Block.tx_signature = forge_sig tx.Block.tx_signature }
       | m -> m);
   if spec.snap_corrupt > 0. then record_injection Snapshot_corruption;
   if spec.block_tamper > 0. then record_injection Block_tamper;
@@ -408,6 +436,20 @@ let run spec =
             corrupt = spec.block_tamper;
           })
       orderer_names;
+  (* Forged client submissions (ISSUE 10): flip a signature bit on the
+     workload client's outgoing links — towards peers (EO flow) and
+     orderers (OE flow) alike. Ordering-side batch authentication must
+     drop the forged transaction before any block is cut; the slot is
+     recovered by the client resubmission loop below. *)
+  if spec.client_forge > 0. then begin
+    record_injection Client_forge;
+    let client_src = "client/" ^ Brdb_crypto.Identity.name user in
+    List.iter
+      (fun dst ->
+        Msg.Net.set_fault netw ~src:client_src ~dst
+          { Network.drop = 0.; duplicate = 0.; corrupt = spec.client_forge })
+      (peer_names @ orderer_names)
+  end;
   let n_events = spec.crashes + spec.partitions in
   let window = spec.duration /. float_of_int (max 1 n_events) in
   let kinds =
@@ -709,6 +751,7 @@ let run spec =
     elections = Service.elections svc;
     view_changes = Service.view_changes svc;
     blocks_rejected = sum Peer.blocks_rejected;
+    forged_rejected = Service.auth_rejected svc;
     decision_mismatches;
     reason_divergences;
     abort_classes;
@@ -745,12 +788,13 @@ let pp_report fmt r =
     Format.fprintf fmt "; %d txns aborted for node-divergent reasons"
       (List.length r.reason_divergences);
   if r.orderer_crash_cycles > 0 || r.elections > 0 || r.view_changes > 0
-     || r.blocks_rejected > 0
+     || r.blocks_rejected > 0 || r.forged_rejected > 0
   then
     Format.fprintf fmt
       "; ordering plane: %d orderer crash cycles, %d elections, %d view \
-       changes, %d blocks rejected at delivery"
-      r.orderer_crash_cycles r.elections r.view_changes r.blocks_rejected;
+       changes, %d blocks rejected at delivery, %d forged txs dropped"
+      r.orderer_crash_cycles r.elections r.view_changes r.blocks_rejected
+      r.forged_rejected;
   if r.snapshots_installed > 0 || r.chunks_corrupted > 0 then
     Format.fprintf fmt
       "; %d snapshot bootstraps (%d chunks rejected corrupt, %d payloads \

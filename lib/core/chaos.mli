@@ -61,6 +61,13 @@ type spec = {
           stay fetchable from an honest peer): §4.4 authenticated
           delivery must reject the mangled block ([blocks_rejected]) and
           the victim must recover it via §3.6 catch-up *)
+  client_forge : float;
+      (** probability a client submission's Schnorr signature is
+          bit-flipped in flight on the workload client's outgoing links
+          (ISSUE 10): ordering-side batch authentication must drop the
+          forged transaction before a block is cut ([forged_rejected]),
+          the [auth_rejection_burst] detector must fire, and §3.5 client
+          resubmission must eventually land a clean copy of every slot *)
   parallel_validation : bool;
       (** {!Blockchain_db.config.parallel_validation}: wave-scheduled
           intra-block validation (DESIGN.md §14). Every invariant the
@@ -80,6 +87,7 @@ type fault =
   | Node_crash  (** peer crash/restart cycles ([crashes]) *)
   | Orderer_crash  (** ordering-plane crash cycles ([orderer_crashes]) *)
   | Block_tamper  (** in-flight block mangling ([block_tamper]) *)
+  | Client_forge  (** client signature mangling ([client_forge]) *)
   | Snapshot_corruption  (** chunk payload mangling ([snap_corrupt]) *)
 
 val all_faults : fault list
@@ -149,6 +157,9 @@ type report = {
   blocks_rejected : int;
       (** blocks refused by §4.4 authenticated delivery (bad signature or
           hash, equivocation, broken chain linkage), summed across peers *)
+  forged_rejected : int;
+      (** forged client submissions dropped by ordering-side batch
+          authentication before block cut (ISSUE 10) *)
   decision_mismatches : string list;
       (** transactions where one node committed and another finalized
           differently — must be empty (also folded into [converged]) *)

@@ -90,6 +90,10 @@ type t = {
   (* height -> write-set digest (§3.3.4): the per-block state digest the
      divergence monitor publishes into sys.blocks *)
   digests : (int, string) Hashtbl.t;
+  (* height -> Merkle leaves of the write-set root (ISSUE 10): the
+     canonical per-write entry strings provenance proofs are built from.
+     Absent for heights installed from a snapshot — the proof floor. *)
+  ws_entries : (int, string list) Hashtbl.t;
   (* modelled base execution time (seconds) per contract name, installed by
      the peer from the calibrated cost model; backs sys.transactions.tet_ms *)
   mutable tet_model : string -> float;
@@ -114,6 +118,7 @@ let create config ~registry =
     exec_totals = Exec.new_stats ();
     tx_log = Hashtbl.create 64;
     digests = Hashtbl.create 64;
+    ws_entries = Hashtbl.create 64;
     tet_model = (fun _ -> 0.);
     cp_log = Hashtbl.create 64;
   }
@@ -143,6 +148,8 @@ let state_digest t ~height =
   else Some (chained_digest t ~height)
 
 let write_set_hash t ~height = Hashtbl.find_opt t.digests height
+
+let write_set_entries_at t ~height = Hashtbl.find_opt t.ws_entries height
 
 (* Testing hook for the divergence monitor: corrupt this node's recorded
    write-set hash at [height], which poisons the published chained digest
@@ -1008,11 +1015,12 @@ let process_appended t (block : Block.t) =
       (fun (_, status, txn) -> match status with S_committed -> txn | _ -> None)
       slots
   in
+  let ws_leaves = Manager.write_set_entries t.manager committed_txns in
   let result =
     {
       br_height = block_height;
       br_statuses = List.map (fun (gid, status, _) -> (gid, status)) slots;
-      br_write_set_hash = Manager.write_set_digest t.manager committed_txns;
+      br_write_set_hash = Brdb_crypto.Merkle.root ws_leaves;
       br_missing = !missing;
       br_waves;
       br_fresh;
@@ -1033,6 +1041,7 @@ let process_appended t (block : Block.t) =
          })
        (List.combine block.Block.txs slots));
   Hashtbl.replace t.digests block_height result.br_write_set_hash;
+  Hashtbl.replace t.ws_entries block_height ws_leaves;
   (* Garbage-collect bookkeeping for long-finished transactions (their
      effects live on in the heap; duplicate-id detection is preserved).
      A window of a few blocks keeps everything §3.6 recovery inspects. *)
@@ -1215,6 +1224,7 @@ let reset_half_installed t =
     (Registry.export_procedural t.contracts);
   Manager.restore_globals t.manager ~next_txid:1 [];
   Hashtbl.reset t.digests;
+  Hashtbl.reset t.ws_entries;
   Hashtbl.reset t.tx_log;
   Hashtbl.reset t.exec_versions;
   Wal.restore t.wal [];
@@ -1269,11 +1279,12 @@ let recover t =
             (fun (txid, s) -> if s = Some Wal.Committed then Manager.find t.manager txid else None)
             wal_statuses
         in
+        let ws_leaves = Manager.write_set_entries t.manager committed in
         let result =
           {
             br_height = h;
             br_statuses;
-            br_write_set_hash = Manager.write_set_digest t.manager committed;
+            br_write_set_hash = Brdb_crypto.Merkle.root ws_leaves;
             br_missing = 0;
             (* The schedule of the interrupted run is not recoverable from
                the WAL; restart never models validation time, so empty
@@ -1307,6 +1318,7 @@ let recover t =
                    })
                  block.Block.txs));
         Hashtbl.replace t.digests h result.br_write_set_hash;
+        Hashtbl.replace t.ws_entries h ws_leaves;
         Ok (Some result)
       end
       else begin
@@ -1510,6 +1522,10 @@ let install_snapshot ?(crash_after_tables = false) t (snap : Snapshot.t) =
       | Ok () ->
           Hashtbl.reset t.digests;
           List.iteri (fun i ws -> Hashtbl.replace t.digests (i + 1) ws) digests;
+          (* Snapshots carry the per-block roots, not the underlying write
+             entries — installed heights sit below the provenance-proof
+             floor (ISSUE 10). *)
+          Hashtbl.reset t.ws_entries;
           Hashtbl.reset t.tx_log;
           List.iter (fun (h, records) -> Hashtbl.replace t.tx_log h records) tx_log;
           Hashtbl.reset t.exec_versions;

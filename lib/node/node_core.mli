@@ -174,6 +174,12 @@ val state_digest : t -> height:int -> string option
     checkpoint records after a snapshot install (DESIGN.md §11). *)
 val write_set_hash : t -> height:int -> string option
 
+(** The Merkle leaves behind {!write_set_hash} at [height]: canonical
+    ["<gid>|<op>|<table>|<values>"] entry strings in write order (ISSUE
+    10 provenance proofs). [None] above the current height and for
+    heights installed from a snapshot — the provenance-proof floor. *)
+val write_set_entries_at : t -> height:int -> string list option
+
 (** Corrupt the recorded write-set hash at [height], poisoning the
     published chained digest from [height] onwards (divergence-injection
     for the chaos harness and tests only). *)

@@ -12,6 +12,7 @@ type t =
   | Contract_failure
   | Deploy_conflict
   | Chaos_induced
+  | Admission
 
 let all =
   [
@@ -26,6 +27,7 @@ let all =
     Contract_failure;
     Deploy_conflict;
     Chaos_induced;
+    Admission;
   ]
 
 let to_string = function
@@ -40,6 +42,7 @@ let to_string = function
   | Contract_failure -> "contract-failure"
   | Deploy_conflict -> "deploy-conflict"
   | Chaos_induced -> "chaos-induced"
+  | Admission -> "admission"
 
 (* Rule names come from Brdb_ssi.Rules: the plain SSI detector (§2
    background, Cahill/Ports-Grittner dangerous structures) vs the

@@ -22,6 +22,12 @@ type t =
   | Contract_failure  (** contract raised [Api.Failed] *)
   | Deploy_conflict  (** contract updated during execution (§3.7) *)
   | Chaos_induced  (** rollback forced by crash replay or ordering clamp *)
+  | Admission
+      (** failed the client-side pre-submit admission check (ISSUE 10
+          "Early Fail Tx"): a pinned read version was superseded, or the
+          session outlived its height window — the transaction never
+          reached the orderer, so {!of_reason} never returns this class;
+          counts surface via [sys.clients] and the [admission.*] metrics *)
 
 val all : t list
 

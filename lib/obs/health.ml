@@ -52,7 +52,8 @@ let describe = function
   | Abort_spike -> "EWMA abort fraction of decided txns above threshold"
   | Replication_lag -> "peer height gap sustained above threshold"
   | Snapshot_failure -> "corrupted snapshot chunks or failed bootstraps"
-  | Auth_rejection_burst -> "blocks refused by authenticated delivery"
+  | Auth_rejection_burst ->
+      "blocks refused by authenticated delivery or forged submissions dropped"
   | Divergence_warning -> "state digests disagree at a common height"
 
 type transition = Fire | Clear
@@ -134,6 +135,7 @@ type sample = {
   s_elections : int;
   s_view_changes : int;
   s_digests_agree : bool;
+  s_auth_rejected : int;
 }
 
 (* Per-(detector, subject) hysteresis cell. *)
@@ -160,6 +162,7 @@ type t = {
   lag_streak : (string, int ref) Hashtbl.t;
   reject_win : (string, Registry.Window.t) Hashtbl.t;
   snap_win : (string, Registry.Window.t) Hashtbl.t;
+  auth_win : Registry.Window.t;
 }
 
 let create ?(thresholds = default_thresholds) () =
@@ -182,6 +185,7 @@ let create ?(thresholds = default_thresholds) () =
     lag_streak = Hashtbl.create 8;
     reject_win = Hashtbl.create 8;
     snap_win = Hashtbl.create 8;
+    auth_win = Registry.Window.create ~span:th.fail_window_s;
   }
 
 let state t d subject =
@@ -409,6 +413,23 @@ let observe t (s : sample) =
               (int_of_float rej_sum) th.fail_window_s n.ns_blocks_rejected)
           acc)
       acc s.s_nodes
+  in
+  (* --- forged-submission burst at the ordering service (ISSUE 10): any
+     transaction dropped by cut-time batch signature verification is
+     anomalous (zero in clean runs — clients sign every submission) *)
+  (match prev with
+  | None -> ()
+  | Some p ->
+      let d = s.s_auth_rejected - p.s_auth_rejected in
+      if d > 0 then Registry.Window.add t.auth_win ~now (float_of_int d));
+  let auth_sum = Registry.Window.sum t.auth_win ~now in
+  let acc =
+    set_condition t ~now ~height:max_height Auth_rejection_burst "ordering"
+      ~active:(auth_sum >= float_of_int th.reject_burst)
+      ~evidence:(fun () ->
+        Printf.sprintf "forged=%d/%.1fs total_forged=%d" (int_of_float auth_sum)
+          th.fail_window_s s.s_auth_rejected)
+      acc
   in
   (* --- divergence early-warning: live digest disagreement, or a node's
      own checkpoint monitor flagging a mismatch, inside the window --- *)

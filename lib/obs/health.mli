@@ -125,6 +125,11 @@ type sample = {
   s_elections : int;  (** Raft elections won (cumulative) *)
   s_view_changes : int;  (** BFT view changes (cumulative) *)
   s_digests_agree : bool;  (** state digests equal at the common height *)
+  s_auth_rejected : int;
+      (** forged submissions dropped by cut-time batch signature
+          verification across the ordering service (ISSUE 10),
+          cumulative; drives the ["ordering"]-subject
+          {!Auth_rejection_burst} rule *)
 }
 
 type t

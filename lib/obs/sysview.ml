@@ -110,3 +110,31 @@ let detector_row (s : Health.summary) =
     Value.Float s.Health.sm_last_time;
     Value.Int s.Health.sm_last_height;
   |]
+
+let clients_columns =
+  let open Brdb_sql.Ast in
+  [
+    col ~pk:true "session" T_text;
+    col "user" T_text;
+    col "peer" T_text;
+    col "status" T_text;
+    col "pinned_height" T_int;
+    col "reads_pinned" T_int;
+    col "submitted" T_int;
+    col "early_aborts" T_int;
+    col "receipts_verified" T_int;
+  ]
+
+let client_row ~session ~user ~peer ~status ~pinned_height ~reads_pinned
+    ~submitted ~early_aborts ~receipts_verified =
+  [|
+    Value.Text session;
+    Value.Text user;
+    Value.Text peer;
+    Value.Text status;
+    Value.Int pinned_height;
+    Value.Int reads_pinned;
+    Value.Int submitted;
+    Value.Int early_aborts;
+    Value.Int receipts_verified;
+  |]

@@ -45,3 +45,22 @@ val alert_row : Health.alert -> Brdb_storage.Value.t array
 val detectors_columns : Brdb_storage.Schema.column list
 
 val detector_row : Health.summary -> Brdb_storage.Value.t array
+
+(** Columns of [sys.clients] (ISSUE 10): session (PK), user, peer,
+    status, pinned_height, reads_pinned, submitted, early_aborts,
+    receipts_verified — one row per client-plane session, in session-id
+    order. The client hub supplies the facts; registration lives in
+    [Blockchain_db] like the other cluster-level views. *)
+val clients_columns : Brdb_storage.Schema.column list
+
+val client_row :
+  session:string ->
+  user:string ->
+  peer:string ->
+  status:string ->
+  pinned_height:int ->
+  reads_pinned:int ->
+  submitted:int ->
+  early_aborts:int ->
+  receipts_verified:int ->
+  Brdb_storage.Value.t array

@@ -208,7 +208,7 @@ let abort t txn reason =
   txn.Txn.status <- Txn.Aborted reason;
   List.iter (fun f -> f ()) txn.Txn.on_abort
 
-let write_set_digest t txns =
+let write_set_entries t txns =
   let parts = ref [] in
   List.iter
     (fun txn ->
@@ -228,10 +228,14 @@ let write_set_digest t txns =
                 entry "U-" table old_vid ^ ";" ^ entry "U+" table new_vid
             | Txn.W_delete { table; old_vid } -> entry "D" table old_vid
           in
-          parts := part :: !parts)
+          (* The global id binds the entry to its transaction so a
+             provenance proof names the writer, not just the bytes. *)
+          parts := (txn.Txn.global_id ^ "|" ^ part) :: !parts)
         (Txn.writes_in_order txn))
     txns;
-  Brdb_crypto.Sha256.digest_concat (List.rev !parts)
+  List.rev !parts
+
+let write_set_digest t txns = Brdb_crypto.Merkle.root (write_set_entries t txns)
 
 let rollback_committed t txn =
   List.iter

@@ -246,6 +246,34 @@ let test_block_tamper_rejected () =
   Alcotest.(check (list string)) "no decision mismatches" []
     r.Chaos.decision_mismatches
 
+let test_client_forge_rejected () =
+  (* Every in-window client submission has its Schnorr signature
+     bit-flipped in flight (ISSUE 10): ordering-side batch authentication
+     must drop every forged transaction before a block is cut, the
+     auth_rejection_burst detector must notice, and §3.5 resubmission
+     must still land a clean copy of every slot after the network heals. *)
+  let spec =
+    {
+      Chaos.default_spec with
+      Chaos.seed = 11;
+      client_forge = 1.0;
+      drop = 0.;
+      duplicate = 0.;
+      crashes = 0;
+      partitions = 0;
+    }
+  in
+  let r = Chaos.run spec in
+  check_report 11 r;
+  Alcotest.(check bool) "forged submissions dropped" true
+    (r.Chaos.forged_rejected > 0);
+  Alcotest.(check int) "every mangled payload was rejected"
+    r.Chaos.corrupted r.Chaos.forged_rejected;
+  Alcotest.(check bool) "auth burst alert fired" true
+    (List.mem_assoc "auth_rejection_burst" r.Chaos.alerts_fired);
+  Alcotest.(check (list string)) "client_forge covered by an alert" []
+    (List.map Chaos.fault_id r.Chaos.uncovered_faults)
+
 let test_equivocating_block_rejected () =
   (* A validly-signed sibling block at an already-known height (orderer
      identities are deterministic, so a byzantine orderer is easy to
@@ -317,6 +345,8 @@ let suites =
           test_raft_leader_crash_converges;
         Alcotest.test_case "tampered blocks rejected" `Quick
           test_block_tamper_rejected;
+        Alcotest.test_case "forged client txs rejected" `Quick
+          test_client_forge_rejected;
         Alcotest.test_case "equivocating block rejected" `Quick
           test_equivocating_block_rejected;
       ] );

@@ -12,7 +12,7 @@ let mk_tx i =
 (* --- cutter ---------------------------------------------------------------- *)
 
 let test_cutter_size_cut () =
-  let c = Cutter.create ~block_size:3 in
+  let c = Cutter.create ~block_size:3 () in
   Alcotest.(check bool) "first" true (Cutter.add c (mk_tx 1) = Cutter.First);
   Alcotest.(check bool) "buffered" true (Cutter.add c (mk_tx 2) = Cutter.Buffered);
   (match Cutter.add c (mk_tx 3) with
@@ -23,7 +23,7 @@ let test_cutter_size_cut () =
   Alcotest.(check int) "empty again" 0 (Cutter.pending c)
 
 let test_cutter_duplicates () =
-  let c = Cutter.create ~block_size:10 in
+  let c = Cutter.create ~block_size:10 () in
   ignore (Cutter.add c (mk_tx 1));
   Alcotest.(check bool) "dup" true (Cutter.add c (mk_tx 1) = Cutter.Duplicate);
   (match Cutter.cut c with
@@ -33,7 +33,7 @@ let test_cutter_duplicates () =
   Alcotest.(check bool) "dup across blocks" true (Cutter.add c (mk_tx 1) = Cutter.Duplicate)
 
 let test_cutter_force_cut () =
-  let c = Cutter.create ~block_size:10 in
+  let c = Cutter.create ~block_size:10 () in
   Alcotest.(check bool) "empty force" true (Cutter.cut c = None);
   ignore (Cutter.add c (mk_tx 1));
   ignore (Cutter.add c (mk_tx 2));

@@ -90,7 +90,8 @@ let node ?(height = 0) ?(crashed = false) ?(rejected = 0) ?(corrupt = 0)
   }
 
 let sample ?(nodes = []) ?(cut = 0) ?(pending = 0) ?(decided = 0)
-    ?(aborted = 0) ?(elections = 0) ?(view_changes = 0) ?(agree = true) time =
+    ?(aborted = 0) ?(elections = 0) ?(view_changes = 0) ?(agree = true)
+    ?(auth_rejected = 0) time =
   {
     H.s_time = time;
     s_nodes = nodes;
@@ -101,6 +102,7 @@ let sample ?(nodes = []) ?(cut = 0) ?(pending = 0) ?(decided = 0)
     s_elections = elections;
     s_view_changes = view_changes;
     s_digests_agree = agree;
+    s_auth_rejected = auth_rejected;
   }
 
 let transitions alerts =
